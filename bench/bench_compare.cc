@@ -1,0 +1,81 @@
+// T2-compare — the "Comparison" row of §3.3: COMPARE costs O(1) time and
+// 2·log(mn) bits, versus the classical full comparison at O(n) time and a
+// whole vector on the wire.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+using namespace optrep;
+using namespace optrep::bench;
+
+namespace {
+
+// Two vectors with a realistic relation: b extends a by one update.
+std::pair<vv::RotatingVector, vv::RotatingVector> make_pair_of_size(std::uint32_t n) {
+  vv::RotatingVector a = linear_history(n);
+  vv::RotatingVector b = a;
+  b.record_update(SiteId{0});
+  return {a, b};
+}
+
+void BM_CompareFast(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  auto [a, b] = make_pair_of_size(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vv::compare_fast(a, b));
+  }
+  const CostModel cm{.n = n, .m = 1 << 16};
+  state.counters["wire_bits"] = static_cast<double>(vv::compare_cost_bits(cm));
+}
+
+void BM_CompareFull(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  auto [a, b] = make_pair_of_size(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vv::compare_full(a, b));
+  }
+  const CostModel cm{.n = n, .m = 1 << 16};
+  state.counters["wire_bits"] = static_cast<double>(vv::compare_full_cost_bits(cm, n));
+}
+
+BENCHMARK(BM_CompareFast)->RangeMultiplier(8)->Range(8, 32768);
+BENCHMARK(BM_CompareFull)->RangeMultiplier(8)->Range(8, 32768);
+
+// All four outcomes, to show COMPARE's constant cost is outcome-independent.
+void BM_CompareFastOutcomes(benchmark::State& state) {
+  vv::RotatingVector base = linear_history(512);
+  vv::RotatingVector eq = base;
+  vv::RotatingVector ahead = base;
+  ahead.record_update(SiteId{1});
+  vv::RotatingVector conc1 = base, conc2 = base;
+  conc1.record_update(SiteId{2});
+  conc2.record_update(SiteId{3});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vv::compare_fast(base, eq));
+    benchmark::DoNotOptimize(vv::compare_fast(base, ahead));
+    benchmark::DoNotOptimize(vv::compare_fast(ahead, base));
+    benchmark::DoNotOptimize(vv::compare_fast(conc1, conc2));
+  }
+}
+BENCHMARK(BM_CompareFastOutcomes);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("==== bench_compare: §3.3 comparison row ====\n");
+  std::printf("wire cost:  COMPARE = 2·log(mn) bits (constant);"
+              " full comparison ships one whole vector (O(n)).\n");
+  std::printf("%-8s %-18s %-18s\n", "n", "COMPARE bits", "full-compare bits");
+  print_rule(46);
+  for (std::uint32_t n : {8u, 64u, 512u, 4096u, 32768u}) {
+    const CostModel cm{.n = n, .m = 1 << 16};
+    std::printf("%-8u %-18llu %-18llu\n", n,
+                (unsigned long long)vv::compare_cost_bits(cm),
+                (unsigned long long)vv::compare_full_cost_bits(cm, n));
+  }
+  std::printf("\ntime: COMPARE must stay flat in n; the full comparison grows.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

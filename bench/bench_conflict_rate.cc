@@ -1,0 +1,94 @@
+// E-gamma — §3.2/§4: CRV's redundant transfer |Γ| grows with the conflict
+// rate; SRV replaces it with O(1)-per-segment skips (γ). This is the paper's
+// central CRV-vs-SRV trade-off, driven here by the append-only-log style
+// workload §4 motivates ("heavily updated objects can generate numerous
+// syntactic-only conflicts").
+//
+// Sweeps the update probability (≈ conflict pressure) on identical traces
+// and reports per-session traffic plus the Γ/γ split for both algorithms.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "workload/trace.h"
+
+using namespace optrep;
+using namespace optrep::bench;
+
+namespace {
+
+struct Sample {
+  double bits_per_session;
+  double redundant_per_session;  // |Γ| for CRV, straggler-free redundancy for SRV
+  double skips_per_session;      // γ (SRV only)
+  double conflict_fraction;
+};
+
+Sample run_kind(vv::VectorKind kind, double update_prob, std::uint64_t seed) {
+  wl::GeneratorConfig g;
+  g.n_sites = 16;
+  g.n_objects = 1;
+  g.steps = 3000;
+  g.update_prob = update_prob;
+  g.seed = seed;
+  const wl::Trace trace = wl::generate(g);
+
+  repl::StateSystem::Config cfg;
+  cfg.n_sites = g.n_sites;
+  cfg.kind = kind;
+  cfg.policy = repl::ResolutionPolicy::kAutomatic;
+  cfg.cost = CostModel{.n = g.n_sites, .m = 1 << 16};
+  cfg.check_oracle = false;  // measured run; correctness is covered by tests
+  repl::StateSystem sys(cfg);
+  wl::run_state(sys, trace, /*drive_to_consistency=*/false);
+
+  const auto& t = sys.totals();
+  Sample s{};
+  const double sessions = static_cast<double>(t.sessions ? t.sessions : 1);
+  s.bits_per_session = static_cast<double>(t.bits) / sessions;
+  s.redundant_per_session = static_cast<double>(t.elems_redundant) / sessions;
+  s.skips_per_session = static_cast<double>(t.skips) / sessions;
+  s.conflict_fraction = static_cast<double>(t.conflicts_detected) / sessions;
+  return s;
+}
+
+void BM_ReconcileSession(benchmark::State& state) {
+  const auto kind = static_cast<vv::VectorKind>(state.range(0));
+  VectorFleet fleet(16, kind, 99);
+  fleet.evolve(3000, 0.8);
+  std::uint32_t a = 0;
+  for (auto _ : state) {
+    fleet.update(a % 16);
+    fleet.update((a + 7) % 16);
+    benchmark::DoNotOptimize(fleet.sync(a % 16, (a + 7) % 16).total_bits());
+    ++a;
+  }
+}
+BENCHMARK(BM_ReconcileSession)
+    ->Arg(static_cast<long>(vv::VectorKind::kCrv))
+    ->Arg(static_cast<long>(vv::VectorKind::kSrv))
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("==== bench_conflict_rate: CRV |Gamma| vs SRV gamma ====\n\n");
+  std::printf("%-8s %-10s | %-12s %-12s | %-12s %-12s %-10s\n", "p(upd)", "conflicts",
+              "CRV bits/s", "SRV bits/s", "CRV Gamma/s", "SRV Gamma/s", "SRV skips/s");
+  print_rule(86);
+  for (double p : {0.1, 0.3, 0.5, 0.7, 0.85, 0.95}) {
+    const Sample crv = run_kind(vv::VectorKind::kCrv, p, 7);
+    const Sample srv = run_kind(vv::VectorKind::kSrv, p, 7);
+    std::printf("%-8.2f %-10.2f | %-12.1f %-12.1f | %-12.2f %-12.2f %-10.2f\n", p,
+                crv.conflict_fraction, crv.bits_per_session, srv.bits_per_session,
+                crv.redundant_per_session, srv.redundant_per_session,
+                srv.skips_per_session);
+  }
+  std::printf("\n(expected shape per the paper: at low conflict rates the two columns\n"
+              " track each other — CRV 'incurs insignificant redundant transfer';\n"
+              " as conflicts rise, CRV's Gamma/session climbs while SRV trades it\n"
+              " for O(1)-cost skips, so SRV's bits/session stays lower.)\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,119 @@
+// E-graph + F3 — §6.1's SYNCG claim: transmitted data is
+// O(|V_b \ V_a| + |A_b \ A_a|), i.e. proportional to the *difference*, while
+// the traditional approach ships the whole graph. "Dramatically reducing
+// network overhead for large graphs with small differences."
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "graph/sync_graph.h"
+
+using namespace optrep;
+using namespace optrep::bench;
+using namespace optrep::graph;
+
+namespace {
+
+GraphSyncOptions gopt() {
+  GraphSyncOptions o;
+  o.mode = vv::TransferMode::kIdeal;
+  o.cost = CostModel{.n = 64, .m = 1 << 20};
+  o.ship_ops = false;  // metadata-only view; op payloads are scheme-independent
+  return o;
+}
+
+// A shared history of `shared` ops with `branches` concurrent merged-in
+// branches, then a fresh suffix of `diff` ops on the sender only.
+std::pair<CausalGraph, CausalGraph> make_graphs(std::uint32_t shared, std::uint32_t diff,
+                                                std::uint32_t branches) {
+  CausalGraph b;
+  b.create(UpdateId{SiteId{0}, 1});
+  std::uint64_t seq = 1;
+  for (std::uint32_t i = 1; i < shared; ++i) b.append(UpdateId{SiteId{0}, ++seq});
+  for (std::uint32_t br = 0; br < branches; ++br) {
+    // A concurrent branch of 3 ops hanging off the root, merged in.
+    CausalGraph side;
+    side.create(UpdateId{SiteId{0}, 1});
+    for (std::uint64_t j = 1; j <= 3; ++j) side.append(UpdateId{SiteId{br + 1}, j});
+    sim::EventLoop loop;
+    auto o = gopt();
+    sync_graph(loop, b, side, o);
+    b.merge(UpdateId{SiteId{0}, ++seq}, side.sink());
+  }
+  CausalGraph a = b;  // receiver shares everything so far
+  for (std::uint32_t i = 0; i < diff; ++i) b.append(UpdateId{SiteId{0}, ++seq});
+  return {a, b};
+}
+
+void BM_SyncGraphIncremental(benchmark::State& state) {
+  const auto shared = static_cast<std::uint32_t>(state.range(0));
+  auto [a0, b] = make_graphs(shared, 8, 4);
+  for (auto _ : state) {
+    state.PauseTiming();
+    CausalGraph a = a0;
+    state.ResumeTiming();
+    sim::EventLoop loop;
+    auto o = gopt();
+    benchmark::DoNotOptimize(sync_graph(loop, a, b, o).total_bits());
+  }
+}
+BENCHMARK(BM_SyncGraphIncremental)->RangeMultiplier(4)->Range(64, 4096)->Unit(benchmark::kMicrosecond);
+
+void BM_SyncGraphFull(benchmark::State& state) {
+  const auto shared = static_cast<std::uint32_t>(state.range(0));
+  auto [a0, b] = make_graphs(shared, 8, 4);
+  for (auto _ : state) {
+    state.PauseTiming();
+    CausalGraph a = a0;
+    state.ResumeTiming();
+    sim::EventLoop loop;
+    auto o = gopt();
+    benchmark::DoNotOptimize(sync_graph_full(loop, a, b, o).total_bits());
+  }
+}
+BENCHMARK(BM_SyncGraphFull)->RangeMultiplier(4)->Range(64, 4096)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("==== bench_graph: SYNCG vs full graph transfer (§6.1) ====\n\n");
+  std::printf("-- fixed difference (8 fresh ops), growing shared history --\n");
+  std::printf("%-10s %-8s | %-14s %-14s | %-14s %-14s\n", "|V| shared", "diff",
+              "SYNCG bits", "full bits", "SYNCG nodes", "full nodes");
+  print_rule(84);
+  for (std::uint32_t shared : {32u, 128u, 512u, 2048u, 8192u}) {
+    auto [a1, b] = make_graphs(shared, 8, 4);
+    CausalGraph a2 = a1;
+    sim::EventLoop l1, l2;
+    auto o = gopt();
+    const auto inc = sync_graph(l1, a1, b, o);
+    const auto full = sync_graph_full(l2, a2, b, o);
+    std::printf("%-10u %-8u | %-14llu %-14llu | %-14llu %-14llu\n", shared, 8u,
+                (unsigned long long)inc.total_bits(), (unsigned long long)full.total_bits(),
+                (unsigned long long)inc.nodes_sent, (unsigned long long)full.nodes_sent);
+  }
+
+  std::printf("\n-- fixed shared history (1024 ops), growing difference --\n");
+  std::printf("%-10s %-8s | %-14s %-14s | %-12s %-12s\n", "|V| shared", "diff",
+              "SYNCG bits", "full bits", "new nodes", "overlap");
+  print_rule(78);
+  for (std::uint32_t diff : {1u, 8u, 64u, 512u}) {
+    auto [a, b] = make_graphs(1024, diff, 4);
+    sim::EventLoop l1;
+    auto o = gopt();
+    const auto inc = sync_graph(l1, a, b, o);
+    CausalGraph a2 = a;  // a was already synced; rebuild for full
+    auto [af, bf] = make_graphs(1024, diff, 4);
+    sim::EventLoop l2;
+    const auto full = sync_graph_full(l2, af, bf, o);
+    std::printf("%-10u %-8u | %-14llu %-14llu | %-12llu %-12llu\n", 1024u, diff,
+                (unsigned long long)inc.total_bits(), (unsigned long long)full.total_bits(),
+                (unsigned long long)inc.nodes_new, (unsigned long long)inc.nodes_redundant);
+  }
+  std::printf("\n(expected shape: SYNCG's column is flat in the shared-history sweep and\n"
+              " linear in the difference sweep; the full transfer is linear in |V|\n"
+              " regardless. Overlap stays at one node per explored branch.)\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// E-storage — Observation 2.1: "Among all known solutions, version vectors
+// and variants have the minimal storage complexity for accurate conflict
+// detection."
+//
+// Grows a replicated object's history and reports the per-replica metadata
+// footprint of: version vectors (n-bounded), rotating vectors (version
+// vector + order + 2 bits/element), predecessor sets (grows with updates),
+// hash histories (grows with versions), and causal graphs (grow with
+// operations — required for operation transfer, overkill for state transfer).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "graph/causal_graph.h"
+#include "metadata/hash_history.h"
+#include "metadata/predecessor_set.h"
+
+using namespace optrep;
+using namespace optrep::bench;
+
+namespace {
+
+// Cost-model footprints in bytes, consistent across schemes: 4-byte site,
+// 8-byte counter/seq.
+std::uint64_t version_vector_bytes(const vv::VersionVector& v) { return v.size() * 12; }
+std::uint64_t rotating_vector_bytes(const vv::RotatingVector& v) {
+  // value (12) + two order links (8) + two flag bits (1 byte, generous).
+  return v.size() * (12 + 8 + 1);
+}
+std::uint64_t causal_graph_bytes(const graph::CausalGraph& g) {
+  return g.node_count() * (3 * 12);  // id + two parent ids
+}
+
+// The O(1) update cost that keeps rotating vectors cheap to maintain (§4.1:
+// "Incrementing an element in SRV due to replica updates consumes O(1) space
+// and time").
+void BM_RecordUpdate(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  vv::RotatingVector v = linear_history(n);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    v.record_update(SiteId{i++ % n});
+  }
+  benchmark::DoNotOptimize(v.size());
+}
+BENCHMARK(BM_RecordUpdate)->RangeMultiplier(8)->Range(8, 32768);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("==== bench_storage: per-replica metadata footprint (Observation 2.1) ====\n");
+  std::printf("(n = 32 sites, every site updates u times, fully gossiped)\n\n");
+  std::printf("%-10s | %-10s %-10s %-12s %-12s %-12s\n", "updates u", "vv", "rotating",
+              "pred. set", "hash hist.", "causal graph");
+  print_rule(74);
+
+  const std::uint32_t n = 32;
+  for (std::uint32_t u : {1u, 4u, 16u, 64u, 256u}) {
+    vv::VersionVector vec;
+    vv::RotatingVector rot;
+    meta::PredecessorSet ps;
+    meta::HashHistory hh;
+    graph::CausalGraph cg;
+    cg.create(UpdateId{SiteId{0}, 1});
+    std::uint64_t cg_seq = 1;
+    for (std::uint32_t round = 0; round < u; ++round) {
+      for (std::uint32_t s = 0; s < n; ++s) {
+        vec.increment(SiteId{s});
+        rot.record_update(SiteId{s});
+        const UpdateId id{SiteId{s}, round + 1};
+        ps.record_update(id);
+        hh.record_update(id);
+        cg.append(UpdateId{SiteId{0}, ++cg_seq});
+      }
+    }
+    std::printf("%-10u | %-10llu %-10llu %-12llu %-12llu %-12llu\n", u,
+                (unsigned long long)version_vector_bytes(vec),
+                (unsigned long long)rotating_vector_bytes(rot),
+                (unsigned long long)ps.storage_bytes(),
+                (unsigned long long)hh.storage_bytes(),
+                (unsigned long long)causal_graph_bytes(cg));
+  }
+  std::printf("\n(expected shape: the two vector columns are flat in u — O(n) only;\n"
+              " predecessor sets, hash histories and causal graphs grow linearly with\n"
+              " the update count. Rotating vectors pay a small constant factor over\n"
+              " plain vectors for the order links and the two per-element bits.)\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

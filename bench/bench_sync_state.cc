@@ -1,0 +1,106 @@
+// E-delta — §3.3's SYNCB claim: communication is O(|Δ|), independent of the
+// vector length n. The traditional algorithm ships the whole vector (O(n)).
+//
+// Sweeps n × |Δ| on fast-forward synchronizations and prints transmitted
+// bits per session for BRV / CRV / SRV / traditional / Singhal–Kshemkalyani.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+using namespace optrep;
+using namespace optrep::bench;
+
+namespace {
+
+struct Row {
+  std::uint64_t brv, crv, srv, trad, sk_first, sk_second;
+};
+
+Row measure(std::uint32_t n, std::uint32_t delta) {
+  Row row{};
+  // Shared long history; sender gains `delta` fresh updates.
+  const vv::RotatingVector base = linear_history(n - delta);
+  vv::RotatingVector b = base;
+  for (std::uint32_t i = 0; i < delta; ++i) b.record_update(SiteId{n - delta + i});
+
+  for (auto kind : {vv::VectorKind::kBrv, vv::VectorKind::kCrv, vv::VectorKind::kSrv}) {
+    vv::RotatingVector a = base;
+    auto opt = ideal_options(kind, n);
+    sim::EventLoop loop;
+    const auto rep = vv::sync_rotating(loop, a, b, opt);
+    (kind == vv::VectorKind::kBrv   ? row.brv
+     : kind == vv::VectorKind::kCrv ? row.crv
+                                    : row.srv) = rep.total_bits();
+  }
+  {
+    vv::VersionVector a = base.to_version_vector();
+    const vv::VersionVector bb = b.to_version_vector();
+    auto opt = ideal_options(vv::VectorKind::kBrv, n);
+    sim::EventLoop loop;
+    const auto rep = vv::sync_traditional(loop, a, bb, opt);
+    // Traditional systems also pay O(n) bits to compare.
+    row.trad = rep.total_bits() + vv::compare_full_cost_bits(opt.cost, bb.size());
+  }
+  {
+    // Singhal–Kshemkalyani: the first exchange to a destination ships
+    // everything (empty last-sent state); repeat exchanges ship the delta.
+    vv::VersionVector a = base.to_version_vector();
+    vv::VersionVector last_sent;  // per-destination sender state, O(n) memory
+    auto opt = ideal_options(vv::VectorKind::kBrv, n);
+    sim::EventLoop l1;
+    row.sk_first = vv::sync_singhal_kshemkalyani(l1, a, b.to_version_vector(), last_sent, opt)
+                       .total_bits();
+    vv::RotatingVector b2 = b;
+    b2.record_update(SiteId{0});
+    sim::EventLoop l2;
+    row.sk_second =
+        vv::sync_singhal_kshemkalyani(l2, a, b2.to_version_vector(), last_sent, opt)
+            .total_bits();
+  }
+  return row;
+}
+
+void BM_FastForwardSync(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const vv::RotatingVector base = linear_history(n - 4);
+  vv::RotatingVector b = base;
+  for (std::uint32_t i = 0; i < 4; ++i) b.record_update(SiteId{n - 4 + i});
+  auto opt = ideal_options(vv::VectorKind::kSrv, n);
+  opt.known_relation = vv::Ordering::kBefore;
+  for (auto _ : state) {
+    state.PauseTiming();
+    vv::RotatingVector a = base;
+    state.ResumeTiming();
+    sim::EventLoop loop;
+    benchmark::DoNotOptimize(vv::sync_rotating(loop, a, b, opt).total_bits());
+  }
+}
+// Time stays flat in n for fixed |Δ| (after the O(|Δ|) work, nothing scales).
+BENCHMARK(BM_FastForwardSync)->RangeMultiplier(4)->Range(64, 16384)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("==== bench_sync_state: SYNC* traffic = f(|Delta|), not f(n) ====\n\n");
+  std::printf("%-7s %-7s | %-10s %-10s %-10s | %-12s %-12s %-12s\n", "n", "Delta", "BRV",
+              "CRV", "SRV", "traditional", "SK(first)", "SK(repeat)");
+  print_rule(92);
+  for (std::uint32_t n : {64u, 256u, 1024u, 4096u}) {
+    for (std::uint32_t delta : {1u, 4u, 16u, 64u}) {
+      if (delta >= n) continue;
+      const Row r = measure(n, delta);
+      std::printf("%-7u %-7u | %-10llu %-10llu %-10llu | %-12llu %-12llu %-12llu\n", n,
+                  delta, (unsigned long long)r.brv, (unsigned long long)r.crv,
+                  (unsigned long long)r.srv, (unsigned long long)r.trad,
+                  (unsigned long long)r.sk_first, (unsigned long long)r.sk_second);
+    }
+  }
+  std::printf("\n(read down a column: rotating-vector bits track Delta and barely move\n"
+              " with n — the log n field width is the only growth; traditional traffic\n"
+              " is proportional to n. SK repeats are delta-sized but cost O(n) sender\n"
+              " state per destination and mis-handle replication causality, §7.)\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

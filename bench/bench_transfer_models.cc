@@ -1,0 +1,84 @@
+// §6 framing: "While state transfer overwrites an entire replica during
+// synchronization, operation transfer maintains a history of operations and
+// sends only missing operations to bring a replica up to date."
+//
+// Runs the *same* trace through the state-transfer system and the
+// operation-transfer system (identical ~32-byte writes) and compares the
+// content bytes each moves, alongside the metadata bits. Sweeping object
+// "size" (accumulated entries) shows the regime where each model wins —
+// and why hybrid transfer (bench_hybrid) interpolates between them.
+#include "bench/bench_util.h"
+#include "workload/trace.h"
+
+using namespace optrep;
+using namespace optrep::bench;
+
+namespace {
+
+struct ModelSample {
+  std::uint64_t state_payload;
+  std::uint64_t state_bits;
+  std::uint64_t op_payload;
+  std::uint64_t op_bits;
+  bool both_consistent;
+};
+
+ModelSample run(std::uint32_t steps, double update_prob) {
+  wl::GeneratorConfig g;
+  g.n_sites = 8;
+  g.n_objects = 1;
+  g.steps = steps;
+  g.update_prob = update_prob;
+  g.seed = 17;
+  const wl::Trace trace = wl::generate(g);
+
+  repl::StateSystem::Config scfg;
+  scfg.n_sites = g.n_sites;
+  scfg.kind = vv::VectorKind::kSrv;
+  scfg.policy = repl::ResolutionPolicy::kAutomatic;
+  scfg.cost = CostModel{.n = g.n_sites, .m = 1 << 16};
+  scfg.check_oracle = false;
+  repl::StateSystem ssys(scfg);
+  const auto sstats = wl::run_state(ssys, trace);
+
+  repl::OpSystem::Config ocfg;
+  ocfg.n_sites = g.n_sites;
+  ocfg.cost = CostModel{.n = g.n_sites, .m = 1 << 20};
+  repl::OpSystem osys(ocfg);
+  const auto ostats = wl::run_op(osys, trace);
+
+  ModelSample s{};
+  s.state_payload = ssys.totals().payload_bytes;
+  s.state_bits = ssys.totals().bits;
+  s.op_payload = osys.totals().op_bytes;
+  s.op_bits = osys.totals().bits;
+  s.both_consistent = sstats.eventually_consistent && ostats.eventually_consistent;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== bench_transfer_models: state vs operation transfer (§6) ====\n");
+  std::printf("(same trace, 8 sites, ~9-byte entries; payload = content bytes moved,\n"
+              " metadata = concurrency-control bits)\n\n");
+  std::printf("%-8s %-8s | %-16s %-14s | %-16s %-14s | %-6s\n", "steps", "p(upd)",
+              "state payload B", "state bits", "op payload B", "op bits", "ok");
+  print_rule(96);
+  for (std::uint32_t steps : {200u, 800u, 3200u}) {
+    for (double p : {0.3, 0.7}) {
+      const ModelSample s = run(steps, p);
+      std::printf("%-8u %-8.1f | %-16llu %-14llu | %-16llu %-14llu | %-6s\n", steps, p,
+                  (unsigned long long)s.state_payload, (unsigned long long)s.state_bits,
+                  (unsigned long long)s.op_payload, (unsigned long long)s.op_bits,
+                  s.both_consistent ? "yes" : "NO");
+    }
+  }
+  std::printf("\n(expected shape: operation transfer's payload traffic grows with the\n"
+              " number of *new* operations per session and stays near-linear in the\n"
+              " trace length; state transfer re-ships the ever-growing object on every\n"
+              " pull, so its payload column grows super-linearly. Metadata stays small\n"
+              " for both — that is the paper's point — but graphs cost more bits than\n"
+              " vectors, which is why state-transfer systems prefer vectors, §2.2.)\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Shared helpers for the optrep benchmark harness.
+//
+// VectorFleet evolves one replica per site under the §2.1 system model
+// (updates are serial per site; synchronization via the real protocols), so
+// benches can sample realistic vector pairs at any moment. Everything is
+// seeded and deterministic.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/event_loop.h"
+#include "vv/compare.h"
+#include "vv/session.h"
+
+namespace optrep::bench {
+
+inline vv::SyncOptions ideal_options(vv::VectorKind kind, std::uint64_t n,
+                                     std::uint64_t m = 1 << 16) {
+  vv::SyncOptions opt;
+  opt.kind = kind;
+  opt.mode = vv::TransferMode::kIdeal;
+  opt.cost = CostModel{.n = n, .m = m};
+  return opt;
+}
+
+// One replica per site, all evolving with the chosen vector kind.
+class VectorFleet {
+ public:
+  VectorFleet(std::uint32_t n_sites, vv::VectorKind kind, std::uint64_t seed)
+      : kind_(kind), rng_(seed), vecs_(n_sites) {}
+
+  std::uint32_t size() const { return static_cast<std::uint32_t>(vecs_.size()); }
+  const vv::RotatingVector& vec(std::uint32_t i) const { return vecs_[i]; }
+  vv::RotatingVector& vec_mut(std::uint32_t i) { return vecs_[i]; }
+  vv::VectorKind kind() const { return kind_; }
+
+  void update(std::uint32_t site) { vecs_[site].record_update(SiteId{site}); }
+
+  // One synchronization step dst←src through the real protocol (ideal mode);
+  // applies the §2.2 post-reconciliation increment. Returns the report.
+  vv::SyncReport sync(std::uint32_t dst, std::uint32_t src) {
+    auto opt = ideal_options(kind_, size());
+    sim::EventLoop loop;
+    const auto rel = vv::compare_fast(vecs_[dst], vecs_[src]);
+    opt.known_relation = rel;
+    vv::SyncReport rep;
+    if (rel == vv::Ordering::kBefore || rel == vv::Ordering::kConcurrent) {
+      rep = vv::sync_rotating(loop, vecs_[dst], vecs_[src], opt);
+      if (rel == vv::Ordering::kConcurrent) update(dst);
+    } else {
+      rep.initial_relation = rel;
+    }
+    return rep;
+  }
+
+  // Advance the fleet by `steps` random events (update with prob p_update,
+  // otherwise a random pairwise sync).
+  void evolve(std::uint32_t steps, double p_update) {
+    for (std::uint32_t s = 0; s < steps; ++s) {
+      const auto i = static_cast<std::uint32_t>(rng_.below(size()));
+      if (rng_.chance(p_update)) {
+        update(i);
+      } else {
+        auto j = static_cast<std::uint32_t>(rng_.below(size()));
+        if (j == i) j = (j + 1) % size();
+        sync(i, j);
+      }
+    }
+  }
+
+  Rng& rng() { return rng_; }
+
+ private:
+  vv::VectorKind kind_;
+  Rng rng_;
+  std::vector<vv::RotatingVector> vecs_;
+};
+
+// A long-lineage vector of exactly `n` distinct sites (linear history: the
+// replica migrates site to site, each updating once).
+inline vv::RotatingVector linear_history(std::uint32_t n) {
+  vv::RotatingVector v;
+  for (std::uint32_t i = 0; i < n; ++i) v.record_update(SiteId{i});
+  return v;
+}
+
+inline void print_rule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace optrep::bench

@@ -1,0 +1,64 @@
+// Multi-regional collaboration on a shared document ([8], §6): an
+// operation-transfer system. Every edit is an operation in a causal graph;
+// SYNCG ships only the operations a peer is missing, with causal relations
+// intact for fine-grained merging.
+//
+// Usage: collab_edit [n_sites] [steps]
+#include <cstdio>
+#include <cstdlib>
+
+#include "workload/trace.h"
+
+using namespace optrep;
+
+int main(int argc, char** argv) {
+  const std::uint32_t n_sites = argc > 1 ? std::atoi(argv[1]) : 12;
+  const std::uint32_t steps = argc > 2 ? std::atoi(argv[2]) : 2000;
+  const ObjectId kDoc{0};
+
+  std::printf("== collaborative editing across %u sites, %u events ==\n\n", n_sites,
+              steps);
+  const wl::Trace trace = wl::collaboration(n_sites, steps, /*seed=*/7);
+
+  repl::OpSystem::Config inc_cfg;
+  inc_cfg.n_sites = n_sites;
+  inc_cfg.cost = CostModel{.n = n_sites, .m = 1 << 20};
+  inc_cfg.use_incremental = true;
+  repl::OpSystem::Config full_cfg = inc_cfg;
+  full_cfg.use_incremental = false;
+
+  repl::OpSystem inc(inc_cfg);
+  repl::OpSystem full(full_cfg);
+  const wl::RunStats si = wl::run_op(inc, trace);
+  const wl::RunStats sf = wl::run_op(full, trace);
+
+  std::printf("edits applied: %llu; sync sessions: %llu; reconciliations: %llu\n",
+              (unsigned long long)si.updates, (unsigned long long)si.syncs,
+              (unsigned long long)inc.totals().reconciliations);
+  std::printf("document converged everywhere: %s\n\n",
+              si.eventually_consistent && sf.eventually_consistent ? "yes" : "no");
+
+  std::printf("causal-graph exchange traffic:\n");
+  std::printf("  %-28s %14s %14s %14s\n", "", "nodes sent", "redundant", "model bits");
+  std::printf("  %-28s %14llu %14llu %14llu\n", "SYNCG (incremental, §6.1)",
+              (unsigned long long)inc.totals().nodes_sent,
+              (unsigned long long)inc.totals().nodes_redundant,
+              (unsigned long long)inc.totals().bits);
+  std::printf("  %-28s %14llu %14llu %14llu\n", "full graph transfer",
+              (unsigned long long)full.totals().nodes_sent,
+              (unsigned long long)full.totals().nodes_redundant,
+              (unsigned long long)full.totals().bits);
+  if (inc.totals().bits > 0) {
+    std::printf("  -> SYNCG moves %.1fx fewer metadata bits\n",
+                (double)full.totals().bits / (double)inc.totals().bits);
+  }
+
+  // Show a slice of the converged document from two different regions.
+  const std::string doc_a = inc.materialize(SiteId{0}, kDoc);
+  const std::string doc_b = inc.materialize(SiteId{n_sites - 1}, kDoc);
+  std::printf("\nreplicas on site A and site %s materialize identically: %s\n",
+              site_name(SiteId{n_sites - 1}).c_str(), doc_a == doc_b ? "yes" : "no");
+  std::printf("document holds %zu operations\n",
+              inc.replica(SiteId{0}, kDoc).graph.node_count());
+  return 0;
+}

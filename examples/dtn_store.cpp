@@ -1,0 +1,106 @@
+// A DTN / mobile participatory data store ([10], §1 motivation): many small
+// objects spread over mobile devices with opportunistic pairwise contacts.
+// Power constraints make every transmitted byte count — exactly the setting
+// where incremental vector exchange pays off.
+//
+// Runs the same contact trace under SRV and under the traditional
+// full-vector baseline and prints the metadata traffic of each.
+//
+// Usage: dtn_store [n_sites] [n_objects] [steps]
+#include <cstdio>
+#include <cstdlib>
+
+#include "vv/session.h"
+#include "workload/trace.h"
+
+using namespace optrep;
+
+namespace {
+
+// Traditional baseline: same trace, but every pull ships the whole vector.
+struct TraditionalTotals {
+  std::uint64_t bits{0};
+  std::uint64_t sessions{0};
+};
+
+TraditionalTotals replay_traditional(const wl::Trace& trace, const CostModel& cm) {
+  // Track per-site per-object version vectors and payload versions only at
+  // the metadata level (content bytes are identical across schemes).
+  std::unordered_map<std::uint32_t, std::unordered_map<std::uint32_t, vv::VersionVector>>
+      vecs;
+  TraditionalTotals t;
+  sim::EventLoop loop;
+  vv::SyncOptions opt;
+  opt.cost = cm;
+  opt.mode = vv::TransferMode::kIdeal;
+  std::uint64_t seq = 0;
+  for (const wl::Event& ev : trace.events) {
+    switch (ev.type) {
+      case wl::Event::Type::kCreate:
+      case wl::Event::Type::kUpdate:
+        vecs[ev.site.value][ev.obj.value].increment(ev.site);
+        ++seq;
+        break;
+      case wl::Event::Type::kSync: {
+        auto pit = vecs.find(ev.peer.value);
+        if (pit == vecs.end() || !pit->second.contains(ev.obj.value)) break;
+        vv::VersionVector& dst = vecs[ev.site.value][ev.obj.value];
+        const vv::VersionVector& src = pit->second[ev.obj.value];
+        auto rep = vv::sync_traditional(loop, dst, src, opt);
+        // Traditional comparison also requires shipping a whole vector.
+        t.bits += rep.total_bits() + vv::compare_full_cost_bits(cm, src.size());
+        t.sessions += 1;
+        break;
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint32_t n_sites = argc > 1 ? std::atoi(argv[1]) : 24;
+  const std::uint32_t n_objects = argc > 2 ? std::atoi(argv[2]) : 16;
+  const std::uint32_t steps = argc > 3 ? std::atoi(argv[3]) : 4000;
+
+  std::printf("== DTN participatory store: %u devices, %u objects, %u events ==\n\n",
+              n_sites, n_objects, steps);
+  const wl::Trace trace = wl::dtn_store(n_sites, n_objects, steps, /*seed=*/2026);
+  const CostModel cm{.n = n_sites, .m = 1 << 16};
+
+  repl::StateSystem::Config cfg;
+  cfg.n_sites = n_sites;
+  cfg.kind = vv::VectorKind::kSrv;
+  cfg.policy = repl::ResolutionPolicy::kAutomatic;
+  cfg.cost = cm;
+  repl::StateSystem sys(cfg);
+  const wl::RunStats stats = wl::run_state(sys, trace);
+
+  const TraditionalTotals trad = replay_traditional(trace, cm);
+
+  std::printf("trace executed: %llu updates, %llu syncs, %llu conflicts reconciled\n",
+              (unsigned long long)stats.updates, (unsigned long long)stats.syncs,
+              (unsigned long long)sys.totals().reconciliations);
+  std::printf("eventually consistent: %s (after %u anti-entropy rounds)\n\n",
+              stats.eventually_consistent ? "yes" : "no", stats.anti_entropy_rounds);
+
+  const double srv_per_session =
+      (double)sys.totals().bits / (double)std::max<std::uint64_t>(sys.totals().sessions, 1);
+  const double trad_per_session =
+      (double)trad.bits / (double)std::max<std::uint64_t>(trad.sessions, 1);
+  std::printf("metadata traffic (model bits, §3.3 cost model):\n");
+  std::printf("  SRV incremental exchange: %12llu bits over %llu sessions (%.0f bits/session)\n",
+              (unsigned long long)sys.totals().bits,
+              (unsigned long long)sys.totals().sessions, srv_per_session);
+  std::printf("  traditional full vectors: %12llu bits over %llu sessions (%.0f bits/session)\n",
+              (unsigned long long)trad.bits, (unsigned long long)trad.sessions,
+              trad_per_session);
+  if (srv_per_session > 0) {
+    std::printf("  -> %.1fx less metadata per synchronization\n",
+                trad_per_session / srv_per_session);
+  }
+  std::printf("\n(every session also cross-checked the rotating vectors against a\n"
+              " traditional-vector oracle; a divergence would have aborted)\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// A Bayou-style replicated database ([13], §2.1): field offices update a
+// shared customer table while disconnected; synchronization detects
+// syntactic conflicts in O(1) and a semantic checker distinguishes harmless
+// concurrent writes (different records, or identical values) from true
+// write-write conflicts, which resolve by deterministic last-writer-wins.
+#include <cstdio>
+
+#include "repl/record_system.h"
+
+using namespace optrep;
+
+namespace {
+
+void show(const repl::RecordSystem& sys, SiteId site, const char* name) {
+  const auto& r = sys.replica(site, ObjectId{0});
+  std::printf("  %-8s %-24s", name, r.vector.to_string().c_str());
+  for (const auto& [k, cell] : r.records) {
+    std::printf(" %s=%s%s", k.c_str(), cell.value.c_str(), cell.flagged ? "!" : "");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const SiteId kHq{0}, kEast{1}, kWest{2};
+  const ObjectId kTable{0};
+
+  repl::RecordSystem::Config cfg;
+  cfg.n_sites = 3;
+  cfg.kind = vv::VectorKind::kSrv;
+  cfg.policy = repl::SemanticPolicy::kLastWriterWins;
+  cfg.cost = CostModel{.n = 3, .m = 1 << 10};
+  repl::RecordSystem db(cfg);
+
+  std::printf("== replicated customer table (semantic-over-syntactic detection) ==\n\n");
+  db.create_object(kHq, kTable, "cust:100", "status=active");
+  db.put(kHq, kTable, "cust:200", "status=active");
+  db.sync(kEast, kHq, kTable);
+  db.sync(kWest, kHq, kTable);
+  std::printf("initial replication:\n");
+  show(db, kHq, "hq");
+  show(db, kEast, "east");
+  show(db, kWest, "west");
+
+  // Disconnected edits: east and west touch different customers (plus one
+  // both agree on), and both touch cust:200 with different values.
+  db.put(kEast, kTable, "cust:300", "status=new");
+  db.put(kEast, kTable, "cust:100", "status=vip");     // only east touches 100
+  db.put(kEast, kTable, "cust:200", "status=closed");  // true conflict ↓
+  db.put(kWest, kTable, "cust:400", "status=new");
+  db.put(kWest, kTable, "cust:200", "status=frozen");  // true conflict ↑
+
+  std::printf("\nafter disconnected edits:\n");
+  show(db, kEast, "east");
+  show(db, kWest, "west");
+
+  auto out = db.sync(kWest, kEast, kTable);
+  std::printf("\nwest syncs from east:\n");
+  std::printf("  syntactic conflict: %s (COMPARE, %u bits)\n",
+              out.syntactic_conflict ? "yes" : "no",
+              static_cast<unsigned>(vv::compare_cost_bits(cfg.cost)));
+  std::printf("  semantic detector: %zu true conflict(s) among %zu records\n",
+              out.semantic_conflicts, db.replica(kWest, kTable).records.size());
+  show(db, kWest, "west");
+
+  db.sync(kEast, kWest, kTable);
+  db.sync(kHq, kEast, kTable);
+  std::printf("\nafter full anti-entropy:\n");
+  show(db, kHq, "hq");
+  show(db, kEast, "east");
+  show(db, kWest, "west");
+  std::printf("\nconsistent: %s; totals: %llu syntactic trigger(s), %llu true "
+              "conflict(s)\n",
+              db.replicas_consistent(kTable) ? "yes" : "no",
+              (unsigned long long)db.totals().syntactic_conflicts,
+              (unsigned long long)db.totals().semantic_conflicts);
+  std::printf("(the filtered difference is the §4 motivation for cheap syntactic\n"
+              " triggers: most of them are false alarms on disjoint records)\n");
+  return 0;
+}

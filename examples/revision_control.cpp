@@ -1,0 +1,73 @@
+// A distributed-revision-control-style workflow (Mercurial/Pastwatch class,
+// §1): state transfer with *manual* conflict resolution over BRV — the
+// paper's "systems providing no conflict reconciliation". Concurrent edits
+// exclude both replicas until a human resolves; COMPARE detects the conflict
+// in O(1) and SYNCB moves only vector differences for fast-forward pulls.
+#include <cstdio>
+
+#include "repl/state_system.h"
+
+using namespace optrep;
+
+namespace {
+
+void show(const repl::StateSystem& sys, SiteId s, ObjectId o, const char* name) {
+  if (!sys.has_replica(s, o)) {
+    std::printf("  %-7s (no checkout)\n", name);
+    return;
+  }
+  const auto& r = sys.replica(s, o);
+  std::printf("  %-7s %-28s%s\n", name, r.vector.to_string().c_str(),
+              r.conflicted ? "  ** CONFLICT: excluded, needs manual merge **" : "");
+}
+
+}  // namespace
+
+int main() {
+  const SiteId kServer{0}, kDev1{1}, kDev2{2};
+  const ObjectId kRepo{0};
+
+  repl::StateSystem::Config cfg;
+  cfg.n_sites = 3;
+  cfg.kind = vv::VectorKind::kBrv;  // optimal when no reconciliation exists (§3.1)
+  cfg.policy = repl::ResolutionPolicy::kManual;
+  cfg.cost = CostModel{.n = 3, .m = 1 << 10};
+  repl::StateSystem sys(cfg);
+
+  std::printf("== toy distributed revision control (BRV + manual resolution) ==\n\n");
+
+  sys.create_object(kServer, kRepo, "initial commit");
+  sys.sync(kDev1, kServer, kRepo);
+  sys.sync(kDev2, kServer, kRepo);
+  std::printf("clone to both developers:\n");
+  show(sys, kServer, kRepo, "server");
+  show(sys, kDev1, kRepo, "dev1");
+  show(sys, kDev2, kRepo, "dev2");
+
+  // dev1 commits twice and pushes (server pulls).
+  sys.update(kDev1, kRepo, "feature x");
+  sys.update(kDev1, kRepo, "fix typo");
+  auto push = sys.sync(kServer, kDev1, kRepo);
+  std::printf("\ndev1 commits twice; server fast-forwards (%llu elements on the wire,\n"
+              "vector has %zu — only the delta moved):\n",
+              (unsigned long long)push.report.elems_sent,
+              sys.replica(kDev1, kRepo).vector.size());
+  show(sys, kServer, kRepo, "server");
+
+  // dev2 commits concurrently, then tries to push: conflict.
+  sys.update(kDev2, kRepo, "feature y");
+  auto conflict = sys.sync(kServer, kDev2, kRepo);
+  std::printf("\ndev2 pushes a concurrent commit -> COMPARE says '%s' in O(1):\n",
+              std::string(vv::to_string(conflict.relation)).c_str());
+  show(sys, kServer, kRepo, "server");
+  show(sys, kDev2, kRepo, "dev2");
+  std::printf("\n(the push transferred only %llu bits before stopping: the conflict\n"
+              " was detected from the two front elements alone, §3.3)\n",
+              (unsigned long long)conflict.report.total_bits());
+
+  std::printf("\nconflicts detected so far: %llu; automatic merges performed: %llu\n",
+              (unsigned long long)sys.totals().conflicts_detected,
+              (unsigned long long)sys.totals().reconciliations);
+  std::printf("a human (or a smarter policy — see CRV/SRV systems) must now merge.\n");
+  return 0;
+}

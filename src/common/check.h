@@ -1,0 +1,38 @@
+// Internal invariant checking.
+//
+// OPTREP_CHECK is always on (the protocols here are subtle enough that silent
+// corruption is worse than an abort in production); OPTREP_DCHECK compiles
+// out in release builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace optrep::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "optrep: check failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace optrep::detail
+
+#define OPTREP_CHECK(expr)                                                \
+  do {                                                                    \
+    if (!(expr)) ::optrep::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define OPTREP_CHECK_MSG(expr, msg)                                        \
+  do {                                                                     \
+    if (!(expr)) ::optrep::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define OPTREP_DCHECK(expr) \
+  do {                      \
+  } while (0)
+#else
+#define OPTREP_DCHECK(expr) OPTREP_CHECK(expr)
+#endif

@@ -1,0 +1,89 @@
+// Wire-size accounting in model bits, following the cost model of §3.3.
+//
+// The paper treats site names as log n bits and element values as log m bits
+// (both "fixed length", assumption ii of §3.3), and states communication
+// upper bounds in Table 2 in exactly these units:
+//
+//   BRV:  n·log(2mn) + 2              — n elements of 1+log n+log m bits, +HALT
+//   CRV:  n·log(4mn) + 2              — elements carry one extra conflict bit
+//   SRV:  n·log(8mn) + n·log(2n) + 1  — +segment bit, plus ≤n SKIP messages
+//                                        of 1+log n bits each
+//   COMPARE: 2·log(mn)                — one element each way
+//
+// CostModel reproduces these numbers: every protocol message computes its
+// size from it. Benches additionally report a byte-aligned "realistic"
+// encoding (see wire_bytes_* helpers) so both views are available.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace optrep {
+
+constexpr std::uint32_t ceil_log2(std::uint64_t x) {
+  // ceil(log2(x)) with the paper's convention that a field always occupies at
+  // least one bit (log of 1 site / 1 update still needs a symbol).
+  if (x <= 2) return 1;
+  std::uint32_t bits = 0;
+  std::uint64_t v = x - 1;
+  while (v > 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return bits;
+}
+
+struct CostModel {
+  // Number of sites (n) and per-site updates (m) used to size fields.
+  std::uint64_t n{2};
+  std::uint64_t m{2};
+
+  constexpr std::uint32_t site_bits() const { return ceil_log2(n); }
+  constexpr std::uint32_t value_bits() const { return ceil_log2(m); }
+
+  // One element on the wire: a type/continue flag, site name, value, plus
+  // zero (BRV), one (CRV: conflict) or two (SRV: conflict+segment) bits.
+  constexpr std::uint64_t elem_bits(std::uint32_t extra_flag_bits) const {
+    return 1 + site_bits() + value_bits() + extra_flag_bits;
+  }
+
+  // HALT: message-type flag + terminator bit. Matches the "+2" in Table 2.
+  constexpr std::uint64_t halt_bits() const { return 2; }
+
+  // SKIP carries the segment index: log(2n) = 1 + log n bits (§4.1 bound).
+  constexpr std::uint64_t skip_bits() const { return 1 + site_bits(); }
+
+  // Stop-and-wait acknowledgement (not part of the paper's pipelined
+  // algorithms; used by the pipelining ablation). Two bits, matching the
+  // '01' codeword of the wire codec (vv/codec.h).
+  constexpr std::uint64_t ack_bits() const { return 2; }
+
+  // COMPARE exchanges one element (site+value) in each direction: the
+  // 2·log(mn) figure of §3.3.
+  constexpr std::uint64_t compare_probe_bits() const {
+    return site_bits() + value_bits();
+  }
+
+  // Table 2 closed-form upper bounds, for checking measured traffic against.
+  constexpr std::uint64_t brv_upper_bound_bits() const {
+    return n * elem_bits(0) + 2;
+  }
+  constexpr std::uint64_t crv_upper_bound_bits() const {
+    return n * elem_bits(1) + 2;
+  }
+  constexpr std::uint64_t srv_upper_bound_bits() const {
+    return n * elem_bits(2) + n * skip_bits() + 1;
+  }
+};
+
+// A realistic byte-aligned encoding, reported alongside model bits: 1-byte
+// message tag + 4-byte site + 8-byte value (+1 flags byte when present).
+constexpr std::uint64_t wire_bytes_elem(bool has_flags) {
+  return 1 + 4 + 8 + (has_flags ? 1 : 0);
+}
+constexpr std::uint64_t wire_bytes_halt() { return 1; }
+constexpr std::uint64_t wire_bytes_skip() { return 1 + 4; }
+constexpr std::uint64_t wire_bytes_ack() { return 1; }
+
+}  // namespace optrep

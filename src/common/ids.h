@@ -1,0 +1,71 @@
+// Strongly-typed identifiers used throughout optrep.
+//
+// The paper's system model (§2.1) names sites with letters and identifies
+// updates by (site, per-site sequence number). We use 32-bit site ids with an
+// optional pretty-name registry for figure reproduction, and 64-bit packed
+// update ids.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace optrep {
+
+// Tagged integral id. The tag type makes SiteId / ObjectId / etc. mutually
+// unassignable while keeping them trivially copyable value types.
+template <class Tag, class Rep = std::uint32_t>
+struct Id {
+  using rep_type = Rep;
+
+  Rep value{0};
+
+  constexpr Id() = default;
+  constexpr explicit Id(Rep v) : value(v) {}
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+};
+
+struct SiteTag {};
+struct ObjectTag {};
+
+// A participating site (§2.1): stores at most one replica per object.
+using SiteId = Id<SiteTag>;
+// A replicated object: a database, file, or log entry (§2.1).
+using ObjectId = Id<ObjectTag>;
+
+// Identifies one update: the s-th update made on site `site`. Sequence
+// numbers start at 1 so that UpdateId{} (all zero) is "no update".
+struct UpdateId {
+  SiteId site{};
+  std::uint64_t seq{0};
+
+  friend constexpr auto operator<=>(const UpdateId&, const UpdateId&) = default;
+};
+
+// Pretty-printing for examples and figure reproduction: sites 0..25 render as
+// A..Z like the paper, larger ids as S<k>.
+std::string site_name(SiteId site);
+std::string update_name(UpdateId id);
+
+}  // namespace optrep
+
+template <class Tag, class Rep>
+struct std::hash<optrep::Id<Tag, Rep>> {
+  std::size_t operator()(optrep::Id<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<optrep::UpdateId> {
+  std::size_t operator()(const optrep::UpdateId& id) const noexcept {
+    // Splittable 64-bit mix of (site, seq); good enough for hash tables.
+    std::uint64_t x = (std::uint64_t{id.site.value} << 40) ^ id.seq;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+};

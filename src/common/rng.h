@@ -1,0 +1,88 @@
+// Deterministic pseudo-random generation for workloads and property tests.
+//
+// xoshiro256** seeded through SplitMix64. Every workload, test, and benchmark
+// in this repository derives its randomness from an explicit seed so runs are
+// exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace optrep {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be positive.
+  std::uint64_t below(std::uint64_t bound) {
+    OPTREP_DCHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    OPTREP_DCHECK(lo <= hi);
+    return lo + below(hi - lo + 1);
+  }
+
+  // True with probability p (p in [0,1]).
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return to_unit(next()) < p;
+  }
+
+  double uniform() { return to_unit(next()); }
+
+  // Uniformly chosen element of a non-empty vector.
+  template <class T>
+  const T& pick(const std::vector<T>& v) {
+    OPTREP_DCHECK(!v.empty());
+    return v[below(v.size())];
+  }
+
+  // Derive an independent child generator (for per-site streams).
+  Rng fork() { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  static double to_unit(std::uint64_t r) {
+    return static_cast<double>(r >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace optrep

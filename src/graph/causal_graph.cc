@@ -1,0 +1,112 @@
+#include "graph/causal_graph.h"
+
+#include <vector>
+
+namespace optrep::graph {
+
+void CausalGraph::create(UpdateId op, std::uint32_t op_bytes) {
+  OPTREP_CHECK_MSG(nodes_.empty(), "create() on a non-empty graph");
+  OPTREP_CHECK_MSG(op != kNoParent, "operation id must be non-zero");
+  insert_raw(Node{op, kNoParent, kNoParent, op_bytes});
+  source_ = op;
+  sink_ = op;
+}
+
+void CausalGraph::append(UpdateId op, std::uint32_t op_bytes) {
+  OPTREP_CHECK_MSG(!nodes_.empty(), "append() on an empty graph");
+  OPTREP_CHECK_MSG(!contains(op), "duplicate operation id");
+  insert_raw(Node{op, sink_, kNoParent, op_bytes});
+  sink_ = op;
+}
+
+void CausalGraph::merge(UpdateId op, UpdateId other_head, std::uint32_t op_bytes) {
+  OPTREP_CHECK_MSG(contains(other_head), "merge head must be present");
+  OPTREP_CHECK_MSG(!contains(op), "duplicate operation id");
+  OPTREP_CHECK(other_head != sink_);
+  insert_raw(Node{op, sink_, other_head, op_bytes});
+  sink_ = op;
+}
+
+void CausalGraph::set_sink(UpdateId id) {
+  OPTREP_CHECK_MSG(contains(id), "sink must be present");
+  sink_ = id;
+}
+
+void CausalGraph::insert_raw(const Node& n) {
+  auto [it, inserted] = nodes_.emplace(n.id, n);
+  if (!inserted) {
+    OPTREP_CHECK_MSG(it->second == n, "conflicting node contents for one id");
+    return;
+  }
+  arcs_ += (n.lp != kNoParent) + (n.rp != kNoParent);
+  op_bytes_ += n.op_bytes;
+  if (n.lp == kNoParent && n.rp == kNoParent && source_ == kNoParent) source_ = n.id;
+}
+
+vv::Ordering CausalGraph::compare(const CausalGraph& other) const {
+  if (empty() && other.empty()) return vv::Ordering::kEqual;
+  if (empty()) return vv::Ordering::kBefore;
+  if (other.empty()) return vv::Ordering::kAfter;
+  const bool mine_in_theirs = other.contains(sink_);
+  const bool theirs_in_mine = contains(other.sink_);
+  if (mine_in_theirs && theirs_in_mine) return vv::Ordering::kEqual;
+  if (mine_in_theirs) return vv::Ordering::kBefore;
+  if (theirs_in_mine) return vv::Ordering::kAfter;
+  return vv::Ordering::kConcurrent;
+}
+
+bool CausalGraph::is_ancestor(UpdateId ancestor, UpdateId descendant) const {
+  if (!contains(ancestor) || !contains(descendant)) return false;
+  std::vector<UpdateId> stack{descendant};
+  std::unordered_map<UpdateId, bool> seen;
+  while (!stack.empty()) {
+    const UpdateId cur = stack.back();
+    stack.pop_back();
+    if (cur == ancestor) return true;
+    auto [it, inserted] = seen.emplace(cur, true);
+    if (!inserted) continue;
+    if (const Node* n = find(cur)) {
+      if (n->lp != kNoParent) stack.push_back(n->lp);
+      if (n->rp != kNoParent) stack.push_back(n->rp);
+    }
+  }
+  return false;
+}
+
+bool CausalGraph::validate_closed() const {
+  if (nodes_.empty()) return true;
+  std::size_t roots = 0;
+  for (const auto& [id, n] : nodes_) {
+    if (n.lp == kNoParent && n.rp == kNoParent) {
+      ++roots;
+    }
+    if (n.lp != kNoParent && !contains(n.lp)) return false;
+    if (n.rp != kNoParent && !contains(n.rp)) return false;
+  }
+  if (roots != 1) return false;
+  if (!contains(sink_)) return false;
+  // The sink must dominate the graph: every node is an ancestor of the sink.
+  std::size_t reached = 0;
+  std::vector<UpdateId> stack{sink_};
+  std::unordered_map<UpdateId, bool> seen;
+  while (!stack.empty()) {
+    const UpdateId cur = stack.back();
+    stack.pop_back();
+    auto [it, inserted] = seen.emplace(cur, true);
+    if (!inserted) continue;
+    ++reached;
+    const Node* n = find(cur);
+    if (n->lp != kNoParent) stack.push_back(n->lp);
+    if (n->rp != kNoParent) stack.push_back(n->rp);
+  }
+  return reached == nodes_.size();
+}
+
+std::vector<Node> CausalGraph::all_nodes() const {
+  std::vector<Node> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, n] : nodes_) out.push_back(n);
+  return out;
+}
+
+}  // namespace optrep::graph

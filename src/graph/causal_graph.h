@@ -1,0 +1,115 @@
+// Causal graphs for operation-transfer systems (§6).
+//
+// A causal graph is a DAG in which each node represents one operation; nodes
+// have at most two parents (single-parent = a plain update on the parent
+// state, double-parent = a reconciliation merging two concurrent states).
+// Each replica's graph is closed under ancestry and has one source (the
+// object's creation) and one sink (the latest operation executed on the
+// replica, §6). Node lookup is O(1) via hash table, which makes comparison
+// O(1) (§6: sink-containment tests).
+//
+// Nodes are identified by UpdateId (origin site, per-site sequence number),
+// which is globally unique and stable across replicas.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "vv/order.h"
+
+namespace optrep::graph {
+
+// UpdateId{} (seq 0) encodes "no parent".
+constexpr UpdateId kNoParent{};
+
+struct Node {
+  UpdateId id;
+  UpdateId lp{kNoParent};  // left parent (single-parent nodes use only lp)
+  UpdateId rp{kNoParent};  // right parent (set only for reconciliation nodes)
+  // Size of the operation payload this node carries (bytes); used by the
+  // benches to separate metadata traffic from operation-data traffic.
+  std::uint32_t op_bytes{0};
+
+  bool is_merge() const { return rp != kNoParent; }
+  friend bool operator==(const Node&, const Node&) = default;
+};
+
+class CausalGraph {
+ public:
+  CausalGraph() = default;
+
+  bool contains(UpdateId id) const { return nodes_.contains(id); }
+  const Node* find(UpdateId id) const {
+    auto it = nodes_.find(id);
+    return it == nodes_.end() ? nullptr : &it->second;
+  }
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t arc_count() const { return arcs_; }
+  bool empty() const { return nodes_.empty(); }
+
+  UpdateId source() const { return source_; }
+  UpdateId sink() const { return sink_; }
+
+  // ---- replica-level operations -------------------------------------------
+
+  // Record the object-creating operation; the graph must be empty.
+  void create(UpdateId op, std::uint32_t op_bytes = 0);
+
+  // Record a local operation on top of the current sink (single parent).
+  void append(UpdateId op, std::uint32_t op_bytes = 0);
+
+  // Record a reconciliation operation merging the current sink with another
+  // head already present in this graph (double parent). The new node becomes
+  // the sink.
+  void merge(UpdateId op, UpdateId other_head, std::uint32_t op_bytes = 0);
+
+  // After SYNCG the union may be dominated by the remote sink: adopt it.
+  // Requires the node to be present.
+  void set_sink(UpdateId id);
+
+  // ---- protocol-level operations ------------------------------------------
+
+  // Insert a node received from a peer. Parents need not be present yet (the
+  // SYNCG DFS delivers children before their ancestors); closure holds again
+  // once the protocol completes — see validate_closed().
+  void insert_raw(const Node& n);
+
+  // ---- queries -------------------------------------------------------------
+
+  // §6 comparison: a replica precedes another iff its sink is contained in
+  // the other graph but not vice versa; O(1).
+  vv::Ordering compare(const CausalGraph& other) const;
+
+  // True iff `ancestor` is reachable from `descendant` by parent arcs
+  // (O(|V|); used by tests and reconciliation logic, not by the protocols).
+  bool is_ancestor(UpdateId ancestor, UpdateId descendant) const;
+
+  // Every parent referenced by a node is present, there is exactly one
+  // parentless node (the source), and the sink dominates the whole graph.
+  bool validate_closed() const;
+
+  // Nodes in unspecified order.
+  std::vector<Node> all_nodes() const;
+
+  // Total payload bytes across nodes.
+  std::uint64_t total_op_bytes() const { return op_bytes_; }
+
+  bool operator==(const CausalGraph& other) const {
+    return nodes_ == other.nodes_;  // same node/arc sets (sinks may differ mid-sync)
+  }
+
+ private:
+  std::unordered_map<UpdateId, Node> nodes_;
+  std::size_t arcs_{0};
+  std::uint64_t op_bytes_{0};
+  UpdateId source_{kNoParent};
+  UpdateId sink_{kNoParent};
+};
+
+}  // namespace optrep::graph

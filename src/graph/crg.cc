@@ -1,0 +1,139 @@
+#include "graph/crg.h"
+
+#include <algorithm>
+
+namespace optrep::graph {
+
+ReplicationGraph::NodeIdx ReplicationGraph::add_root(SiteId site) {
+  Node n;
+  n.updater = site;
+  n.update_value = 1;
+  vv::VersionVector vec;
+  vec.set(site, 1);
+  return push(n, std::move(vec));
+}
+
+ReplicationGraph::NodeIdx ReplicationGraph::add_update(NodeIdx parent, SiteId site) {
+  OPTREP_CHECK(parent < nodes_.size());
+  Node n;
+  n.lp = parent;
+  n.updater = site;
+  vv::VersionVector vec = vectors_[parent];
+  vec.increment(site);
+  n.update_value = vec.value(site);
+  return push(n, std::move(vec));
+}
+
+ReplicationGraph::NodeIdx ReplicationGraph::add_merge(NodeIdx left, NodeIdx right) {
+  OPTREP_CHECK(left < nodes_.size() && right < nodes_.size());
+  OPTREP_CHECK_MSG(left != right, "merge of a node with itself");
+  Node n;
+  n.lp = left;
+  n.rp = right;
+  vv::VersionVector vec = vectors_[left];
+  vec.join(vectors_[right]);
+  return push(n, std::move(vec));
+}
+
+ReplicationGraph::NodeIdx ReplicationGraph::push(Node n, vv::VersionVector vec) {
+  const auto idx = static_cast<NodeIdx>(nodes_.size());
+  if (n.lp != kNone) {
+    Node& p = nodes_[n.lp];
+    p.children += 1;
+    if (p.children == 1) only_child_[n.lp] = idx;
+  }
+  if (n.rp != kNone) {
+    Node& p = nodes_[n.rp];
+    p.children += 1;
+    if (p.children == 1) only_child_[n.rp] = idx;
+  }
+  nodes_.push_back(n);
+  only_child_.push_back(kNone);
+  vectors_.push_back(std::move(vec));
+  return idx;
+}
+
+// Does the edge parent→child coalesce? Both update nodes, child the only one.
+bool ReplicationGraph::coalesces(NodeIdx parent, NodeIdx child) const {
+  const Node& p = nodes_[parent];
+  const Node& c = nodes_[child];
+  return !p.is_merge() && !c.is_merge() && c.lp == parent && p.children == 1;
+}
+
+ReplicationGraph::ChainId ReplicationGraph::chain_of(NodeIdx i) const {
+  OPTREP_CHECK(i < nodes_.size());
+  if (nodes_[i].is_merge()) return kNone;
+  // Walk to the youngest node of the chain.
+  NodeIdx cur = i;
+  while (nodes_[cur].children == 1) {
+    const NodeIdx child = only_child_[cur];
+    if (!coalesces(cur, child)) break;
+    cur = child;
+  }
+  return cur;
+}
+
+std::vector<ReplicationGraph::SegElem> ReplicationGraph::prefixing_segment(
+    ChainId chain) const {
+  OPTREP_CHECK(chain < nodes_.size());
+  OPTREP_CHECK_MSG(!nodes_[chain].is_merge(), "merge nodes have no prefixing segment");
+  std::vector<SegElem> out;
+  NodeIdx cur = chain;
+  for (;;) {
+    const Node& n = nodes_[cur];
+    out.push_back(SegElem{n.updater, n.update_value});
+    if (n.lp == kNone || !coalesces(n.lp, cur)) break;
+    cur = n.lp;
+  }
+  return out;  // youngest update first, matching ≺ order
+}
+
+std::unordered_set<ReplicationGraph::ChainId> ReplicationGraph::pi(NodeIdx v) const {
+  OPTREP_CHECK(v < nodes_.size());
+  std::unordered_set<ChainId> chains;
+  std::vector<NodeIdx> stack{v};
+  std::vector<bool> seen(nodes_.size(), false);
+  while (!stack.empty()) {
+    const NodeIdx cur = stack.back();
+    stack.pop_back();
+    if (seen[cur]) continue;
+    seen[cur] = true;
+    const Node& n = nodes_[cur];
+    if (!n.is_merge()) chains.insert(chain_of(cur));
+    if (n.lp != kNone) stack.push_back(n.lp);
+    if (n.rp != kNone) stack.push_back(n.rp);
+  }
+  return chains;
+}
+
+std::size_t ReplicationGraph::gamma_bound(NodeIdx a, NodeIdx b) const {
+  const auto pa = pi(a);
+  const auto pb = pi(b);
+  std::size_t shared = 0;
+  for (const ChainId c : pb) shared += pa.contains(c);
+  return shared;
+}
+
+std::vector<std::vector<ReplicationGraph::SegElem>> ReplicationGraph::live_segments(
+    NodeIdx v) const {
+  const vv::VersionVector& vec = vectors_[v];
+  std::vector<ChainId> chains(pi(v).begin(), pi(v).end());
+  std::sort(chains.begin(), chains.end());
+  std::vector<std::vector<SegElem>> out;
+  for (const ChainId c : chains) {
+    std::vector<SegElem> live;
+    for (const SegElem& e : prefixing_segment(c)) {
+      if (vec.value(e.site) == e.value) live.push_back(e);
+    }
+    if (!live.empty()) out.push_back(std::move(live));  // Φ: vanished segments
+  }
+  return out;
+}
+
+std::string ReplicationGraph::to_string(NodeIdx v) const {
+  std::string out = "node " + std::to_string(v) + " " + vectors_[v].to_string();
+  if (nodes_[v].is_merge()) out += " (merge)";
+  return out;
+}
+
+}  // namespace optrep::graph

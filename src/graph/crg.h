@@ -1,0 +1,106 @@
+// Replication graphs and coalesced replication graphs (CRG) — the §4
+// formalism behind skip rotating vectors, used here as an *analysis oracle*:
+//
+//  - each node represents identical replicas of one object; single-parent
+//    nodes result from one update, double-parent nodes from reconciliation;
+//  - the CRG merges consecutive single-parent nodes each with at most one
+//    child; every coalesced chain contributes one *prefixing segment*;
+//  - Π_v is the set of chain nodes among v's ancestors (§4.1); the §5 lower
+//    bound says any SYNCS_b(a) skips at most |Π_a ∩ Π_b| segments.
+//
+// The tracker is built *alongside* a running system (tests/benches call
+// add_update / add_merge / add_sync as the replicas evolve) and then answers
+// structural questions that the protocols themselves never need — it exists
+// to validate them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "vv/version_vector.h"
+
+namespace optrep::graph {
+
+class ReplicationGraph {
+ public:
+  using NodeIdx = std::uint32_t;
+  static constexpr NodeIdx kNone = 0xffffffffu;
+
+  struct Node {
+    NodeIdx lp{kNone};
+    NodeIdx rp{kNone};
+    // For single-parent (update) nodes: the update that created this node.
+    SiteId updater{};
+    std::uint64_t update_value{0};  // new value of the updater's element
+    std::uint32_t children{0};
+
+    bool is_merge() const { return rp != kNone; }
+    bool is_root() const { return lp == kNone && rp == kNone; }
+  };
+
+  // The object's creation: its initial replica, counted as update #1 on the
+  // creating site (Figure 1's node 1 carries <A:1>).
+  NodeIdx add_root(SiteId site);
+
+  // A local update on the replica currently at `parent`.
+  NodeIdx add_update(NodeIdx parent, SiteId site);
+
+  // A reconciliation of the replicas at `left` and `right` (the resulting
+  // node's vector is the join). The §2.2 post-reconciliation increment is a
+  // separate add_update on the returned node.
+  NodeIdx add_merge(NodeIdx left, NodeIdx right);
+
+  const Node& node(NodeIdx i) const { return nodes_[i]; }
+  const vv::VersionVector& vector_of(NodeIdx i) const { return vectors_[i]; }
+  std::size_t size() const { return nodes_.size(); }
+
+  // ---- CRG analysis --------------------------------------------------------
+
+  // One element of a prefixing segment.
+  struct SegElem {
+    SiteId site{};
+    std::uint64_t value{0};
+    friend bool operator==(const SegElem&, const SegElem&) = default;
+  };
+
+  // Chain id: the youngest node of a coalesced single-parent chain. Merge
+  // nodes never belong to a chain.
+  using ChainId = NodeIdx;
+
+  // The chain a node belongs to, or kNone for merge nodes.
+  ChainId chain_of(NodeIdx i) const;
+
+  // The prefixing segment contributed by a chain, youngest update first
+  // (matching ≺ order: <G:1, F:1, E:1> for Figure 1's 4–5–6 chain).
+  std::vector<SegElem> prefixing_segment(ChainId chain) const;
+
+  // Π_v: chains among v's ancestors, v included (§4.1).
+  std::unordered_set<ChainId> pi(NodeIdx v) const;
+
+  // Theorem 5.1 / §4.1: an upper bound on the number of segments any
+  // synchronization between replicas at `a` and `b` may skip.
+  std::size_t gamma_bound(NodeIdx a, NodeIdx b) const;
+
+  // All true segments of the vector at `v` (every chain in Π_v contributes
+  // one, possibly shrunk by later updates or vanished): the *live* elements
+  // of each segment, i.e. those whose (site, value) still match v's vector.
+  // Vanished segments (Φ of §4.1) are omitted.
+  std::vector<std::vector<SegElem>> live_segments(NodeIdx v) const;
+
+  std::string to_string(NodeIdx v) const;
+
+ private:
+  NodeIdx push(Node n, vv::VersionVector vec);
+  bool coalesces(NodeIdx parent, NodeIdx child) const;
+
+  std::vector<Node> nodes_;
+  std::vector<vv::VersionVector> vectors_;
+  // only_child_[i] is valid exactly when nodes_[i].children == 1.
+  std::vector<NodeIdx> only_child_;
+};
+
+}  // namespace optrep::graph

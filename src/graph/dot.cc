@@ -1,0 +1,28 @@
+#include "graph/dot.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace optrep::graph {
+
+std::string to_dot(const CausalGraph& g, const std::string& name) {
+  std::vector<Node> nodes = g.all_nodes();
+  std::sort(nodes.begin(), nodes.end(),
+            [](const Node& x, const Node& y) { return x.id < y.id; });
+  std::string out = "digraph " + name + " {\n  rankdir=TB;\n";
+  for (const Node& n : nodes) {
+    out += "  \"" + update_name(n.id) + "\"";
+    if (n.is_merge()) out += " [style=filled, fillcolor=gray]";
+    out += ";\n";
+  }
+  for (const Node& n : nodes) {
+    if (n.lp != kNoParent)
+      out += "  \"" + update_name(n.lp) + "\" -> \"" + update_name(n.id) + "\";\n";
+    if (n.rp != kNoParent)
+      out += "  \"" + update_name(n.rp) + "\" -> \"" + update_name(n.id) + "\";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace optrep::graph

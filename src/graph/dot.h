@@ -1,0 +1,14 @@
+// Graphviz export of causal graphs (used by the figure-reproduction example).
+#pragma once
+
+#include <string>
+
+#include "graph/causal_graph.h"
+
+namespace optrep::graph {
+
+// Render as DOT: nodes labelled "Site:seq", reconciliation nodes shaded gray
+// like the paper's Figure 1.
+std::string to_dot(const CausalGraph& g, const std::string& name = "causal_graph");
+
+}  // namespace optrep::graph

@@ -1,0 +1,90 @@
+// SYNCG (Algorithm 5): incremental synchronization of causal graphs, plus
+// the traditional full-graph-transfer baseline.
+//
+// The sender runs a depth-first search from its sink along reverse arcs,
+// streaming each node (with its two parent ids and, in operation-transfer
+// systems, its operation payload). When the receiver sees a node it already
+// has, it tells the sender to abort the current branch and names the node
+// the next branch should start from (taken from a mirror of the sender's DFS
+// stack). The result is O(|V_b \ V_a| + |A_b \ A_a|) communication: only the
+// missing nodes plus one overlapping node per branch are transmitted.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/cost_model.h"
+#include "graph/causal_graph.h"
+#include "sim/event_loop.h"
+#include "sim/link.h"
+#include "vv/session.h"  // TransferMode
+
+namespace optrep::graph {
+
+struct GraphMsg {
+  enum class Kind : std::uint8_t {
+    kNode,    // sender→receiver: node id + parents (+ operation payload)
+    kSkipTo,  // receiver→sender: abort branch; next branch starts at `target`
+    kJumped,  // sender→receiver: a SKIPTO was honored (O(1) marker letting
+              // the receiver distinguish in-flight stragglers from the next
+              // branch; the graph analogue of SYNCS's SKIPPED — DESIGN.md)
+    kHalt,    // either direction: sender exhausted / receiver has everything
+    kAck,     // stop-and-wait flow control (ablation modes)
+  };
+  Kind kind{Kind::kNode};
+  Node node{};        // kNode
+  UpdateId target{};  // kSkipTo
+
+  std::string to_string() const;
+};
+
+// Sizes under the §3.3-style cost model: a node id costs log n + log m bits.
+std::uint64_t graph_msg_model_bits(const CostModel& cm, const GraphMsg& m);
+std::uint64_t graph_msg_wire_bytes(const GraphMsg& m);
+
+struct GraphSyncOptions {
+  vv::TransferMode mode{vv::TransferMode::kPipelined};
+  sim::NetConfig net{};
+  CostModel cost{};
+  // Ship operation payloads with nodes (operation transfer) or metadata only
+  // (e.g. a pure anti-entropy round).
+  bool ship_ops{true};
+};
+
+struct GraphSyncReport {
+  vv::Ordering initial_relation{vv::Ordering::kEqual};
+
+  std::uint64_t bits_fwd{0};   // sender→receiver, model bits (metadata only)
+  std::uint64_t bits_rev{0};
+  std::uint64_t bytes_fwd{0};  // realistic encoding incl. operation payloads
+  std::uint64_t bytes_rev{0};
+  std::uint64_t msgs_fwd{0};
+  std::uint64_t msgs_rev{0};
+
+  std::uint64_t nodes_sent{0};       // kNode messages transmitted
+  std::uint64_t nodes_new{0};        // |V_b \ V_a| delivered
+  std::uint64_t nodes_redundant{0};  // overlap nodes received (≈ one per branch)
+  std::uint64_t skipto_msgs{0};
+  std::uint64_t op_bytes_shipped{0};
+  std::uint64_t ack_msgs{0};
+  // Ids of the nodes that were new to the receiver (insertion order); used
+  // by hybrid-transfer stores to fetch the matching operation payloads.
+  std::vector<UpdateId> new_node_ids;
+
+  sim::Time duration{0};
+
+  std::uint64_t total_bits() const { return bits_fwd + bits_rev; }
+};
+
+// SYNCG_b(a): modify graph a to become the union of a and b. The sink is not
+// changed (the caller — e.g. the operation-transfer store — decides whether
+// to fast-forward to b's sink or to add a reconciliation node).
+GraphSyncReport sync_graph(sim::EventLoop& loop, CausalGraph& a, const CausalGraph& b,
+                           const GraphSyncOptions& opt);
+
+// Baseline: transmit all of b's nodes; receiver unions.
+GraphSyncReport sync_graph_full(sim::EventLoop& loop, CausalGraph& a, const CausalGraph& b,
+                                const GraphSyncOptions& opt);
+
+}  // namespace optrep::graph

@@ -1,0 +1,53 @@
+#include "metadata/hash_history.h"
+
+#include <algorithm>
+
+namespace optrep::meta {
+namespace {
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t x = a * 0x9e3779b97f4a7c15ULL + b + 0x165667b19e3779f9ULL;
+  x ^= x >> 29;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 32;
+  return x | 1;  // never zero (zero means "pristine")
+}
+
+}  // namespace
+
+void HashHistory::record_update(UpdateId id) {
+  const std::uint64_t id_bits = (std::uint64_t{id.site.value} << 40) ^ id.seq;
+  head_ = mix(head_, id_bits);
+  versions_.insert(head_);
+}
+
+void HashHistory::fast_forward(const HashHistory& other) {
+  absorb(other);
+  head_ = other.head_;
+}
+
+void HashHistory::merge(const HashHistory& other) {
+  const VersionHash lo = std::min(head_, other.head_);
+  const VersionHash hi = std::max(head_, other.head_);
+  absorb(other);
+  head_ = mix(lo, hi);
+  versions_.insert(head_);
+}
+
+vv::Ordering HashHistory::compare(const HashHistory& other) const {
+  if (head_ == other.head_) return vv::Ordering::kEqual;
+  if (head_ == 0) return vv::Ordering::kBefore;
+  if (other.head_ == 0) return vv::Ordering::kAfter;
+  const bool mine_known = other.contains(head_);
+  const bool theirs_known = contains(other.head_);
+  if (mine_known && theirs_known) return vv::Ordering::kEqual;  // aliased heads
+  if (mine_known) return vv::Ordering::kBefore;
+  if (theirs_known) return vv::Ordering::kAfter;
+  return vv::Ordering::kConcurrent;
+}
+
+void HashHistory::absorb(const HashHistory& other) {
+  versions_.insert(other.versions_.begin(), other.versions_.end());
+}
+
+}  // namespace optrep::meta

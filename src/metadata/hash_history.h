@@ -1,0 +1,60 @@
+// Hash histories (Kang, Wilensky, Kubiatowicz [12]) — a baseline metadata
+// scheme for Observation 2.1 and the storage/scalability benches.
+//
+// Each replica keeps the DAG of version hashes it has passed through; two
+// replicas are ordered by containment of their current version hash in the
+// other's history, concurrent otherwise. Unlike version vectors the per-
+// replica state grows with the number of versions (updates + merges), not
+// with the number of sites.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "vv/order.h"
+
+namespace optrep::meta {
+
+using VersionHash = std::uint64_t;
+
+class HashHistory {
+ public:
+  // Size of one entry in the original scheme (SHA-1 hash + parent links).
+  static constexpr std::uint64_t kBytesPerEntry = 20;
+
+  HashHistory() = default;
+
+  VersionHash head() const { return head_; }
+  bool contains(VersionHash h) const { return versions_.contains(h); }
+  std::size_t version_count() const { return versions_.size(); }
+
+  // A local update creates a new version whose hash covers the previous one.
+  void record_update(UpdateId id);
+
+  // Adopt the other replica's state wholesale (state transfer of a
+  // dominating replica): union histories, take the other head.
+  void fast_forward(const HashHistory& other);
+
+  // Reconciliation: union histories and add a merge version with both heads
+  // as parents. Deterministic in the pair of heads, so both sites converge
+  // to the same merge hash for the same pair of inputs.
+  void merge(const HashHistory& other);
+
+  vv::Ordering compare(const HashHistory& other) const;
+
+  // Metadata footprint and full-exchange cost (the scheme ships the whole
+  // history on synchronization).
+  std::uint64_t storage_bytes() const { return version_count() * kBytesPerEntry; }
+  std::uint64_t exchange_bytes() const { return storage_bytes(); }
+
+ private:
+  void absorb(const HashHistory& other);
+
+  std::unordered_set<VersionHash> versions_;
+  VersionHash head_{0};  // 0 = pristine (no versions)
+};
+
+}  // namespace optrep::meta

@@ -1,0 +1,26 @@
+#include "metadata/predecessor_set.h"
+
+namespace optrep::meta {
+
+vv::Ordering PredecessorSet::compare(const PredecessorSet& other) const {
+  bool mine_extra = false;
+  for (const UpdateId& id : ops_) {
+    if (!other.contains(id)) {
+      mine_extra = true;
+      break;
+    }
+  }
+  bool theirs_extra = false;
+  for (const UpdateId& id : other.ops_) {
+    if (!contains(id)) {
+      theirs_extra = true;
+      break;
+    }
+  }
+  if (mine_extra && theirs_extra) return vv::Ordering::kConcurrent;
+  if (mine_extra) return vv::Ordering::kAfter;
+  if (theirs_extra) return vv::Ordering::kBefore;
+  return vv::Ordering::kEqual;
+}
+
+}  // namespace optrep::meta

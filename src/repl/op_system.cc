@@ -1,0 +1,183 @@
+#include "repl/op_system.h"
+
+#include <algorithm>
+
+namespace optrep::repl {
+
+void OpSystem::create_object(SiteId site, ObjectId obj, std::string content) {
+  OPTREP_CHECK_MSG(!has_replica(site, obj), "object already exists on site");
+  OpReplica& r = sites_[site][obj];
+  const UpdateId op = fresh_op(site, obj);
+  r.graph.create(op, static_cast<std::uint32_t>(content.size()));
+  contents_[obj][op] = std::move(content);
+  retain(r, op);
+}
+
+void OpSystem::update(SiteId site, ObjectId obj, std::string content) {
+  OpReplica& r = replica_mut(site, obj);
+  const UpdateId op = fresh_op(site, obj);
+  r.graph.append(op, static_cast<std::uint32_t>(content.size()));
+  contents_[obj][op] = std::move(content);
+  retain(r, op);
+}
+
+OpSyncOutcome OpSystem::sync(SiteId dst, SiteId src, ObjectId obj) {
+  OPTREP_CHECK_MSG(dst != src, "a site cannot synchronize with itself");
+  OpSyncOutcome out;
+  if (!has_replica(src, obj)) {
+    out.action = OpSyncOutcome::Action::kSkipped;
+    return out;
+  }
+  const OpReplica& sender = sites_[src][obj];
+  OpReplica& receiver = sites_[dst][obj];  // created empty if absent
+
+  const vv::Ordering rel = receiver.graph.compare(sender.graph);
+  out.relation = rel;
+  if (rel == vv::Ordering::kEqual || rel == vv::Ordering::kAfter) {
+    out.action = OpSyncOutcome::Action::kNone;
+    return out;
+  }
+
+  graph::GraphSyncOptions opt;
+  opt.mode = cfg_.mode;
+  opt.net = cfg_.net;
+  opt.cost = cfg_.cost;
+  // With a bounded log, graph metadata and operation payloads travel
+  // separately: the payload fetch happens after the graph sync reveals which
+  // operations are missing (and whether the sender still has them).
+  opt.ship_ops = cfg_.op_log_limit == 0;
+  out.report = cfg_.use_incremental
+                   ? graph::sync_graph(loop_, receiver.graph, sender.graph, opt)
+                   : graph::sync_graph_full(loop_, receiver.graph, sender.graph, opt);
+
+  if (cfg_.op_log_limit > 0) {
+    // Hybrid transfer: can the sender still supply every new payload? Merge
+    // nodes carry no user content and never force a fallback.
+    bool all_available = true;
+    std::uint64_t needed_bytes = 0;
+    for (const UpdateId& id : out.report.new_node_ids) {
+      const graph::Node* n = receiver.graph.find(id);
+      if (n == nullptr || n->op_bytes == 0) continue;
+      needed_bytes += n->op_bytes;
+      if (!sender.log.contains(id)) {
+        all_available = false;
+        break;
+      }
+    }
+    if (all_available) {
+      out.report.op_bytes_shipped = needed_bytes;  // per-operation fetch
+      for (const UpdateId& id : out.report.new_node_ids) retain(receiver, id);
+    } else {
+      // §6/§1 [1, §7.2]: the replica is too old for the retained history —
+      // ship the entire object state instead of individual operations.
+      out.state_fallback = true;
+      out.state_fallback_bytes = sender.graph.total_op_bytes();
+      receiver.log_order = sender.log_order;
+      receiver.log = sender.log;
+      ++totals_.state_fallbacks;
+      totals_.state_fallback_bytes += out.state_fallback_bytes;
+    }
+  }
+
+  if (rel == vv::Ordering::kBefore) {
+    receiver.graph.set_sink(sender.graph.sink());
+    out.action = OpSyncOutcome::Action::kFastForwarded;
+  } else {
+    // Concurrent: reconciliation executes a merge operation (§6.1: "conflict
+    // reconciliation is invoked and a new node is added as the new sink").
+    const UpdateId merge_op = fresh_op(dst, obj);
+    receiver.graph.merge(merge_op, sender.graph.sink());
+    contents_[obj][merge_op] = "";  // merges carry no user content here
+    retain(receiver, merge_op);
+    ++totals_.reconciliations;
+    out.action = OpSyncOutcome::Action::kReconciled;
+  }
+
+  if (cfg_.check_invariants) {
+    OPTREP_CHECK_MSG(receiver.graph.validate_closed(),
+                     "graph not closed after synchronization");
+    for (const graph::Node& n : sender.graph.all_nodes()) {
+      OPTREP_CHECK_MSG(receiver.graph.contains(n.id), "union is missing sender nodes");
+    }
+  }
+
+  totals_.sessions += 1;
+  totals_.bits += out.report.total_bits();
+  totals_.bytes += out.report.bytes_fwd + out.report.bytes_rev;
+  totals_.nodes_sent += out.report.nodes_sent;
+  totals_.nodes_redundant += out.report.nodes_redundant;
+  totals_.op_bytes += out.report.op_bytes_shipped;
+  return out;
+}
+
+bool OpSystem::has_replica(SiteId site, ObjectId obj) const {
+  auto sit = sites_.find(site);
+  return sit != sites_.end() && sit->second.contains(obj);
+}
+
+const OpReplica& OpSystem::replica(SiteId site, ObjectId obj) const {
+  auto sit = sites_.find(site);
+  OPTREP_CHECK_MSG(sit != sites_.end(), "site hosts nothing");
+  auto rit = sit->second.find(obj);
+  OPTREP_CHECK_MSG(rit != sit->second.end(), "no replica of object on site");
+  return rit->second;
+}
+
+std::string OpSystem::materialize(SiteId site, ObjectId obj) const {
+  const OpReplica& r = replica(site, obj);
+  auto cit = contents_.find(obj);
+  OPTREP_CHECK(cit != contents_.end());
+  // Graph nodes in id order form a deterministic linearization compatible
+  // across replicas holding the same node set (ops here are commutative
+  // inserts; richer semantics would topo-sort with id tie-breaks).
+  std::vector<graph::Node> nodes = r.graph.all_nodes();
+  std::sort(nodes.begin(), nodes.end(),
+            [](const graph::Node& a, const graph::Node& b) { return a.id < b.id; });
+  std::string out;
+  for (const graph::Node& n : nodes) {
+    auto oit = cit->second.find(n.id);
+    if (oit != cit->second.end() && !oit->second.empty()) {
+      out += oit->second;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+bool OpSystem::replicas_consistent(ObjectId obj) const {
+  const OpReplica* first = nullptr;
+  for (const auto& [site, objs] : sites_) {
+    auto it = objs.find(obj);
+    if (it == objs.end()) continue;
+    if (first == nullptr) {
+      first = &it->second;
+      continue;
+    }
+    if (!(it->second.graph == first->graph)) return false;
+  }
+  return true;
+}
+
+OpReplica& OpSystem::replica_mut(SiteId site, ObjectId obj) {
+  auto sit = sites_.find(site);
+  OPTREP_CHECK_MSG(sit != sites_.end(), "site hosts nothing");
+  auto rit = sit->second.find(obj);
+  OPTREP_CHECK_MSG(rit != sit->second.end(), "no replica of object on site");
+  return rit->second;
+}
+
+UpdateId OpSystem::fresh_op(SiteId site, ObjectId obj) {
+  return UpdateId{site, ++seq_[site][obj]};
+}
+
+void OpSystem::retain(OpReplica& r, UpdateId op) {
+  if (cfg_.op_log_limit == 0) return;  // unlimited history: no bookkeeping
+  if (!r.log.insert(op).second) return;
+  r.log_order.push_back(op);
+  while (r.log_order.size() > cfg_.op_log_limit) {
+    r.log.erase(r.log_order.front());
+    r.log_order.pop_front();
+  }
+}
+
+}  // namespace optrep::repl

@@ -1,0 +1,163 @@
+#include "repl/record_system.h"
+
+namespace optrep::repl {
+
+void RecordSystem::create_object(SiteId site, ObjectId obj, const std::string& key,
+                                 std::string value) {
+  OPTREP_CHECK_MSG(!has_replica(site, obj), "object already exists on site");
+  RecordReplica& r = sites_[site][obj];
+  apply_put(r, site, key, std::move(value));
+}
+
+void RecordSystem::put(SiteId site, ObjectId obj, const std::string& key,
+                       std::string value) {
+  apply_put(replica_mut(site, obj), site, key, std::move(value));
+}
+
+void RecordSystem::apply_put(RecordReplica& r, SiteId site, const std::string& key,
+                             std::string value) {
+  r.vector.record_update(site);
+  RecordCell& cell = r.records[key];
+  cell.value = std::move(value);
+  cell.writer = UpdateId{site, r.vector.value(site)};
+  cell.flagged = false;  // a fresh local write supersedes any flag
+}
+
+const RecordReplica& RecordSystem::replica(SiteId site, ObjectId obj) const {
+  auto sit = sites_.find(site);
+  OPTREP_CHECK_MSG(sit != sites_.end(), "site hosts nothing");
+  auto rit = sit->second.find(obj);
+  OPTREP_CHECK_MSG(rit != sit->second.end(), "no replica of object on site");
+  return rit->second;
+}
+
+RecordReplica& RecordSystem::replica_mut(SiteId site, ObjectId obj) {
+  auto sit = sites_.find(site);
+  OPTREP_CHECK_MSG(sit != sites_.end(), "site hosts nothing");
+  auto rit = sit->second.find(obj);
+  OPTREP_CHECK_MSG(rit != sit->second.end(), "no replica of object on site");
+  return rit->second;
+}
+
+bool RecordSystem::has_replica(SiteId site, ObjectId obj) const {
+  auto sit = sites_.find(site);
+  return sit != sites_.end() && sit->second.contains(obj);
+}
+
+RecordSystem::SyncResult RecordSystem::sync(SiteId dst, SiteId src, ObjectId obj) {
+  OPTREP_CHECK_MSG(dst != src, "a site cannot synchronize with itself");
+  SyncResult out;
+  if (!has_replica(src, obj)) return out;
+  const RecordReplica& sender = sites_[src][obj];
+  RecordReplica& receiver = sites_[dst][obj];
+
+  const vv::Ordering rel = vv::compare_fast(receiver.vector, sender.vector);
+  out.relation = rel;
+  if (rel == vv::Ordering::kEqual || rel == vv::Ordering::kAfter) {
+    out.report.bits_fwd = vv::compare_cost_bits(cfg_.cost) / 2;
+    out.report.bits_rev = vv::compare_cost_bits(cfg_.cost) / 2;
+    totals_.sessions += 1;
+    totals_.bits += out.report.total_bits();
+    return out;
+  }
+
+  // Snapshot the receiver's causal knowledge before the vectors join: the
+  // semantic detector judges each record against what each side knew at
+  // write time.
+  const vv::VersionVector dst_pre = receiver.vector.to_version_vector();
+
+  vv::SyncOptions opt;
+  opt.kind = cfg_.kind;
+  opt.mode = cfg_.mode;
+  opt.net = cfg_.net;
+  opt.cost = cfg_.cost;
+  opt.known_relation = rel;
+  out.report = vv::sync_rotating(loop_, receiver.vector, sender.vector, opt);
+  out.report.bits_fwd += vv::compare_cost_bits(cfg_.cost) / 2;
+  out.report.bits_rev += vv::compare_cost_bits(cfg_.cost) / 2;
+
+  if (rel == vv::Ordering::kBefore) {
+    // Plain state transfer: the sender's records strictly supersede ours.
+    receiver.records = sender.records;
+  } else {
+    // Syntactic conflict (O(1) detection) → semantic detector (§1).
+    out.syntactic_conflict = true;
+    ++totals_.syntactic_conflicts;
+    out.semantic_conflicts = semantic_merge(receiver, sender, dst_pre);
+    totals_.semantic_conflicts += out.semantic_conflicts;
+    if (out.semantic_conflicts == 0) ++totals_.syntactic_only;
+    // §2.2: reconciliation ends with a separate local update.
+    receiver.vector.record_update(dst);
+  }
+
+  totals_.sessions += 1;
+  totals_.bits += out.report.total_bits();
+  return out;
+}
+
+std::size_t RecordSystem::semantic_merge(RecordReplica& dst, const RecordReplica& src,
+                                         const vv::VersionVector& dst_pre) {
+  std::size_t true_conflicts = 0;
+  for (const auto& [key, theirs] : src.records) {
+    auto it = dst.records.find(key);
+    if (it == dst.records.end()) {
+      dst.records.emplace(key, theirs);
+      ++totals_.records_merged;
+      continue;
+    }
+    RecordCell& mine = it->second;
+    if (mine.writer == theirs.writer) {
+      mine.flagged = mine.flagged && theirs.flagged;  // either side's repair wins
+      continue;
+    }
+    // Per-record causality: a write is superseded if the replica holding the
+    // other value had already absorbed it when diverging.
+    const bool theirs_visible_to_me =
+        theirs.writer.seq <= dst_pre.value(theirs.writer.site);
+    if (theirs_visible_to_me) continue;  // my value already accounts for theirs
+    const bool mine_visible_to_them =
+        mine.writer.seq <= src.vector.value(mine.writer.site);
+    if (mine_visible_to_them) {
+      mine = theirs;  // their write knew mine: causal overwrite
+      ++totals_.records_merged;
+      continue;
+    }
+    // Concurrent writes to the same key.
+    if (mine.value == theirs.value) {
+      // Semantically consistent despite syntactic concurrency: converge
+      // provenance deterministically and move on — this is exactly the
+      // false-conflict class semantic-over-syntactic detection filters out.
+      if (theirs.writer > mine.writer) mine.writer = theirs.writer;
+      ++totals_.records_merged;
+      continue;
+    }
+    // True (semantic) conflict.
+    ++true_conflicts;
+    switch (cfg_.policy) {
+      case SemanticPolicy::kLastWriterWins:
+        if (theirs.writer > mine.writer) mine = theirs;
+        break;
+      case SemanticPolicy::kFlag:
+        mine.flagged = true;
+        ++totals_.flagged_records;
+        break;
+    }
+  }
+  return true_conflicts;
+}
+
+bool RecordSystem::replicas_consistent(ObjectId obj) const {
+  const RecordReplica* first = nullptr;
+  for (const auto& [site, objs] : sites_) {
+    auto it = objs.find(obj);
+    if (it == objs.end()) continue;
+    if (first == nullptr) {
+      first = &it->second;
+      continue;
+    }
+    if (!(it->second.records == first->records)) return false;
+  }
+  return true;
+}
+
+}  // namespace optrep::repl

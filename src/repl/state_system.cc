@@ -1,0 +1,203 @@
+#include "repl/state_system.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace optrep::repl {
+
+StateSystem::StateSystem(Config cfg) : cfg_(cfg) {
+  OPTREP_CHECK_MSG(cfg_.kind != vv::VectorKind::kBrv ||
+                       cfg_.policy == ResolutionPolicy::kManual,
+                   "BRV supports no conflict reconciliation (§3.1); use manual "
+                   "resolution or CRV/SRV");
+}
+
+void StateSystem::create_object(SiteId site, ObjectId obj, std::string entry) {
+  OPTREP_CHECK_MSG(!has_replica(site, obj), "object already exists on site");
+  StateReplica& r = sites_[site][obj];
+  apply_update(r, site, obj, std::move(entry));
+}
+
+void StateSystem::update(SiteId site, ObjectId obj, std::string entry) {
+  StateReplica& r = replica_mut(site, obj);
+  OPTREP_CHECK_MSG(!r.conflicted, "update on an excluded (conflicted) replica");
+  apply_update(r, site, obj, std::move(entry));
+}
+
+SyncOutcome StateSystem::sync(SiteId dst, SiteId src, ObjectId obj) {
+  OPTREP_CHECK_MSG(dst != src, "a site cannot synchronize with itself");
+  SyncOutcome out;
+  if (!has_replica(src, obj)) {
+    out.action = SyncOutcome::Action::kSkipped;
+    return out;
+  }
+  StateReplica& sender = sites_[src][obj];
+  if (sender.conflicted) {
+    out.action = SyncOutcome::Action::kSkipped;
+    return out;
+  }
+  StateReplica& receiver = sites_[dst][obj];  // created empty if absent
+
+  // COMPARE runs first (O(1) traffic); the session charges its bits.
+  const vv::Ordering rel = vv::compare_fast(receiver.vector, sender.vector);
+  out.relation = rel;
+
+  if (cfg_.check_oracle) {
+    // Ground truth: causal relation by history containment.
+    const auto& ha = receiver.oracle_history;
+    const auto& hb = sender.oracle_history;
+    const bool a_in_b = std::all_of(ha.begin(), ha.end(),
+                                    [&](const UpdateId& u) { return hb.contains(u); });
+    const bool b_in_a = std::all_of(hb.begin(), hb.end(),
+                                    [&](const UpdateId& u) { return ha.contains(u); });
+    vv::Ordering truth = vv::Ordering::kConcurrent;
+    if (a_in_b && b_in_a) truth = vv::Ordering::kEqual;
+    else if (a_in_b) truth = vv::Ordering::kBefore;
+    else if (b_in_a) truth = vv::Ordering::kAfter;
+    OPTREP_CHECK_MSG(rel == truth, "COMPARE disagrees with ground-truth causality");
+  }
+
+  vv::SyncOptions opt;
+  opt.kind = cfg_.kind;
+  opt.mode = cfg_.mode;
+  opt.net = cfg_.net;
+  opt.cost = cfg_.cost;
+  opt.known_relation = rel;
+
+  switch (rel) {
+    case vv::Ordering::kEqual:
+    case vv::Ordering::kAfter:
+      // Nothing to pull. (A real system might push back; traces model that
+      // as a separate sync in the other direction.)
+      out.action = (rel == vv::Ordering::kEqual) ? SyncOutcome::Action::kNone
+                                                 : SyncOutcome::Action::kPushedBack;
+      // Charge the COMPARE probes.
+      out.report.initial_relation = rel;
+      out.report.bits_fwd = vv::compare_cost_bits(cfg_.cost) / 2;
+      out.report.bits_rev = vv::compare_cost_bits(cfg_.cost) / 2;
+      break;
+
+    case vv::Ordering::kBefore: {
+      out.report = vv::sync_rotating(loop_, receiver.vector, sender.vector, opt);
+      out.report.bits_fwd += vv::compare_cost_bits(cfg_.cost) / 2;
+      out.report.bits_rev += vv::compare_cost_bits(cfg_.cost) / 2;
+      for (const auto& e : sender.data.entries) totals_.payload_bytes += e.size();
+      receiver.data = sender.data;  // state transfer overwrites the replica
+      receiver.oracle_vector.join(sender.oracle_vector);
+      receiver.oracle_history.insert(sender.oracle_history.begin(),
+                                     sender.oracle_history.end());
+      out.action = SyncOutcome::Action::kPulled;
+      break;
+    }
+
+    case vv::Ordering::kConcurrent: {
+      ++totals_.conflicts_detected;
+      if (cfg_.policy == ResolutionPolicy::kManual) {
+        // §2.1: both replicas leave the system until resolved manually.
+        receiver.conflicted = true;
+        sender.conflicted = true;
+        out.action = SyncOutcome::Action::kConflictHeld;
+        out.report.initial_relation = rel;
+        out.report.bits_fwd = vv::compare_cost_bits(cfg_.cost) / 2;
+        out.report.bits_rev = vv::compare_cost_bits(cfg_.cost) / 2;
+        break;
+      }
+      // Automatic reconciliation: vector sync, payload merge, then the
+      // mandated local update on the receiving site ([11 §C], §2.2).
+      out.report = vv::sync_rotating(loop_, receiver.vector, sender.vector, opt);
+      out.report.bits_fwd += vv::compare_cost_bits(cfg_.cost) / 2;
+      out.report.bits_rev += vv::compare_cost_bits(cfg_.cost) / 2;
+      for (const auto& e : sender.data.entries) totals_.payload_bytes += e.size();
+      receiver.data.merge(sender.data);
+      receiver.oracle_vector.join(sender.oracle_vector);
+      receiver.oracle_history.insert(sender.oracle_history.begin(),
+                                     sender.oracle_history.end());
+      if (cfg_.check_oracle) check_replica(receiver);
+      // The separate post-reconciliation update (metadata only: the merged
+      // payload is the new version's content).
+      receiver.vector.record_update(dst);
+      receiver.oracle_vector.increment(dst);
+      receiver.oracle_history.insert(UpdateId{dst, receiver.oracle_vector.value(dst)});
+      ++totals_.reconciliations;
+      out.action = SyncOutcome::Action::kReconciled;
+      break;
+    }
+  }
+
+  if (cfg_.check_oracle) check_replica(receiver);
+
+  totals_.sessions += 1;
+  totals_.bits += out.report.total_bits();
+  totals_.bytes += out.report.total_bytes();
+  totals_.msgs += out.report.msgs_fwd + out.report.msgs_rev;
+  totals_.elems_sent += out.report.elems_sent;
+  totals_.elems_redundant += out.report.elems_redundant;
+  totals_.skips += out.report.segments_skipped;
+  return out;
+}
+
+bool StateSystem::has_replica(SiteId site, ObjectId obj) const {
+  auto sit = sites_.find(site);
+  return sit != sites_.end() && sit->second.contains(obj);
+}
+
+const StateReplica& StateSystem::replica(SiteId site, ObjectId obj) const {
+  auto sit = sites_.find(site);
+  OPTREP_CHECK_MSG(sit != sites_.end(), "site hosts nothing");
+  auto rit = sit->second.find(obj);
+  OPTREP_CHECK_MSG(rit != sit->second.end(), "no replica of object on site");
+  return rit->second;
+}
+
+bool StateSystem::replicas_consistent(ObjectId obj) const {
+  const StateReplica* first = nullptr;
+  for (const auto& [site, objs] : sites_) {
+    auto it = objs.find(obj);
+    if (it == objs.end()) continue;
+    if (first == nullptr) {
+      first = &it->second;
+      continue;
+    }
+    if (!(it->second.data == first->data)) return false;
+    if (!(it->second.vector.to_version_vector() == first->vector.to_version_vector()))
+      return false;
+  }
+  return true;
+}
+
+std::vector<SiteId> StateSystem::hosts_of(ObjectId obj) const {
+  std::vector<SiteId> out;
+  for (const auto& [site, objs] : sites_) {
+    if (objs.contains(obj)) out.push_back(site);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+StateReplica& StateSystem::replica_mut(SiteId site, ObjectId obj) {
+  auto sit = sites_.find(site);
+  OPTREP_CHECK_MSG(sit != sites_.end(), "site hosts nothing");
+  auto rit = sit->second.find(obj);
+  OPTREP_CHECK_MSG(rit != sit->second.end(), "no replica of object on site");
+  return rit->second;
+}
+
+void StateSystem::apply_update(StateReplica& r, SiteId site, ObjectId obj,
+                               std::string entry) {
+  (void)obj;
+  r.data.entries.insert(std::move(entry));
+  r.vector.record_update(site);
+  r.oracle_vector.increment(site);
+  r.oracle_history.insert(UpdateId{site, r.oracle_vector.value(site)});
+  // Note: the oracle history uses the replica's own per-site counter, which
+  // equals the global per-site sequence because a site's updates are serial
+  // on its single replica of the object.
+  if (cfg_.check_oracle) check_replica(r);
+}
+
+void StateSystem::check_replica(const StateReplica& r) const {
+  OPTREP_CHECK_MSG(r.vector.same_values(r.oracle_vector),
+                   "rotating vector diverged from the traditional-vector oracle");
+}
+
+}  // namespace optrep::repl

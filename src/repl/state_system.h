@@ -1,0 +1,136 @@
+// A complete state-transfer optimistic replication system (§2.1) built on
+// rotating vectors: sites host replicas of objects, updates mutate payloads
+// and rotate vectors, and synchronization sessions run the paper's protocols
+// over the simulated network.
+//
+// The harness continuously cross-checks the rotating-vector implementation
+// against two oracles:
+//   - a traditional VersionVector carried next to every replica (values must
+//     match after every operation), and
+//   - the ground-truth causal history (the set of update ids a replica has
+//     absorbed), against which conflict detection is validated.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/cost_model.h"
+#include "common/ids.h"
+#include "sim/event_loop.h"
+#include "sim/link.h"
+#include "vv/compare.h"
+#include "vv/rotating_vector.h"
+#include "vv/session.h"
+
+namespace optrep::repl {
+
+// §1/§2.1: manual resolution excludes conflicting replicas from the system
+// (BRV-class systems); automatic resolution reconciles them (CRV/SRV-class).
+enum class ResolutionPolicy : std::uint8_t { kManual, kAutomatic };
+
+// Replica content: a set of entries (think lines of a replicated file or
+// records of a log). The automatic resolver is set union — a deterministic
+// merge both sides agree on.
+struct Payload {
+  std::set<std::string> entries;
+
+  void merge(const Payload& other) { entries.insert(other.entries.begin(), other.entries.end()); }
+  bool operator==(const Payload&) const = default;
+};
+
+struct StateReplica {
+  vv::RotatingVector vector;
+  Payload data;
+  bool conflicted{false};  // manual policy: excluded until resolved
+
+  // Oracles (not part of the protocol state).
+  vv::VersionVector oracle_vector;
+  std::unordered_set<UpdateId> oracle_history;
+};
+
+// What a synchronization session did.
+struct SyncOutcome {
+  vv::Ordering relation{vv::Ordering::kEqual};
+  enum class Action : std::uint8_t {
+    kNone,         // already consistent
+    kPulled,       // receiver overwritten by sender
+    kPushedBack,   // receiver dominated; nothing pulled
+    kReconciled,   // automatic conflict resolution ran
+    kConflictHeld, // manual policy: replicas excluded, no transfer
+    kSkipped,      // replica missing/excluded
+  } action{Action::kNone};
+  vv::SyncReport report;  // traffic of the vector exchange (zeroed for kNone paths)
+};
+
+class StateSystem {
+ public:
+  struct Config {
+    std::uint32_t n_sites{4};
+    vv::VectorKind kind{vv::VectorKind::kSrv};
+    ResolutionPolicy policy{ResolutionPolicy::kAutomatic};
+    vv::TransferMode mode{vv::TransferMode::kIdeal};
+    sim::NetConfig net{};
+    CostModel cost{};
+    bool check_oracle{true};
+  };
+
+  explicit StateSystem(Config cfg);
+
+  const Config& config() const { return cfg_; }
+
+  // Create the object on `site` with an initial entry; counts as the first
+  // update (the paper's replication graphs begin with an update, Figure 1).
+  void create_object(SiteId site, ObjectId obj, std::string entry);
+
+  // Local update: requires a (non-excluded) replica of obj at site.
+  void update(SiteId site, ObjectId obj, std::string entry);
+
+  // Synchronize dst's replica with src's (dst pulls; src is the sender).
+  // Creates dst's replica if absent. Returns what happened plus traffic.
+  SyncOutcome sync(SiteId dst, SiteId src, ObjectId obj);
+
+  bool has_replica(SiteId site, ObjectId obj) const;
+  const StateReplica& replica(SiteId site, ObjectId obj) const;
+
+  // All sites hosting obj agree on payload and metadata values.
+  bool replicas_consistent(ObjectId obj) const;
+
+  // Aggregated traffic over all sync sessions so far.
+  struct Totals {
+    std::uint64_t sessions{0};
+    std::uint64_t bits{0};
+    std::uint64_t bytes{0};
+    std::uint64_t msgs{0};
+    // Object content shipped: state transfer moves the whole payload on
+    // every pull/reconciliation (§6 contrasts this with operation transfer).
+    std::uint64_t payload_bytes{0};
+    std::uint64_t elems_sent{0};
+    std::uint64_t elems_redundant{0};
+    std::uint64_t skips{0};
+    std::uint64_t conflicts_detected{0};
+    std::uint64_t reconciliations{0};
+  };
+  const Totals& totals() const { return totals_; }
+
+  // Simulated clock shared by all sessions.
+  sim::Time now() const { return loop_.now(); }
+
+  std::vector<SiteId> hosts_of(ObjectId obj) const;
+
+ private:
+  StateReplica& replica_mut(SiteId site, ObjectId obj);
+  void apply_update(StateReplica& r, SiteId site, ObjectId obj, std::string entry);
+  void check_replica(const StateReplica& r) const;
+
+  Config cfg_;
+  sim::EventLoop loop_;
+  std::unordered_map<SiteId, std::unordered_map<ObjectId, StateReplica>> sites_;
+  Totals totals_;
+};
+
+}  // namespace optrep::repl

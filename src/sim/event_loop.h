@@ -1,0 +1,87 @@
+// A minimal discrete-event simulator core.
+//
+// All protocol executions in optrep run on this loop: links schedule message
+// deliveries, and protocol peers schedule their own continuations (e.g. "send
+// the next element when the link frees"). Simulated time is in seconds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+
+namespace optrep::sim {
+
+using Time = double;
+
+class EventLoop {
+ public:
+  using EventId = std::uint64_t;
+
+  Time now() const { return now_; }
+
+  // Schedule fn at absolute time t (>= now). Events at equal times run in
+  // scheduling order, which keeps executions deterministic.
+  EventId schedule(Time t, std::function<void()> fn) {
+    OPTREP_CHECK_MSG(t >= now_, "cannot schedule into the past");
+    const EventId id = next_id_++;
+    queue_.push(Event{t, id, std::move(fn)});
+    return id;
+  }
+
+  EventId schedule_after(Time delay, std::function<void()> fn) {
+    return schedule(now_ + delay, std::move(fn));
+  }
+
+  void cancel(EventId id) { cancelled_.insert(id); }
+
+  // Run one pending event; returns false when the queue is drained.
+  bool step() {
+    while (!queue_.empty()) {
+      Event ev = queue_.top();
+      queue_.pop();
+      if (cancelled_.erase(ev.id) > 0) continue;
+      now_ = ev.at;
+      ev.fn();
+      return true;
+    }
+    return false;
+  }
+
+  // Run to quiescence. Returns the time of the last executed event.
+  Time run() {
+    std::uint64_t executed = 0;
+    while (step()) {
+      ++executed;
+      OPTREP_CHECK_MSG(executed < kMaxEvents, "event loop runaway (protocol livelock?)");
+    }
+    return now_;
+  }
+
+  bool idle() const { return queue_.empty(); }
+
+ private:
+  static constexpr std::uint64_t kMaxEvents = 500'000'000;
+
+  struct Event {
+    Time at;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;  // FIFO among simultaneous events
+    }
+  };
+
+  Time now_{0};
+  EventId next_id_{1};
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace optrep::sim

@@ -1,0 +1,101 @@
+// Simulated unidirectional network links and duplex channels.
+//
+// A Link has a propagation latency and a (possibly infinite) bandwidth and
+// delivers messages FIFO: a message handed to the link at time t starts
+// transmitting when the link is free, occupies the link for size/bandwidth
+// seconds, and arrives latency seconds after its last bit left.
+//
+// Senders that want the paper's network pipelining (§3.1) stream by sending
+// one message and scheduling their continuation at the returned free time;
+// this is what lets a HALT cancel not-yet-transmitted elements, so the
+// β = bandwidth·rtt overshoot of pipelining emerges from the model.
+#pragma once
+
+#include <functional>
+#include <limits>
+
+#include "common/check.h"
+#include "sim/event_loop.h"
+
+namespace optrep::sim {
+
+struct LinkStats {
+  std::uint64_t messages{0};
+  std::uint64_t model_bits{0};   // §3.3 cost-model size
+  std::uint64_t wire_bytes{0};   // realistic byte-aligned encoding
+};
+
+struct NetConfig {
+  Time latency_s{0};
+  double bandwidth_bits_per_s{std::numeric_limits<double>::infinity()};
+
+  Time rtt() const { return 2 * latency_s; }
+};
+
+template <class Msg>
+class Link {
+ public:
+  using Handler = std::function<void(const Msg&)>;
+
+  Link(EventLoop* loop, NetConfig cfg) : loop_(loop), cfg_(cfg) { OPTREP_CHECK(loop != nullptr); }
+
+  void set_receiver(Handler h) { deliver_ = std::move(h); }
+
+  // Observe every message as it is handed to the link (before transmission).
+  // For protocol transcripts, debugging, and tests; does not affect timing.
+  using Tap = std::function<void(Time send_time, const Msg&, std::uint64_t model_bits)>;
+  void set_tap(Tap t) { tap_ = std::move(t); }
+
+  // Queue msg for transmission; returns the time at which the link frees
+  // (i.e. the earliest time the *next* message could start transmitting).
+  Time send(const Msg& msg, std::uint64_t model_bits, std::uint64_t wire_bytes) {
+    OPTREP_CHECK_MSG(deliver_ != nullptr, "link has no receiver");
+    if (tap_) tap_(loop_->now(), msg, model_bits);
+    const Time start = std::max(loop_->now(), free_at_);
+    const Time xmit = transmit_seconds(model_bits);
+    free_at_ = start + xmit;
+    const Time arrive = free_at_ + cfg_.latency_s;
+    stats_.messages += 1;
+    stats_.model_bits += model_bits;
+    stats_.wire_bytes += wire_bytes;
+    // Copy the message into the delivery event.
+    Handler* deliver = &deliver_;
+    loop_->schedule(arrive, [deliver, msg] { (*deliver)(msg); });
+    return free_at_;
+  }
+
+  Time free_at() const { return free_at_; }
+  const LinkStats& stats() const { return stats_; }
+  const NetConfig& config() const { return cfg_; }
+  EventLoop* loop() const { return loop_; }
+
+ private:
+  Time transmit_seconds(std::uint64_t bits) const {
+    if (cfg_.bandwidth_bits_per_s == std::numeric_limits<double>::infinity()) return 0;
+    OPTREP_CHECK(cfg_.bandwidth_bits_per_s > 0);
+    return static_cast<double>(bits) / cfg_.bandwidth_bits_per_s;
+  }
+
+  EventLoop* loop_;
+  NetConfig cfg_;
+  Time free_at_{0};
+  LinkStats stats_;
+  Handler deliver_;
+  Tap tap_;
+};
+
+// A bidirectional channel between two protocol peers.
+template <class Msg>
+class Duplex {
+ public:
+  Duplex(EventLoop* loop, NetConfig cfg) : a_to_b_(loop, cfg), b_to_a_(loop, cfg) {}
+
+  Link<Msg>& a_to_b() { return a_to_b_; }
+  Link<Msg>& b_to_a() { return b_to_a_; }
+
+ private:
+  Link<Msg> a_to_b_;
+  Link<Msg> b_to_a_;
+};
+
+}  // namespace optrep::sim

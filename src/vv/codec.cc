@@ -1,0 +1,138 @@
+#include "vv/codec.h"
+
+namespace optrep::vv {
+
+void BitWriter::put(std::uint64_t value, std::uint32_t bits) {
+  OPTREP_CHECK(bits <= 64);
+  if (bits < 64) {
+    OPTREP_CHECK_MSG(value < (std::uint64_t{1} << bits), "value does not fit field");
+  }
+  for (std::uint32_t i = bits; i-- > 0;) {
+    const std::uint64_t bit = (value >> i) & 1u;
+    const std::uint64_t pos = bit_size_++;
+    if (pos % 8 == 0) buf_.push_back(0);
+    if (bit != 0) buf_.back() |= static_cast<std::uint8_t>(0x80u >> (pos % 8));
+  }
+}
+
+std::uint64_t BitReader::get(std::uint32_t bits) {
+  OPTREP_CHECK(bits <= 64);
+  std::uint64_t out = 0;
+  for (std::uint32_t i = 0; i < bits; ++i) {
+    const std::uint64_t pos = pos_++;
+    OPTREP_CHECK_MSG(pos / 8 < buf_->size(), "read past end of buffer");
+    const std::uint8_t byte = (*buf_)[pos / 8];
+    out = (out << 1) | ((byte >> (7 - pos % 8)) & 1u);
+  }
+  return out;
+}
+
+namespace {
+
+std::uint32_t flag_bits(VectorKind kind) {
+  switch (kind) {
+    case VectorKind::kBrv: return 0;
+    case VectorKind::kCrv: return 1;
+    case VectorKind::kSrv: return 2;
+  }
+  return 2;
+}
+
+}  // namespace
+
+void encode_msg(BitWriter& w, const CostModel& cm, VectorKind kind, Direction dir,
+                const VvMsg& msg) {
+  switch (msg.kind) {
+    case VvMsg::Kind::kElem:
+      OPTREP_CHECK(dir == Direction::kForward);
+      w.put(1, 1);
+      w.put(msg.site.value, cm.site_bits());
+      w.put(msg.value, cm.value_bits());
+      if (flag_bits(kind) >= 1) w.put(msg.conflict ? 1 : 0, 1);
+      if (flag_bits(kind) >= 2) w.put(msg.segment ? 1 : 0, 1);
+      return;
+    case VvMsg::Kind::kHalt:
+      w.put(0b00, 2);
+      return;
+    case VvMsg::Kind::kSkipped:
+      OPTREP_CHECK(dir == Direction::kForward);
+      w.put(0b01, 2);
+      return;
+    case VvMsg::Kind::kSkip:
+      OPTREP_CHECK(dir == Direction::kReverse);
+      w.put(1, 1);
+      w.put(msg.arg, cm.site_bits());  // segment index ≤ n, log n bits (§4.1)
+      return;
+    case VvMsg::Kind::kAck:
+      OPTREP_CHECK(dir == Direction::kReverse);
+      w.put(0b01, 2);
+      return;
+    case VvMsg::Kind::kProbe:
+      // COMPARE probes travel on a dedicated session: bare site+value.
+      w.put(msg.site.value, cm.site_bits());
+      w.put(msg.value, cm.value_bits());
+      return;
+    case VvMsg::Kind::kVerdict:
+      w.put(msg.arg != 0 ? 1 : 0, 1);
+      return;
+  }
+  OPTREP_CHECK(false);
+}
+
+VvMsg decode_msg(BitReader& r, const CostModel& cm, VectorKind kind, Direction dir) {
+  VvMsg msg;
+  if (r.get(1) == 1) {
+    if (dir == Direction::kForward) {
+      msg.kind = VvMsg::Kind::kElem;
+      msg.site = SiteId{static_cast<std::uint32_t>(r.get(cm.site_bits()))};
+      msg.value = r.get(cm.value_bits());
+      if (flag_bits(kind) >= 1) msg.conflict = r.get(1) != 0;
+      if (flag_bits(kind) >= 2) msg.segment = r.get(1) != 0;
+    } else {
+      msg.kind = VvMsg::Kind::kSkip;
+      msg.arg = r.get(cm.site_bits());
+    }
+    return msg;
+  }
+  const bool second = r.get(1) != 0;
+  if (!second) {
+    msg.kind = VvMsg::Kind::kHalt;
+  } else {
+    msg.kind = dir == Direction::kForward ? VvMsg::Kind::kSkipped : VvMsg::Kind::kAck;
+  }
+  return msg;
+}
+
+std::vector<std::uint8_t> encode_vector(const RotatingVector& v) {
+  BitWriter w;
+  const auto elems = v.in_order();
+  w.put(elems.size(), 32);
+  for (const auto& e : elems) {
+    w.put(e.site.value, 32);
+    w.put(e.value, 64);
+    w.put(e.conflict ? 1 : 0, 1);
+    w.put(e.segment ? 1 : 0, 1);
+    w.put(0, 6);  // pad to byte-aligned element records
+  }
+  return w.bytes();
+}
+
+RotatingVector decode_vector(const std::vector<std::uint8_t>& bytes) {
+  BitReader r(bytes);
+  const auto count = r.get(32);
+  RotatingVector v;
+  std::optional<SiteId> prev;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const SiteId site{static_cast<std::uint32_t>(r.get(32))};
+    const std::uint64_t value = r.get(64);
+    const bool conflict = r.get(1) != 0;
+    const bool segment = r.get(1) != 0;
+    r.get(6);
+    v.rotate_after(prev, site);
+    v.set_element(site, value, conflict, segment);
+    prev = site;
+  }
+  return v;
+}
+
+}  // namespace optrep::vv

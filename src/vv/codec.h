@@ -1,0 +1,64 @@
+// Bit-exact wire codec for the vector synchronization protocols.
+//
+// The §3.3 cost model is not just bookkeeping: this codec realizes it. Every
+// message encodes to exactly msg_model_bits(...) bits and decodes back,
+// which the tests assert — so the Table 2 bounds measured by the benches
+// correspond to a real serialization.
+//
+// Prefix codes (per direction):
+//   sender→receiver:  '1' elem(site,value[,c][,s])   '00' HALT   '01' SKIPPED
+//   receiver→sender:  '1' skip(segment index)        '00' HALT   '01' ACK
+//
+// Also provides a byte-aligned snapshot codec for persisting a whole
+// rotating vector (order, values and bits), e.g. for on-disk replica state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/cost_model.h"
+#include "vv/rotating_vector.h"
+#include "vv/wire.h"
+
+namespace optrep::vv {
+
+class BitWriter {
+ public:
+  // Append the low `bits` bits of value, most significant first.
+  void put(std::uint64_t value, std::uint32_t bits);
+  std::uint64_t bit_size() const { return bit_size_; }
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::uint64_t bit_size_{0};
+};
+
+class BitReader {
+ public:
+  explicit BitReader(const std::vector<std::uint8_t>& buf) : buf_(&buf) {}
+  std::uint64_t get(std::uint32_t bits);
+  std::uint64_t bits_read() const { return pos_; }
+  bool exhausted(std::uint64_t total_bits) const { return pos_ >= total_bits; }
+
+ private:
+  const std::vector<std::uint8_t>* buf_;
+  std::uint64_t pos_{0};
+};
+
+// Which half of the duplex a message travels on (the prefix codes differ).
+enum class Direction : std::uint8_t { kForward, kReverse };
+
+// Encodes one message; the number of bits appended equals
+// msg_model_bits(cm, kind, msg).
+void encode_msg(BitWriter& w, const CostModel& cm, VectorKind kind, Direction dir,
+                const VvMsg& msg);
+
+VvMsg decode_msg(BitReader& r, const CostModel& cm, VectorKind kind, Direction dir);
+
+// Byte-aligned snapshot of a full rotating vector (order, values, bits).
+std::vector<std::uint8_t> encode_vector(const RotatingVector& v);
+RotatingVector decode_vector(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace optrep::vv

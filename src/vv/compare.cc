@@ -1,0 +1,28 @@
+#include "vv/compare.h"
+
+namespace optrep::vv {
+
+Ordering compare_fast(const RotatingVector& a, const RotatingVector& b) {
+  const auto fa = a.front();
+  const auto fb = b.front();
+  if (!fa.has_value() && !fb.has_value()) return Ordering::kEqual;
+  if (!fa.has_value()) return Ordering::kBefore;  // a has seen nothing
+  if (!fb.has_value()) return Ordering::kAfter;
+
+  const SiteId la = fa->site;
+  const std::uint64_t ua = fa->value;
+  const SiteId lb = fb->site;
+  const std::uint64_t ub = fb->value;
+
+  // Algorithm 1, lines 2–5.
+  if (ua == b.value(la) && a.value(lb) == ub) return Ordering::kEqual;
+  if (ua <= b.value(la)) return Ordering::kBefore;
+  if (ub <= a.value(lb)) return Ordering::kAfter;
+  return Ordering::kConcurrent;
+}
+
+Ordering compare_full(const RotatingVector& a, const RotatingVector& b) {
+  return a.to_version_vector().compare(b.to_version_vector());
+}
+
+}  // namespace optrep::vv

@@ -1,0 +1,34 @@
+// Causal ordering between replicas (§2.2).
+#pragma once
+
+#include <string_view>
+
+namespace optrep::vv {
+
+// Result of comparing two replicas' metadata a vs b.
+enum class Ordering {
+  kEqual,       // a = b
+  kBefore,      // a ≺ b : a causally precedes b
+  kAfter,       // b ≺ a
+  kConcurrent,  // a ‖ b : syntactic conflict
+};
+
+constexpr std::string_view to_string(Ordering o) {
+  switch (o) {
+    case Ordering::kEqual: return "=";
+    case Ordering::kBefore: return "precedes";
+    case Ordering::kAfter: return "succeeds";
+    case Ordering::kConcurrent: return "concurrent";
+  }
+  return "?";
+}
+
+constexpr Ordering flip(Ordering o) {
+  switch (o) {
+    case Ordering::kBefore: return Ordering::kAfter;
+    case Ordering::kAfter: return Ordering::kBefore;
+    default: return o;
+  }
+}
+
+}  // namespace optrep::vv

@@ -1,0 +1,48 @@
+#include "vv/pruning.h"
+
+#include <algorithm>
+
+namespace optrep::vv {
+
+std::uint64_t MembershipManager::retire(SiteId site) {
+  retired_.insert(site);
+  return ++epoch_;
+}
+
+void MembershipManager::observe_replica(const VersionVector& values) {
+  ++reports_;
+  for (const SiteId site : retired_) {
+    const std::uint64_t v = values.value(site);
+    auto it = floor_.find(site);
+    if (it == floor_.end()) {
+      floor_.emplace(site, v);
+    } else {
+      it->second = std::min(it->second, v);
+    }
+  }
+}
+
+std::vector<std::pair<SiteId, std::uint64_t>> MembershipManager::prunable() const {
+  std::vector<std::pair<SiteId, std::uint64_t>> out;
+  for (const auto& [site, floor] : floor_) {
+    out.emplace_back(site, floor);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t MembershipManager::prune(RotatingVector& v) const {
+  std::size_t removed = 0;
+  for (const auto& [site, floor] : floor_) {
+    if (!v.contains(site)) continue;
+    // Only prune the stable value; a higher value would mean the site was
+    // not actually retired (or the floor is stale) — leave it.
+    if (v.value(site) == floor && floor > 0) {
+      v.erase(site);
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+}  // namespace optrep::vv

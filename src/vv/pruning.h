@@ -1,0 +1,65 @@
+// Vector pruning of retired sites — the §7 extension.
+//
+// §2.2 / §7: vector size can be reduced "by removing inactive sites from a
+// vector [19, 20] … equivalent to the original version vector plus a
+// distributed membership manager. These efforts are orthogonal and can
+// easily be applied to any of BRV, CRV, and SRV."
+//
+// This module supplies that membership manager: sites are retired through
+// an epoch-numbered retirement record; once a retirement is *stable* (every
+// live replica of the object is known to have absorbed the retired site's
+// final value), the element can be dropped from every vector without
+// affecting any future comparison or synchronization. The stability floor
+// is exactly the element-wise minimum over live replicas, which the manager
+// tracks from gossiped replica summaries.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+#include "vv/rotating_vector.h"
+#include "vv/version_vector.h"
+
+namespace optrep::vv {
+
+class MembershipManager {
+ public:
+  // Declare a site permanently retired (it will never update again). Its
+  // elements become prunable once stable. Returns the retirement epoch.
+  std::uint64_t retire(SiteId site);
+
+  bool is_retired(SiteId site) const { return retired_.contains(site); }
+  std::uint64_t epoch() const { return epoch_; }
+
+  // Feed the manager a live replica's current values (e.g. piggybacked on
+  // anti-entropy). The stability floor is the min over all reports since a
+  // site's retirement.
+  void observe_replica(const VersionVector& values);
+
+  // The set of (site, final value) pairs that are provably stable: every
+  // observed live replica carries at least this value for the site. Only
+  // meaningful once every live replica has been observed at least once;
+  // callers gate on reports_seen() >= live replica count.
+  std::vector<std::pair<SiteId, std::uint64_t>> prunable() const;
+
+  std::size_t reports_seen() const { return reports_; }
+
+  // Drop every stable retired element from v. Comparisons between any two
+  // vectors pruned against the same floor are unchanged: a pruned element
+  // has equal value on both sides by stability, so it can never decide an
+  // ordering. Returns the number of elements removed.
+  std::size_t prune(RotatingVector& v) const;
+
+ private:
+  std::uint64_t epoch_{0};
+  std::unordered_set<SiteId> retired_;
+  // Per retired site: the minimum value seen across replica reports, and
+  // whether any report has arrived yet.
+  std::unordered_map<SiteId, std::uint64_t> floor_;
+  std::size_t reports_{0};
+};
+
+}  // namespace optrep::vv

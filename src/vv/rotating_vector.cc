@@ -1,0 +1,162 @@
+#include "vv/rotating_vector.h"
+
+namespace optrep::vv {
+
+std::vector<RotatingVector::Element> RotatingVector::in_order() const {
+  std::vector<Element> out;
+  out.reserve(slots_.size());
+  for (std::uint32_t s = head_; s != kNil; s = slots_[s].next) {
+    out.push_back(slots_[s].elem);
+  }
+  return out;
+}
+
+VersionVector RotatingVector::to_version_vector() const {
+  VersionVector vv;
+  for (std::uint32_t s = head_; s != kNil; s = slots_[s].next) {
+    vv.set(slots_[s].elem.site, slots_[s].elem.value);
+  }
+  return vv;
+}
+
+void RotatingVector::record_update(SiteId site) {
+  rotate_after(std::nullopt, site);
+  Slot& s = slot_of_mut(site);
+  s.elem.value += 1;
+  s.elem.conflict = false;
+  // The segment bit was already cleared by the carry in rotate_after; the
+  // fresh element joins the current prefixing segment at the front.
+}
+
+void RotatingVector::rotate_after(std::optional<SiteId> prev, SiteId site) {
+  std::uint32_t s;
+  auto it = index_.find(site);
+  if (it == index_.end()) {
+    s = insert_front(site);
+  } else {
+    s = it->second;
+  }
+  std::uint32_t p = kNil;
+  if (prev.has_value()) {
+    auto pit = index_.find(*prev);
+    OPTREP_CHECK_MSG(pit != index_.end(), "ROTATE: prev element not present");
+    p = pit->second;
+  }
+  OPTREP_CHECK_MSG(p != s, "ROTATE: element cannot follow itself");
+  // Rotating an element onto its current position is a no-op (and must not
+  // trigger the segment-bit carry: the element is not leaving its segment).
+  if (p == kNil ? head_ == s : slots_[s].prev == p) return;
+  unlink(s);
+  link_after(p, s);
+}
+
+void RotatingVector::set_element(SiteId site, std::uint64_t value, bool conflict,
+                                 bool segment) {
+  auto it = index_.find(site);
+  std::uint32_t s;
+  if (it == index_.end()) {
+    s = insert_front(site);
+  } else {
+    s = it->second;
+  }
+  Slot& slot = slots_[s];
+  slot.elem.value = value;
+  slot.elem.conflict = conflict;
+  slot.elem.segment = segment;
+}
+
+std::string RotatingVector::to_string() const {
+  std::string out = "<";
+  bool first = true;
+  for (std::uint32_t s = head_; s != kNil; s = slots_[s].next) {
+    if (!first) out += ", ";
+    first = false;
+    const Element& e = slots_[s].elem;
+    out += site_name(e.site) + ":" + std::to_string(e.value);
+    if (e.conflict) out += "*";
+    if (e.segment) out += "|";
+  }
+  out += ">";
+  return out;
+}
+
+bool RotatingVector::identical_to(const RotatingVector& other) const {
+  return in_order() == other.in_order();
+}
+
+bool RotatingVector::same_values(const VersionVector& oracle) const {
+  if (size() != oracle.size()) return false;
+  for (std::uint32_t s = head_; s != kNil; s = slots_[s].next) {
+    if (slots_[s].elem.value != oracle.value(slots_[s].elem.site)) return false;
+  }
+  return true;
+}
+
+void RotatingVector::erase(SiteId site) {
+  auto it = index_.find(site);
+  if (it == index_.end()) return;
+  const std::uint32_t s = it->second;
+  unlink(s);  // carries a set segment bit to the predecessor
+  slots_[s] = Slot{};
+  free_slots_.push_back(s);
+  index_.erase(it);
+}
+
+std::uint32_t RotatingVector::insert_front(SiteId site) {
+  std::uint32_t s;
+  if (!free_slots_.empty()) {
+    s = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[s] = Slot{Element{site, 0, false, false}, kNil, head_};
+  } else {
+    s = static_cast<std::uint32_t>(slots_.size());
+    OPTREP_CHECK_MSG(s != kNil, "vector too large");
+    slots_.push_back(Slot{Element{site, 0, false, false}, kNil, head_});
+  }
+  if (head_ != kNil) slots_[head_].prev = s;
+  head_ = s;
+  if (tail_ == kNil) tail_ = s;
+  index_.emplace(site, s);
+  return s;
+}
+
+void RotatingVector::unlink(std::uint32_t s) {
+  Slot& slot = slots_[s];
+  // §4 segment-bit maintenance: the rotated-out element was the last of its
+  // segment, so the boundary moves to the element before it (if any).
+  if (slot.elem.segment) {
+    if (slot.prev != kNil) slots_[slot.prev].elem.segment = true;
+    slot.elem.segment = false;
+  }
+  if (slot.prev != kNil) {
+    slots_[slot.prev].next = slot.next;
+  } else {
+    head_ = slot.next;
+  }
+  if (slot.next != kNil) {
+    slots_[slot.next].prev = slot.prev;
+  } else {
+    tail_ = slot.prev;
+  }
+  slot.prev = slot.next = kNil;
+}
+
+void RotatingVector::link_after(std::uint32_t p, std::uint32_t s) {
+  Slot& slot = slots_[s];
+  if (p == kNil) {
+    slot.prev = kNil;
+    slot.next = head_;
+    if (head_ != kNil) slots_[head_].prev = s;
+    head_ = s;
+    if (tail_ == kNil) tail_ = s;
+  } else {
+    Slot& after = slots_[p];
+    slot.prev = p;
+    slot.next = after.next;
+    if (after.next != kNil) slots_[after.next].prev = s;
+    after.next = s;
+    if (tail_ == p) tail_ = s;
+  }
+}
+
+}  // namespace optrep::vv

@@ -1,0 +1,167 @@
+// Rotating vectors: the storage shared by BRV (§3.1), CRV (§3.2) and SRV (§4).
+//
+// A rotating vector is a version vector paired with a total order ≺ of its
+// elements; the element of site i rotates to the front of the order when
+// site i updates the replica. CRV adds one conflict bit per element, SRV adds
+// a second segment bit. All three use this class; BRV simply never sets the
+// bits.
+//
+// Representation: a slot table plus a site→slot hash index plus an intrusive
+// doubly-linked list over slots encoding ≺. Lookup, rotate and insert are
+// O(1); storage is O(n) — exactly the assumptions of §3.3.
+//
+// Order convention: front() is ⌊v⌋ (the least element, i.e. the most recently
+// updated site) and back() is ⌈v⌉. Iteration runs front→back, the order in
+// which SYNC* algorithms transmit elements.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "vv/version_vector.h"
+
+namespace optrep::vv {
+
+// Which of the three paper implementations a vector participates in. Only
+// affects wire format and the sync algorithm choice; storage is identical.
+enum class VectorKind : std::uint8_t { kBrv, kCrv, kSrv };
+
+constexpr std::string_view to_string(VectorKind k) {
+  switch (k) {
+    case VectorKind::kBrv: return "BRV";
+    case VectorKind::kCrv: return "CRV";
+    case VectorKind::kSrv: return "SRV";
+  }
+  return "?";
+}
+
+class RotatingVector {
+ public:
+  struct Element {
+    SiteId site{};
+    std::uint64_t value{0};
+    bool conflict{false};  // CRV/SRV conflict bit (§3.2)
+    bool segment{false};   // SRV segment bit: 1 marks the last element of a segment (§4)
+
+    friend bool operator==(const Element&, const Element&) = default;
+  };
+
+  RotatingVector() = default;
+
+  // ---- reads -------------------------------------------------------------
+
+  // v[i]; zero when absent (zero-valued elements are not stored).
+  std::uint64_t value(SiteId site) const {
+    auto it = index_.find(site);
+    return it == index_.end() ? 0 : slots_[it->second].elem.value;
+  }
+  bool contains(SiteId site) const { return index_.contains(site); }
+
+  bool conflict_bit(SiteId site) const { return slot_of(site).elem.conflict; }
+  bool segment_bit(SiteId site) const { return slot_of(site).elem.segment; }
+
+  std::size_t size() const { return index_.size(); }
+  bool empty() const { return index_.empty(); }
+
+  // ⌊v⌋ and ⌈v⌉; nullopt when the vector is empty.
+  std::optional<Element> front() const {
+    if (head_ == kNil) return std::nullopt;
+    return slots_[head_].elem;
+  }
+  std::optional<Element> back() const {
+    if (tail_ == kNil) return std::nullopt;
+    return slots_[tail_].elem;
+  }
+
+  // Successor of `site` in ≺ (one step toward back()); nullopt at the end.
+  std::optional<SiteId> next(SiteId site) const {
+    const Slot& s = slot_of(site);
+    if (s.next == kNil) return std::nullopt;
+    return slots_[s.next].elem.site;
+  }
+
+  // Elements in ≺ order, front to back.
+  std::vector<Element> in_order() const;
+
+  // Values only, for oracle cross-checks.
+  VersionVector to_version_vector() const;
+
+  // ---- mutations ---------------------------------------------------------
+
+  // Record one local update on `site` (§3.1): increment v[i], clear the
+  // conflict bit (§3.2 "reset whenever v[i] is incremented due to a replica
+  // update"), and ROTATE(φ, i) so the element becomes ⌊v⌋. The modified
+  // ROTATE of §4 carries a set segment bit to the element's predecessor.
+  void record_update(SiteId site);
+
+  // ROTATE_v(prev, i) (§3.1 definition, with the §4 segment-bit carry):
+  // position element i immediately after `prev`, or at the front when prev is
+  // φ (nullopt). Inserts the element (value 0, bits clear) if absent.
+  void rotate_after(std::optional<SiteId> prev, SiteId site);
+
+  // Write value and bits of an existing-or-new element without changing its
+  // position (receivers call rotate_after first, then set_element).
+  void set_element(SiteId site, std::uint64_t value, bool conflict, bool segment);
+
+  void set_conflict_bit(SiteId site, bool bit) { slot_of_mut(site).elem.conflict = bit; }
+  void set_segment_bit(SiteId site, bool bit) { slot_of_mut(site).elem.segment = bit; }
+
+  // Remove an element entirely (used by the §7 pruning extension for retired
+  // sites). The segment-bit carry applies, exactly as for a rotation: the
+  // boundary moves to the predecessor. No-op if the site is absent.
+  void erase(SiteId site);
+
+  // ---- debugging / figures -------------------------------------------------
+
+  // "<C:3, A:2*, B:1|>" in ≺ order; '*' marks a set conflict bit, '|' a set
+  // segment bit (the paper draws a bar above the element / a box boundary).
+  std::string to_string() const;
+
+  // Structural equality: same values, same ≺ order, same bits.
+  bool identical_to(const RotatingVector& other) const;
+
+  // Value equality ignoring order and bits (what Theorem 3.1 is about).
+  bool same_values(const VersionVector& oracle) const;
+
+ private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  struct Slot {
+    Element elem;
+    std::uint32_t prev{kNil};  // toward front
+    std::uint32_t next{kNil};  // toward back
+  };
+
+  const Slot& slot_of(SiteId site) const {
+    auto it = index_.find(site);
+    OPTREP_CHECK_MSG(it != index_.end(), "element not present");
+    return slots_[it->second];
+  }
+  Slot& slot_of_mut(SiteId site) {
+    auto it = index_.find(site);
+    OPTREP_CHECK_MSG(it != index_.end(), "element not present");
+    return slots_[it->second];
+  }
+
+  // Insert a fresh zero-valued slot at the front; returns its index.
+  std::uint32_t insert_front(SiteId site);
+  // Detach slot s from the list, carrying its segment bit to its predecessor
+  // (§4: "when the element is rotated, the bit shall be carried on to its
+  // predecessor"). Clears the slot's own segment bit.
+  void unlink(std::uint32_t s);
+  // Attach slot s immediately after slot p (p == kNil → at front).
+  void link_after(std::uint32_t p, std::uint32_t s);
+
+  std::vector<Slot> slots_;
+  std::unordered_map<SiteId, std::uint32_t> index_;
+  std::uint32_t head_{kNil};
+  std::uint32_t tail_{kNil};
+  std::vector<std::uint32_t> free_slots_;  // reusable after erase()
+};
+
+}  // namespace optrep::vv

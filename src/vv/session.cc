@@ -1,0 +1,676 @@
+#include "vv/session.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+
+namespace optrep::vv {
+
+std::uint64_t msg_model_bits(const CostModel& cm, VectorKind kind, const VvMsg& m) {
+  switch (m.kind) {
+    case VvMsg::Kind::kElem:
+      switch (kind) {
+        case VectorKind::kBrv: return cm.elem_bits(0);
+        case VectorKind::kCrv: return cm.elem_bits(1);
+        case VectorKind::kSrv: return cm.elem_bits(2);
+      }
+      return cm.elem_bits(2);
+    case VvMsg::Kind::kHalt: return cm.halt_bits();
+    case VvMsg::Kind::kSkip: return cm.skip_bits();
+    case VvMsg::Kind::kSkipped: return 2;  // O(1) marker; same budget as HALT
+    case VvMsg::Kind::kAck: return cm.ack_bits();
+    case VvMsg::Kind::kProbe: return cm.compare_probe_bits();
+    case VvMsg::Kind::kVerdict: return 1;
+  }
+  return 0;
+}
+
+std::uint64_t msg_wire_bytes(VectorKind kind, const VvMsg& m) {
+  switch (m.kind) {
+    case VvMsg::Kind::kElem: return wire_bytes_elem(kind != VectorKind::kBrv);
+    case VvMsg::Kind::kHalt: return wire_bytes_halt();
+    case VvMsg::Kind::kSkip: return wire_bytes_skip();
+    case VvMsg::Kind::kSkipped: return wire_bytes_halt();
+    case VvMsg::Kind::kAck: return wire_bytes_ack();
+    case VvMsg::Kind::kProbe: return wire_bytes_elem(false);
+    case VvMsg::Kind::kVerdict: return 1;
+  }
+  return 0;
+}
+
+std::string VvMsg::to_string() const {
+  switch (kind) {
+    case Kind::kElem: {
+      std::string s = "ELEM(" + site_name(site) + ":" + std::to_string(value);
+      if (conflict) s += ",c";
+      if (segment) s += ",s";
+      return s + ")";
+    }
+    case Kind::kHalt: return "HALT";
+    case Kind::kSkip: return "SKIP(" + std::to_string(arg) + ")";
+    case Kind::kSkipped: return "SKIPPED";
+    case Kind::kAck: return "ACK";
+    case Kind::kProbe:
+      return value == 0 ? "PROBE(empty)"
+                        : "PROBE(" + site_name(site) + ":" + std::to_string(value) + ")";
+    case Kind::kVerdict: return arg != 0 ? "VERDICT(covers)" : "VERDICT(not)";
+  }
+  return "?";
+}
+
+namespace {
+
+// Shared plumbing for one endpoint of a session: counted sends over one link.
+class Peer {
+ public:
+  Peer(sim::EventLoop* loop, sim::Link<VvMsg>* tx, const SyncOptions* opt)
+      : loop_(loop), tx_(tx), opt_(opt) {}
+  virtual ~Peer() = default;
+
+  virtual void on_message(const VvMsg& m) = 0;
+
+ protected:
+  sim::Time send(const VvMsg& m) {
+    std::uint64_t bits = msg_model_bits(opt_->cost, opt_->kind, m);
+    std::uint64_t bytes = msg_wire_bytes(opt_->kind, m);
+    if (m.kind == VvMsg::Kind::kAck && opt_->mode == TransferMode::kIdeal) {
+      bits = 0;  // kIdeal: flow control is free; measures pure algorithm cost
+      bytes = 0;
+    }
+    return tx_->send(m, bits, bytes);
+  }
+
+  bool pipelined() const { return opt_->mode == TransferMode::kPipelined; }
+
+  sim::EventLoop* loop_;
+  sim::Link<VvMsg>* tx_;
+  const SyncOptions* opt_;
+};
+
+// The sender side of SYNCB/SYNCC/SYNCS: streams b's elements in ≺ order.
+// SYNCB and SYNCC senders are identical except for the element payload width
+// (handled by the cost model); the SRV sender additionally honors SKIP.
+class ElementSender : public Peer {
+ public:
+  ElementSender(sim::EventLoop* loop, sim::Link<VvMsg>* tx, const SyncOptions* opt,
+                const RotatingVector* b)
+      : Peer(loop, tx, opt), b_(b) {
+    if (auto f = b_->front()) cur_ = f->site;
+  }
+
+  void start() {
+    if (pipelined()) {
+      pump();
+    } else {
+      send_next();
+    }
+  }
+
+  void on_message(const VvMsg& m) override {
+    if (done_) return;
+    switch (m.kind) {
+      case VvMsg::Kind::kHalt:
+        finish();
+        break;
+      case VvMsg::Kind::kSkip:
+        OPTREP_CHECK_MSG(opt_->kind == VectorKind::kSrv, "SKIP outside SYNCS");
+        handle_skip(m.arg);
+        break;
+      case VvMsg::Kind::kAck:
+        OPTREP_CHECK_MSG(!pipelined(), "ACK in pipelined mode");
+        send_next();
+        break;
+      default:
+        OPTREP_CHECK_MSG(false, "unexpected message at sender");
+    }
+  }
+
+  std::uint64_t elems_sent() const { return elems_sent_; }
+
+ private:
+  // Pipelined streaming (§3.1): transmit the next element as soon as the link
+  // frees, until HALT arrives or the vector is exhausted.
+  void pump() {
+    pending_ = 0;
+    if (done_) return;
+    const sim::Time free = emit_current();
+    if (done_) return;  // emitted HALT
+    pending_ = loop_->schedule(free, [this] { pump(); });
+  }
+
+  // Stop-and-wait: transmit one element, then wait for ACK / SKIP / HALT.
+  void send_next() {
+    if (done_) return;
+    emit_current();
+  }
+
+  // Send the element at cur_ (or HALT when exhausted); returns link-free time.
+  sim::Time emit_current() {
+    if (!cur_.has_value()) {
+      const sim::Time free = send(VvMsg{.kind = VvMsg::Kind::kHalt});
+      finish();
+      return free;
+    }
+    VvMsg m;
+    m.kind = VvMsg::Kind::kElem;
+    m.site = *cur_;
+    m.value = b_->value(*cur_);
+    m.conflict = b_->conflict_bit(*cur_);
+    m.segment = b_->segment_bit(*cur_);
+    const sim::Time free = send(m);
+    ++elems_sent_;
+    advance();
+    return free;
+  }
+
+  // Move cur_ one step toward ⌈b⌉, tracking the segment counter (Alg 4
+  // lines 11–14: segs advances when passing a segment-final element).
+  void advance() {
+    OPTREP_CHECK(cur_.has_value());
+    if (b_->segment_bit(*cur_)) ++segs_;
+    cur_ = b_->next(*cur_);
+  }
+
+  // SKIP(arg): honored only when we are still inside segment `arg`
+  // (Alg 4 sender lines 8–10); stale requests are ignored.
+  void handle_skip(std::uint64_t arg) {
+    if (arg != segs_) {
+      // Stale: the elements the receiver wanted skipped are already on the
+      // wire. In stop-and-wait this cannot happen.
+      OPTREP_CHECK_MSG(pipelined(), "stale SKIP in lockstep mode");
+      return;
+    }
+    // Fast-forward past the remainder of the current segment without sending.
+    while (cur_.has_value()) {
+      const bool end_of_segment = b_->segment_bit(*cur_);
+      advance();
+      if (end_of_segment) break;
+    }
+    // Tell the receiver one segment was elided so its reconstruction of our
+    // segment index stays exact (see wire.h kSkipped).
+    send(VvMsg{.kind = VvMsg::Kind::kSkipped});
+    if (!pipelined()) send_next();  // SKIP doubles as the ack
+  }
+
+  void finish() {
+    done_ = true;
+    if (pending_ != 0) {
+      loop_->cancel(pending_);
+      pending_ = 0;
+    }
+  }
+
+  const RotatingVector* b_;
+  std::optional<SiteId> cur_;
+  std::uint64_t segs_{0};
+  std::uint64_t elems_sent_{0};
+  bool done_{false};
+  sim::EventLoop::EventId pending_{0};
+};
+
+// Counters shared by all receivers, harvested into the SyncReport.
+struct ReceiverCounters {
+  std::uint64_t applied{0};
+  std::uint64_t redundant{0};
+  std::uint64_t straggler{0};
+  std::uint64_t after_halt{0};
+  std::uint64_t skip_msgs{0};
+  std::uint64_t segments_skipped{0};
+  std::uint64_t acks{0};
+  sim::Time done_at{0};
+};
+
+class ReceiverBase : public Peer {
+ public:
+  ReceiverBase(sim::EventLoop* loop, sim::Link<VvMsg>* tx, const SyncOptions* opt,
+               RotatingVector* a)
+      : Peer(loop, tx, opt), a_(a) {}
+
+  const ReceiverCounters& counters() const { return c_; }
+
+ protected:
+  void ack() {
+    if (pipelined() || finished_) return;
+    send(VvMsg{.kind = VvMsg::Kind::kAck});
+    ++c_.acks;
+  }
+
+  void halt_sender() {
+    send(VvMsg{.kind = VvMsg::Kind::kHalt});
+    mark_finished();
+  }
+
+  void mark_finished() {
+    if (!finished_) {
+      finished_ = true;
+      c_.done_at = loop_->now();
+    }
+  }
+
+  RotatingVector* a_;
+  std::optional<SiteId> prev_;  // last modified element (Alg 2/3/4 `prev`)
+  bool finished_{false};
+  ReceiverCounters c_;
+};
+
+// Algorithm 2, receiver side.
+class ReceiverBasic : public ReceiverBase {
+ public:
+  using ReceiverBase::ReceiverBase;
+
+  void on_message(const VvMsg& m) override {
+    if (m.kind == VvMsg::Kind::kHalt) {
+      mark_finished();
+      return;
+    }
+    OPTREP_CHECK(m.kind == VvMsg::Kind::kElem);
+    if (finished_) {
+      ++c_.after_halt;
+      return;
+    }
+    if (m.value <= a_->value(m.site)) {
+      // The element that triggers the halt is not part of Γ (§3.3).
+      halt_sender();
+      return;
+    }
+    a_->rotate_after(prev_, m.site);
+    prev_ = m.site;
+    a_->set_element(m.site, m.value, false, false);
+    ++c_.applied;
+    ack();
+  }
+};
+
+// Algorithm 3, receiver side.
+class ReceiverConflict : public ReceiverBase {
+ public:
+  ReceiverConflict(sim::EventLoop* loop, sim::Link<VvMsg>* tx, const SyncOptions* opt,
+                   RotatingVector* a, bool initially_concurrent)
+      : ReceiverBase(loop, tx, opt, a), reconcile_(initially_concurrent) {}
+
+  void on_message(const VvMsg& m) override {
+    if (m.kind == VvMsg::Kind::kHalt) {
+      mark_finished();
+      return;
+    }
+    OPTREP_CHECK(m.kind == VvMsg::Kind::kElem);
+    if (finished_) {
+      ++c_.after_halt;
+      return;
+    }
+    if (m.value <= a_->value(m.site)) {
+      if (m.conflict) {
+        reconcile_ = true;  // Alg 3 lines 6–7: overlook tagged elements
+        ++c_.redundant;     // |Γ|: transmitted only because its bit is set
+        ack();
+      } else {
+        halt_sender();  // halt-trigger element is not part of Γ (§3.3)
+      }
+      return;
+    }
+    a_->rotate_after(prev_, m.site);
+    prev_ = m.site;
+    a_->set_element(m.site, m.value, reconcile_ || m.conflict, false);
+    ++c_.applied;
+    ack();
+  }
+
+ private:
+  bool reconcile_;
+};
+
+// Algorithm 4, receiver side, with exact tracking of the sender's segment
+// index: segs_ counts segment-final elements received plus SKIPPED markers
+// (FIFO delivery makes this reconstruction exact; see DESIGN.md).
+class ReceiverSkip : public ReceiverBase {
+ public:
+  ReceiverSkip(sim::EventLoop* loop, sim::Link<VvMsg>* tx, const SyncOptions* opt,
+               RotatingVector* a, bool initially_concurrent)
+      : ReceiverBase(loop, tx, opt, a), reconcile_(initially_concurrent) {}
+
+  void on_message(const VvMsg& m) override {
+    switch (m.kind) {
+      case VvMsg::Kind::kHalt:
+        // Sender exhausted its vector: close off the run of rotated-in
+        // elements if anything of ours follows it in ≺_a. Elements spliced
+        // in by this session need not dominate what sits behind them, so
+        // without the boundary a later SYNCS could treat the region as one
+        // segment and skip elements its peer lacks. (Not spelled out in the
+        // paper's pseudocode; see DESIGN.md "deviations".)
+        if (!finished_ && prev_.has_value() && a_->next(*prev_).has_value()) {
+          a_->set_segment_bit(*prev_, true);
+        }
+        mark_finished();
+        return;
+      case VvMsg::Kind::kSkipped:
+        if (finished_) return;  // in-flight marker after our HALT: not γ
+        ++segs_;
+        skipping_ = false;
+        ++c_.segments_skipped;
+        return;
+      case VvMsg::Kind::kElem:
+        break;
+      default:
+        OPTREP_CHECK_MSG(false, "unexpected message at SYNCS receiver");
+    }
+    if (finished_) {
+      ++c_.after_halt;
+      return;
+    }
+    bool responded = false;
+    if (m.value <= a_->value(m.site)) {
+      if (!skipping_) {
+        // Alg 4 lines 9–11, strengthened: the run of rotated-in elements is
+        // interrupted, so it must be closed off *whenever* it exists — not
+        // only when `reconcile` is already set. (The paper guards this with
+        // `reconcile`, but the flag may only become true from this very
+        // element's conflict bit, after later insertions have already been
+        // spliced in front of elements they do not dominate; a finer
+        // segmentation is always safe. See DESIGN.md "deviations".)
+        if (prev_.has_value()) a_->set_segment_bit(*prev_, true);
+        if (m.conflict) {
+          reconcile_ = true;
+          ++c_.redundant;
+          if (!m.segment) {
+            // Something of this sender segment remains to be skipped.
+            send(VvMsg{.kind = VvMsg::Kind::kSkip, .arg = segs_});
+            ++c_.skip_msgs;
+            skipping_ = true;
+            responded = true;  // SKIP doubles as the stop-and-wait ack
+          }
+        } else {
+          halt_sender();  // halt-trigger element is not part of Γ (§3.3)
+          responded = true;
+        }
+      } else {
+        ++c_.straggler;  // in-flight element of a segment we asked to skip
+      }
+    } else {
+      skipping_ = false;  // Alg 4 line 21
+      a_->rotate_after(prev_, m.site);
+      prev_ = m.site;
+      a_->set_element(m.site, m.value, reconcile_ || m.conflict, m.segment);
+      ++c_.applied;
+    }
+    // Segment bookkeeping from the received stream.
+    if (m.segment) {
+      ++segs_;
+      skipping_ = false;
+    }
+    if (!responded && !finished_) ack();
+  }
+
+ private:
+  bool reconcile_;
+  bool skipping_{false};
+  std::uint64_t segs_{0};
+};
+
+struct SessionWiring {
+  explicit SessionWiring(sim::EventLoop& loop, const SyncOptions& opt)
+      : duplex(&loop, opt.net) {
+    if (opt.tap) {
+      auto tap = opt.tap;
+      duplex.b_to_a().set_tap(
+          [tap](sim::Time, const VvMsg& m, std::uint64_t) { tap(true, m); });
+      duplex.a_to_b().set_tap(
+          [tap](sim::Time, const VvMsg& m, std::uint64_t) { tap(false, m); });
+    }
+  }
+  sim::Duplex<VvMsg> duplex;  // a_to_b: receiver→sender, b_to_a: sender→receiver
+};
+
+SyncReport assemble_report(Ordering rel, std::uint64_t compare_bits, sim::Time t0,
+                           sim::Time t_end, const sim::LinkStats& fwd,
+                           const sim::LinkStats& rev, std::uint64_t elems_sent,
+                           const ReceiverCounters& rc, const CostModel& cm) {
+  SyncReport r;
+  r.initial_relation = rel;
+  r.bits_fwd = fwd.model_bits + compare_bits / 2;
+  r.bits_rev = rev.model_bits + compare_bits / 2;
+  r.bytes_fwd = fwd.wire_bytes + (compare_bits > 0 ? wire_bytes_elem(false) : 0);
+  r.bytes_rev = rev.wire_bytes + (compare_bits > 0 ? wire_bytes_elem(false) : 0);
+  r.msgs_fwd = fwd.messages + (compare_bits > 0 ? 1 : 0);
+  r.msgs_rev = rev.messages + (compare_bits > 0 ? 1 : 0);
+  r.elems_sent = elems_sent;
+  r.elems_applied = rc.applied;
+  r.elems_redundant = rc.redundant;
+  r.elems_straggler = rc.straggler;
+  r.elems_after_halt = rc.after_halt;
+  r.skip_msgs = rc.skip_msgs;
+  r.segments_skipped = rc.segments_skipped;
+  r.ack_msgs = rc.acks;
+  r.duration = t_end - t0;
+  r.receiver_done_at = (rc.done_at > t0 ? rc.done_at - t0 : 0);
+  (void)cm;
+  return r;
+}
+
+template <class Receiver, class... ReceiverArgs>
+SyncReport run_rotating_session(sim::EventLoop& loop, RotatingVector& a,
+                                const RotatingVector& b, const SyncOptions& opt,
+                                Ordering rel, std::uint64_t compare_bits,
+                                ReceiverArgs&&... rargs) {
+  SessionWiring w(loop, opt);
+  ElementSender sender(&loop, &w.duplex.b_to_a(), &opt, &b);
+  Receiver receiver(&loop, &w.duplex.a_to_b(), &opt, &a,
+                    std::forward<ReceiverArgs>(rargs)...);
+  w.duplex.b_to_a().set_receiver([&receiver](const VvMsg& m) { receiver.on_message(m); });
+  w.duplex.a_to_b().set_receiver([&sender](const VvMsg& m) { sender.on_message(m); });
+  const sim::Time t0 = loop.now();
+  loop.schedule(t0, [&sender] { sender.start(); });
+  const sim::Time t_end = loop.run();
+  return assemble_report(rel, compare_bits, t0, t_end, w.duplex.b_to_a().stats(),
+                         w.duplex.a_to_b().stats(), sender.elems_sent(),
+                         receiver.counters(), opt.cost);
+}
+
+Ordering resolve_relation(const RotatingVector& a, const RotatingVector& b,
+                          const SyncOptions& opt, std::uint64_t* compare_bits) {
+  if (opt.known_relation.has_value()) {
+    *compare_bits = 0;
+    return *opt.known_relation;
+  }
+  *compare_bits = compare_cost_bits(opt.cost);
+  return compare_fast(a, b);
+}
+
+}  // namespace
+
+SyncReport sync_basic(sim::EventLoop& loop, RotatingVector& a, const RotatingVector& b,
+                      const SyncOptions& opt) {
+  std::uint64_t cb = 0;
+  const Ordering rel = resolve_relation(a, b, opt, &cb);
+  return run_rotating_session<ReceiverBasic>(loop, a, b, opt, rel, cb);
+}
+
+SyncReport sync_conflict(sim::EventLoop& loop, RotatingVector& a, const RotatingVector& b,
+                         const SyncOptions& opt) {
+  std::uint64_t cb = 0;
+  const Ordering rel = resolve_relation(a, b, opt, &cb);
+  return run_rotating_session<ReceiverConflict>(loop, a, b, opt, rel, cb,
+                                                rel == Ordering::kConcurrent);
+}
+
+SyncReport sync_skip(sim::EventLoop& loop, RotatingVector& a, const RotatingVector& b,
+                     const SyncOptions& opt) {
+  std::uint64_t cb = 0;
+  const Ordering rel = resolve_relation(a, b, opt, &cb);
+  return run_rotating_session<ReceiverSkip>(loop, a, b, opt, rel, cb,
+                                            rel == Ordering::kConcurrent);
+}
+
+SyncReport sync_rotating(sim::EventLoop& loop, RotatingVector& a, const RotatingVector& b,
+                         const SyncOptions& opt) {
+  switch (opt.kind) {
+    case VectorKind::kBrv: return sync_basic(loop, a, b, opt);
+    case VectorKind::kCrv: return sync_conflict(loop, a, b, opt);
+    case VectorKind::kSrv: return sync_skip(loop, a, b, opt);
+  }
+  OPTREP_CHECK(false);
+  return {};
+}
+
+namespace {
+
+// Baseline sessions: the send set is known upfront, so the sender enqueues
+// everything (the link's FIFO pacing models transmission time) and the
+// receiver simply joins.
+SyncReport run_baseline_session(sim::EventLoop& loop, VersionVector& a,
+                                const std::vector<std::pair<SiteId, std::uint64_t>>& to_send,
+                                Ordering rel, const SyncOptions& opt) {
+  SessionWiring w(loop, opt);
+  std::uint64_t applied = 0;
+  std::uint64_t redundant = 0;
+  sim::Time done_at = 0;
+  w.duplex.b_to_a().set_receiver([&](const VvMsg& m) {
+    if (m.kind == VvMsg::Kind::kHalt) {
+      done_at = loop.now();
+      return;
+    }
+    if (m.value > a.value(m.site)) {
+      a.set(m.site, m.value);
+      ++applied;
+    } else {
+      ++redundant;
+    }
+  });
+  w.duplex.a_to_b().set_receiver([](const VvMsg&) {});
+  const sim::Time t0 = loop.now();
+  loop.schedule(t0, [&] {
+    for (const auto& [site, value] : to_send) {
+      VvMsg m;
+      m.kind = VvMsg::Kind::kElem;
+      m.site = site;
+      m.value = value;
+      w.duplex.b_to_a().send(m, opt.cost.elem_bits(0), wire_bytes_elem(false));
+    }
+    w.duplex.b_to_a().send(VvMsg{.kind = VvMsg::Kind::kHalt}, opt.cost.halt_bits(),
+                           wire_bytes_halt());
+  });
+  const sim::Time t_end = loop.run();
+  ReceiverCounters rc;
+  rc.applied = applied;
+  rc.redundant = redundant;
+  rc.done_at = done_at;
+  return assemble_report(rel, 0, t0, t_end, w.duplex.b_to_a().stats(),
+                         w.duplex.a_to_b().stats(), to_send.size(), rc, opt.cost);
+}
+
+std::vector<std::pair<SiteId, std::uint64_t>> sorted_elements(const VersionVector& v) {
+  std::vector<std::pair<SiteId, std::uint64_t>> out(v.elements().begin(), v.elements().end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+SyncReport sync_traditional(sim::EventLoop& loop, VersionVector& a, const VersionVector& b,
+                            const SyncOptions& opt) {
+  const Ordering rel = a.compare(b);
+  return run_baseline_session(loop, a, sorted_elements(b), rel, opt);
+}
+
+SyncReport sync_singhal_kshemkalyani(sim::EventLoop& loop, VersionVector& a,
+                                     const VersionVector& b, VersionVector& last_sent,
+                                     const SyncOptions& opt) {
+  const Ordering rel = a.compare(b);
+  std::vector<std::pair<SiteId, std::uint64_t>> delta;
+  for (const auto& [site, value] : sorted_elements(b)) {
+    if (value > last_sent.value(site)) delta.emplace_back(site, value);
+  }
+  last_sent = b;
+  return run_baseline_session(loop, a, delta, rel, opt);
+}
+
+namespace {
+
+// One endpoint of the COMPARE session: sends its probe, answers the peer's
+// probe with a domination bit, and decides from (own bit, peer bit).
+class ComparePeer {
+ public:
+  ComparePeer(const RotatingVector* v, sim::Link<VvMsg>* tx, const CostModel* cm)
+      : v_(v), tx_(tx), cm_(cm) {}
+
+  void start() {
+    VvMsg probe{.kind = VvMsg::Kind::kProbe};
+    if (const auto f = v_->front()) {
+      probe.site = f->site;
+      probe.value = f->value;
+    }
+    tx_->send(probe, cm_->compare_probe_bits(), wire_bytes_elem(false));
+  }
+
+  void on_message(const VvMsg& m) {
+    switch (m.kind) {
+      case VvMsg::Kind::kProbe: {
+        peer_probe_ = m;
+        // Do we cover the peer's probe? (Empty probe: trivially covered;
+        // our emptiness makes us cover nothing but the empty probe.)
+        const bool covers = m.value == 0 || v_->value(m.site) >= m.value;
+        // Our own bit: does the peer cover our front? We cannot know — the
+        // peer tells us; we only emit our verdict about *their* probe.
+        VvMsg verdict{.kind = VvMsg::Kind::kVerdict, .arg = covers ? 1u : 0u};
+        i_cover_peer_ = covers;
+        tx_->send(verdict, 1, 1);
+        break;
+      }
+      case VvMsg::Kind::kVerdict:
+        peer_covers_me_ = m.arg != 0;
+        has_verdict_ = true;
+        break;
+      default:
+        OPTREP_CHECK_MSG(false, "unexpected message in COMPARE session");
+    }
+  }
+
+  Ordering decide() const {
+    OPTREP_CHECK_MSG(has_verdict_, "COMPARE session incomplete");
+    const bool self_empty = v_->empty();
+    const bool peer_empty = peer_probe_.value == 0;
+    if (self_empty && peer_empty) return Ordering::kEqual;
+    if (self_empty) return Ordering::kBefore;
+    if (peer_empty) return Ordering::kAfter;
+    if (i_cover_peer_ && peer_covers_me_) return Ordering::kEqual;
+    if (peer_covers_me_) return Ordering::kBefore;  // peer knows all we know
+    if (i_cover_peer_) return Ordering::kAfter;
+    return Ordering::kConcurrent;
+  }
+
+ private:
+  const RotatingVector* v_;
+  sim::Link<VvMsg>* tx_;
+  const CostModel* cm_;
+  VvMsg peer_probe_{};
+  bool i_cover_peer_{false};
+  bool peer_covers_me_{false};
+  bool has_verdict_{false};
+};
+
+}  // namespace
+
+CompareSessionResult compare_session(sim::EventLoop& loop, const RotatingVector& a,
+                                     const RotatingVector& b, const sim::NetConfig& net,
+                                     const CostModel& cost) {
+  sim::Duplex<VvMsg> duplex(&loop, net);
+  ComparePeer pa(&a, &duplex.a_to_b(), &cost);
+  ComparePeer pb(&b, &duplex.b_to_a(), &cost);
+  duplex.a_to_b().set_receiver([&pb](const VvMsg& m) { pb.on_message(m); });
+  duplex.b_to_a().set_receiver([&pa](const VvMsg& m) { pa.on_message(m); });
+  const sim::Time t0 = loop.now();
+  loop.schedule(t0, [&pa, &pb] {
+    pa.start();
+    pb.start();
+  });
+  const sim::Time t_end = loop.run();
+  CompareSessionResult r;
+  r.at_a = pa.decide();
+  r.at_b = pb.decide();
+  r.total_bits = duplex.a_to_b().stats().model_bits + duplex.b_to_a().stats().model_bits;
+  r.duration = t_end - t0;
+  return r;
+}
+
+}  // namespace optrep::vv

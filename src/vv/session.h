@@ -1,0 +1,131 @@
+// Vector synchronization sessions: SYNCB (Alg 2), SYNCC (Alg 3), SYNCS
+// (Alg 4), plus the traditional full-vector baseline and the
+// Singhal–Kshemkalyani incremental baseline [23].
+//
+// A session runs a sender actor (hosting vector b) and a receiver actor
+// (hosting vector a, which is modified) on the discrete-event simulator and
+// returns a SyncReport with exact traffic, element and timing accounting.
+//
+// Transfer modes:
+//  - kPipelined:   the paper's network pipelining (§3.1): the sender streams
+//                  speculatively, paced by link bandwidth, until it hears a
+//                  negative response. Saves (k−1)·rtt of running time but may
+//                  overshoot by up to β = bandwidth·rtt after the receiver
+//                  halts — both effects are measurable in the report.
+//  - kStopAndWait: one element per round trip; each element is acknowledged.
+//                  The ablation baseline the paper compares pipelining against.
+//  - kIdeal:       stop-and-wait flow control with zero-cost acks; measures
+//                  the algorithms' idealized communication complexity exactly
+//                  as stated in Table 2 (the halt takes effect instantly).
+#pragma once
+
+#include <optional>
+
+#include "common/cost_model.h"
+#include "sim/event_loop.h"
+#include "sim/link.h"
+#include "vv/compare.h"
+#include "vv/rotating_vector.h"
+#include "vv/version_vector.h"
+#include "vv/wire.h"
+
+namespace optrep::vv {
+
+enum class TransferMode : std::uint8_t { kPipelined, kStopAndWait, kIdeal };
+
+struct SyncOptions {
+  VectorKind kind{VectorKind::kSrv};
+  TransferMode mode{TransferMode::kPipelined};
+  sim::NetConfig net{};
+  CostModel cost{};
+  // Relation between a and b if the caller already knows it (e.g. from a
+  // prior COMPARE); otherwise the session runs COMPARE itself and charges
+  // compare_cost_bits to the traffic totals.
+  std::optional<Ordering> known_relation;
+  // Optional transcript taps: observe every message as it enters each link
+  // (true = sender→receiver direction). For debugging and tests.
+  std::function<void(bool forward, const VvMsg&)> tap;
+};
+
+struct SyncReport {
+  Ordering initial_relation{Ordering::kEqual};
+
+  // Traffic (sender→receiver and receiver→sender), in §3.3 model bits and in
+  // byte-aligned realistic encoding. Includes COMPARE probes if the session
+  // ran COMPARE; excludes nothing else.
+  std::uint64_t bits_fwd{0};
+  std::uint64_t bits_rev{0};
+  std::uint64_t bytes_fwd{0};
+  std::uint64_t bytes_rev{0};
+  std::uint64_t msgs_fwd{0};
+  std::uint64_t msgs_rev{0};
+
+  // Element accounting at the receiver.
+  std::uint64_t elems_sent{0};        // Elem messages transmitted by sender
+  std::uint64_t elems_applied{0};     // |Δ|: new values written into a
+  std::uint64_t elems_redundant{0};   // |Γ|: known elements processed pre-halt
+  std::uint64_t elems_straggler{0};   // known elements ignored while skipping
+  std::uint64_t elems_after_halt{0};  // pipelining overshoot past HALT
+  std::uint64_t skip_msgs{0};         // SKIP requests sent (SRV)
+  std::uint64_t segments_skipped{0};  // honored skips: observed γ (SRV)
+  std::uint64_t ack_msgs{0};          // stop-and-wait acks (ablation modes)
+
+  // Simulated time from session start to quiescence, and to the moment the
+  // receiver was done (halted or saw the sender's end-of-vector).
+  sim::Time duration{0};
+  sim::Time receiver_done_at{0};
+
+  std::uint64_t total_bits() const { return bits_fwd + bits_rev; }
+  std::uint64_t total_bytes() const { return bytes_fwd + bytes_rev; }
+};
+
+// SYNCB_b(a) — Algorithm 2. Requires a ∦ b (checked). After the call a's
+// values equal max(a[i], b[i]): a becomes b when a ≺ b, stays a otherwise
+// (Theorem 3.1).
+SyncReport sync_basic(sim::EventLoop& loop, RotatingVector& a, const RotatingVector& b,
+                      const SyncOptions& opt);
+
+// SYNCC_b(a) — Algorithm 3. Handles concurrent vectors; tags elements
+// modified during reconciliation with conflict bits. The §2.2-mandated local
+// increment after reconciliation is the caller's responsibility.
+SyncReport sync_conflict(sim::EventLoop& loop, RotatingVector& a, const RotatingVector& b,
+                         const SyncOptions& opt);
+
+// SYNCS_b(a) — Algorithm 4. Like SYNCC but skips whole segments the receiver
+// already knows, using segment bits; O(|Δ|+γ) communication.
+SyncReport sync_skip(sim::EventLoop& loop, RotatingVector& a, const RotatingVector& b,
+                     const SyncOptions& opt);
+
+// Dispatch on opt.kind.
+SyncReport sync_rotating(sim::EventLoop& loop, RotatingVector& a, const RotatingVector& b,
+                         const SyncOptions& opt);
+
+// Traditional baseline: ship the entire vector, receiver joins element-wise.
+SyncReport sync_traditional(sim::EventLoop& loop, VersionVector& a, const VersionVector& b,
+                            const SyncOptions& opt);
+
+// Singhal–Kshemkalyani [23] baseline: the sender remembers, per destination,
+// the vector it last sent there (`last_sent`, caller-owned state) and ships
+// only elements that grew since. O(n) extra state per destination.
+SyncReport sync_singhal_kshemkalyani(sim::EventLoop& loop, VersionVector& a,
+                                     const VersionVector& b, VersionVector& last_sent,
+                                     const SyncOptions& opt);
+
+// Message sizing shared with benches.
+std::uint64_t msg_model_bits(const CostModel& cm, VectorKind kind, const VvMsg& m);
+std::uint64_t msg_wire_bytes(VectorKind kind, const VvMsg& m);
+
+// The COMPARE protocol (Algorithm 1) as a distributed session: both sites
+// transmit their front element simultaneously and each decides locally.
+// Costs exactly 2·log(mn) bits and one half round trip of simulated time.
+struct CompareSessionResult {
+  Ordering at_a{Ordering::kEqual};  // a's verdict about (a vs b)
+  Ordering at_b{Ordering::kEqual};  // b's verdict about (b vs a)
+  std::uint64_t total_bits{0};
+  sim::Time duration{0};
+};
+CompareSessionResult compare_session(sim::EventLoop& loop, const RotatingVector& a,
+                                     const RotatingVector& b, const sim::NetConfig& net,
+                                     const CostModel& cost);
+
+}  // namespace optrep::vv

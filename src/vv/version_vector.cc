@@ -1,0 +1,39 @@
+#include "vv/version_vector.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace optrep::vv {
+
+Ordering VersionVector::compare(const VersionVector& other) const {
+  bool a_has_more = false;  // some a[i] > b[i]
+  bool b_has_more = false;
+  for (const auto& [site, val] : v_) {
+    const std::uint64_t theirs = other.value(site);
+    if (val > theirs) a_has_more = true;
+    if (val < theirs) b_has_more = true;
+  }
+  for (const auto& [site, val] : other.v_) {
+    if (val > value(site)) b_has_more = true;
+  }
+  if (a_has_more && b_has_more) return Ordering::kConcurrent;
+  if (a_has_more) return Ordering::kAfter;
+  if (b_has_more) return Ordering::kBefore;
+  return Ordering::kEqual;
+}
+
+std::string VersionVector::to_string() const {
+  std::vector<std::pair<SiteId, std::uint64_t>> sorted(v_.begin(), v_.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = "<";
+  bool first = true;
+  for (const auto& [site, val] : sorted) {
+    if (!first) out += ", ";
+    first = false;
+    out += site_name(site) + ":" + std::to_string(val);
+  }
+  out += ">";
+  return out;
+}
+
+}  // namespace optrep::vv

@@ -1,0 +1,70 @@
+// Traditional version vectors (Parker et al. [11], §2.2).
+//
+// This is both the baseline ("send the whole vector") implementation and the
+// oracle against which the rotating-vector implementations are continuously
+// cross-checked in tests. Elements with value zero are not stored, matching
+// the paper's convention ("zero valued elements have been removed").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "vv/order.h"
+
+namespace optrep::vv {
+
+class VersionVector {
+ public:
+  using Map = std::unordered_map<SiteId, std::uint64_t>;
+
+  VersionVector() = default;
+
+  // v[i]; zero when the site has no recorded updates.
+  std::uint64_t value(SiteId site) const {
+    auto it = v_.find(site);
+    return it == v_.end() ? 0 : it->second;
+  }
+
+  bool contains(SiteId site) const { return v_.contains(site); }
+
+  // Set v[i]. Setting zero erases the element.
+  void set(SiteId site, std::uint64_t value) {
+    if (value == 0) {
+      v_.erase(site);
+    } else {
+      v_[site] = value;
+    }
+  }
+
+  // Record one local update on `site` (v[i] += 1).
+  void increment(SiteId site) { ++v_[site]; }
+
+  // Element-wise max with other (the synchronization result of §2.2).
+  void join(const VersionVector& other) {
+    for (const auto& [site, val] : other.v_) {
+      auto& mine = v_[site];
+      if (val > mine) mine = val;
+    }
+  }
+
+  // Number of non-zero elements.
+  std::size_t size() const { return v_.size(); }
+  bool empty() const { return v_.empty(); }
+
+  const Map& elements() const { return v_; }
+
+  // Full O(n) comparison (the classical algorithm).
+  Ordering compare(const VersionVector& other) const;
+
+  bool operator==(const VersionVector& other) const { return v_ == other.v_; }
+
+  // "<A:2, B:1>" with sites ordered by id (orderless container; for debugging).
+  std::string to_string() const;
+
+ private:
+  Map v_;
+};
+
+}  // namespace optrep::vv

@@ -1,0 +1,41 @@
+// Wire messages for the vector synchronization protocols.
+//
+// One message type serves SYNCB/SYNCC/SYNCS, the traditional full-transfer
+// baseline, and the Singhal–Kshemkalyani baseline; each protocol only uses a
+// subset of kinds and fields. Sizes are computed from the §3.3 cost model at
+// send time (see session.cc).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/ids.h"
+
+namespace optrep::vv {
+
+struct VvMsg {
+  enum class Kind : std::uint8_t {
+    kElem,     // one vector element; flags are meaningful for CRV/SRV
+    kHalt,     // negative/stop response (receiver→sender), or end-of-vector
+               // marker (sender→receiver, after the last element)
+    kSkip,     // SRV receiver→sender: skip the rest of segment `arg`
+    kSkipped,  // SRV sender→receiver: a skip was honored; one segment elided.
+               // (An O(1) marker we add so the receiver can keep exact track
+               // of the sender's segment index under pipelining; see
+               // DESIGN.md "deviations".)
+    kAck,      // stop-and-wait positive acknowledgement (ablation mode only)
+    kProbe,    // COMPARE: one ⌊v⌋ element (value 0 encodes an empty vector)
+    kVerdict,  // COMPARE: one domination bit ("my vector covers your probe")
+  };
+
+  Kind kind{Kind::kElem};
+  SiteId site{};               // kElem / kProbe
+  std::uint64_t value{0};      // kElem / kProbe
+  bool conflict{false};        // kElem (CRV/SRV)
+  bool segment{false};         // kElem (SRV)
+  std::uint64_t arg{0};        // kSkip: segment index; kVerdict: 0/1
+
+  std::string to_string() const;
+};
+
+}  // namespace optrep::vv

@@ -1,0 +1,269 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+
+namespace optrep::wl {
+
+namespace {
+
+SiteId pick_updater(Rng& rng, const GeneratorConfig& cfg) {
+  if (cfg.locality > 0.0 && rng.chance(cfg.locality)) {
+    return SiteId{static_cast<std::uint32_t>(rng.below(std::max<std::uint32_t>(cfg.hot_sites, 1)))};
+  }
+  return SiteId{static_cast<std::uint32_t>(rng.below(cfg.n_sites))};
+}
+
+SiteId pick_peer(Rng& rng, const GeneratorConfig& cfg, SiteId self) {
+  switch (cfg.topology) {
+    case Topology::kRing: {
+      const std::uint32_t left = (self.value + cfg.n_sites - 1) % cfg.n_sites;
+      const std::uint32_t right = (self.value + 1) % cfg.n_sites;
+      return SiteId{rng.chance(0.5) ? left : right};
+    }
+    case Topology::kStar:
+      return self.value == 0
+                 ? SiteId{static_cast<std::uint32_t>(1 + rng.below(cfg.n_sites - 1))}
+                 : SiteId{0};
+    case Topology::kClustered: {
+      const std::uint32_t cluster = self.value / cfg.cluster_size;
+      const std::uint32_t clusters =
+          (cfg.n_sites + cfg.cluster_size - 1) / cfg.cluster_size;
+      if (clusters > 1 && rng.chance(cfg.bridge_prob)) {
+        // Bridge: a peer from a different cluster.
+        for (;;) {
+          const auto p = static_cast<std::uint32_t>(rng.below(cfg.n_sites));
+          if (p / cfg.cluster_size != cluster && p != self.value) return SiteId{p};
+        }
+      }
+      const std::uint32_t base = cluster * cfg.cluster_size;
+      const std::uint32_t size =
+          std::min(cfg.cluster_size, cfg.n_sites - base);
+      if (size <= 1) return SiteId{(self.value + 1) % cfg.n_sites};
+      for (;;) {
+        const auto p = base + static_cast<std::uint32_t>(rng.below(size));
+        if (p != self.value) return SiteId{p};
+      }
+    }
+    case Topology::kRandomGossip:
+    default:
+      for (;;) {
+        const auto p = static_cast<std::uint32_t>(rng.below(cfg.n_sites));
+        if (p != self.value) return SiteId{p};
+      }
+  }
+}
+
+}  // namespace
+
+Trace generate(const GeneratorConfig& cfg) {
+  OPTREP_CHECK(cfg.n_sites >= 2);
+  OPTREP_CHECK(cfg.n_objects >= 1);
+  Rng rng(cfg.seed);
+  Trace t;
+  t.n_sites = cfg.n_sites;
+  t.n_objects = cfg.n_objects;
+  t.events.reserve(cfg.steps + cfg.n_objects);
+  // Each object is created on a deterministic home site.
+  for (std::uint32_t o = 0; o < cfg.n_objects; ++o) {
+    t.events.push_back(Event{Event::Type::kCreate, SiteId{o % cfg.n_sites}, SiteId{},
+                             ObjectId{o}});
+  }
+  for (std::uint32_t s = 0; s < cfg.steps; ++s) {
+    const ObjectId obj{static_cast<std::uint32_t>(rng.below(cfg.n_objects))};
+    if (rng.chance(cfg.update_prob)) {
+      t.events.push_back(Event{Event::Type::kUpdate, pick_updater(rng, cfg), SiteId{}, obj});
+    } else {
+      const SiteId self{static_cast<std::uint32_t>(rng.below(cfg.n_sites))};
+      t.events.push_back(Event{Event::Type::kSync, self, pick_peer(rng, cfg, self), obj});
+    }
+  }
+  return t;
+}
+
+Trace append_only_log(std::uint32_t n_sites, std::uint32_t steps, std::uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.n_sites = n_sites;
+  cfg.n_objects = 1;
+  cfg.steps = steps;
+  cfg.update_prob = 0.8;  // heavy concurrent appending → conflicts abound (§4)
+  cfg.topology = Topology::kRandomGossip;
+  cfg.seed = seed;
+  return generate(cfg);
+}
+
+Trace dtn_store(std::uint32_t n_sites, std::uint32_t n_objects, std::uint32_t steps,
+                std::uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.n_sites = n_sites;
+  cfg.n_objects = n_objects;
+  cfg.steps = steps;
+  cfg.update_prob = 0.3;  // mostly opportunistic exchanges, few local writes
+  cfg.topology = Topology::kRandomGossip;
+  cfg.seed = seed;
+  return generate(cfg);
+}
+
+Trace collaboration(std::uint32_t n_sites, std::uint32_t steps, std::uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.n_sites = n_sites;
+  cfg.n_objects = 1;
+  cfg.steps = steps;
+  cfg.update_prob = 0.4;
+  cfg.topology = Topology::kClustered;
+  cfg.cluster_size = std::max<std::uint32_t>(n_sites / 4, 2);
+  cfg.bridge_prob = 0.05;
+  cfg.seed = seed;
+  return generate(cfg);
+}
+
+namespace {
+
+// Ensure `site` holds a usable replica before an update: opportunistically
+// pull from some existing host (this itself is a sync session).
+template <class System>
+bool ensure_replica(System& sys, RunStats& stats, SiteId site, ObjectId obj,
+                    const std::vector<SiteId>& creators) {
+  if (sys.has_replica(site, obj)) return true;
+  for (SiteId host : creators) {
+    if (host != site && sys.has_replica(host, obj)) {
+      sys.sync(site, host, obj);
+      ++stats.syncs;
+      return sys.has_replica(site, obj);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+RunStats run_state(repl::StateSystem& sys, const Trace& trace, bool drive_to_consistency) {
+  RunStats stats;
+  std::vector<SiteId> creators(trace.n_objects, SiteId{});
+  std::uint64_t entry_no = 0;
+  for (const Event& ev : trace.events) {
+    switch (ev.type) {
+      case Event::Type::kCreate:
+        creators[ev.obj.value] = ev.site;
+        sys.create_object(ev.site, ev.obj, "entry-" + std::to_string(entry_no++));
+        ++stats.updates;
+        break;
+      case Event::Type::kUpdate: {
+        if (!ensure_replica(sys, stats, ev.site, ev.obj, {creators[ev.obj.value]})) {
+          ++stats.skipped;
+          break;
+        }
+        if (sys.replica(ev.site, ev.obj).conflicted) {
+          ++stats.skipped;
+          break;
+        }
+        sys.update(ev.site, ev.obj, "entry-" + std::to_string(entry_no++));
+        ++stats.updates;
+        break;
+      }
+      case Event::Type::kSync: {
+        if (!sys.has_replica(ev.peer, ev.obj)) {
+          ++stats.skipped;
+          break;
+        }
+        const auto out = sys.sync(ev.site, ev.peer, ev.obj);
+        ++stats.syncs;
+        if (out.relation == vv::Ordering::kConcurrent) ++stats.conflicts;
+        break;
+      }
+    }
+  }
+
+  if (drive_to_consistency &&
+      sys.config().policy == repl::ResolutionPolicy::kAutomatic) {
+    // Anti-entropy sweeps: ring passes in both directions until stable.
+    for (std::uint32_t round = 0; round < 4 * trace.n_sites + 8; ++round) {
+      bool all_consistent = true;
+      for (std::uint32_t o = 0; o < trace.n_objects; ++o) {
+        const ObjectId obj{o};
+        auto hosts = sys.hosts_of(obj);
+        if (hosts.size() < 2) continue;
+        for (std::size_t i = 0; i + 1 < hosts.size(); ++i) {
+          sys.sync(hosts[i + 1], hosts[i], obj);
+          ++stats.syncs;
+        }
+        for (std::size_t i = hosts.size() - 1; i > 0; --i) {
+          sys.sync(hosts[i - 1], hosts[i], obj);
+          ++stats.syncs;
+        }
+        if (!sys.replicas_consistent(obj)) all_consistent = false;
+      }
+      stats.anti_entropy_rounds = round + 1;
+      if (all_consistent) break;
+    }
+  }
+  stats.eventually_consistent = true;
+  for (std::uint32_t o = 0; o < trace.n_objects; ++o) {
+    if (!sys.replicas_consistent(ObjectId{o})) stats.eventually_consistent = false;
+  }
+  return stats;
+}
+
+RunStats run_op(repl::OpSystem& sys, const Trace& trace, bool drive_to_consistency) {
+  RunStats stats;
+  std::vector<SiteId> creators(trace.n_objects, SiteId{});
+  std::uint64_t entry_no = 0;
+  for (const Event& ev : trace.events) {
+    switch (ev.type) {
+      case Event::Type::kCreate:
+        creators[ev.obj.value] = ev.site;
+        sys.create_object(ev.site, ev.obj, "op-" + std::to_string(entry_no++));
+        ++stats.updates;
+        break;
+      case Event::Type::kUpdate:
+        if (!ensure_replica(sys, stats, ev.site, ev.obj, {creators[ev.obj.value]})) {
+          ++stats.skipped;
+          break;
+        }
+        sys.update(ev.site, ev.obj, "op-" + std::to_string(entry_no++));
+        ++stats.updates;
+        break;
+      case Event::Type::kSync: {
+        if (!sys.has_replica(ev.peer, ev.obj)) {
+          ++stats.skipped;
+          break;
+        }
+        const auto out = sys.sync(ev.site, ev.peer, ev.obj);
+        ++stats.syncs;
+        if (out.relation == vv::Ordering::kConcurrent) ++stats.conflicts;
+        break;
+      }
+    }
+  }
+
+  if (drive_to_consistency) {
+    for (std::uint32_t round = 0; round < 4 * trace.n_sites + 8; ++round) {
+      bool all_consistent = true;
+      for (std::uint32_t o = 0; o < trace.n_objects; ++o) {
+        const ObjectId obj{o};
+        std::vector<SiteId> hosts;
+        for (std::uint32_t s = 0; s < trace.n_sites; ++s) {
+          if (sys.has_replica(SiteId{s}, obj)) hosts.push_back(SiteId{s});
+        }
+        if (hosts.size() < 2) continue;
+        for (std::size_t i = 0; i + 1 < hosts.size(); ++i) {
+          sys.sync(hosts[i + 1], hosts[i], obj);
+          ++stats.syncs;
+        }
+        for (std::size_t i = hosts.size() - 1; i > 0; --i) {
+          sys.sync(hosts[i - 1], hosts[i], obj);
+          ++stats.syncs;
+        }
+        if (!sys.replicas_consistent(obj)) all_consistent = false;
+      }
+      stats.anti_entropy_rounds = round + 1;
+      if (all_consistent) break;
+    }
+  }
+  stats.eventually_consistent = true;
+  for (std::uint32_t o = 0; o < trace.n_objects; ++o) {
+    if (!sys.replicas_consistent(ObjectId{o})) stats.eventually_consistent = false;
+  }
+  return stats;
+}
+
+}  // namespace optrep::wl

@@ -1,0 +1,85 @@
+// Workload traces: deterministic event sequences driving a replication
+// system, plus drivers that execute them on StateSystem / OpSystem and
+// collect statistics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "repl/op_system.h"
+#include "repl/state_system.h"
+
+namespace optrep::wl {
+
+struct Event {
+  enum class Type : std::uint8_t { kCreate, kUpdate, kSync };
+  Type type{Type::kUpdate};
+  SiteId site{};   // acting site (receiver for kSync)
+  SiteId peer{};   // kSync: the sender
+  ObjectId obj{};
+};
+
+struct Trace {
+  std::uint32_t n_sites{0};
+  std::uint32_t n_objects{0};
+  std::vector<Event> events;
+};
+
+// How sync partners are chosen.
+enum class Topology : std::uint8_t {
+  kRandomGossip,  // uniformly random peer
+  kRing,          // neighbours on a ring
+  kStar,          // everyone syncs with a hub (site 0)
+  kClustered,     // mostly intra-cluster, occasional cross-cluster bridges
+};
+
+struct GeneratorConfig {
+  std::uint32_t n_sites{8};
+  std::uint32_t n_objects{1};
+  std::uint32_t steps{1000};
+  double update_prob{0.5};  // P(update); otherwise a sync event
+  Topology topology{Topology::kRandomGossip};
+  // Fraction of updates directed at the hot subset of sites (update skew).
+  double locality{0.0};
+  std::uint32_t hot_sites{1};
+  std::uint32_t cluster_size{4};     // kClustered
+  double bridge_prob{0.1};           // kClustered: cross-cluster sync chance
+  std::uint64_t seed{1};
+};
+
+Trace generate(const GeneratorConfig& cfg);
+
+// Paper-motivated scenarios.
+// §4: a replicated append-only log — every site writes constantly, so almost
+// every sync is a syntactic conflict (the SRV motivating case).
+Trace append_only_log(std::uint32_t n_sites, std::uint32_t steps, std::uint64_t seed);
+// [10]: a DTN/mobile participatory data store — many small objects, sparse
+// opportunistic pairwise contacts.
+Trace dtn_store(std::uint32_t n_sites, std::uint32_t n_objects, std::uint32_t steps,
+                std::uint64_t seed);
+// [8]: multi-regional collaboration — clustered sites, frequent local syncs,
+// rare cross-region bridges.
+Trace collaboration(std::uint32_t n_sites, std::uint32_t steps, std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------------
+
+struct RunStats {
+  std::uint64_t updates{0};
+  std::uint64_t syncs{0};
+  std::uint64_t skipped{0};
+  std::uint64_t conflicts{0};
+  bool eventually_consistent{false};
+  std::uint32_t anti_entropy_rounds{0};
+};
+
+// Execute the trace, then (optionally) run anti-entropy sweeps until every
+// object is consistent everywhere (eventual consistency, §2.1).
+RunStats run_state(repl::StateSystem& sys, const Trace& trace, bool drive_to_consistency = true);
+RunStats run_op(repl::OpSystem& sys, const Trace& trace, bool drive_to_consistency = true);
+
+}  // namespace optrep::wl

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "graph/causal_graph.h"
+#include "graph/dot.h"
+
+namespace optrep::graph {
+namespace {
+
+const SiteId A{0}, B{1}, C{2}, E{4}, F{5}, G{6};
+
+UpdateId op(SiteId s, std::uint64_t seq) { return UpdateId{s, seq}; }
+
+// Operation history of Figure 1 read as a causal graph: node k is written
+// op(k) here; nodes 1..6 are plain operations, 7 merges 2 and 6.
+struct Fig3 {
+  // op ids keyed by figure node number.
+  UpdateId n1 = op(A, 1), n2 = op(B, 1), n4 = op(E, 1), n5 = op(F, 1), n6 = op(G, 1),
+           n7 = op(A, 2);
+
+  CausalGraph site_a;  // nodes 1, 2, 4–7
+  CausalGraph site_c;  // nodes 1, 4–6
+
+  Fig3() {
+    site_a.create(n1);
+    site_a.append(n2);
+    site_a.insert_raw(Node{n4, n1});
+    site_a.insert_raw(Node{n5, n4});
+    site_a.insert_raw(Node{n6, n5});
+    site_a.merge(n7, n6);  // lp = old sink (node 2), rp = node 6
+
+    site_c.create(n1);
+    site_c.append(n4);
+    site_c.append(n5);
+    site_c.append(n6);
+  }
+};
+
+TEST(CausalGraph, CreateAppendMerge) {
+  CausalGraph g;
+  EXPECT_TRUE(g.empty());
+  g.create(op(A, 1));
+  EXPECT_EQ(g.source(), op(A, 1));
+  EXPECT_EQ(g.sink(), op(A, 1));
+  g.append(op(A, 2));
+  g.append(op(B, 1));
+  EXPECT_EQ(g.sink(), op(B, 1));
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.arc_count(), 2u);
+  EXPECT_TRUE(g.validate_closed());
+}
+
+TEST(CausalGraph, MergeCreatesDoubleParentNode) {
+  Fig3 f;
+  const Node* seven = f.site_a.find(f.n7);
+  ASSERT_NE(seven, nullptr);
+  EXPECT_TRUE(seven->is_merge());
+  EXPECT_EQ(seven->lp, f.n2);
+  EXPECT_EQ(seven->rp, f.n6);
+  EXPECT_EQ(f.site_a.node_count(), 6u);
+  EXPECT_EQ(f.site_a.arc_count(), 6u);
+  EXPECT_TRUE(f.site_a.validate_closed());
+}
+
+TEST(CausalGraph, CompareBySinkContainment) {
+  Fig3 f;
+  // C's sink (node 6) is in A's graph, A's sink (node 7) is not in C's.
+  EXPECT_EQ(f.site_c.compare(f.site_a), vv::Ordering::kBefore);
+  EXPECT_EQ(f.site_a.compare(f.site_c), vv::Ordering::kAfter);
+  EXPECT_EQ(f.site_a.compare(f.site_a), vv::Ordering::kEqual);
+}
+
+TEST(CausalGraph, ConcurrentSinks) {
+  Fig3 f;
+  CausalGraph d;  // a third site that only saw node 1 and updated
+  d.create(f.n1);
+  d.append(op(C, 1));
+  EXPECT_EQ(d.compare(f.site_a), vv::Ordering::kConcurrent);
+  EXPECT_EQ(f.site_a.compare(d), vv::Ordering::kConcurrent);
+}
+
+TEST(CausalGraph, EmptyGraphPrecedesAll) {
+  CausalGraph a, b;
+  EXPECT_EQ(a.compare(b), vv::Ordering::kEqual);
+  b.create(op(A, 1));
+  EXPECT_EQ(a.compare(b), vv::Ordering::kBefore);
+  EXPECT_EQ(b.compare(a), vv::Ordering::kAfter);
+}
+
+TEST(CausalGraph, IsAncestor) {
+  Fig3 f;
+  EXPECT_TRUE(f.site_a.is_ancestor(f.n1, f.n7));
+  EXPECT_TRUE(f.site_a.is_ancestor(f.n6, f.n7));
+  EXPECT_TRUE(f.site_a.is_ancestor(f.n2, f.n7));
+  EXPECT_FALSE(f.site_a.is_ancestor(f.n7, f.n2));
+  EXPECT_FALSE(f.site_a.is_ancestor(f.n2, f.n6));
+}
+
+TEST(CausalGraph, ValidateClosedDetectsDanglingParent) {
+  CausalGraph g;
+  g.create(op(A, 1));
+  g.insert_raw(Node{op(B, 2), op(B, 1)});  // parent B:1 missing
+  EXPECT_FALSE(g.validate_closed());
+}
+
+TEST(CausalGraph, ValidateClosedDetectsNonDominatingSink) {
+  CausalGraph g;
+  g.create(op(A, 1));
+  g.append(op(A, 2));
+  // A stray branch not reachable from the sink.
+  g.insert_raw(Node{op(B, 1), op(A, 1)});
+  EXPECT_FALSE(g.validate_closed());
+}
+
+TEST(CausalGraph, InsertRawIsIdempotent) {
+  CausalGraph g;
+  g.create(op(A, 1));
+  g.insert_raw(Node{op(A, 1)});
+  EXPECT_EQ(g.node_count(), 1u);
+  EXPECT_EQ(g.arc_count(), 0u);
+}
+
+TEST(CausalGraph, OpBytesAccumulate) {
+  CausalGraph g;
+  g.create(op(A, 1), 100);
+  g.append(op(A, 2), 50);
+  EXPECT_EQ(g.total_op_bytes(), 150u);
+}
+
+TEST(CausalGraph, DotExportContainsNodesAndMergeShading) {
+  Fig3 f;
+  const std::string dot = to_dot(f.site_a, "fig1");
+  EXPECT_NE(dot.find("digraph fig1"), std::string::npos);
+  EXPECT_NE(dot.find("\"A:2\" [style=filled, fillcolor=gray]"), std::string::npos);
+  EXPECT_NE(dot.find("\"G:1\" -> \"A:2\""), std::string::npos);
+  EXPECT_NE(dot.find("\"A:1\" -> \"B:1\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace optrep::graph

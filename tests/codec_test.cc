@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "vv/codec.h"
+#include "vv/session.h"
+
+namespace optrep::vv {
+namespace {
+
+const SiteId A{0}, B{1};
+
+TEST(BitWriter, PacksMsbFirst) {
+  BitWriter w;
+  w.put(0b101, 3);
+  w.put(0b01, 2);
+  EXPECT_EQ(w.bit_size(), 5u);
+  ASSERT_EQ(w.bytes().size(), 1u);
+  EXPECT_EQ(w.bytes()[0], 0b10101000);
+}
+
+TEST(BitWriter, CrossesByteBoundaries) {
+  BitWriter w;
+  w.put(0xABCD, 16);
+  w.put(1, 1);
+  EXPECT_EQ(w.bit_size(), 17u);
+  ASSERT_EQ(w.bytes().size(), 3u);
+  EXPECT_EQ(w.bytes()[0], 0xAB);
+  EXPECT_EQ(w.bytes()[1], 0xCD);
+  EXPECT_EQ(w.bytes()[2], 0x80);
+}
+
+TEST(BitRoundTrip, RandomFields) {
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    BitWriter w;
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> fields;
+    for (int f = 0; f < 20; ++f) {
+      const auto bits = static_cast<std::uint32_t>(rng.range(1, 63));
+      const std::uint64_t value = rng.next() & ((std::uint64_t{1} << bits) - 1);
+      fields.emplace_back(value, bits);
+      w.put(value, bits);
+    }
+    BitReader r(w.bytes());
+    for (const auto& [value, bits] : fields) {
+      EXPECT_EQ(r.get(bits), value);
+    }
+  }
+}
+
+TEST(MsgCodec, SizesMatchCostModelExactly) {
+  // The codec *is* the §3.3 cost model: encoded size == msg_model_bits.
+  const CostModel cm{.n = 64, .m = 1 << 12};
+  for (auto kind : {VectorKind::kBrv, VectorKind::kCrv, VectorKind::kSrv}) {
+    std::vector<std::pair<VvMsg, Direction>> msgs = {
+        {VvMsg{.kind = VvMsg::Kind::kElem, .site = SiteId{17}, .value = 93,
+               .conflict = true, .segment = true},
+         Direction::kForward},
+        {VvMsg{.kind = VvMsg::Kind::kHalt}, Direction::kForward},
+        {VvMsg{.kind = VvMsg::Kind::kHalt}, Direction::kReverse},
+        {VvMsg{.kind = VvMsg::Kind::kSkipped}, Direction::kForward},
+        {VvMsg{.kind = VvMsg::Kind::kSkip, .arg = 12}, Direction::kReverse},
+        {VvMsg{.kind = VvMsg::Kind::kAck}, Direction::kReverse},
+    };
+    for (const auto& [msg, dir] : msgs) {
+      BitWriter w;
+      encode_msg(w, cm, kind, dir, msg);
+      EXPECT_EQ(w.bit_size(), msg_model_bits(cm, kind, msg))
+          << to_string(kind) << " " << msg.to_string();
+    }
+  }
+}
+
+TEST(MsgCodec, RoundTripsAllKinds) {
+  const CostModel cm{.n = 256, .m = 1 << 16};
+  Rng rng(11);
+  for (auto kind : {VectorKind::kBrv, VectorKind::kCrv, VectorKind::kSrv}) {
+    for (int trial = 0; trial < 100; ++trial) {
+      VvMsg msg;
+      msg.kind = VvMsg::Kind::kElem;
+      msg.site = SiteId{static_cast<std::uint32_t>(rng.below(256))};
+      msg.value = rng.below(1 << 16);
+      msg.conflict = rng.chance(0.5);
+      msg.segment = rng.chance(0.5);
+      BitWriter w;
+      encode_msg(w, cm, kind, Direction::kForward, msg);
+      BitReader r(w.bytes());
+      const VvMsg got = decode_msg(r, cm, kind, Direction::kForward);
+      EXPECT_EQ(got.site, msg.site);
+      EXPECT_EQ(got.value, msg.value);
+      if (kind != VectorKind::kBrv) {
+        EXPECT_EQ(got.conflict, msg.conflict);
+      }
+      if (kind == VectorKind::kSrv) {
+        EXPECT_EQ(got.segment, msg.segment);
+      }
+    }
+  }
+  // Control messages.
+  const CostModel cm2{.n = 64, .m = 64};
+  for (auto [kind_in, dir] :
+       std::vector<std::pair<VvMsg::Kind, Direction>>{
+           {VvMsg::Kind::kHalt, Direction::kForward},
+           {VvMsg::Kind::kSkipped, Direction::kForward},
+           {VvMsg::Kind::kHalt, Direction::kReverse},
+           {VvMsg::Kind::kAck, Direction::kReverse}}) {
+    BitWriter w;
+    encode_msg(w, cm2, VectorKind::kSrv, dir, VvMsg{.kind = kind_in});
+    BitReader r(w.bytes());
+    EXPECT_EQ(decode_msg(r, cm2, VectorKind::kSrv, dir).kind, kind_in);
+  }
+  {
+    BitWriter w;
+    encode_msg(w, cm2, VectorKind::kSrv, Direction::kReverse,
+               VvMsg{.kind = VvMsg::Kind::kSkip, .arg = 33});
+    BitReader r(w.bytes());
+    const VvMsg got = decode_msg(r, cm2, VectorKind::kSrv, Direction::kReverse);
+    EXPECT_EQ(got.kind, VvMsg::Kind::kSkip);
+    EXPECT_EQ(got.arg, 33u);
+  }
+}
+
+TEST(MsgCodec, StreamOfMessagesDecodesInOrder) {
+  // A whole sender stream (elements + SKIPPED + HALT) in one buffer.
+  const CostModel cm{.n = 16, .m = 1 << 8};
+  BitWriter w;
+  std::vector<VvMsg> stream;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    VvMsg m{.kind = VvMsg::Kind::kElem, .site = SiteId{i}, .value = i + 1,
+            .conflict = (i % 2) != 0, .segment = i == 2};
+    stream.push_back(m);
+    encode_msg(w, cm, VectorKind::kSrv, Direction::kForward, m);
+  }
+  stream.push_back(VvMsg{.kind = VvMsg::Kind::kSkipped});
+  encode_msg(w, cm, VectorKind::kSrv, Direction::kForward, stream.back());
+  stream.push_back(VvMsg{.kind = VvMsg::Kind::kHalt});
+  encode_msg(w, cm, VectorKind::kSrv, Direction::kForward, stream.back());
+
+  BitReader r(w.bytes());
+  for (const VvMsg& want : stream) {
+    const VvMsg got = decode_msg(r, cm, VectorKind::kSrv, Direction::kForward);
+    EXPECT_EQ(static_cast<int>(got.kind), static_cast<int>(want.kind));
+    if (want.kind == VvMsg::Kind::kElem) {
+      EXPECT_EQ(got.site, want.site);
+      EXPECT_EQ(got.value, want.value);
+      EXPECT_EQ(got.conflict, want.conflict);
+      EXPECT_EQ(got.segment, want.segment);
+    }
+  }
+  EXPECT_EQ(r.bits_read(), w.bit_size());
+}
+
+TEST(VectorSnapshot, RoundTripPreservesEverything) {
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    RotatingVector v;
+    for (int i = 0; i < 30; ++i) {
+      v.record_update(SiteId{static_cast<std::uint32_t>(rng.below(12))});
+    }
+    if (!v.empty()) {
+      v.set_conflict_bit(v.front()->site, true);
+      v.set_segment_bit(v.back()->site, true);
+    }
+    const RotatingVector back = decode_vector(encode_vector(v));
+    EXPECT_TRUE(back.identical_to(v)) << v.to_string() << " vs " << back.to_string();
+  }
+}
+
+TEST(VectorSnapshot, EmptyVector) {
+  RotatingVector v;
+  const RotatingVector back = decode_vector(encode_vector(v));
+  EXPECT_TRUE(back.empty());
+}
+
+}  // namespace
+}  // namespace optrep::vv

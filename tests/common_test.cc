@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/cost_model.h"
+#include "common/ids.h"
+#include "common/rng.h"
+
+namespace optrep {
+namespace {
+
+TEST(Ids, SiteNamesMatchPaperConvention) {
+  EXPECT_EQ(site_name(SiteId{0}), "A");
+  EXPECT_EQ(site_name(SiteId{7}), "H");
+  EXPECT_EQ(site_name(SiteId{25}), "Z");
+  EXPECT_EQ(site_name(SiteId{26}), "S26");
+}
+
+TEST(Ids, UpdateIdOrderingAndNames) {
+  UpdateId a{SiteId{0}, 1};
+  UpdateId b{SiteId{0}, 2};
+  UpdateId c{SiteId{1}, 1};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(update_name(a), "A:1");
+}
+
+TEST(Ids, StrongTypesHashDistinctly) {
+  std::set<std::size_t> hashes;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    hashes.insert(std::hash<SiteId>{}(SiteId{i}));
+  }
+  EXPECT_EQ(hashes.size(), 100u);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+    const auto v = r.range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(3);
+  EXPECT_FALSE(r.chance(0.0));
+  EXPECT_TRUE(r.chance(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.chance(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng a(42);
+  Rng child = a.fork();
+  Rng b(42);
+  (void)b.fork();
+  // Parent stream after fork still matches a re-created parent.
+  EXPECT_EQ(a.next(), b.next());
+  // Child differs from parent stream.
+  Rng a2(42);
+  (void)a2.next();
+  EXPECT_NE(child.next(), a2.next());
+}
+
+TEST(CostModel, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 1u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(CostModel, FieldWidths) {
+  CostModel cm{.n = 256, .m = 1024};
+  EXPECT_EQ(cm.site_bits(), 8u);
+  EXPECT_EQ(cm.value_bits(), 10u);
+  // BRV element: 1 + log n + log m = log(2mn).
+  EXPECT_EQ(cm.elem_bits(0), 19u);
+  EXPECT_EQ(cm.elem_bits(1), 20u);  // CRV: log(4mn)
+  EXPECT_EQ(cm.elem_bits(2), 21u);  // SRV: log(8mn)
+}
+
+TEST(CostModel, Table2UpperBounds) {
+  CostModel cm{.n = 256, .m = 1024};
+  // Table 2: BRV ≤ n·log(2mn)+2, CRV ≤ n·log(4mn)+2,
+  //          SRV ≤ n·log(8mn)+n·log(2n)+1.
+  EXPECT_EQ(cm.brv_upper_bound_bits(), 256 * 19 + 2u);
+  EXPECT_EQ(cm.crv_upper_bound_bits(), 256 * 20 + 2u);
+  EXPECT_EQ(cm.srv_upper_bound_bits(), 256 * 21 + 256 * 9 + 1u);
+  // COMPARE: 2·log(mn) bits (§3.3).
+  EXPECT_EQ(2 * cm.compare_probe_bits(), 2 * (8 + 10u));
+}
+
+}  // namespace
+}  // namespace optrep

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "vv/compare.h"
+#include "vv/session.h"
+
+namespace optrep::vv {
+namespace {
+
+const SiteId A{0}, B{1}, C{2};
+
+CompareSessionResult run(const RotatingVector& a, const RotatingVector& b,
+                         sim::NetConfig net = {}) {
+  sim::EventLoop loop;
+  return compare_session(loop, a, b, net, CostModel{.n = 8, .m = 1 << 10});
+}
+
+TEST(CompareSession, BothSidesAgreeOnEqual) {
+  RotatingVector a;
+  a.record_update(A);
+  RotatingVector b = a;
+  const auto r = run(a, b);
+  EXPECT_EQ(r.at_a, Ordering::kEqual);
+  EXPECT_EQ(r.at_b, Ordering::kEqual);
+}
+
+TEST(CompareSession, VerdictsAreMirrored) {
+  RotatingVector a;
+  a.record_update(A);
+  RotatingVector b = a;
+  b.record_update(B);
+  const auto r = run(a, b);
+  EXPECT_EQ(r.at_a, Ordering::kBefore);
+  EXPECT_EQ(r.at_b, Ordering::kAfter);
+}
+
+TEST(CompareSession, ConcurrentDetectedOnBothSides) {
+  RotatingVector base;
+  base.record_update(A);
+  RotatingVector a = base, b = base;
+  a.record_update(B);
+  b.record_update(C);
+  const auto r = run(a, b);
+  EXPECT_EQ(r.at_a, Ordering::kConcurrent);
+  EXPECT_EQ(r.at_b, Ordering::kConcurrent);
+}
+
+TEST(CompareSession, EmptyVectors) {
+  RotatingVector a, b;
+  auto r = run(a, b);
+  EXPECT_EQ(r.at_a, Ordering::kEqual);
+  b.record_update(B);
+  r = run(a, b);
+  EXPECT_EQ(r.at_a, Ordering::kBefore);
+  EXPECT_EQ(r.at_b, Ordering::kAfter);
+}
+
+TEST(CompareSession, CostIsTwoProbesPlusTwoBits) {
+  // §3.3: "(2·log mn) bits are transferred" — plus the two O(1) verdict
+  // bits our simultaneous variant uses (see compare.h).
+  RotatingVector a;
+  a.record_update(A);
+  RotatingVector b = a;
+  const CostModel cm{.n = 8, .m = 1 << 10};
+  const auto r = run(a, b);
+  EXPECT_EQ(r.total_bits, 2 * cm.compare_probe_bits() + 2);
+}
+
+TEST(CompareSession, CompletesInOneRoundTrip) {
+  RotatingVector a;
+  a.record_update(A);
+  RotatingVector b = a;
+  b.record_update(B);
+  const auto r = run(a, b, {.latency_s = 0.1});
+  // Probes cross (0.1 s), verdicts cross (another 0.1 s).
+  EXPECT_DOUBLE_EQ(r.duration, 0.2);
+}
+
+TEST(CompareSession, AgreesWithLocalCompareOnRandomRestStates) {
+  Rng rng(606);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<RotatingVector> reps(5);
+    for (int step = 0; step < 40; ++step) {
+      const auto i = rng.below(reps.size());
+      if (rng.chance(0.6)) {
+        reps[i].record_update(SiteId{static_cast<std::uint32_t>(i)});
+      } else {
+        const auto j = rng.below(reps.size());
+        if (i == j) continue;
+        const auto rel = compare_full(reps[i], reps[j]);
+        if (rel == Ordering::kBefore) reps[i] = reps[j];
+        if (rel == Ordering::kAfter) reps[j] = reps[i];
+      }
+    }
+    for (std::size_t i = 0; i < reps.size(); ++i) {
+      for (std::size_t j = i + 1; j < reps.size(); ++j) {
+        const auto r = run(reps[i], reps[j]);
+        EXPECT_EQ(r.at_a, compare_fast(reps[i], reps[j])) << "trial " << trial;
+        EXPECT_EQ(r.at_b, compare_fast(reps[j], reps[i])) << "trial " << trial;
+        EXPECT_EQ(r.at_a, flip(r.at_b));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace optrep::vv

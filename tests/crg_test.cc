@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "graph/crg.h"
+#include "tests/test_util.h"
+#include "vv/compare.h"
+#include "vv/session.h"
+
+namespace optrep::graph {
+namespace {
+
+const SiteId A{0}, B{1}, C{2}, E{4}, F{5}, G{6}, H{7};
+
+using SegElem = ReplicationGraph::SegElem;
+
+// The replication graph of Figure 1 (node indices shifted down by one:
+// paper node k = tracker node k-1).
+struct Fig1Graph {
+  ReplicationGraph g;
+  ReplicationGraph::NodeIdx n[10];
+  Fig1Graph() {
+    n[1] = g.add_root(A);
+    n[2] = g.add_update(n[1], B);
+    n[3] = g.add_update(n[2], C);
+    n[4] = g.add_update(n[1], E);
+    n[5] = g.add_update(n[4], F);
+    n[6] = g.add_update(n[5], G);
+    n[7] = g.add_merge(n[2], n[6]);
+    n[8] = g.add_update(n[7], H);
+    n[9] = g.add_merge(n[8], n[3]);
+  }
+};
+
+TEST(ReplicationGraph, Figure1Vectors) {
+  Fig1Graph f;
+  EXPECT_EQ(f.g.vector_of(f.n[1]).to_string(), "<A:1>");
+  EXPECT_EQ(f.g.vector_of(f.n[3]).to_string(), "<A:1, B:1, C:1>");
+  EXPECT_EQ(f.g.vector_of(f.n[6]).to_string(), "<A:1, E:1, F:1, G:1>");
+  EXPECT_EQ(f.g.vector_of(f.n[7]).to_string(), "<A:1, B:1, E:1, F:1, G:1>");
+  EXPECT_EQ(f.g.vector_of(f.n[9]).to_string(), "<A:1, B:1, C:1, E:1, F:1, G:1, H:1>");
+}
+
+TEST(ReplicationGraph, Figure2Coalescing) {
+  // Figure 2: nodes 4, 5, 6 coalesce into one chain; everything else stands
+  // alone (node 1 and 2 each have two children; 3 and 8 are below merges).
+  Fig1Graph f;
+  EXPECT_EQ(f.g.chain_of(f.n[4]), f.g.chain_of(f.n[6]));
+  EXPECT_EQ(f.g.chain_of(f.n[5]), f.g.chain_of(f.n[6]));
+  EXPECT_EQ(f.g.chain_of(f.n[6]), f.n[6]);
+  EXPECT_EQ(f.g.chain_of(f.n[1]), f.n[1]);
+  EXPECT_EQ(f.g.chain_of(f.n[2]), f.n[2]);
+  EXPECT_EQ(f.g.chain_of(f.n[3]), f.n[3]);
+  EXPECT_EQ(f.g.chain_of(f.n[8]), f.n[8]);
+  // Merge nodes belong to no chain.
+  EXPECT_EQ(f.g.chain_of(f.n[7]), ReplicationGraph::kNone);
+  EXPECT_EQ(f.g.chain_of(f.n[9]), ReplicationGraph::kNone);
+}
+
+TEST(ReplicationGraph, Figure2PrefixingSegments) {
+  Fig1Graph f;
+  // "θ3 prefixes θ2 with <C:1>; θ6 prefixes θ1 with <G:1, F:1, E:1>."
+  EXPECT_EQ(f.g.prefixing_segment(f.n[3]),
+            (std::vector<SegElem>{{C, 1}}));
+  EXPECT_EQ(f.g.prefixing_segment(f.n[6]),
+            (std::vector<SegElem>{{G, 1}, {F, 1}, {E, 1}}));
+  EXPECT_EQ(f.g.prefixing_segment(f.n[1]), (std::vector<SegElem>{{A, 1}}));
+  EXPECT_EQ(f.g.prefixing_segment(f.n[8]), (std::vector<SegElem>{{H, 1}}));
+}
+
+TEST(ReplicationGraph, Theta9SegmentsMatchFigure2) {
+  // "The five segments in θ9 are <C:1>, <H:1>, <G:1,F:1,E:1>, <B:1>, <A:1>."
+  Fig1Graph f;
+  const auto segs = f.g.live_segments(f.n[9]);
+  ASSERT_EQ(segs.size(), 5u);
+  std::vector<std::vector<SegElem>> expected = {
+      {{A, 1}}, {{B, 1}}, {{C, 1}}, {{G, 1}, {F, 1}, {E, 1}}, {{H, 1}}};
+  // live_segments orders by chain id = creation order: A, B, C, GFE, H.
+  EXPECT_EQ(segs, expected);
+}
+
+TEST(ReplicationGraph, PiSets) {
+  Fig1Graph f;
+  // Π_θ7 = {chain(1), chain(2), chain(6)}; Π_θ3 = {1, 2, 3}.
+  const auto pi7 = f.g.pi(f.n[7]);
+  EXPECT_EQ(pi7.size(), 3u);
+  EXPECT_TRUE(pi7.contains(f.n[1]));
+  EXPECT_TRUE(pi7.contains(f.n[2]));
+  EXPECT_TRUE(pi7.contains(f.n[6]));
+  const auto pi3 = f.g.pi(f.n[3]);
+  EXPECT_EQ(pi3.size(), 3u);
+  // Shared: chains 1 and 2 → γ for a θ7/θ3 sync is bounded by 2.
+  EXPECT_EQ(f.g.gamma_bound(f.n[7], f.n[3]), 2u);
+  // θ7 vs θ9: everything of θ7 is shared.
+  EXPECT_EQ(f.g.gamma_bound(f.n[7], f.n[9]), f.g.pi(f.n[7]).size());
+}
+
+TEST(ReplicationGraph, SegmentsShrinkWhenElementsRotateOut) {
+  // Property iii (§4): segments never grow; they shrink as elements are
+  // modified, and vanish at size zero.
+  ReplicationGraph g;
+  const auto r = g.add_root(A);
+  const auto u1 = g.add_update(r, B);  // chain {r, u1}: segment <B:1, A:1>
+  const auto u2 = g.add_update(u1, C);  // first branch
+  const auto u3 = g.add_update(u1, SiteId{3});  // second branch (site D)
+  ASSERT_EQ(g.prefixing_segment(g.chain_of(r)),
+            (std::vector<SegElem>{{B, 1}, {A, 1}}));
+  const auto m = g.add_merge(u2, u3);
+  // B updates again after the merge: B:1 leaves the old segment.
+  const auto u4 = g.add_update(m, B);
+  const auto live = g.live_segments(u4);
+  ASSERT_EQ(live.size(), 4u);
+  EXPECT_EQ(live[0], (std::vector<SegElem>{{A, 1}}));  // shrunk: B:1 gone
+  EXPECT_EQ(live[1], (std::vector<SegElem>{{C, 1}}));
+  EXPECT_EQ(live[2], (std::vector<SegElem>{{SiteId{3}, 1}}));
+  EXPECT_EQ(live[3], (std::vector<SegElem>{{B, 2}}));
+}
+
+TEST(ReplicationGraph, SegmentsVanishCompletely) {
+  // A singleton segment whose only element is overwritten disappears (Φ).
+  ReplicationGraph g;
+  const auto r = g.add_root(A);
+  const auto u1 = g.add_update(r, B);
+  const auto u2 = g.add_update(r, C);  // r now has two children: all chains split
+  const auto m = g.add_merge(u1, u2);
+  const auto u3 = g.add_update(m, B);  // B:2 — chain {u1}'s segment <B:1> vanishes
+  const auto live = g.live_segments(u3);
+  for (const auto& seg : live) {
+    EXPECT_NE(seg, (std::vector<SegElem>{{B, 1}}));
+  }
+  ASSERT_EQ(live.size(), 3u);  // <A:1>, <C:1>, <B:2>
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 5.1 validation: evolve replicas with the *real* SYNCS protocol
+// while mirroring every action in the replication-graph tracker; at every
+// synchronization the observed skipped-segment count must respect the
+// |Π_a ∩ Π_b| bound.
+// ---------------------------------------------------------------------------
+
+TEST(ReplicationGraph, ObservedGammaRespectsTheorem51Bound) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 30; ++trial) {
+    constexpr std::uint32_t kSites = 5;
+    ReplicationGraph g;
+    std::vector<vv::RotatingVector> vec(kSites);
+    std::vector<ReplicationGraph::NodeIdx> at(kSites, ReplicationGraph::kNone);
+    // Site 0 creates the object; everyone else copies lazily on first use.
+    const auto root = g.add_root(SiteId{0});
+    vec[0].record_update(SiteId{0});
+    at[0] = root;
+
+    std::uint64_t checked = 0;
+    for (int step = 0; step < 120; ++step) {
+      const auto i = static_cast<std::uint32_t>(rng.below(kSites));
+      if (rng.chance(0.45)) {
+        if (at[i] == ReplicationGraph::kNone) continue;
+        vec[i].record_update(SiteId{i});
+        at[i] = g.add_update(at[i], SiteId{i});
+        continue;
+      }
+      auto j = static_cast<std::uint32_t>(rng.below(kSites));
+      if (j == i) j = (j + 1) % kSites;
+      if (at[j] == ReplicationGraph::kNone) continue;
+      if (at[i] == ReplicationGraph::kNone) {
+        // First contact: copy the replica.
+        sim::EventLoop loop;
+        vv::sync_skip(loop, vec[i], vec[j], test::ideal(vv::VectorKind::kSrv, kSites));
+        at[i] = at[j];
+        continue;
+      }
+      const auto rel = vv::compare_fast(vec[i], vec[j]);
+      const std::size_t bound = g.gamma_bound(at[i], at[j]);
+      sim::EventLoop loop;
+      const auto rep =
+          vv::sync_skip(loop, vec[i], vec[j], test::ideal(vv::VectorKind::kSrv, kSites));
+      ASSERT_LE(rep.segments_skipped, bound)
+          << "trial " << trial << " step " << step << ": observed gamma exceeds "
+          << "the Theorem 5.1 bound";
+      ++checked;
+      switch (rel) {
+        case vv::Ordering::kBefore:
+          at[i] = at[j];
+          break;
+        case vv::Ordering::kConcurrent: {
+          const auto merged = g.add_merge(at[i], at[j]);
+          vec[i].record_update(SiteId{i});  // §2.2 post-reconciliation update
+          at[i] = g.add_update(merged, SiteId{i});
+          break;
+        }
+        default:
+          break;  // kEqual / kAfter: receiver unchanged
+      }
+      // The tracker's vector must agree with the protocol's.
+      ASSERT_TRUE(vec[i].same_values(g.vector_of(at[i])))
+          << "trial " << trial << " step " << step;
+    }
+    ASSERT_GT(checked, 10u) << "trial " << trial << " exercised too few syncs";
+  }
+}
+
+}  // namespace
+}  // namespace optrep::graph

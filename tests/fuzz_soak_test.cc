@@ -1,0 +1,212 @@
+// Protocol-level fuzz/soak tests.
+//
+// These drive the raw synchronization protocols (no harness) with random
+// §2.1-conformant histories and cross-check every step against the
+// traditional-vector oracle:
+//   - values always converge to the element-wise max,
+//   - COMPARE always agrees with ground-truth causality,
+//   - all transfer modes produce identical results.
+//
+// This is the harness that surfaced the two missing segment-boundary cases
+// in the paper's Algorithm 4 (DESIGN.md §5); it stays in-tree to keep them
+// fixed. On failure it prints the offending operation sequence, greedily
+// shrunk to a (locally) minimal reproducer.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+
+#include "common/rng.h"
+#include "vv/compare.h"
+#include "vv/session.h"
+
+namespace optrep::vv {
+namespace {
+
+struct Op {
+  bool is_update;
+  std::uint32_t r, s;
+};
+
+struct FuzzConfig {
+  VectorKind kind{VectorKind::kSrv};
+  TransferMode mode{TransferMode::kIdeal};
+  std::uint32_t n_sites{6};
+  std::uint32_t steps{120};
+  double update_prob{0.45};
+};
+
+std::string describe(const std::vector<Op>& ops) {
+  std::ostringstream out;
+  for (const Op& op : ops) {
+    if (op.is_update) {
+      out << "U" << op.r << " ";
+    } else {
+      out << "S" << op.r << "<-" << op.s << " ";
+    }
+  }
+  return out.str();
+}
+
+// Returns the index of the first failing op, or nullopt on success.
+std::optional<std::size_t> run_ops(const FuzzConfig& cfg, const std::vector<Op>& ops,
+                                   std::string* why) {
+  std::vector<RotatingVector> vec(cfg.n_sites);
+  std::vector<VersionVector> oracle(cfg.n_sites);
+  for (std::size_t k = 0; k < ops.size(); ++k) {
+    const Op& op = ops[k];
+    if (op.is_update) {
+      vec[op.r].record_update(SiteId{op.r});
+      oracle[op.r].increment(SiteId{op.r});
+    } else {
+      const Ordering fast = compare_fast(vec[op.r], vec[op.s]);
+      const Ordering truth = oracle[op.r].compare(oracle[op.s]);
+      if (fast != truth) {
+        *why = "COMPARE disagrees with oracle";
+        return k;
+      }
+      if (fast == Ordering::kEqual || fast == Ordering::kAfter) continue;
+      // BRV must not be fuzzed into reconciliation (its documented limit).
+      if (cfg.kind == VectorKind::kBrv && fast == Ordering::kConcurrent) continue;
+      SyncOptions opt;
+      opt.kind = cfg.kind;
+      opt.mode = cfg.mode;
+      opt.cost = CostModel{.n = cfg.n_sites, .m = 1 << 16};
+      opt.known_relation = fast;
+      if (cfg.mode == TransferMode::kPipelined) {
+        opt.net = {.latency_s = 0.001 * (k % 4),
+                   .bandwidth_bits_per_s = (k % 2) != 0 ? 2e5 : 1e7};
+      }
+      sim::EventLoop loop;
+      sync_rotating(loop, vec[op.r], vec[op.s], opt);
+      oracle[op.r].join(oracle[op.s]);
+      if (fast == Ordering::kConcurrent) {
+        vec[op.r].record_update(SiteId{op.r});
+        oracle[op.r].increment(SiteId{op.r});
+      }
+    }
+    if (!vec[op.r].same_values(oracle[op.r])) {
+      *why = "vector diverged from oracle: got " + vec[op.r].to_string() + ", want " +
+             oracle[op.r].to_string();
+      return k;
+    }
+  }
+  return std::nullopt;
+}
+
+// Greedy delta-debugging: drop ops while the failure persists.
+std::vector<Op> shrink(const FuzzConfig& cfg, std::vector<Op> ops) {
+  std::string why;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      std::vector<Op> cand = ops;
+      cand.erase(cand.begin() + static_cast<std::ptrdiff_t>(i));
+      if (run_ops(cfg, cand, &why).has_value()) {
+        ops = std::move(cand);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return ops;
+}
+
+void fuzz(const FuzzConfig& cfg, std::uint64_t seed_lo, std::uint64_t seed_hi) {
+  for (std::uint64_t seed = seed_lo; seed <= seed_hi; ++seed) {
+    Rng rng(seed);
+    std::vector<Op> ops;
+    ops.reserve(cfg.steps);
+    for (std::uint32_t step = 0; step < cfg.steps; ++step) {
+      Op op;
+      op.is_update = rng.chance(cfg.update_prob);
+      op.r = static_cast<std::uint32_t>(rng.below(cfg.n_sites));
+      do {
+        op.s = static_cast<std::uint32_t>(rng.below(cfg.n_sites));
+      } while (op.s == op.r);
+      ops.push_back(op);
+    }
+    std::string why;
+    const auto fail = run_ops(cfg, ops, &why);
+    if (fail.has_value()) {
+      ops.resize(*fail + 1);
+      const auto minimal = shrink(cfg, ops);
+      FAIL() << "seed " << seed << ": " << why << "\nminimal repro ("
+             << minimal.size() << " ops): " << describe(minimal);
+    }
+  }
+}
+
+struct SoakCase {
+  VectorKind kind;
+  TransferMode mode;
+};
+
+class ProtocolSoak : public ::testing::TestWithParam<SoakCase> {};
+
+TEST_P(ProtocolSoak, RandomHistoriesNeverDiverge) {
+  FuzzConfig cfg;
+  cfg.kind = GetParam().kind;
+  cfg.mode = GetParam().mode;
+  fuzz(cfg, 1, 250);
+}
+
+TEST_P(ProtocolSoak, DenseUpdateHistories) {
+  FuzzConfig cfg;
+  cfg.kind = GetParam().kind;
+  cfg.mode = GetParam().mode;
+  cfg.update_prob = 0.8;  // long vectors, rare syncs with big Δ
+  cfg.steps = 200;
+  fuzz(cfg, 300, 400);
+}
+
+TEST_P(ProtocolSoak, SyncHeavyHistories) {
+  FuzzConfig cfg;
+  cfg.kind = GetParam().kind;
+  cfg.mode = GetParam().mode;
+  cfg.update_prob = 0.15;  // constant reconciliation churn
+  cfg.steps = 200;
+  fuzz(cfg, 500, 600);
+}
+
+TEST_P(ProtocolSoak, TwoSitesPingPong) {
+  FuzzConfig cfg;
+  cfg.kind = GetParam().kind;
+  cfg.mode = GetParam().mode;
+  cfg.n_sites = 2;
+  cfg.steps = 300;
+  fuzz(cfg, 700, 780);
+}
+
+TEST_P(ProtocolSoak, ManySites) {
+  FuzzConfig cfg;
+  cfg.kind = GetParam().kind;
+  cfg.mode = GetParam().mode;
+  cfg.n_sites = 24;
+  cfg.steps = 150;
+  fuzz(cfg, 900, 960);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAllModes, ProtocolSoak,
+    ::testing::Values(SoakCase{VectorKind::kBrv, TransferMode::kIdeal},
+                      SoakCase{VectorKind::kBrv, TransferMode::kPipelined},
+                      SoakCase{VectorKind::kCrv, TransferMode::kIdeal},
+                      SoakCase{VectorKind::kCrv, TransferMode::kStopAndWait},
+                      SoakCase{VectorKind::kCrv, TransferMode::kPipelined},
+                      SoakCase{VectorKind::kSrv, TransferMode::kIdeal},
+                      SoakCase{VectorKind::kSrv, TransferMode::kStopAndWait},
+                      SoakCase{VectorKind::kSrv, TransferMode::kPipelined}),
+    [](const auto& info) {
+      std::string name{to_string(info.param.kind)};
+      switch (info.param.mode) {
+        case TransferMode::kIdeal: name += "Ideal"; break;
+        case TransferMode::kStopAndWait: name += "StopAndWait"; break;
+        case TransferMode::kPipelined: name += "Pipelined"; break;
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace optrep::vv

@@ -1,0 +1,175 @@
+// SYNCG soak tests with shrinking, mirroring the vector-protocol soak: random
+// multi-site operation histories, checked for exact unions, closure, and
+// traffic invariants, with greedy minimization of any failing sequence.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+
+#include "common/rng.h"
+#include "graph/sync_graph.h"
+
+namespace optrep::graph {
+namespace {
+
+struct GOp {
+  bool is_update;
+  std::uint32_t r, s;
+};
+
+struct GraphFuzzConfig {
+  vv::TransferMode mode{vv::TransferMode::kIdeal};
+  std::uint32_t n_sites{5};
+  std::uint32_t steps{100};
+  double update_prob{0.5};
+};
+
+std::string describe(const std::vector<GOp>& ops) {
+  std::ostringstream out;
+  for (const GOp& op : ops) {
+    if (op.is_update) {
+      out << "U" << op.r << " ";
+    } else {
+      out << "S" << op.r << "<-" << op.s << " ";
+    }
+  }
+  return out.str();
+}
+
+std::optional<std::size_t> run_ops(const GraphFuzzConfig& cfg, const std::vector<GOp>& ops,
+                                   std::string* why) {
+  std::vector<CausalGraph> g(cfg.n_sites);
+  std::vector<std::uint64_t> seq(cfg.n_sites, 0);
+  for (auto& gr : g) gr.create(UpdateId{SiteId{31}, 1});
+
+  for (std::size_t k = 0; k < ops.size(); ++k) {
+    const GOp& op = ops[k];
+    if (op.is_update) {
+      g[op.r].append(UpdateId{SiteId{op.r}, ++seq[op.r]});
+      continue;
+    }
+    const CausalGraph& src = g[op.s];
+    CausalGraph& dst = g[op.r];
+    const vv::Ordering rel = dst.compare(src);
+    if (rel == vv::Ordering::kEqual || rel == vv::Ordering::kAfter) continue;
+
+    const std::size_t before_nodes = dst.node_count();
+    GraphSyncOptions opt;
+    opt.mode = cfg.mode;
+    opt.cost = CostModel{.n = cfg.n_sites, .m = 1 << 20};
+    if (cfg.mode == vv::TransferMode::kPipelined) {
+      opt.net = {.latency_s = 0.001 * (k % 3),
+                 .bandwidth_bits_per_s = (k % 2) != 0 ? 1e5 : 1e8};
+    }
+    sim::EventLoop loop;
+    const auto rep = sync_graph(loop, dst, src, opt);
+
+    for (const Node& n : src.all_nodes()) {
+      if (!dst.contains(n.id)) {
+        *why = "union is missing node " + update_name(n.id);
+        return k;
+      }
+    }
+    if (rep.nodes_new != dst.node_count() - before_nodes) {
+      *why = "nodes_new accounting mismatch";
+      return k;
+    }
+    if (cfg.mode == vv::TransferMode::kIdeal &&
+        rep.nodes_redundant > rep.skipto_msgs + 1) {
+      *why = "redundancy exceeded one per branch in ideal mode";
+      return k;
+    }
+    if (rel == vv::Ordering::kBefore) {
+      dst.set_sink(src.sink());
+    } else {
+      dst.merge(UpdateId{SiteId{op.r}, ++seq[op.r]}, src.sink());
+    }
+    if (!dst.validate_closed()) {
+      *why = "graph not closed after sync";
+      return k;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<GOp> shrink(const GraphFuzzConfig& cfg, std::vector<GOp> ops) {
+  std::string why;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      std::vector<GOp> cand = ops;
+      cand.erase(cand.begin() + static_cast<std::ptrdiff_t>(i));
+      if (run_ops(cfg, cand, &why).has_value()) {
+        ops = std::move(cand);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return ops;
+}
+
+void fuzz(const GraphFuzzConfig& cfg, std::uint64_t seed_lo, std::uint64_t seed_hi) {
+  for (std::uint64_t seed = seed_lo; seed <= seed_hi; ++seed) {
+    Rng rng(seed);
+    std::vector<GOp> ops;
+    for (std::uint32_t step = 0; step < cfg.steps; ++step) {
+      GOp op;
+      op.is_update = rng.chance(cfg.update_prob);
+      op.r = static_cast<std::uint32_t>(rng.below(cfg.n_sites));
+      do {
+        op.s = static_cast<std::uint32_t>(rng.below(cfg.n_sites));
+      } while (op.s == op.r);
+      ops.push_back(op);
+    }
+    std::string why;
+    const auto fail = run_ops(cfg, ops, &why);
+    if (fail.has_value()) {
+      ops.resize(*fail + 1);
+      const auto minimal = shrink(cfg, ops);
+      FAIL() << "seed " << seed << ": " << why << "\nminimal repro ("
+             << minimal.size() << " ops): " << describe(minimal);
+    }
+  }
+}
+
+class GraphSoak : public ::testing::TestWithParam<vv::TransferMode> {};
+
+TEST_P(GraphSoak, RandomHistoriesProduceExactUnions) {
+  GraphFuzzConfig cfg;
+  cfg.mode = GetParam();
+  fuzz(cfg, 1, 120);
+}
+
+TEST_P(GraphSoak, MergeHeavyHistories) {
+  GraphFuzzConfig cfg;
+  cfg.mode = GetParam();
+  cfg.update_prob = 0.2;  // constant branching + merging
+  cfg.steps = 150;
+  fuzz(cfg, 200, 280);
+}
+
+TEST_P(GraphSoak, DeepChains) {
+  GraphFuzzConfig cfg;
+  cfg.mode = GetParam();
+  cfg.update_prob = 0.85;
+  cfg.steps = 250;
+  fuzz(cfg, 400, 450);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, GraphSoak,
+                         ::testing::Values(vv::TransferMode::kIdeal,
+                                           vv::TransferMode::kStopAndWait,
+                                           vv::TransferMode::kPipelined),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case vv::TransferMode::kIdeal: return "Ideal";
+                             case vv::TransferMode::kStopAndWait: return "StopAndWait";
+                             case vv::TransferMode::kPipelined: return "Pipelined";
+                           }
+                           return "?";
+                         });
+
+}  // namespace
+}  // namespace optrep::graph

@@ -1,0 +1,112 @@
+// Hybrid transfer (§6): "a system may preserve a short history of operations
+// and when a replica is too old, the entire object is transmitted."
+#include <gtest/gtest.h>
+
+#include "repl/op_system.h"
+
+namespace optrep::repl {
+namespace {
+
+const SiteId A{0}, B{1}, C{2};
+const ObjectId kObj{0};
+
+OpSystem::Config cfg(std::uint32_t log_limit) {
+  OpSystem::Config c;
+  c.n_sites = 4;
+  c.cost = CostModel{.n = 8, .m = 1 << 16};
+  c.op_log_limit = log_limit;
+  return c;
+}
+
+TEST(HybridTransfer, FreshPeerWithinLogLimitGetsOps) {
+  OpSystem sys(cfg(/*log_limit=*/16));
+  sys.create_object(A, kObj, "aaaa");
+  for (int i = 0; i < 5; ++i) sys.update(A, kObj, "op");
+  auto out = sys.sync(B, A, kObj);
+  EXPECT_FALSE(out.state_fallback);
+  EXPECT_EQ(sys.totals().state_fallbacks, 0u);
+  EXPECT_TRUE(sys.replicas_consistent(kObj));
+}
+
+TEST(HybridTransfer, StalePeerForcesStateFallback) {
+  OpSystem sys(cfg(/*log_limit=*/4));
+  sys.create_object(A, kObj, std::string(100, 'x'));
+  // 20 updates: the creation op's payload is long evicted from A's log.
+  for (int i = 0; i < 20; ++i) sys.update(A, kObj, "op");
+  auto out = sys.sync(B, A, kObj);
+  EXPECT_TRUE(out.state_fallback);
+  // The fallback ships the whole object: all op bytes.
+  EXPECT_EQ(out.state_fallback_bytes, sys.replica(A, kObj).graph.total_op_bytes());
+  EXPECT_EQ(sys.totals().state_fallbacks, 1u);
+  // The graph metadata still synchronized fully.
+  EXPECT_TRUE(sys.replicas_consistent(kObj));
+}
+
+TEST(HybridTransfer, RecentPeerAvoidsFallbackAfterCatchUp) {
+  OpSystem sys(cfg(/*log_limit=*/4));
+  sys.create_object(A, kObj, "base");
+  for (int i = 0; i < 10; ++i) sys.update(A, kObj, "old");
+  sys.sync(B, A, kObj);  // fallback (B way behind)
+  ASSERT_EQ(sys.totals().state_fallbacks, 1u);
+  // Now B is current; small increments stay within the log.
+  for (int round = 0; round < 5; ++round) {
+    sys.update(A, kObj, "new");
+    auto out = sys.sync(B, A, kObj);
+    EXPECT_FALSE(out.state_fallback) << "round " << round;
+  }
+  EXPECT_EQ(sys.totals().state_fallbacks, 1u);
+  EXPECT_TRUE(sys.replicas_consistent(kObj));
+}
+
+TEST(HybridTransfer, UnlimitedLogNeverFallsBack) {
+  OpSystem sys(cfg(/*log_limit=*/0));
+  sys.create_object(A, kObj, "base");
+  for (int i = 0; i < 50; ++i) sys.update(A, kObj, "op");
+  sys.sync(B, A, kObj);
+  EXPECT_EQ(sys.totals().state_fallbacks, 0u);
+}
+
+TEST(HybridTransfer, MergeNodesNeverForceFallback) {
+  // Merge operations carry no payload; a peer missing only merge nodes must
+  // not trigger the state path.
+  OpSystem sys(cfg(/*log_limit=*/3));
+  sys.create_object(A, kObj, "base");
+  sys.sync(B, A, kObj);
+  sys.update(A, kObj, "a1");
+  sys.update(B, kObj, "b1");
+  auto rec = sys.sync(B, A, kObj);  // reconciliation creates a merge node
+  ASSERT_EQ(rec.action, OpSyncOutcome::Action::kReconciled);
+  auto back = sys.sync(A, B, kObj);  // A needs b1 + the merge node: in log
+  EXPECT_FALSE(back.state_fallback);
+  EXPECT_TRUE(sys.replicas_consistent(kObj));
+}
+
+TEST(HybridTransfer, ReceiverLogInheritedOnFallback) {
+  OpSystem sys(cfg(/*log_limit=*/4));
+  sys.create_object(A, kObj, "base");
+  for (int i = 0; i < 12; ++i) sys.update(A, kObj, "op");
+  sys.sync(B, A, kObj);  // fallback: B adopts A's retained window
+  // B can immediately serve a third peer that is only slightly behind A.
+  sys.sync(C, A, kObj);  // C gets the state too (also stale)
+  sys.update(B, kObj, "fresh");
+  auto out = sys.sync(C, B, kObj);  // C needs only "fresh": from B's log
+  EXPECT_FALSE(out.state_fallback);
+  auto to_a = sys.sync(A, B, kObj);  // and A catches up the same way
+  EXPECT_FALSE(to_a.state_fallback);
+  EXPECT_TRUE(sys.replicas_consistent(kObj));
+}
+
+TEST(HybridTransfer, FallbackAccountingAccumulates) {
+  OpSystem sys(cfg(/*log_limit=*/2));
+  sys.create_object(A, kObj, std::string(50, 'p'));
+  for (int i = 0; i < 8; ++i) sys.update(A, kObj, std::string(10, 'q'));
+  sys.sync(B, A, kObj);
+  for (int i = 0; i < 8; ++i) sys.update(A, kObj, std::string(10, 'r'));
+  sys.sync(C, A, kObj);
+  EXPECT_EQ(sys.totals().state_fallbacks, 2u);
+  EXPECT_EQ(sys.totals().state_fallback_bytes,
+            (50 + 8 * 10) + (50 + 16 * 10u));
+}
+
+}  // namespace
+}  // namespace optrep::repl

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "metadata/hash_history.h"
+#include "metadata/predecessor_set.h"
+
+namespace optrep::meta {
+namespace {
+
+const SiteId A{0}, B{1};
+
+TEST(HashHistory, PristineStatesAreEqual) {
+  HashHistory a, b;
+  EXPECT_EQ(a.compare(b), vv::Ordering::kEqual);
+  EXPECT_EQ(a.storage_bytes(), 0u);
+}
+
+TEST(HashHistory, UpdateCreatesOrderedVersions) {
+  HashHistory a;
+  a.record_update(UpdateId{A, 1});
+  HashHistory b = a;
+  b.record_update(UpdateId{B, 1});
+  EXPECT_EQ(a.compare(b), vv::Ordering::kBefore);
+  EXPECT_EQ(b.compare(a), vv::Ordering::kAfter);
+}
+
+TEST(HashHistory, DivergenceIsConcurrent) {
+  HashHistory base;
+  base.record_update(UpdateId{A, 1});
+  HashHistory x = base, y = base;
+  x.record_update(UpdateId{A, 2});
+  y.record_update(UpdateId{B, 1});
+  EXPECT_EQ(x.compare(y), vv::Ordering::kConcurrent);
+}
+
+TEST(HashHistory, MergeConvergesDeterministically) {
+  HashHistory base;
+  base.record_update(UpdateId{A, 1});
+  HashHistory x = base, y = base;
+  x.record_update(UpdateId{A, 2});
+  y.record_update(UpdateId{B, 1});
+  HashHistory mx = x, my = y;
+  mx.merge(y);
+  my.merge(x);
+  // Same pair of heads → same merge version on both sites.
+  EXPECT_EQ(mx.head(), my.head());
+  EXPECT_EQ(mx.compare(my), vv::Ordering::kEqual);
+}
+
+TEST(HashHistory, FastForwardAdoptsHead) {
+  HashHistory a;
+  a.record_update(UpdateId{A, 1});
+  HashHistory b = a;
+  b.record_update(UpdateId{B, 1});
+  a.fast_forward(b);
+  EXPECT_EQ(a.compare(b), vv::Ordering::kEqual);
+}
+
+TEST(HashHistory, StorageGrowsWithVersionsNotSites) {
+  HashHistory a;
+  for (int i = 1; i <= 10; ++i) a.record_update(UpdateId{A, static_cast<std::uint64_t>(i)});
+  EXPECT_EQ(a.version_count(), 10u);
+  EXPECT_EQ(a.storage_bytes(), 10 * HashHistory::kBytesPerEntry);
+}
+
+TEST(PredecessorSet, CompareBySubset) {
+  PredecessorSet a, b;
+  a.record_update(UpdateId{A, 1});
+  b.record_update(UpdateId{A, 1});
+  EXPECT_EQ(a.compare(b), vv::Ordering::kEqual);
+  b.record_update(UpdateId{B, 1});
+  EXPECT_EQ(a.compare(b), vv::Ordering::kBefore);
+  a.record_update(UpdateId{A, 2});
+  EXPECT_EQ(a.compare(b), vv::Ordering::kConcurrent);
+}
+
+TEST(PredecessorSet, JoinUnions) {
+  PredecessorSet a, b;
+  a.record_update(UpdateId{A, 1});
+  b.record_update(UpdateId{B, 1});
+  a.join(b);
+  EXPECT_TRUE(a.contains(UpdateId{B, 1}));
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.compare(b), vv::Ordering::kAfter);
+}
+
+TEST(PredecessorSet, StorageGrowsWithTotalUpdates) {
+  // Observation 2.1: at least one entry per active site, and it keeps
+  // growing with updates — worse than a version vector.
+  PredecessorSet p;
+  for (std::uint32_t s = 0; s < 8; ++s) {
+    for (std::uint64_t u = 1; u <= 5; ++u) p.record_update(UpdateId{SiteId{s}, u});
+  }
+  EXPECT_EQ(p.size(), 40u);
+  EXPECT_EQ(p.storage_bytes(), 40 * PredecessorSet::kBytesPerEntry);
+}
+
+}  // namespace
+}  // namespace optrep::meta

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "repl/op_system.h"
+
+namespace optrep::repl {
+namespace {
+
+const SiteId A{0}, B{1}, C{2};
+const ObjectId kObj{0};
+
+OpSystem::Config cfg(bool incremental = true) {
+  OpSystem::Config c;
+  c.n_sites = 4;
+  c.cost = CostModel{.n = 8, .m = 1 << 16};
+  c.use_incremental = incremental;
+  return c;
+}
+
+TEST(OpSystem, CreateAndAppendOps) {
+  OpSystem sys(cfg());
+  sys.create_object(A, kObj, "hello");
+  sys.update(A, kObj, "world");
+  const OpReplica& r = sys.replica(A, kObj);
+  EXPECT_EQ(r.graph.node_count(), 2u);
+  EXPECT_EQ(r.graph.sink(), (UpdateId{A, 2}));
+  EXPECT_TRUE(r.graph.validate_closed());
+}
+
+TEST(OpSystem, FastForwardOnDominatingSender) {
+  OpSystem sys(cfg());
+  sys.create_object(A, kObj, "hello");
+  sys.update(A, kObj, "world");
+  auto out = sys.sync(B, A, kObj);
+  EXPECT_EQ(out.action, OpSyncOutcome::Action::kFastForwarded);
+  EXPECT_TRUE(sys.replicas_consistent(kObj));
+  EXPECT_EQ(sys.materialize(B, kObj), sys.materialize(A, kObj));
+}
+
+TEST(OpSystem, ConcurrentOpsReconcileWithMergeNode) {
+  OpSystem sys(cfg());
+  sys.create_object(A, kObj, "base");
+  sys.sync(B, A, kObj);
+  sys.update(A, kObj, "a-op");
+  sys.update(B, kObj, "b-op");
+  auto out = sys.sync(B, A, kObj);
+  EXPECT_EQ(out.relation, vv::Ordering::kConcurrent);
+  EXPECT_EQ(out.action, OpSyncOutcome::Action::kReconciled);
+  const OpReplica& rb = sys.replica(B, kObj);
+  EXPECT_TRUE(rb.graph.find(rb.graph.sink())->is_merge());
+  EXPECT_TRUE(rb.graph.validate_closed());
+  // Propagate the merge back to A.
+  auto back = sys.sync(A, B, kObj);
+  EXPECT_EQ(back.action, OpSyncOutcome::Action::kFastForwarded);
+  EXPECT_TRUE(sys.replicas_consistent(kObj));
+  EXPECT_NE(sys.materialize(A, kObj).find("a-op"), std::string::npos);
+  EXPECT_NE(sys.materialize(A, kObj).find("b-op"), std::string::npos);
+}
+
+TEST(OpSystem, IncrementalBeatsFullTransferOnLongSharedHistory) {
+  OpSystem inc(cfg(true)), full(cfg(false));
+  for (OpSystem* sys : {&inc, &full}) {
+    sys->create_object(A, kObj, "base");
+    for (int i = 0; i < 100; ++i) sys->update(A, kObj, "op" + std::to_string(i));
+    sys->sync(B, A, kObj);  // B now shares the long history
+    sys->update(A, kObj, "fresh");
+    sys->sync(B, A, kObj);  // only "fresh" is missing
+  }
+  EXPECT_LT(inc.totals().nodes_sent, full.totals().nodes_sent);
+  EXPECT_GT(full.totals().nodes_redundant, 90u);
+  EXPECT_LE(inc.totals().nodes_redundant, 2u);
+  EXPECT_TRUE(inc.replicas_consistent(kObj));
+  EXPECT_TRUE(full.replicas_consistent(kObj));
+}
+
+TEST(OpSystem, OpPayloadBytesShipOnlyForNewNodes) {
+  OpSystem sys(cfg());
+  sys.create_object(A, kObj, std::string(1000, 'x'));
+  sys.sync(B, A, kObj);
+  EXPECT_EQ(sys.totals().op_bytes, 1000u);
+  sys.update(A, kObj, std::string(10, 'y'));
+  sys.sync(B, A, kObj);
+  EXPECT_EQ(sys.totals().op_bytes, 1010u);  // the 1000-byte op is not resent
+}
+
+TEST(OpSystem, MaterializeIsDeterministicAcrossReplicas) {
+  OpSystem sys(cfg());
+  sys.create_object(A, kObj, "1");
+  sys.sync(B, A, kObj);
+  sys.sync(C, A, kObj);
+  sys.update(A, kObj, "2");
+  sys.update(B, kObj, "3");
+  sys.update(C, kObj, "4");
+  for (int i = 0; i < 4; ++i) {
+    sys.sync(B, A, kObj);
+    sys.sync(C, B, kObj);
+    sys.sync(A, C, kObj);
+  }
+  ASSERT_TRUE(sys.replicas_consistent(kObj));
+  EXPECT_EQ(sys.materialize(A, kObj), sys.materialize(B, kObj));
+  EXPECT_EQ(sys.materialize(B, kObj), sys.materialize(C, kObj));
+}
+
+TEST(OpSystem, SyncToSelfRejected) {
+  OpSystem sys(cfg());
+  sys.create_object(A, kObj, "x");
+  EXPECT_DEATH(sys.sync(A, A, kObj), "cannot synchronize with itself");
+}
+
+}  // namespace
+}  // namespace optrep::repl

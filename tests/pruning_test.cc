@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+#include "vv/compare.h"
+#include "vv/pruning.h"
+#include "vv/session.h"
+
+namespace optrep::vv {
+namespace {
+
+const SiteId A{0}, B{1}, C{2}, D{3};
+
+TEST(RotatingVectorErase, RemovesElementAndRelinks) {
+  RotatingVector v;
+  v.record_update(A);
+  v.record_update(B);
+  v.record_update(C);  // <C, B, A>
+  v.erase(B);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_FALSE(v.contains(B));
+  EXPECT_EQ(v.front()->site, C);
+  EXPECT_EQ(*v.next(C), A);
+  EXPECT_EQ(v.back()->site, A);
+}
+
+TEST(RotatingVectorErase, HeadAndTailAndSingleton) {
+  RotatingVector v;
+  v.record_update(A);
+  v.record_update(B);  // <B, A>
+  v.erase(B);          // erase head
+  EXPECT_EQ(v.front()->site, A);
+  v.record_update(C);  // <C, A>
+  v.erase(A);          // erase tail
+  EXPECT_EQ(v.back()->site, C);
+  v.erase(C);          // erase last element
+  EXPECT_TRUE(v.empty());
+  EXPECT_FALSE(v.front().has_value());
+  v.erase(D);  // absent: no-op
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(RotatingVectorErase, CarriesSegmentBit) {
+  RotatingVector v;
+  v.record_update(A);
+  v.record_update(B);
+  v.record_update(C);  // <C, B, A>
+  v.set_segment_bit(B, true);
+  v.erase(B);
+  EXPECT_TRUE(v.segment_bit(C));  // boundary moved to the predecessor
+}
+
+TEST(RotatingVectorErase, SlotReuseKeepsIntegrity) {
+  RotatingVector v;
+  for (std::uint32_t i = 0; i < 10; ++i) v.record_update(SiteId{i});
+  for (std::uint32_t i = 0; i < 5; ++i) v.erase(SiteId{i});
+  for (std::uint32_t i = 20; i < 28; ++i) v.record_update(SiteId{i});
+  EXPECT_EQ(v.size(), 13u);
+  // Walk the order and confirm it is coherent.
+  const auto elems = v.in_order();
+  ASSERT_EQ(elems.size(), 13u);
+  EXPECT_EQ(elems.front().site, SiteId{27});
+  // The oracle view agrees.
+  EXPECT_TRUE(v.same_values(v.to_version_vector()));
+}
+
+TEST(MembershipManager, RetireAndFloor) {
+  MembershipManager mm;
+  mm.retire(D);
+  VersionVector r1, r2;
+  r1.set(D, 3);
+  r1.set(A, 5);
+  r2.set(D, 3);
+  mm.observe_replica(r1);
+  mm.observe_replica(r2);
+  const auto p = mm.prunable();
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0].first, D);
+  EXPECT_EQ(p[0].second, 3u);
+}
+
+TEST(MembershipManager, FloorIsMinimumOverReports) {
+  MembershipManager mm;
+  mm.retire(D);
+  VersionVector r1, r2;
+  r1.set(D, 3);
+  r2.set(D, 2);  // a straggler replica has only seen D:2
+  mm.observe_replica(r1);
+  mm.observe_replica(r2);
+  EXPECT_EQ(mm.prunable()[0].second, 2u);
+}
+
+TEST(MembershipManager, PruneRemovesOnlyStableValues) {
+  MembershipManager mm;
+  mm.retire(D);
+  VersionVector seen;
+  seen.set(D, 2);
+  mm.observe_replica(seen);
+
+  RotatingVector fresh;  // holds a NEWER value than the floor: keep it
+  fresh.record_update(D);
+  fresh.record_update(D);
+  fresh.record_update(D);
+  EXPECT_EQ(mm.prune(fresh), 0u);
+  EXPECT_TRUE(fresh.contains(D));
+
+  RotatingVector stable;
+  stable.record_update(D);
+  stable.record_update(D);
+  stable.record_update(A);
+  EXPECT_EQ(mm.prune(stable), 1u);
+  EXPECT_FALSE(stable.contains(D));
+  EXPECT_TRUE(stable.contains(A));
+}
+
+TEST(Pruning, ComparisonsUnchangedAfterPruning) {
+  // Build replicas that all absorbed retired site D's final value, prune,
+  // and verify pairwise COMPARE outcomes are identical pre/post.
+  Rng rng(404);
+  for (int trial = 0; trial < 50; ++trial) {
+    RotatingVector base;
+    base.record_update(D);
+    base.record_update(D);  // D's final state: D:2
+    std::vector<RotatingVector> reps(4, base);
+    for (int step = 0; step < 30; ++step) {
+      const auto i = rng.below(reps.size());
+      if (rng.chance(0.6)) {
+        // Updater ids offset past D: a retired site never updates again.
+        reps[i].record_update(SiteId{static_cast<std::uint32_t>(i) + 10});
+      } else {
+        const auto j = rng.below(reps.size());
+        if (i == j) continue;
+        const auto rel = compare_full(reps[i], reps[j]);
+        if (rel == Ordering::kBefore) reps[i] = reps[j];
+        if (rel == Ordering::kAfter) reps[j] = reps[i];
+      }
+    }
+    MembershipManager mm;
+    mm.retire(D);
+    for (const auto& r : reps) mm.observe_replica(r.to_version_vector());
+
+    std::vector<RotatingVector> pruned = reps;
+    for (auto& r : pruned) EXPECT_EQ(mm.prune(r), 1u);
+    for (std::size_t i = 0; i < reps.size(); ++i) {
+      for (std::size_t j = 0; j < reps.size(); ++j) {
+        EXPECT_EQ(compare_fast(pruned[i], pruned[j]), compare_fast(reps[i], reps[j]))
+            << "trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(Pruning, SynchronizationStillConvergesAfterPruning) {
+  RotatingVector base;
+  base.record_update(D);
+  RotatingVector a = base, b = base;
+  a.record_update(A);
+  b.record_update(B);
+  b.record_update(C);
+
+  MembershipManager mm;
+  mm.retire(D);
+  mm.observe_replica(a.to_version_vector());
+  mm.observe_replica(b.to_version_vector());
+  mm.prune(a);
+  mm.prune(b);
+
+  sim::EventLoop loop;
+  auto rep = sync_skip(loop, a, b, test::ideal(VectorKind::kSrv, 8));
+  EXPECT_EQ(rep.initial_relation, Ordering::kConcurrent);
+  EXPECT_EQ(a.value(A), 1u);
+  EXPECT_EQ(a.value(B), 1u);
+  EXPECT_EQ(a.value(C), 1u);
+  EXPECT_FALSE(a.contains(D));  // stays pruned
+}
+
+TEST(Pruning, FrontElementRetirementIsSafeOnceStable) {
+  // Even the front (dominating) element can be pruned once every replica
+  // absorbed it: the remaining front still dominates the remainder.
+  RotatingVector base;
+  base.record_update(A);
+  base.record_update(D);  // <D, A> — D is the front
+  RotatingVector a = base, b = base;
+  a.record_update(B);  // <B, D, A>
+  MembershipManager mm;
+  mm.retire(D);
+  mm.observe_replica(a.to_version_vector());
+  mm.observe_replica(b.to_version_vector());
+  mm.prune(a);
+  mm.prune(b);
+  EXPECT_EQ(compare_fast(b, a), Ordering::kBefore);
+  EXPECT_EQ(compare_fast(a, b), Ordering::kAfter);
+}
+
+}  // namespace
+}  // namespace optrep::vv

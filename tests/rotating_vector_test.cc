@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "vv/rotating_vector.h"
+
+namespace optrep::vv {
+namespace {
+
+const SiteId A{0}, B{1}, C{2}, D{3};
+
+std::vector<SiteId> order_sites(const RotatingVector& v) {
+  std::vector<SiteId> out;
+  for (const auto& e : v.in_order()) out.push_back(e.site);
+  return out;
+}
+
+TEST(RotatingVector, StartsEmpty) {
+  RotatingVector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_FALSE(v.front().has_value());
+  EXPECT_FALSE(v.back().has_value());
+  EXPECT_EQ(v.value(A), 0u);
+}
+
+TEST(RotatingVector, UpdateRotatesToFront) {
+  RotatingVector v;
+  v.record_update(A);
+  v.record_update(B);
+  v.record_update(C);
+  // §3.1: the most recent updater is ⌊v⌋.
+  EXPECT_EQ(order_sites(v), (std::vector<SiteId>{C, B, A}));
+  EXPECT_EQ(v.front()->site, C);
+  EXPECT_EQ(v.back()->site, A);
+
+  v.record_update(A);
+  EXPECT_EQ(order_sites(v), (std::vector<SiteId>{A, C, B}));
+  EXPECT_EQ(v.value(A), 2u);
+}
+
+TEST(RotatingVector, RepeatedUpdateKeepsFront) {
+  RotatingVector v;
+  v.record_update(A);
+  v.record_update(A);
+  v.record_update(A);
+  EXPECT_EQ(v.value(A), 3u);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.front()->site, A);
+}
+
+TEST(RotatingVector, UpdateClearsConflictBit) {
+  RotatingVector v;
+  v.record_update(A);
+  v.set_conflict_bit(A, true);
+  EXPECT_TRUE(v.conflict_bit(A));
+  v.record_update(A);
+  // §3.2: the bit is reset whenever v[i] is incremented by a local update.
+  EXPECT_FALSE(v.conflict_bit(A));
+}
+
+TEST(RotatingVector, NextWalksTowardBack) {
+  RotatingVector v;
+  v.record_update(A);
+  v.record_update(B);
+  EXPECT_EQ(*v.next(B), A);
+  EXPECT_FALSE(v.next(A).has_value());
+}
+
+TEST(RotatingVector, RotateAfterInsertsUnknownElement) {
+  RotatingVector v;
+  v.record_update(A);
+  // A receiver rotates an incoming element it has never seen (Alg 2 line 7).
+  v.rotate_after(std::nullopt, B);
+  v.set_element(B, 5, false, false);
+  EXPECT_EQ(order_sites(v), (std::vector<SiteId>{B, A}));
+  EXPECT_EQ(v.value(B), 5u);
+}
+
+TEST(RotatingVector, RotateAfterMovesBehindPrev) {
+  RotatingVector v;
+  v.record_update(A);
+  v.record_update(B);
+  v.record_update(C);  // <C, B, A>
+  v.rotate_after(C, A);
+  EXPECT_EQ(order_sites(v), (std::vector<SiteId>{C, A, B}));
+}
+
+TEST(RotatingVector, RotateNoOpWhenAlreadyInPlace) {
+  RotatingVector v;
+  v.record_update(A);
+  v.record_update(B);  // <B, A>
+  v.set_segment_bit(B, true);
+  v.rotate_after(std::nullopt, B);  // already at front
+  // A no-op rotate must not run the segment-bit carry.
+  EXPECT_TRUE(v.segment_bit(B));
+  EXPECT_FALSE(v.segment_bit(A));
+  v.rotate_after(B, A);  // already right after B
+  EXPECT_EQ(order_sites(v), (std::vector<SiteId>{B, A}));
+}
+
+TEST(RotatingVector, SegmentBitCarriesToPredecessorOnRotate) {
+  RotatingVector v;
+  v.record_update(A);
+  v.record_update(B);
+  v.record_update(C);  // <C, B, A>
+  v.set_segment_bit(B, true);  // segments: {C, B}, {A}
+  // §4: rotating B out must move the boundary to its predecessor C.
+  v.record_update(B);  // B rotates to front (value 2)
+  EXPECT_EQ(order_sites(v), (std::vector<SiteId>{B, C, A}));
+  EXPECT_TRUE(v.segment_bit(C));
+  EXPECT_FALSE(v.segment_bit(B));
+}
+
+TEST(RotatingVector, FrontSingletonSegmentKeepsBitOnRepeatUpdate) {
+  RotatingVector v;
+  v.record_update(A);
+  v.record_update(B);  // <B, A>
+  v.set_segment_bit(B, true);  // segments: {B}, {A}
+  v.record_update(B);
+  // B is already ⌊v⌋, so the rotate is positionally a no-op and the boundary
+  // stays on B: the fresh element forms a closed singleton segment. This is a
+  // finer segmentation than strictly necessary, which is always safe (a skip
+  // can only under-approximate).
+  EXPECT_TRUE(v.segment_bit(B));
+  EXPECT_FALSE(v.segment_bit(A));
+}
+
+TEST(RotatingVector, SetElementPreservesPosition) {
+  RotatingVector v;
+  v.record_update(A);
+  v.record_update(B);
+  v.set_element(A, 7, true, true);
+  EXPECT_EQ(order_sites(v), (std::vector<SiteId>{B, A}));
+  EXPECT_EQ(v.value(A), 7u);
+  EXPECT_TRUE(v.conflict_bit(A));
+  EXPECT_TRUE(v.segment_bit(A));
+}
+
+TEST(RotatingVector, SetElementInsertsAtFrontWhenAbsent) {
+  RotatingVector v;
+  v.record_update(A);
+  v.set_element(D, 4, false, false);
+  EXPECT_EQ(v.front()->site, D);
+  EXPECT_EQ(v.value(D), 4u);
+}
+
+TEST(RotatingVector, ToVersionVectorMatchesValues) {
+  RotatingVector v;
+  v.record_update(A);
+  v.record_update(B);
+  v.record_update(A);
+  const VersionVector vv = v.to_version_vector();
+  EXPECT_EQ(vv.value(A), 2u);
+  EXPECT_EQ(vv.value(B), 1u);
+  EXPECT_TRUE(v.same_values(vv));
+}
+
+TEST(RotatingVector, SameValuesDetectsMismatch) {
+  RotatingVector v;
+  v.record_update(A);
+  VersionVector oracle;
+  oracle.set(A, 2);
+  EXPECT_FALSE(v.same_values(oracle));
+  oracle.set(A, 1);
+  EXPECT_TRUE(v.same_values(oracle));
+  oracle.set(B, 1);
+  EXPECT_FALSE(v.same_values(oracle));
+}
+
+TEST(RotatingVector, ToStringShowsOrderAndBits) {
+  RotatingVector v;
+  v.record_update(B);
+  v.record_update(A);  // <A:1, B:1>
+  v.set_conflict_bit(B, true);
+  v.set_segment_bit(A, true);
+  EXPECT_EQ(v.to_string(), "<A:1|, B:1*>");
+}
+
+TEST(RotatingVector, IdenticalToComparesOrderValuesAndBits) {
+  RotatingVector u, v;
+  u.record_update(A);
+  u.record_update(B);
+  v.record_update(A);
+  v.record_update(B);
+  EXPECT_TRUE(u.identical_to(v));
+  v.set_conflict_bit(A, true);
+  EXPECT_FALSE(u.identical_to(v));
+}
+
+TEST(RotatingVector, ManySitesStressOrderIntegrity) {
+  RotatingVector v;
+  constexpr std::uint32_t kSites = 500;
+  for (std::uint32_t round = 0; round < 3; ++round) {
+    for (std::uint32_t i = 0; i < kSites; ++i) v.record_update(SiteId{i});
+  }
+  EXPECT_EQ(v.size(), kSites);
+  auto elems = v.in_order();
+  ASSERT_EQ(elems.size(), kSites);
+  // Order: most recent updater first → site kSites-1 down to 0.
+  for (std::uint32_t i = 0; i < kSites; ++i) {
+    EXPECT_EQ(elems[i].site, SiteId{kSites - 1 - i});
+    EXPECT_EQ(elems[i].value, 3u);
+  }
+}
+
+}  // namespace
+}  // namespace optrep::vv

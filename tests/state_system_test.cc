@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "repl/state_system.h"
+
+namespace optrep::repl {
+namespace {
+
+const SiteId A{0}, B{1}, C{2};
+const ObjectId kObj{0};
+
+StateSystem::Config auto_cfg(vv::VectorKind kind = vv::VectorKind::kSrv) {
+  StateSystem::Config cfg;
+  cfg.n_sites = 4;
+  cfg.kind = kind;
+  cfg.policy = ResolutionPolicy::kAutomatic;
+  cfg.cost = CostModel{.n = 8, .m = 1024};
+  return cfg;
+}
+
+TEST(StateSystem, CreateAndLocalUpdate) {
+  StateSystem sys(auto_cfg());
+  sys.create_object(A, kObj, "v1");
+  sys.update(A, kObj, "v2");
+  const StateReplica& r = sys.replica(A, kObj);
+  EXPECT_EQ(r.vector.value(A), 2u);
+  EXPECT_EQ(r.data.entries.size(), 2u);
+}
+
+TEST(StateSystem, PullPropagatesState) {
+  StateSystem sys(auto_cfg());
+  sys.create_object(A, kObj, "v1");
+  auto out = sys.sync(B, A, kObj);
+  EXPECT_EQ(out.action, SyncOutcome::Action::kPulled);
+  EXPECT_TRUE(sys.replicas_consistent(kObj));
+  EXPECT_EQ(sys.replica(B, kObj).data, sys.replica(A, kObj).data);
+}
+
+TEST(StateSystem, EqualReplicasExchangeOnlyProbes) {
+  StateSystem sys(auto_cfg());
+  sys.create_object(A, kObj, "v1");
+  sys.sync(B, A, kObj);
+  auto out = sys.sync(B, A, kObj);
+  EXPECT_EQ(out.action, SyncOutcome::Action::kNone);
+  EXPECT_EQ(out.report.total_bits(), vv::compare_cost_bits(sys.config().cost));
+}
+
+TEST(StateSystem, DominatingReceiverPullsNothing) {
+  StateSystem sys(auto_cfg());
+  sys.create_object(A, kObj, "v1");
+  sys.sync(B, A, kObj);
+  sys.update(B, kObj, "v2");
+  auto out = sys.sync(B, A, kObj);
+  EXPECT_EQ(out.action, SyncOutcome::Action::kPushedBack);
+  EXPECT_EQ(out.report.elems_sent, 0u);
+}
+
+TEST(StateSystem, AutomaticReconciliationMergesPayloads) {
+  StateSystem sys(auto_cfg());
+  sys.create_object(A, kObj, "base");
+  sys.sync(B, A, kObj);
+  sys.update(A, kObj, "from-A");
+  sys.update(B, kObj, "from-B");
+  auto out = sys.sync(B, A, kObj);
+  EXPECT_EQ(out.relation, vv::Ordering::kConcurrent);
+  EXPECT_EQ(out.action, SyncOutcome::Action::kReconciled);
+  const StateReplica& rb = sys.replica(B, kObj);
+  EXPECT_TRUE(rb.data.entries.contains("from-A"));
+  EXPECT_TRUE(rb.data.entries.contains("from-B"));
+  // §2.2 mandated post-reconciliation update: B's element grew by one extra.
+  EXPECT_EQ(rb.vector.value(B), 2u);
+  EXPECT_EQ(sys.totals().reconciliations, 1u);
+
+  // Push the merged state back: A now simply precedes B.
+  auto back = sys.sync(A, B, kObj);
+  EXPECT_EQ(back.action, SyncOutcome::Action::kPulled);
+  EXPECT_TRUE(sys.replicas_consistent(kObj));
+}
+
+TEST(StateSystem, ManualPolicyExcludesConflictingReplicas) {
+  auto cfg = auto_cfg(vv::VectorKind::kBrv);
+  cfg.policy = ResolutionPolicy::kManual;
+  StateSystem sys(cfg);
+  sys.create_object(A, kObj, "base");
+  sys.sync(B, A, kObj);
+  sys.update(A, kObj, "from-A");
+  sys.update(B, kObj, "from-B");
+  auto out = sys.sync(B, A, kObj);
+  EXPECT_EQ(out.action, SyncOutcome::Action::kConflictHeld);
+  EXPECT_TRUE(sys.replica(A, kObj).conflicted);
+  EXPECT_TRUE(sys.replica(B, kObj).conflicted);
+  // Excluded replicas neither update nor synchronize.
+  auto again = sys.sync(C, A, kObj);
+  EXPECT_EQ(again.action, SyncOutcome::Action::kSkipped);
+  EXPECT_EQ(sys.totals().conflicts_detected, 1u);
+}
+
+TEST(StateSystem, BrvRequiresManualPolicy) {
+  auto cfg = auto_cfg(vv::VectorKind::kBrv);
+  EXPECT_DEATH(StateSystem{cfg}, "BRV supports no conflict reconciliation");
+}
+
+TEST(StateSystem, SelfSyncRejected) {
+  StateSystem sys(auto_cfg());
+  sys.create_object(A, kObj, "v1");
+  EXPECT_DEATH(sys.sync(A, A, kObj), "cannot synchronize with itself");
+}
+
+TEST(StateSystem, SyncFromMissingReplicaSkips) {
+  StateSystem sys(auto_cfg());
+  auto out = sys.sync(B, A, kObj);
+  EXPECT_EQ(out.action, SyncOutcome::Action::kSkipped);
+}
+
+TEST(StateSystem, TrafficAccumulatesInTotals) {
+  StateSystem sys(auto_cfg());
+  sys.create_object(A, kObj, "v1");
+  sys.sync(B, A, kObj);
+  sys.update(A, kObj, "v2");
+  sys.sync(B, A, kObj);
+  EXPECT_EQ(sys.totals().sessions, 2u);
+  EXPECT_GT(sys.totals().bits, 0u);
+  EXPECT_GT(sys.totals().elems_sent, 0u);
+}
+
+TEST(StateSystem, ThreeSiteConvergence) {
+  for (auto kind : {vv::VectorKind::kCrv, vv::VectorKind::kSrv}) {
+    StateSystem sys(auto_cfg(kind));
+    sys.create_object(A, kObj, "base");
+    sys.sync(B, A, kObj);
+    sys.sync(C, A, kObj);
+    sys.update(A, kObj, "a1");
+    sys.update(B, kObj, "b1");
+    sys.update(C, kObj, "c1");
+    // Gossip until quiet.
+    for (int round = 0; round < 4; ++round) {
+      sys.sync(B, A, kObj);
+      sys.sync(C, B, kObj);
+      sys.sync(A, C, kObj);
+    }
+    EXPECT_TRUE(sys.replicas_consistent(kObj)) << to_string(kind);
+    EXPECT_TRUE(sys.replica(A, kObj).data.entries.contains("b1"));
+  }
+}
+
+}  // namespace
+}  // namespace optrep::repl

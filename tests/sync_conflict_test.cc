@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "vv/compare.h"
+#include "vv/session.h"
+
+namespace optrep::vv {
+namespace {
+
+using test::ideal;
+
+const SiteId A{0}, B{1}, C{2}, D{3}, E{4};
+
+TEST(SyncConflict, BehavesLikeBasicWithoutConflicts) {
+  RotatingVector a;
+  a.record_update(A);
+  RotatingVector b = a;
+  b.record_update(B);
+  b.record_update(C);
+
+  sim::EventLoop loop;
+  auto rep = sync_conflict(loop, a, b, ideal(VectorKind::kCrv));
+  EXPECT_TRUE(a.identical_to(b));
+  EXPECT_EQ(rep.elems_redundant, 0u);
+  EXPECT_EQ(rep.elems_sent, 3u);  // Δ=2 plus the halting element
+}
+
+TEST(SyncConflict, ReconciliationTagsReceivedElements) {
+  RotatingVector base;
+  base.record_update(A);
+  RotatingVector a = base, b = base;
+  a.record_update(B);
+  b.record_update(C);
+  ASSERT_EQ(compare_fast(a, b), Ordering::kConcurrent);
+
+  sim::EventLoop loop;
+  auto rep = sync_conflict(loop, a, b, ideal(VectorKind::kCrv));
+  EXPECT_EQ(rep.initial_relation, Ordering::kConcurrent);
+  // a now holds the element-wise max of both vectors.
+  EXPECT_EQ(a.value(A), 1u);
+  EXPECT_EQ(a.value(B), 1u);
+  EXPECT_EQ(a.value(C), 1u);
+  // The element modified during reconciliation carries the conflict bit.
+  EXPECT_TRUE(a.conflict_bit(C));
+  EXPECT_FALSE(a.conflict_bit(B));
+}
+
+TEST(SyncConflict, Section32ScenarioFixedByConflictBits) {
+  // The θ1/θ2/θ3 example of §3.2: with CRV, the second synchronization does
+  // not halt prematurely because (A,2) carries a conflict bit in θ3.
+  RotatingVector theta1, theta2;
+  theta1.record_update(B);
+  theta1.record_update(A);
+  theta1.record_update(A);  // <A:2, B:1>
+  theta2.record_update(A);
+  theta2.record_update(B);
+  theta2.record_update(B);  // <B:2, A:1>
+
+  RotatingVector theta3 = theta2;
+  sim::EventLoop l1;
+  sync_conflict(l1, theta3, theta1, ideal(VectorKind::kCrv));
+  EXPECT_EQ(theta3.value(A), 2u);
+  EXPECT_EQ(theta3.value(B), 2u);
+  EXPECT_TRUE(theta3.conflict_bit(A)) << theta3.to_string();
+
+  sim::EventLoop l2;
+  sync_conflict(l2, theta1, theta3, ideal(VectorKind::kCrv));
+  // Unlike SYNCB (see sync_basic_test), CRV propagates B:2 through the
+  // tagged A element.
+  EXPECT_EQ(theta1.value(B), 2u) << theta1.to_string();
+  EXPECT_EQ(theta1.value(A), 2u);
+}
+
+TEST(SyncConflict, RedundantTransferCountsGamma) {
+  // Γ grows with elements that are already known but carry conflict bits.
+  RotatingVector base;
+  base.record_update(A);
+  RotatingVector a = base, b = base;
+  a.record_update(B);
+  b.record_update(C);
+
+  // Reconcile a with b: a = <C*, B, A> (C tagged).
+  sim::EventLoop l1;
+  sync_conflict(l1, a, b, ideal(VectorKind::kCrv));
+  // §2.2: reconciliation is followed by a local update on the receiving site.
+  a.record_update(B);
+
+  // Now b syncs from a: a = <B:2, C:1*, B…>. b already knows C.
+  sim::EventLoop l2;
+  auto rep = sync_conflict(l2, b, a, ideal(VectorKind::kCrv));
+  EXPECT_EQ(b.value(B), 2u);
+  EXPECT_EQ(b.value(C), 1u);
+  EXPECT_EQ(b.value(A), 1u);
+  // C was transmitted although b knew it — that is Γ.
+  EXPECT_EQ(rep.elems_redundant, 1u);
+}
+
+TEST(SyncConflict, ConflictBitsClearOnLocalUpdate) {
+  RotatingVector base;
+  base.record_update(A);
+  RotatingVector a = base, b = base;
+  a.record_update(B);
+  b.record_update(C);
+  sim::EventLoop l1;
+  sync_conflict(l1, a, b, ideal(VectorKind::kCrv));
+  ASSERT_TRUE(a.conflict_bit(C));
+  // A later local update on site C clears its bit again.
+  a.record_update(C);
+  EXPECT_FALSE(a.conflict_bit(C));
+}
+
+TEST(SyncConflict, ChainOfReconciliationsConvergesToJoin) {
+  // Three-way divergence reconciled pairwise; values must converge to the
+  // element-wise maximum at every step (validated against the oracle).
+  RotatingVector base;
+  base.record_update(A);
+  RotatingVector x = base, y = base, z = base;
+  x.record_update(B);
+  y.record_update(C);
+  z.record_update(D);
+  z.record_update(E);
+
+  VersionVector oracle = x.to_version_vector();
+  oracle.join(y.to_version_vector());
+
+  sim::EventLoop l1;
+  sync_conflict(l1, x, y, ideal(VectorKind::kCrv));
+  EXPECT_TRUE(x.same_values(oracle));
+  x.record_update(B);  // §2.2 post-reconciliation update
+  oracle = x.to_version_vector();
+
+  oracle.join(z.to_version_vector());
+  sim::EventLoop l2;
+  sync_conflict(l2, x, z, ideal(VectorKind::kCrv));
+  EXPECT_TRUE(x.same_values(oracle)) << x.to_string();
+}
+
+TEST(SyncConflict, EqualVectorsExchangeOnlyHaltElement) {
+  RotatingVector a;
+  a.record_update(A);
+  a.record_update(B);
+  RotatingVector b = a;
+  sim::EventLoop loop;
+  auto rep = sync_conflict(loop, a, b, ideal(VectorKind::kCrv));
+  EXPECT_EQ(rep.elems_sent, 1u);
+  EXPECT_EQ(rep.elems_applied, 0u);
+}
+
+TEST(SyncConflict, PipelinedMatchesIdealResult) {
+  RotatingVector base;
+  for (std::uint32_t i = 0; i < 10; ++i) base.record_update(SiteId{i});
+  RotatingVector a = base, b = base;
+  a.record_update(SiteId{10});
+  b.record_update(SiteId{11});
+  b.record_update(SiteId{12});
+
+  RotatingVector a_pipe = a;
+  auto opt = ideal(VectorKind::kCrv, 16);
+  sim::EventLoop l1;
+  sync_conflict(l1, a, b, opt);
+
+  auto pipe = opt;
+  pipe.mode = TransferMode::kPipelined;
+  pipe.net = {.latency_s = 0.02, .bandwidth_bits_per_s = 5e4};
+  sim::EventLoop l2;
+  sync_conflict(l2, a_pipe, b, pipe);
+  EXPECT_TRUE(a.identical_to(a_pipe));
+}
+
+}  // namespace
+}  // namespace optrep::vv

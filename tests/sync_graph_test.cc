@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "graph/sync_graph.h"
+
+namespace optrep::graph {
+namespace {
+
+const SiteId A{0}, B{1}, C{2}, D{3}, E{4}, F{5}, G{6};
+
+UpdateId op(SiteId s, std::uint64_t seq) { return UpdateId{s, seq}; }
+
+GraphSyncOptions ideal_opt() {
+  GraphSyncOptions o;
+  o.mode = vv::TransferMode::kIdeal;
+  o.cost = CostModel{.n = 64, .m = 1024};
+  return o;
+}
+
+GraphSyncReport run(CausalGraph& a, const CausalGraph& b, const GraphSyncOptions& opt) {
+  sim::EventLoop loop;
+  return sync_graph(loop, a, b, opt);
+}
+
+// Node-set union check.
+bool is_union(const CausalGraph& result, const CausalGraph& x, const CausalGraph& y) {
+  if (result.node_count() != x.node_count() + y.node_count() -
+                                 [&] {
+                                   std::size_t shared = 0;
+                                   for (const Node& n : x.all_nodes())
+                                     shared += y.contains(n.id);
+                                   return shared;
+                                 }()) {
+    return false;
+  }
+  for (const Node& n : x.all_nodes())
+    if (!result.contains(n.id)) return false;
+  for (const Node& n : y.all_nodes())
+    if (!result.contains(n.id)) return false;
+  return true;
+}
+
+// The two causal graphs of Figure 3 (site A: nodes 1,2,4–7; site C: 1,4–6).
+struct Fig3 {
+  UpdateId n1 = op(A, 1), n2 = op(B, 1), n4 = op(E, 1), n5 = op(F, 1), n6 = op(G, 1),
+           n7 = op(A, 2);
+  CausalGraph site_a, site_c;
+  Fig3() {
+    site_a.create(n1);
+    site_a.append(n2);
+    site_a.insert_raw(Node{n4, n1});
+    site_a.insert_raw(Node{n5, n4});
+    site_a.insert_raw(Node{n6, n5});
+    site_a.merge(n7, n6);
+    site_c.create(n1);
+    site_c.append(n4);
+    site_c.append(n5);
+    site_c.append(n6);
+  }
+};
+
+TEST(SyncGraph, Figure3MissingBranchPlusOverlap) {
+  // §6.1: synchronizing C's graph with A's transmits only the missing nodes
+  // plus one overlapping node per explored branch.
+  Fig3 f;
+  CausalGraph a = f.site_c;
+  auto rep = run(a, f.site_a, ideal_opt());
+  EXPECT_EQ(rep.initial_relation, vv::Ordering::kBefore);
+  EXPECT_TRUE(is_union(a, f.site_c, f.site_a));
+  EXPECT_TRUE(a.contains(f.n7));
+  EXPECT_EQ(rep.nodes_new, 2u);  // nodes 7 and 2
+  // Node 6 is never transmitted: the receiver sees rp=6 of node 7 and knows
+  // it, so the whole 6,5,4 branch is pruned receiver-side. Only the lp
+  // branch's overlap (node 1) is transmitted.
+  EXPECT_EQ(rep.nodes_redundant, 1u);
+  EXPECT_EQ(rep.nodes_sent, 3u);
+}
+
+TEST(SyncGraph, Figure3OtherDirectionUsesSkipto) {
+  // Receiver holds the 1–2 branch; the sender jumps to node 6's branch after
+  // the receiver aborts the lp branch at node 2.
+  Fig3 f;
+  CausalGraph a;
+  a.create(f.n1);
+  a.append(f.n2);
+  auto rep = run(a, f.site_a, ideal_opt());
+  EXPECT_TRUE(is_union(a, a, f.site_a));
+  EXPECT_EQ(rep.nodes_new, 4u);       // 7, 6, 5, 4
+  EXPECT_EQ(rep.nodes_redundant, 2u); // 2 (aborts lp branch), 1 (final halt)
+  EXPECT_EQ(rep.skipto_msgs, 1u);
+  EXPECT_EQ(rep.nodes_sent, 6u);
+}
+
+TEST(SyncGraph, IdenticalGraphsCostOneNode) {
+  Fig3 f;
+  CausalGraph a = f.site_a;
+  auto rep = run(a, f.site_a, ideal_opt());
+  EXPECT_EQ(rep.nodes_sent, 1u);  // the sink; receiver halts everything
+  EXPECT_EQ(rep.nodes_new, 0u);
+  EXPECT_EQ(a.node_count(), f.site_a.node_count());
+}
+
+TEST(SyncGraph, EmptyReceiverGetsFullGraph) {
+  Fig3 f;
+  CausalGraph a;
+  auto rep = run(a, f.site_a, ideal_opt());
+  EXPECT_EQ(rep.nodes_new, f.site_a.node_count());
+  EXPECT_EQ(rep.nodes_redundant, 0u);
+  EXPECT_TRUE(a.contains(f.n7));
+  a.set_sink(f.n7);
+  EXPECT_TRUE(a.validate_closed());
+}
+
+TEST(SyncGraph, EmptySenderSendsNothing) {
+  Fig3 f;
+  CausalGraph a = f.site_c, b;
+  auto rep = run(a, b, ideal_opt());
+  EXPECT_EQ(rep.nodes_sent, 0u);
+  EXPECT_EQ(a.node_count(), f.site_c.node_count());
+}
+
+TEST(SyncGraph, ShipsOperationPayloads) {
+  CausalGraph b;
+  b.create(op(A, 1), 1000);
+  b.append(op(A, 2), 500);
+  CausalGraph a;
+  auto opt = ideal_opt();
+  auto rep = run(a, b, opt);
+  EXPECT_EQ(rep.op_bytes_shipped, 1500u);
+  EXPECT_EQ(a.total_op_bytes(), 1500u);
+
+  CausalGraph a2;
+  opt.ship_ops = false;
+  auto rep2 = run(a2, b, opt);
+  EXPECT_EQ(rep2.op_bytes_shipped, 0u);
+}
+
+TEST(SyncGraph, FullTransferBaselineSendsEverything) {
+  Fig3 f;
+  CausalGraph a = f.site_c;
+  sim::EventLoop loop;
+  auto rep = sync_graph_full(loop, a, f.site_a, ideal_opt());
+  EXPECT_EQ(rep.nodes_sent, f.site_a.node_count());
+  EXPECT_TRUE(is_union(a, f.site_c, f.site_a));
+  EXPECT_EQ(rep.nodes_new, 2u);
+  EXPECT_EQ(rep.nodes_redundant, 4u);
+}
+
+TEST(SyncGraph, DeepChainsSyncIncrementally) {
+  // A long shared chain with a short fresh suffix: traffic ∝ suffix.
+  CausalGraph b;
+  b.create(op(A, 1));
+  for (std::uint64_t i = 2; i <= 500; ++i) b.append(op(A, i));
+  CausalGraph a = b;
+  for (std::uint64_t i = 501; i <= 505; ++i) b.append(op(A, i));
+  auto rep = run(a, b, ideal_opt());
+  EXPECT_EQ(rep.nodes_new, 5u);
+  EXPECT_EQ(rep.nodes_sent, 6u);  // suffix + one overlap
+  EXPECT_EQ(a.node_count(), 505u);
+}
+
+// ---------------------------------------------------------------------------
+// Property test: random multi-site operation-transfer histories. Each site
+// appends ops to its own replica graph and anti-entropy sessions merge them;
+// after every SYNCG the receiver must hold exactly the union, stay closed,
+// and in ideal mode the traffic must obey nodes_redundant ≤ skipto_msgs + 1.
+// ---------------------------------------------------------------------------
+
+struct OpSite {
+  CausalGraph g;
+  std::uint64_t next_seq{1};
+};
+
+TEST(SyncGraph, RandomHistoriesProduceExactUnions) {
+  Rng rng(909);
+  for (int trial = 0; trial < 40; ++trial) {
+    constexpr std::size_t kSites = 5;
+    std::vector<OpSite> sites(kSites);
+    // Common source operation, replicated everywhere.
+    for (auto& s : sites) s.g.create(op(SiteId{31}, 1));
+
+    for (int step = 0; step < 80; ++step) {
+      const std::size_t i = rng.below(kSites);
+      if (rng.chance(0.55)) {
+        sites[i].g.append(op(SiteId{static_cast<std::uint32_t>(i)}, sites[i].next_seq++));
+        continue;
+      }
+      const std::size_t j = rng.below(kSites);
+      if (i == j) continue;
+      OpSite& dst = sites[i];
+      const OpSite& src = sites[j];
+      const CausalGraph before = dst.g;
+      auto rep = run(dst.g, src.g, ideal_opt());
+      ASSERT_TRUE(is_union(dst.g, before, src.g)) << "trial " << trial;
+      ASSERT_LE(rep.nodes_redundant, rep.skipto_msgs + 1) << "trial " << trial;
+      ASSERT_EQ(rep.nodes_new, dst.g.node_count() - before.node_count());
+      // Sink maintenance: fast-forward or reconcile (§6.1).
+      switch (rep.initial_relation) {
+        case vv::Ordering::kBefore:
+          dst.g.set_sink(src.g.sink());
+          break;
+        case vv::Ordering::kConcurrent:
+          dst.g.merge(op(SiteId{static_cast<std::uint32_t>(i)}, dst.next_seq++),
+                      src.g.sink());
+          break;
+        default:
+          break;
+      }
+      ASSERT_TRUE(dst.g.validate_closed()) << "trial " << trial;
+    }
+  }
+}
+
+TEST(SyncGraph, PipelinedMatchesIdealUnion) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<OpSite> sites(4);
+    for (auto& s : sites) s.g.create(op(SiteId{31}, 1));
+    for (int step = 0; step < 50; ++step) {
+      const std::size_t i = rng.below(sites.size());
+      if (rng.chance(0.5)) {
+        sites[i].g.append(op(SiteId{static_cast<std::uint32_t>(i)}, sites[i].next_seq++));
+        continue;
+      }
+      const std::size_t j = rng.below(sites.size());
+      if (i == j) continue;
+      CausalGraph ideal_result = sites[i].g;
+      CausalGraph pipe_result = sites[i].g;
+      const CausalGraph& src = sites[j].g;
+      run(ideal_result, src, ideal_opt());
+
+      GraphSyncOptions pipe = ideal_opt();
+      pipe.mode = vv::TransferMode::kPipelined;
+      pipe.net = {.latency_s = 0.001 * (trial % 5),
+                  .bandwidth_bits_per_s = (step % 2) ? 1e5 : 1e7};
+      sim::EventLoop loop;
+      run(pipe_result, src, pipe);
+      ASSERT_TRUE(ideal_result == pipe_result) << "trial " << trial << " step " << step;
+
+      sites[i].g = ideal_result;
+      const auto rel = sites[i].g.compare(src);
+      if (rel == vv::Ordering::kBefore) {
+        // cannot happen: union contains our sink
+      }
+      if (!sites[i].g.contains(src.sink())) continue;
+      if (sites[i].g.sink() != src.sink() &&
+          sites[i].g.is_ancestor(sites[i].g.sink(), src.sink())) {
+        sites[i].g.set_sink(src.sink());
+      } else if (sites[i].g.sink() != src.sink() &&
+                 !sites[i].g.is_ancestor(src.sink(), sites[i].g.sink())) {
+        sites[i].g.merge(op(SiteId{static_cast<std::uint32_t>(i)}, sites[i].next_seq++),
+                         src.sink());
+      }
+    }
+  }
+}
+
+TEST(SyncGraph, WideBranchingFanOut) {
+  // One site merges many concurrent branches; later syncs of nearly-equal
+  // graphs must stay cheap (one node + halts / skiptos per missing branch).
+  CausalGraph hub;
+  hub.create(op(A, 1));
+  std::vector<CausalGraph> spokes;
+  for (std::uint32_t k = 0; k < 8; ++k) {
+    CausalGraph s;
+    s.create(op(A, 1));
+    s.append(op(SiteId{k + 1}, 1));
+    s.append(op(SiteId{k + 1}, 2));
+    spokes.push_back(std::move(s));
+  }
+  std::uint64_t hub_seq = 1;
+  for (auto& s : spokes) {
+    auto rep = run(hub, s, ideal_opt());
+    EXPECT_EQ(rep.nodes_new, 2u);
+    if (rep.initial_relation == vv::Ordering::kConcurrent) {
+      hub.merge(op(A, ++hub_seq), s.sink());
+    } else if (rep.initial_relation == vv::Ordering::kBefore) {
+      hub.set_sink(s.sink());  // first spoke dominated the bare root
+    }
+    ASSERT_TRUE(hub.validate_closed());
+  }
+  EXPECT_EQ(hub.node_count(), 1 + 8 * 2 + 7u);  // root + spokes + merge nodes
+}
+
+}  // namespace
+}  // namespace optrep::graph

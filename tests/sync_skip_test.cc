@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "vv/compare.h"
+#include "vv/session.h"
+
+namespace optrep::vv {
+namespace {
+
+using test::ideal;
+
+const SiteId A{0}, B{1}, C{2}, E{4}, F{5}, G{6}, H{7};
+
+// Replays one replica's state onto a fresh site (state transfer to a site
+// that has no replica yet), using the given sync algorithm.
+RotatingVector copy_replica(const RotatingVector& src, VectorKind kind) {
+  RotatingVector dst;
+  sim::EventLoop loop;
+  sync_rotating(loop, dst, src, ideal(kind, 8));
+  return dst;
+}
+
+RotatingVector reconcile(RotatingVector a, const RotatingVector& b, VectorKind kind,
+                         SyncReport* rep = nullptr) {
+  sim::EventLoop loop;
+  auto r = sync_rotating(loop, a, b, ideal(kind, 8));
+  if (rep != nullptr) *rep = r;
+  return a;
+}
+
+// Builds the replication history of Figure 1 (nine nodes, sites A–H) with
+// the given vector kind, returning θ1..θ9 (index 0 unused).
+struct FigureStates {
+  RotatingVector theta[10];
+};
+
+FigureStates build_figure1(VectorKind kind) {
+  FigureStates f;
+  // Node 1: the object is created on site A.
+  f.theta[1].record_update(A);
+  // Node 2: B receives A's replica and updates.
+  f.theta[2] = copy_replica(f.theta[1], kind);
+  f.theta[2].record_update(B);
+  // Node 3: C receives node 2 and updates.
+  f.theta[3] = copy_replica(f.theta[2], kind);
+  f.theta[3].record_update(C);
+  // Nodes 4–6: E, F, G chain off node 1.
+  f.theta[4] = copy_replica(f.theta[1], kind);
+  f.theta[4].record_update(E);
+  f.theta[5] = copy_replica(f.theta[4], kind);
+  f.theta[5].record_update(F);
+  f.theta[6] = copy_replica(f.theta[5], kind);
+  f.theta[6].record_update(G);
+  // Node 7: θ7 := SYNC*_θ6(θ2) — reconciliation of nodes 2 and 6 (footnote 1).
+  f.theta[7] = reconcile(f.theta[2], f.theta[6], kind);
+  // Node 8: H receives node 7 and updates.
+  f.theta[8] = copy_replica(f.theta[7], kind);
+  f.theta[8].record_update(H);
+  // Node 9: θ9 := SYNC*_θ3(θ8) — reconciliation of nodes 3 and 8.
+  f.theta[9] = reconcile(f.theta[8], f.theta[3], kind);
+  return f;
+}
+
+TEST(Figure1, VectorsMatchThePaper) {
+  const FigureStates f = build_figure1(VectorKind::kSrv);
+  EXPECT_EQ(f.theta[1].to_string(), "<A:1>");
+  EXPECT_EQ(f.theta[2].to_string(), "<B:1, A:1>");
+  EXPECT_EQ(f.theta[3].to_string(), "<C:1, B:1, A:1>");
+  EXPECT_EQ(f.theta[4].to_string(), "<E:1, A:1>");
+  EXPECT_EQ(f.theta[5].to_string(), "<F:1, E:1, A:1>");
+  EXPECT_EQ(f.theta[6].to_string(), "<G:1, F:1, E:1, A:1>");
+  // θ7 = <G:1, F:1, E:1, B:1, A:1>, G/F/E tagged, segment closed at E.
+  EXPECT_EQ(f.theta[7].to_string(), "<G:1*, F:1*, E:1*|, B:1, A:1>");
+  EXPECT_EQ(f.theta[8].to_string(), "<H:1, G:1*, F:1*, E:1*|, B:1, A:1>");
+  // θ9 = <C,H,G,F,E,B,A>; C tagged and closes its own segment (Figure 2).
+  EXPECT_EQ(f.theta[9].to_string(), "<C:1*|, H:1, G:1*, F:1*, E:1*|, B:1, A:1>");
+}
+
+TEST(Figure1, Theta7IsReconciliationOfConcurrentNodes) {
+  const FigureStates f = build_figure1(VectorKind::kSrv);
+  EXPECT_EQ(compare_fast(f.theta[2], f.theta[6]), Ordering::kConcurrent);
+  EXPECT_EQ(compare_fast(f.theta[3], f.theta[8]), Ordering::kConcurrent);
+  EXPECT_EQ(compare_fast(f.theta[7], f.theta[9]), Ordering::kBefore);
+}
+
+TEST(Figure2, CrvTransmitsSixElementsWithGammaThree) {
+  // §4: "SYNCC_θ9(θ7) sends θ9's first six elements from B to A but only the
+  // first two elements are new to A. Here, |Δ| = 2 and |Γ| = 3."
+  const FigureStates f = build_figure1(VectorKind::kCrv);
+  SyncReport rep;
+  const RotatingVector merged = reconcile(f.theta[7], f.theta[9], VectorKind::kCrv, &rep);
+  EXPECT_EQ(rep.elems_sent, 6u);
+  EXPECT_EQ(rep.elems_applied, 2u);    // |Δ| = 2 (C and H)
+  EXPECT_EQ(rep.elems_redundant, 3u);  // |Γ| = 3 (G, F, E)
+  EXPECT_TRUE(merged.same_values(f.theta[9].to_version_vector()));
+}
+
+TEST(Figure2, SrvSendsOnlyCHGAndB) {
+  // §4: "Eventually, only C, H, G and Bth elements are sent. Segment <A:1>
+  // is skipped all together because the Bth element has the conflict bit of
+  // zero."
+  const FigureStates f = build_figure1(VectorKind::kSrv);
+  SyncReport rep;
+  const RotatingVector merged = reconcile(f.theta[7], f.theta[9], VectorKind::kSrv, &rep);
+  EXPECT_EQ(rep.elems_sent, 4u);       // C, H, G, B
+  EXPECT_EQ(rep.elems_applied, 2u);    // Δ = {C, H}
+  EXPECT_EQ(rep.elems_redundant, 1u);  // only G forced a redundant transfer
+  EXPECT_EQ(rep.skip_msgs, 1u);        // one SKIP covering <F, E>
+  EXPECT_EQ(rep.segments_skipped, 1u); // γ = 1
+  EXPECT_TRUE(merged.same_values(f.theta[9].to_version_vector()));
+  EXPECT_EQ(merged.to_string(), "<C:1*|, H:1|, G:1*, F:1*, E:1*|, B:1, A:1>");
+}
+
+TEST(Figure2, SegmentsOfTheta9) {
+  // Figure 2 boxes θ9's prefixing segments; our segment bits delimit
+  // {C}, {H,G,F,E}, {B,A} — a safe coarsening of the five CRG segments
+  // (H dominates G/F/E and B dominates A; see DESIGN.md).
+  const FigureStates f = build_figure1(VectorKind::kSrv);
+  EXPECT_TRUE(f.theta[9].segment_bit(C));
+  EXPECT_TRUE(f.theta[9].segment_bit(E));
+  EXPECT_FALSE(f.theta[9].segment_bit(H));
+  EXPECT_FALSE(f.theta[9].segment_bit(G));
+  EXPECT_FALSE(f.theta[9].segment_bit(B));
+}
+
+TEST(SyncSkip, SkipStragglersAreIgnoredUnderPipelining) {
+  // Same θ7/θ9 exchange but over a slow pipelined link: in-flight elements
+  // of the skipped segment must be ignored without corrupting the result.
+  const FigureStates f = build_figure1(VectorKind::kSrv);
+  RotatingVector a = f.theta[7];
+  auto opt = ideal(VectorKind::kSrv, 8);
+  opt.mode = TransferMode::kPipelined;
+  opt.net = {.latency_s = 0.1, .bandwidth_bits_per_s = 1e9};  // huge bandwidth: all in flight
+  sim::EventLoop loop;
+  auto rep = sync_skip(loop, a, f.theta[9], opt);
+  EXPECT_TRUE(a.same_values(f.theta[9].to_version_vector()));
+  // The skip came too late: everything was already on the wire.
+  EXPECT_EQ(rep.elems_sent, 7u);
+  EXPECT_EQ(rep.segments_skipped, 0u);
+}
+
+TEST(SyncSkip, PipelinedModerateBandwidthMatchesIdealResult) {
+  const FigureStates f = build_figure1(VectorKind::kSrv);
+  for (double bw : {1e3, 1e4, 1e5, 1e7}) {
+    RotatingVector a = f.theta[7];
+    auto opt = ideal(VectorKind::kSrv, 8);
+    opt.mode = TransferMode::kPipelined;
+    opt.net = {.latency_s = 0.001, .bandwidth_bits_per_s = bw};
+    sim::EventLoop loop;
+    sync_skip(loop, a, f.theta[9], opt);
+    EXPECT_TRUE(a.same_values(f.theta[9].to_version_vector())) << "bw=" << bw;
+  }
+}
+
+TEST(SyncSkip, StopAndWaitMatchesIdeal) {
+  const FigureStates f = build_figure1(VectorKind::kSrv);
+  RotatingVector a1 = f.theta[7], a2 = f.theta[7];
+  auto i = ideal(VectorKind::kSrv, 8);
+  auto saw = i;
+  saw.mode = TransferMode::kStopAndWait;
+  saw.net = {.latency_s = 0.01};
+  sim::EventLoop l1, l2;
+  auto r1 = sync_skip(l1, a1, f.theta[9], i);
+  auto r2 = sync_skip(l2, a2, f.theta[9], saw);
+  EXPECT_TRUE(a1.identical_to(a2));
+  EXPECT_EQ(r1.elems_sent, r2.elems_sent);
+  EXPECT_EQ(r1.segments_skipped, r2.segments_skipped);
+}
+
+TEST(SyncSkip, ConsecutiveKnownSegmentsEachSkipOnce) {
+  // Receiver knows several multi-element tagged segments of the sender; each
+  // must cost one SKIP + one SKIPPED instead of a full retransmission.
+  RotatingVector base;
+  base.record_update(A);
+  RotatingVector s1 = base, s2 = base, s3 = base;
+  s1.record_update(B);
+  s2.record_update(C);
+  s2.record_update(H);  // two-element branch → two-element tagged segment
+  s3.record_update(E);
+  s3.record_update(G);
+
+  // b accumulates two tagged two-element segments via reconciliations.
+  RotatingVector b = s1;
+  b = reconcile(b, s2, VectorKind::kSrv);  // <H*, C*|, B, A>
+  b = reconcile(b, s3, VectorKind::kSrv);  // <G*, E*|, H*, C*|, B, A>
+  ASSERT_EQ(b.to_string(), "<G:1*, E:1*|, H:1*, C:1*|, B:1, A:1>");
+
+  // a knows all of b, then diverges locally so a ≻ b at sync time.
+  RotatingVector a = copy_replica(b, VectorKind::kSrv);
+  a.record_update(F);
+
+  SyncReport rep;
+  RotatingVector merged = reconcile(a, b, VectorKind::kSrv, &rep);
+  EXPECT_TRUE(merged.same_values(a.to_version_vector())) << merged.to_string();
+  // Stream G(skip E), H(skip C), B(halt): three elements, two skips.
+  EXPECT_EQ(rep.elems_sent, 3u);
+  EXPECT_EQ(rep.skip_msgs, 2u);
+  EXPECT_EQ(rep.segments_skipped, 2u);
+  EXPECT_EQ(rep.elems_redundant, 2u);
+
+  // CRV on the same states pays |Γ| = 4 instead.
+  const RotatingVector b_crv = b;  // bits are a superset of CRV's
+  RotatingVector a_crv = a;
+  sim::EventLoop loop;
+  auto crv_rep = sync_conflict(loop, a_crv, b_crv, ideal(VectorKind::kCrv, 8));
+  EXPECT_EQ(crv_rep.elems_sent, 5u);
+  EXPECT_EQ(crv_rep.elems_redundant, 4u);
+}
+
+TEST(SyncSkip, EqualVectorsCostOneElement) {
+  RotatingVector a;
+  a.record_update(A);
+  a.record_update(B);
+  RotatingVector b = a;
+  sim::EventLoop loop;
+  auto rep = sync_skip(loop, a, b, ideal(VectorKind::kSrv, 8));
+  EXPECT_EQ(rep.elems_sent, 1u);
+}
+
+TEST(SyncSkip, EmptyReceiverCopiesBitsExactly) {
+  const FigureStates f = build_figure1(VectorKind::kSrv);
+  RotatingVector a = copy_replica(f.theta[9], VectorKind::kSrv);
+  EXPECT_TRUE(a.identical_to(f.theta[9])) << a.to_string();
+}
+
+}  // namespace
+}  // namespace optrep::vv

@@ -1,0 +1,29 @@
+// Shared helpers for optrep tests.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_loop.h"
+#include "vv/session.h"
+
+namespace optrep::test {
+
+// Options for a zero-latency, idealized-flow-control session: measures the
+// algorithms' textbook communication exactly (halt takes effect instantly).
+inline vv::SyncOptions ideal(vv::VectorKind kind, std::uint64_t n = 64,
+                             std::uint64_t m = 1024) {
+  vv::SyncOptions opt;
+  opt.kind = kind;
+  opt.mode = vv::TransferMode::kIdeal;
+  opt.net = {};  // zero latency, infinite bandwidth
+  opt.cost = CostModel{.n = n, .m = m};
+  return opt;
+}
+
+inline vv::SyncReport run_sync(vv::RotatingVector& a, const vv::RotatingVector& b,
+                               const vv::SyncOptions& opt) {
+  sim::EventLoop loop;
+  return vv::sync_rotating(loop, a, b, opt);
+}
+
+}  // namespace optrep::test

@@ -1,0 +1,105 @@
+// Protocol transcripts via link taps: the exact message sequences of the
+// paper's worked examples, observed on the wire.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tests/test_util.h"
+#include "vv/session.h"
+
+namespace optrep::vv {
+namespace {
+
+const SiteId A{0}, B{1}, C{2}, E{4}, F{5}, G{6}, H{7};
+
+RotatingVector copy_replica(const RotatingVector& src) {
+  RotatingVector dst;
+  sim::EventLoop loop;
+  sync_rotating(loop, dst, src, test::ideal(VectorKind::kSrv, 8));
+  return dst;
+}
+
+RotatingVector reconcile(RotatingVector a, const RotatingVector& b) {
+  sim::EventLoop loop;
+  sync_rotating(loop, a, b, test::ideal(VectorKind::kSrv, 8));
+  return a;
+}
+
+// Figure 1's θ7 and θ9 (see sync_skip_test.cc for the full build).
+struct Fig {
+  RotatingVector theta7, theta9;
+  Fig() {
+    RotatingVector t1, t2, t3, t4, t5, t6, t8;
+    t1.record_update(A);
+    t2 = copy_replica(t1);
+    t2.record_update(B);
+    t3 = copy_replica(t2);
+    t3.record_update(C);
+    t4 = copy_replica(t1);
+    t4.record_update(E);
+    t5 = copy_replica(t4);
+    t5.record_update(F);
+    t6 = copy_replica(t5);
+    t6.record_update(G);
+    theta7 = reconcile(t2, t6);
+    t8 = copy_replica(theta7);
+    t8.record_update(H);
+    theta9 = reconcile(t8, t3);
+  }
+};
+
+TEST(Transcript, Figure2SyncsExactMessageSequence) {
+  // §4: "only C, H, G and Bth elements are sent" plus one SKIP covering
+  // <F, E> — observed here on the wire, message by message.
+  Fig f;
+  std::vector<std::string> fwd, rev;
+  auto opt = test::ideal(VectorKind::kSrv, 8);
+  opt.tap = [&](bool forward, const VvMsg& m) {
+    (forward ? fwd : rev).push_back(m.to_string());
+  };
+  RotatingVector a = f.theta7;
+  sim::EventLoop loop;
+  sync_skip(loop, a, f.theta9, opt);
+
+  const std::vector<std::string> want_fwd = {
+      "ELEM(C:1,c,s)", "ELEM(H:1)", "ELEM(G:1,c)", "SKIPPED", "ELEM(B:1)",
+  };
+  EXPECT_EQ(fwd, want_fwd);
+  ASSERT_EQ(rev.size(), 4u);  // acks + SKIP + HALT in ideal lockstep
+  EXPECT_EQ(rev[0], "ACK");       // C applied
+  EXPECT_EQ(rev[1], "ACK");       // H applied
+  EXPECT_EQ(rev[2], "SKIP(1)");   // G known+tagged → skip segment 1
+  EXPECT_EQ(rev[3], "HALT");      // B known, untagged → stop
+}
+
+TEST(Transcript, EqualVectorsExchangeOneElementAndHalt) {
+  RotatingVector a;
+  a.record_update(A);
+  RotatingVector b = a;
+  std::vector<std::string> fwd, rev;
+  auto opt = test::ideal(VectorKind::kSrv, 8);
+  opt.tap = [&](bool forward, const VvMsg& m) {
+    (forward ? fwd : rev).push_back(m.to_string());
+  };
+  sim::EventLoop loop;
+  sync_skip(loop, a, b, opt);
+  EXPECT_EQ(fwd, (std::vector<std::string>{"ELEM(A:1)"}));
+  EXPECT_EQ(rev, (std::vector<std::string>{"HALT"}));
+}
+
+TEST(Transcript, SenderExhaustionEndsWithHalt) {
+  RotatingVector a, b;
+  b.record_update(A);
+  b.record_update(B);
+  std::vector<std::string> fwd;
+  auto opt = test::ideal(VectorKind::kSrv, 8);
+  opt.tap = [&](bool forward, const VvMsg& m) {
+    if (forward) fwd.push_back(m.to_string());
+  };
+  sim::EventLoop loop;
+  sync_skip(loop, a, b, opt);
+  EXPECT_EQ(fwd, (std::vector<std::string>{"ELEM(B:1)", "ELEM(A:1)", "HALT"}));
+}
+
+}  // namespace
+}  // namespace optrep::vv

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "vv/version_vector.h"
+
+namespace optrep::vv {
+namespace {
+
+const SiteId A{0}, B{1}, C{2};
+
+TEST(VersionVector, StartsEmpty) {
+  VersionVector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.value(A), 0u);
+  EXPECT_FALSE(v.contains(A));
+}
+
+TEST(VersionVector, IncrementAndValue) {
+  VersionVector v;
+  v.increment(A);
+  v.increment(A);
+  v.increment(B);
+  EXPECT_EQ(v.value(A), 2u);
+  EXPECT_EQ(v.value(B), 1u);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(VersionVector, SetZeroErases) {
+  VersionVector v;
+  v.set(A, 3);
+  EXPECT_TRUE(v.contains(A));
+  v.set(A, 0);
+  EXPECT_FALSE(v.contains(A));
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(VersionVector, JoinTakesElementwiseMax) {
+  VersionVector a, b;
+  a.set(A, 2);
+  a.set(B, 1);
+  b.set(B, 3);
+  b.set(C, 1);
+  a.join(b);
+  EXPECT_EQ(a.value(A), 2u);
+  EXPECT_EQ(a.value(B), 3u);
+  EXPECT_EQ(a.value(C), 1u);
+}
+
+TEST(VersionVector, CompareEqual) {
+  VersionVector a, b;
+  a.set(A, 1);
+  b.set(A, 1);
+  EXPECT_EQ(a.compare(b), Ordering::kEqual);
+  EXPECT_EQ(VersionVector{}.compare(VersionVector{}), Ordering::kEqual);
+}
+
+TEST(VersionVector, CompareBeforeAfter) {
+  VersionVector a, b;
+  a.set(A, 1);
+  b.set(A, 2);
+  EXPECT_EQ(a.compare(b), Ordering::kBefore);
+  EXPECT_EQ(b.compare(a), Ordering::kAfter);
+  // Superset domination.
+  b.set(B, 1);
+  EXPECT_EQ(a.compare(b), Ordering::kBefore);
+}
+
+TEST(VersionVector, CompareEmptyPrecedesNonEmpty) {
+  VersionVector a, b;
+  b.set(A, 1);
+  EXPECT_EQ(a.compare(b), Ordering::kBefore);
+  EXPECT_EQ(b.compare(a), Ordering::kAfter);
+}
+
+TEST(VersionVector, CompareConcurrent) {
+  VersionVector a, b;
+  a.set(A, 2);
+  a.set(B, 1);
+  b.set(A, 1);
+  b.set(B, 2);
+  EXPECT_EQ(a.compare(b), Ordering::kConcurrent);
+  EXPECT_EQ(b.compare(a), Ordering::kConcurrent);
+}
+
+TEST(VersionVector, DisjointSitesAreConcurrent) {
+  VersionVector a, b;
+  a.set(A, 1);
+  b.set(B, 1);
+  EXPECT_EQ(a.compare(b), Ordering::kConcurrent);
+}
+
+TEST(VersionVector, ToStringSortsSites) {
+  VersionVector v;
+  v.set(B, 1);
+  v.set(A, 2);
+  EXPECT_EQ(v.to_string(), "<A:2, B:1>");
+}
+
+TEST(VersionVector, FlipOrdering) {
+  EXPECT_EQ(flip(Ordering::kBefore), Ordering::kAfter);
+  EXPECT_EQ(flip(Ordering::kAfter), Ordering::kBefore);
+  EXPECT_EQ(flip(Ordering::kEqual), Ordering::kEqual);
+  EXPECT_EQ(flip(Ordering::kConcurrent), Ordering::kConcurrent);
+}
+
+}  // namespace
+}  // namespace optrep::vv

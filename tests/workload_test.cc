@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "workload/trace.h"
+
+namespace optrep::wl {
+namespace {
+
+TEST(Generator, CreatesEveryObjectExactlyOnce) {
+  GeneratorConfig g;
+  g.n_sites = 5;
+  g.n_objects = 7;
+  g.steps = 100;
+  g.seed = 3;
+  const Trace t = generate(g);
+  std::vector<int> creates(g.n_objects, 0);
+  for (const Event& ev : t.events) {
+    if (ev.type == Event::Type::kCreate) ++creates[ev.obj.value];
+  }
+  for (int c : creates) EXPECT_EQ(c, 1);
+  // Creations come first, on deterministic home sites.
+  for (std::uint32_t o = 0; o < g.n_objects; ++o) {
+    EXPECT_EQ(static_cast<int>(t.events[o].type), static_cast<int>(Event::Type::kCreate));
+    EXPECT_EQ(t.events[o].site.value, o % g.n_sites);
+  }
+}
+
+TEST(Generator, UpdateProbabilityShapesMix) {
+  GeneratorConfig g;
+  g.n_sites = 6;
+  g.steps = 4000;
+  g.seed = 9;
+  g.update_prob = 0.8;
+  const Trace hi = generate(g);
+  g.update_prob = 0.2;
+  g.seed = 9;
+  const Trace lo = generate(g);
+  auto count_updates = [](const Trace& t) {
+    std::size_t u = 0;
+    for (const Event& ev : t.events) u += ev.type == Event::Type::kUpdate;
+    return u;
+  };
+  EXPECT_NEAR(static_cast<double>(count_updates(hi)) / g.steps, 0.8, 0.05);
+  EXPECT_NEAR(static_cast<double>(count_updates(lo)) / g.steps, 0.2, 0.05);
+}
+
+TEST(Generator, RingTopologySyncsNeighboursOnly) {
+  GeneratorConfig g;
+  g.n_sites = 10;
+  g.steps = 1000;
+  g.topology = Topology::kRing;
+  g.seed = 4;
+  for (const Event& ev : generate(g).events) {
+    if (ev.type != Event::Type::kSync) continue;
+    const auto d = (ev.site.value + g.n_sites - ev.peer.value) % g.n_sites;
+    EXPECT_TRUE(d == 1 || d == g.n_sites - 1) << ev.site.value << " " << ev.peer.value;
+  }
+}
+
+TEST(Generator, StarTopologyAlwaysInvolvesHub) {
+  GeneratorConfig g;
+  g.n_sites = 8;
+  g.steps = 500;
+  g.topology = Topology::kStar;
+  g.seed = 6;
+  for (const Event& ev : generate(g).events) {
+    if (ev.type != Event::Type::kSync) continue;
+    EXPECT_TRUE(ev.site.value == 0 || ev.peer.value == 0);
+  }
+}
+
+TEST(Generator, ClusteredTopologyMostlyIntraCluster) {
+  GeneratorConfig g;
+  g.n_sites = 16;
+  g.cluster_size = 4;
+  g.bridge_prob = 0.1;
+  g.steps = 4000;
+  g.update_prob = 0.0;  // all syncs
+  g.topology = Topology::kClustered;
+  g.seed = 12;
+  std::size_t intra = 0, inter = 0, syncs = 0;
+  for (const Event& ev : generate(g).events) {
+    if (ev.type != Event::Type::kSync) continue;
+    ++syncs;
+    (ev.site.value / 4 == ev.peer.value / 4 ? intra : inter) += 1;
+  }
+  EXPECT_NEAR(static_cast<double>(inter) / static_cast<double>(syncs), 0.1, 0.03);
+  EXPECT_GT(intra, inter);
+}
+
+TEST(Generator, LocalitySkewsUpdatersToHotSites) {
+  GeneratorConfig g;
+  g.n_sites = 16;
+  g.steps = 4000;
+  g.update_prob = 1.0;
+  g.locality = 0.75;
+  g.hot_sites = 2;
+  g.seed = 8;
+  std::size_t hot = 0, updates = 0;
+  for (const Event& ev : generate(g).events) {
+    if (ev.type != Event::Type::kUpdate) continue;
+    ++updates;
+    hot += ev.site.value < 2;
+  }
+  // 75% land on the hot pair plus the uniform tail's share.
+  EXPECT_GT(static_cast<double>(hot) / static_cast<double>(updates), 0.7);
+}
+
+TEST(Scenarios, HaveDocumentedShapes) {
+  const Trace log = append_only_log(6, 300, 1);
+  EXPECT_EQ(log.n_objects, 1u);
+  const Trace dtn = dtn_store(10, 9, 300, 1);
+  EXPECT_EQ(dtn.n_objects, 9u);
+  EXPECT_EQ(dtn.n_sites, 10u);
+  const Trace collab = collaboration(12, 300, 1);
+  EXPECT_EQ(collab.n_sites, 12u);
+}
+
+TEST(Driver, SkipsUpdatesWhenNoHostReachable) {
+  // A trace whose first post-create events hit sites without replicas and
+  // whose object creator is the only host: the driver must bootstrap
+  // replicas by syncing from the creator, not crash.
+  Trace t;
+  t.n_sites = 3;
+  t.n_objects = 1;
+  t.events.push_back(Event{Event::Type::kCreate, SiteId{0}, SiteId{}, ObjectId{0}});
+  t.events.push_back(Event{Event::Type::kUpdate, SiteId{2}, SiteId{}, ObjectId{0}});
+  t.events.push_back(Event{Event::Type::kSync, SiteId{1}, SiteId{2}, ObjectId{0}});
+
+  repl::StateSystem::Config cfg;
+  cfg.n_sites = 3;
+  cfg.kind = vv::VectorKind::kSrv;
+  cfg.policy = repl::ResolutionPolicy::kAutomatic;
+  cfg.cost = CostModel{.n = 3, .m = 16};
+  repl::StateSystem sys(cfg);
+  const RunStats stats = run_state(sys, t);
+  EXPECT_EQ(stats.updates, 2u);  // create + the bootstrapped update
+  EXPECT_TRUE(sys.has_replica(SiteId{2}, ObjectId{0}));
+  EXPECT_TRUE(stats.eventually_consistent);
+}
+
+TEST(Driver, ManualPolicySkipsConflictedReplicas) {
+  repl::StateSystem::Config cfg;
+  cfg.n_sites = 4;
+  cfg.kind = vv::VectorKind::kBrv;
+  cfg.policy = repl::ResolutionPolicy::kManual;
+  cfg.cost = CostModel{.n = 4, .m = 1 << 10};
+  repl::StateSystem sys(cfg);
+  const Trace t = append_only_log(4, 200, 17);
+  const RunStats stats = run_state(sys, t, /*drive_to_consistency=*/false);
+  // Conflicts freeze replicas; the driver records skips instead of crashing.
+  if (sys.totals().conflicts_detected > 0) {
+    EXPECT_GT(stats.skipped, 0u);
+  }
+}
+
+TEST(Driver, OpDriverMatchesStateDriverEventHandling) {
+  GeneratorConfig g;
+  g.n_sites = 4;
+  g.n_objects = 2;
+  g.steps = 200;
+  g.seed = 31;
+  const Trace t = generate(g);
+  repl::OpSystem::Config cfg;
+  cfg.n_sites = g.n_sites;
+  cfg.cost = CostModel{.n = 4, .m = 1 << 16};
+  repl::OpSystem sys(cfg);
+  const RunStats stats = run_op(sys, t);
+  EXPECT_TRUE(stats.eventually_consistent);
+  EXPECT_GT(stats.updates, 0u);
+}
+
+}  // namespace
+}  // namespace optrep::wl

@@ -1,0 +1,314 @@
+// optrep_cli — run parameterized replication workloads from the command line.
+//
+//   optrep_cli state   [options]  drive a state-transfer system (BRV/CRV/SRV)
+//   optrep_cli op      [options]  drive an operation-transfer system (SYNCG)
+//   optrep_cli records [options]  drive a keyed record store with
+//                                 semantic-over-syntactic conflict detection
+//
+// Common options:
+//   --sites=N --objects=N --steps=N --update-prob=F --seed=N
+//   --topology=gossip|ring|star|clustered
+//   --mode=ideal|saw|pipelined [--latency-ms=F --bandwidth=BITS_PER_S]
+//   --csv           one machine-readable result row (with header)
+// state options:
+//   --kind=brv|crv|srv   --manual   (manual conflict resolution)
+// op options:
+//   --log-limit=N        (hybrid transfer; 0 = unlimited)
+//   --full-graph         (baseline instead of SYNCG)
+// records options:
+//   --overlap=F --key-pool=N   (shared-key write probability / pool size)
+//   --flag                     (flag true conflicts instead of LWW)
+//
+// Examples:
+//   optrep_cli state --kind=srv --sites=32 --steps=5000 --update-prob=0.7
+//   optrep_cli op --sites=12 --log-limit=64 --csv
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/rng.h"
+#include "repl/record_system.h"
+#include "workload/trace.h"
+
+using namespace optrep;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::uint32_t sites{16};
+  std::uint32_t objects{1};
+  std::uint32_t steps{2000};
+  double update_prob{0.5};
+  std::uint64_t seed{1};
+  wl::Topology topology{wl::Topology::kRandomGossip};
+  vv::TransferMode mode{vv::TransferMode::kIdeal};
+  double latency_ms{0};
+  double bandwidth{0};  // 0 = infinite
+  vv::VectorKind kind{vv::VectorKind::kSrv};
+  bool manual{false};
+  std::uint32_t log_limit{0};
+  bool full_graph{false};
+  bool csv{false};
+  double overlap{0.2};
+  std::uint32_t key_pool{16};
+  bool flag_policy{false};
+};
+
+[[noreturn]] void usage(const char* msg) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage: optrep_cli <state|op|records> [--sites=N] [--objects=N] [--steps=N]\n"
+               "       [--update-prob=F] [--seed=N] [--topology=gossip|ring|star|clustered]\n"
+               "       [--mode=ideal|saw|pipelined] [--latency-ms=F] [--bandwidth=F]\n"
+               "       [--kind=brv|crv|srv] [--manual] [--log-limit=N] [--full-graph]\n"
+               "       [--csv]\n");
+  std::exit(2);
+}
+
+bool take(const char* arg, const char* name, std::string* value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '\0') {
+    *value = "";
+    return true;
+  }
+  if (arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+Args parse(int argc, char** argv) {
+  if (argc < 2) usage("missing command");
+  Args a;
+  a.command = argv[1];
+  if (a.command != "state" && a.command != "op" && a.command != "records") {
+    usage("command must be 'state', 'op' or 'records'");
+  }
+  for (int i = 2; i < argc; ++i) {
+    std::string v;
+    if (take(argv[i], "--sites", &v)) {
+      a.sites = static_cast<std::uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (take(argv[i], "--objects", &v)) {
+      a.objects = static_cast<std::uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (take(argv[i], "--steps", &v)) {
+      a.steps = static_cast<std::uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (take(argv[i], "--update-prob", &v)) {
+      a.update_prob = std::strtod(v.c_str(), nullptr);
+    } else if (take(argv[i], "--seed", &v)) {
+      a.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (take(argv[i], "--topology", &v)) {
+      if (v == "gossip") a.topology = wl::Topology::kRandomGossip;
+      else if (v == "ring") a.topology = wl::Topology::kRing;
+      else if (v == "star") a.topology = wl::Topology::kStar;
+      else if (v == "clustered") a.topology = wl::Topology::kClustered;
+      else usage("unknown topology");
+    } else if (take(argv[i], "--mode", &v)) {
+      if (v == "ideal") a.mode = vv::TransferMode::kIdeal;
+      else if (v == "saw") a.mode = vv::TransferMode::kStopAndWait;
+      else if (v == "pipelined") a.mode = vv::TransferMode::kPipelined;
+      else usage("unknown mode");
+    } else if (take(argv[i], "--latency-ms", &v)) {
+      a.latency_ms = std::strtod(v.c_str(), nullptr);
+    } else if (take(argv[i], "--bandwidth", &v)) {
+      a.bandwidth = std::strtod(v.c_str(), nullptr);
+    } else if (take(argv[i], "--kind", &v)) {
+      if (v == "brv") a.kind = vv::VectorKind::kBrv;
+      else if (v == "crv") a.kind = vv::VectorKind::kCrv;
+      else if (v == "srv") a.kind = vv::VectorKind::kSrv;
+      else usage("unknown kind");
+    } else if (take(argv[i], "--manual", &v)) {
+      a.manual = true;
+    } else if (take(argv[i], "--log-limit", &v)) {
+      a.log_limit = static_cast<std::uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (take(argv[i], "--full-graph", &v)) {
+      a.full_graph = true;
+    } else if (take(argv[i], "--csv", &v)) {
+      a.csv = true;
+    } else if (take(argv[i], "--overlap", &v)) {
+      a.overlap = std::strtod(v.c_str(), nullptr);
+    } else if (take(argv[i], "--key-pool", &v)) {
+      a.key_pool = static_cast<std::uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (take(argv[i], "--flag", &v)) {
+      a.flag_policy = true;
+    } else {
+      usage((std::string("unknown option: ") + argv[i]).c_str());
+    }
+  }
+  if (a.sites < 2) usage("--sites must be >= 2");
+  if (a.objects < 1) usage("--objects must be >= 1");
+  if (a.kind == vv::VectorKind::kBrv) a.manual = true;  // §3.1: no reconciliation
+  return a;
+}
+
+wl::Trace make_trace(const Args& a) {
+  wl::GeneratorConfig g;
+  g.n_sites = a.sites;
+  g.n_objects = a.objects;
+  g.steps = a.steps;
+  g.update_prob = a.update_prob;
+  g.topology = a.topology;
+  g.seed = a.seed;
+  return wl::generate(g);
+}
+
+sim::NetConfig make_net(const Args& a) {
+  sim::NetConfig net;
+  net.latency_s = a.latency_ms / 1000.0;
+  if (a.bandwidth > 0) net.bandwidth_bits_per_s = a.bandwidth;
+  return net;
+}
+
+int run_state(const Args& a) {
+  repl::StateSystem::Config cfg;
+  cfg.n_sites = a.sites;
+  cfg.kind = a.kind;
+  cfg.policy = a.manual ? repl::ResolutionPolicy::kManual
+                        : repl::ResolutionPolicy::kAutomatic;
+  cfg.mode = a.mode;
+  cfg.net = make_net(a);
+  cfg.cost = CostModel{.n = a.sites, .m = 1 << 16};
+  repl::StateSystem sys(cfg);
+  const wl::RunStats stats = wl::run_state(sys, make_trace(a));
+  const auto& t = sys.totals();
+  if (a.csv) {
+    std::printf("kind,sites,objects,steps,update_prob,seed,sessions,bits,bytes,"
+                "elems_sent,elems_redundant,skips,conflicts,reconciliations,"
+                "consistent\n");
+    std::printf("%s,%u,%u,%u,%.3f,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%d\n",
+                std::string(vv::to_string(a.kind)).c_str(), a.sites, a.objects, a.steps,
+                a.update_prob, (unsigned long long)a.seed, (unsigned long long)t.sessions,
+                (unsigned long long)t.bits, (unsigned long long)t.bytes,
+                (unsigned long long)t.elems_sent, (unsigned long long)t.elems_redundant,
+                (unsigned long long)t.skips, (unsigned long long)t.conflicts_detected,
+                (unsigned long long)t.reconciliations, stats.eventually_consistent);
+    return 0;
+  }
+  std::printf("state-transfer run (%s, %s resolution)\n",
+              std::string(vv::to_string(a.kind)).c_str(),
+              a.manual ? "manual" : "automatic");
+  std::printf("  events: %llu updates, %llu syncs (%llu skipped)\n",
+              (unsigned long long)stats.updates, (unsigned long long)stats.syncs,
+              (unsigned long long)stats.skipped);
+  std::printf("  sessions: %llu   traffic: %llu model bits (%llu wire bytes)\n",
+              (unsigned long long)t.sessions, (unsigned long long)t.bits,
+              (unsigned long long)t.bytes);
+  std::printf("  elements: %llu sent, %llu redundant (Gamma), %llu segment skips\n",
+              (unsigned long long)t.elems_sent, (unsigned long long)t.elems_redundant,
+              (unsigned long long)t.skips);
+  std::printf("  conflicts: %llu detected, %llu reconciled\n",
+              (unsigned long long)t.conflicts_detected,
+              (unsigned long long)t.reconciliations);
+  std::printf("  eventually consistent: %s (%u anti-entropy rounds)\n",
+              stats.eventually_consistent ? "yes" : "no", stats.anti_entropy_rounds);
+  return stats.eventually_consistent || a.manual ? 0 : 1;
+}
+
+int run_op(const Args& a) {
+  repl::OpSystem::Config cfg;
+  cfg.n_sites = a.sites;
+  cfg.mode = a.mode;
+  cfg.net = make_net(a);
+  cfg.cost = CostModel{.n = a.sites, .m = 1 << 20};
+  cfg.use_incremental = !a.full_graph;
+  cfg.op_log_limit = a.log_limit;
+  repl::OpSystem sys(cfg);
+  const wl::RunStats stats = wl::run_op(sys, make_trace(a));
+  const auto& t = sys.totals();
+  if (a.csv) {
+    std::printf("algo,sites,objects,steps,update_prob,seed,log_limit,sessions,bits,"
+                "nodes_sent,nodes_redundant,op_bytes,fallbacks,fallback_bytes,"
+                "consistent\n");
+    std::printf("%s,%u,%u,%u,%.3f,%llu,%u,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%d\n",
+                a.full_graph ? "full" : "syncg", a.sites, a.objects, a.steps,
+                a.update_prob, (unsigned long long)a.seed, a.log_limit,
+                (unsigned long long)t.sessions, (unsigned long long)t.bits,
+                (unsigned long long)t.nodes_sent, (unsigned long long)t.nodes_redundant,
+                (unsigned long long)t.op_bytes, (unsigned long long)t.state_fallbacks,
+                (unsigned long long)t.state_fallback_bytes, stats.eventually_consistent);
+    return 0;
+  }
+  std::printf("operation-transfer run (%s%s)\n", a.full_graph ? "full graph" : "SYNCG",
+              a.log_limit ? (", log limit " + std::to_string(a.log_limit)).c_str() : "");
+  std::printf("  events: %llu ops, %llu syncs\n", (unsigned long long)stats.updates,
+              (unsigned long long)stats.syncs);
+  std::printf("  sessions: %llu   metadata: %llu model bits\n",
+              (unsigned long long)t.sessions, (unsigned long long)t.bits);
+  std::printf("  nodes: %llu sent, %llu redundant overlap\n",
+              (unsigned long long)t.nodes_sent, (unsigned long long)t.nodes_redundant);
+  std::printf("  payload: %llu op bytes; %llu state fallbacks (%llu bytes)\n",
+              (unsigned long long)t.op_bytes, (unsigned long long)t.state_fallbacks,
+              (unsigned long long)t.state_fallback_bytes);
+  std::printf("  reconciliations: %llu\n", (unsigned long long)t.reconciliations);
+  std::printf("  eventually consistent: %s\n", stats.eventually_consistent ? "yes" : "no");
+  return stats.eventually_consistent ? 0 : 1;
+}
+
+int run_records(const Args& a) {
+  repl::RecordSystem::Config cfg;
+  cfg.n_sites = a.sites;
+  cfg.kind = a.kind;
+  cfg.policy = a.flag_policy ? repl::SemanticPolicy::kFlag
+                             : repl::SemanticPolicy::kLastWriterWins;
+  cfg.mode = a.mode;
+  cfg.net = make_net(a);
+  cfg.cost = CostModel{.n = a.sites, .m = 1 << 16};
+  repl::RecordSystem sys(cfg);
+  const ObjectId db{0};
+  Rng rng(a.seed);
+  sys.create_object(SiteId{0}, db, "genesis", "x");
+  for (std::uint32_t s = 1; s < a.sites; ++s) sys.sync(SiteId{s}, SiteId{0}, db);
+  std::vector<std::uint64_t> priv(a.sites, 0);
+  for (std::uint32_t step = 0; step < a.steps; ++step) {
+    const auto s = static_cast<std::uint32_t>(rng.below(a.sites));
+    if (rng.chance(a.update_prob)) {
+      std::string key = rng.chance(a.overlap)
+                            ? "shared:" + std::to_string(rng.below(a.key_pool))
+                            : "own:" + std::to_string(s) + ":" +
+                                  std::to_string(priv[s]++ % 64);
+      sys.put(SiteId{s}, db, key, "v" + std::to_string(step));
+    } else {
+      auto p = static_cast<std::uint32_t>(rng.below(a.sites));
+      if (p == s) p = (p + 1) % a.sites;
+      sys.sync(SiteId{s}, SiteId{p}, db);
+    }
+  }
+  const auto& t = sys.totals();
+  if (a.csv) {
+    std::printf("kind,policy,sites,steps,overlap,key_pool,seed,sessions,bits,"
+                "syntactic,syntactic_only,semantic,merged,flagged\n");
+    std::printf("%s,%s,%u,%u,%.3f,%u,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
+                std::string(vv::to_string(a.kind)).c_str(),
+                a.flag_policy ? "flag" : "lww", a.sites, a.steps, a.overlap, a.key_pool,
+                (unsigned long long)a.seed, (unsigned long long)t.sessions,
+                (unsigned long long)t.bits, (unsigned long long)t.syntactic_conflicts,
+                (unsigned long long)t.syntactic_only,
+                (unsigned long long)t.semantic_conflicts,
+                (unsigned long long)t.records_merged,
+                (unsigned long long)t.flagged_records);
+    return 0;
+  }
+  std::printf("record-store run (%s, %s resolution)\n",
+              std::string(vv::to_string(a.kind)).c_str(),
+              a.flag_policy ? "flag-for-repair" : "last-writer-wins");
+  std::printf("  sessions: %llu   metadata: %llu model bits\n",
+              (unsigned long long)t.sessions, (unsigned long long)t.bits);
+  std::printf("  syntactic triggers: %llu (%llu dismissed as false alarms)\n",
+              (unsigned long long)t.syntactic_conflicts,
+              (unsigned long long)t.syntactic_only);
+  std::printf("  true record conflicts: %llu; silent merges: %llu; flagged: %llu\n",
+              (unsigned long long)t.semantic_conflicts,
+              (unsigned long long)t.records_merged,
+              (unsigned long long)t.flagged_records);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  if (a.command == "state") return run_state(a);
+  if (a.command == "op") return run_op(a);
+  return run_records(a);
+}
