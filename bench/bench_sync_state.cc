@@ -85,6 +85,7 @@ int main(int argc, char** argv) {
   std::printf("%-7s %-7s | %-10s %-10s %-10s | %-12s %-12s %-12s\n", "n", "Delta", "BRV",
               "CRV", "SRV", "traditional", "SK(first)", "SK(repeat)");
   print_rule(92);
+  BenchReporter reporter("sync_state");
   for (std::uint32_t n : {64u, 256u, 1024u, 4096u}) {
     for (std::uint32_t delta : {1u, 4u, 16u, 64u}) {
       if (delta >= n) continue;
@@ -93,8 +94,21 @@ int main(int argc, char** argv) {
                   delta, (unsigned long long)r.brv, (unsigned long long)r.crv,
                   (unsigned long long)r.srv, (unsigned long long)r.trad,
                   (unsigned long long)r.sk_first, (unsigned long long)r.sk_second);
+      obs::JsonWriter w;
+      w.begin_object();
+      w.field("n", n);
+      w.field("delta", delta);
+      w.field("brv_bits", r.brv);
+      w.field("crv_bits", r.crv);
+      w.field("srv_bits", r.srv);
+      w.field("traditional_bits", r.trad);
+      w.field("sk_first_bits", r.sk_first);
+      w.field("sk_repeat_bits", r.sk_second);
+      w.end_object();
+      reporter.add_row(w.take());
     }
   }
+  reporter.flush();
   std::printf("\n(read down a column: rotating-vector bits track Delta and barely move\n"
               " with n — the log n field width is the only growth; traditional traffic\n"
               " is proportional to n. SK repeats are delta-sized but cost O(n) sender\n"

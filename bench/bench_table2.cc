@@ -25,6 +25,7 @@ void part1_upper_bounds() {
   std::printf("%-6s %-8s %-22s %-22s %-8s\n", "n", "algo", "measured bits", "paper bound bits",
               "within");
   print_rule(70);
+  BenchReporter reporter("table2_bounds");
   for (std::uint32_t n : {8u, 64u, 256u, 1024u}) {
     const CostModel cm{.n = n, .m = 1 << 16};
     const vv::RotatingVector full = linear_history(n);
@@ -34,16 +35,23 @@ void part1_upper_bounds() {
       opt.known_relation = vv::Ordering::kBefore;
       sim::EventLoop loop;
       const auto rep = vv::sync_rotating(loop, empty, full, opt);
-      const std::uint64_t bound = kind == vv::VectorKind::kBrv ? cm.brv_upper_bound_bits()
-                                  : kind == vv::VectorKind::kCrv
-                                      ? cm.crv_upper_bound_bits()
-                                      : cm.srv_upper_bound_bits();
+      const std::uint64_t bound = obs::table2_upper_bound_bits(cm, kind);
       std::printf("%-6u %-8s %-22llu %-22llu %-8s\n", n,
                   std::string(vv::to_string(kind)).c_str(),
                   (unsigned long long)rep.total_bits(), (unsigned long long)bound,
                   rep.total_bits() <= bound ? "yes" : "NO");
+      obs::JsonWriter w;
+      w.begin_object();
+      w.field("n", n);
+      w.field("algo", vv::to_string(kind));
+      w.field("measured_bits", rep.total_bits());
+      w.field("bound_bits", bound);
+      w.field("within_bound", rep.total_bits() <= bound);
+      w.end_object();
+      reporter.add_row(w.take());
     }
   }
+  reporter.flush();
 }
 
 void part2_scaling_and_lower_bound() {

@@ -8,9 +8,12 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/export.h"
 #include "sim/event_loop.h"
 #include "vv/compare.h"
 #include "vv/session.h"
@@ -91,5 +94,51 @@ inline void print_rule(int width = 100) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
 }
+
+// Machine-readable bench results: collects JSON rows and writes
+// BENCH_<name>.json ({"schema":"optrep.bench/v1","bench":name,"rows":[...]})
+// into the working directory on flush (or destruction). CI uploads these as
+// artifacts, so every bench run leaves a diffable record next to its
+// human-readable stdout tables.
+class BenchReporter {
+ public:
+  explicit BenchReporter(std::string name) : name_(std::move(name)) {}
+  BenchReporter(const BenchReporter&) = delete;
+  BenchReporter& operator=(const BenchReporter&) = delete;
+  ~BenchReporter() { flush(); }
+
+  // `row_json` must be one complete JSON object (use obs::JsonWriter).
+  void add_row(const std::string& row_json) { rows_.push_back(row_json); }
+
+  void flush() {
+    if (flushed_) return;
+    flushed_ = true;
+    obs::JsonWriter hdr;
+    hdr.begin_object();
+    hdr.field("schema", "optrep.bench/v1");
+    hdr.field("bench", name_);
+    std::string out = hdr.take();  // unterminated: rows follow
+    out += ",\"rows\":[";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out += i == 0 ? "\n" : ",\n";
+      out += rows_[i];
+    }
+    out += "\n]}\n";
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> rows_;
+  bool flushed_{false};
+};
 
 }  // namespace optrep::bench

@@ -1,0 +1,38 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace optrep::obs {
+
+std::uint64_t Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target value, 1-based; q=0 maps to rank 1 (the minimum).
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(q * static_cast<double>(count_) + 0.5));
+  // The extreme ranks are known exactly — don't quantize them.
+  if (target == 1) return min_;
+  if (target >= count_) return max_;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i];
+    if (cum >= target) {
+      return std::clamp(bucket_midpoint(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min();
+  s.max = max_;
+  s.p50 = percentile(0.50);
+  s.p90 = percentile(0.90);
+  s.p99 = percentile(0.99);
+  return s;
+}
+
+}  // namespace optrep::obs

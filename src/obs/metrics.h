@@ -1,0 +1,153 @@
+// Lightweight metrics: named counters, gauges, and log-scale histograms.
+//
+// A Registry owns its instruments; registration (`counter("x")`) is a map
+// lookup that allocates at most once, on first use. The returned references
+// are stable for the registry's lifetime, so hot paths register once and then
+// increment through the reference — Counter::inc, Gauge::set and
+// Histogram::record perform no heap allocation (fixed arrays and integer
+// arithmetic only), which keeps per-protocol-message accounting free of
+// allocator traffic.
+//
+// Iteration over a registry is in lexicographic name order, so exported
+// snapshots are deterministic (see obs/export.h).
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/check.h"
+
+namespace optrep::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_ += n; }
+  // For mirroring an externally-accumulated total into the registry.
+  void set(std::uint64_t v) { v_ = v; }
+  std::uint64_t value() const { return v_; }
+  void reset() { v_ = 0; }
+
+ private:
+  std::uint64_t v_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    v_ = v;
+    if (v > max_) max_ = v;
+  }
+  void add(std::int64_t d) { set(v_ + d); }
+  std::int64_t value() const { return v_; }
+  std::int64_t max() const { return max_; }
+
+ private:
+  std::int64_t v_{0};
+  std::int64_t max_{0};  // high-water mark since construction
+};
+
+// Log-scale histogram of non-negative integers (HdrHistogram-style): values
+// below 2^(kSubBits+1) are counted exactly; above that, each power-of-two
+// octave is split into 2^kSubBits sub-buckets, bounding the relative
+// quantization error of percentile queries by 2^-kSubBits (12.5%).
+class Histogram {
+ public:
+  static constexpr unsigned kSubBits = 3;
+  static constexpr unsigned kSub = 1u << kSubBits;
+
+  void record(std::uint64_t v) {
+    ++buckets_[bucket_index(v)];
+    ++count_;
+    sum_ += v;
+    if (count_ == 1 || v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+
+  // Value at quantile q ∈ [0,1]: the midpoint of the bucket holding the
+  // ⌈q·count⌉-th smallest recorded value, clamped into [min, max] so that
+  // percentile(0) == min and percentile(1) == max exactly.
+  std::uint64_t percentile(double q) const;
+
+  struct Snapshot {
+    std::uint64_t count{0};
+    std::uint64_t sum{0};
+    std::uint64_t min{0};
+    std::uint64_t max{0};
+    std::uint64_t p50{0};
+    std::uint64_t p90{0};
+    std::uint64_t p99{0};
+  };
+  Snapshot snapshot() const;
+
+ private:
+  // Exact region: indices [0, 2^(kSubBits+1)). Octaves kSubBits+1 .. 63,
+  // kSub buckets each.
+  static constexpr std::size_t kBuckets = 2 * kSub + (64 - (kSubBits + 1)) * kSub;
+
+  static std::size_t bucket_index(std::uint64_t v) {
+    if (v < 2 * kSub) return static_cast<std::size_t>(v);
+    const unsigned octave = static_cast<unsigned>(std::bit_width(v)) - 1;
+    const auto sub = static_cast<std::size_t>((v >> (octave - kSubBits)) & (kSub - 1));
+    return 2 * kSub + (octave - (kSubBits + 1)) * kSub + sub;
+  }
+
+  static std::uint64_t bucket_midpoint(std::size_t idx) {
+    if (idx < 2 * kSub) return idx;  // exact
+    const std::size_t rel = idx - 2 * kSub;
+    const unsigned octave = static_cast<unsigned>(kSubBits + 1 + rel / kSub);
+    const std::uint64_t sub = rel % kSub;
+    const std::uint64_t lo = (std::uint64_t{1} << octave) | (sub << (octave - kSubBits));
+    const std::uint64_t width = std::uint64_t{1} << (octave - kSubBits);
+    return lo + width / 2;
+  }
+
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_{0};
+  std::uint64_t sum_{0};
+  std::uint64_t min_{0};
+  std::uint64_t max_{0};
+};
+
+class Registry {
+ public:
+  Counter& counter(std::string_view name) { return get(counters_, name); }
+  Gauge& gauge(std::string_view name) { return get(gauges_, name); }
+  Histogram& histogram(std::string_view name) { return get(histograms_, name); }
+
+  // Sorted (by name) read access for exporters; never creates instruments.
+  const std::map<std::string, Counter, std::less<>>& counters() const { return counters_; }
+  const std::map<std::string, Gauge, std::less<>>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
+
+  bool empty() const { return counters_.empty() && gauges_.empty() && histograms_.empty(); }
+
+ private:
+  template <class T>
+  static T& get(std::map<std::string, T, std::less<>>& m, std::string_view name) {
+    auto it = m.find(name);  // heterogeneous lookup: no allocation when present
+    if (it == m.end()) it = m.emplace(std::string(name), T{}).first;
+    return it->second;
+  }
+
+  // std::map nodes are stable: references returned by counter()/gauge()/
+  // histogram() survive later registrations.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace optrep::obs

@@ -1,0 +1,23 @@
+#include "obs/trace.h"
+
+namespace optrep::obs {
+
+std::string_view to_string(TraceEventType t) {
+  switch (t) {
+    case TraceEventType::kSessionBegin: return "session_begin";
+    case TraceEventType::kElemSent: return "elem_sent";
+    case TraceEventType::kElemApplied: return "elem_applied";
+    case TraceEventType::kElemRedundant: return "elem_redundant";
+    case TraceEventType::kElemStraggler: return "elem_straggler";
+    case TraceEventType::kSkipIssued: return "skip_issued";
+    case TraceEventType::kSkipHonored: return "skip_honored";
+    case TraceEventType::kHalt: return "halt";
+    case TraceEventType::kAck: return "ack";
+    case TraceEventType::kProbe: return "probe";
+    case TraceEventType::kVerdict: return "verdict";
+    case TraceEventType::kSessionEnd: return "session_end";
+  }
+  return "?";
+}
+
+}  // namespace optrep::obs

@@ -107,7 +107,25 @@ OpSyncOutcome OpSystem::sync(SiteId dst, SiteId src, ObjectId obj) {
   totals_.nodes_sent += out.report.nodes_sent;
   totals_.nodes_redundant += out.report.nodes_redundant;
   totals_.op_bytes += out.report.op_bytes_shipped;
+  metrics_.histogram("op.session_bits").record(out.report.total_bits());
+  publish_metrics();
   return out;
+}
+
+void OpSystem::publish_metrics() {
+  metrics_.counter("op.sessions").set(totals_.sessions);
+  metrics_.counter("op.bits").set(totals_.bits);
+  metrics_.counter("op.bytes").set(totals_.bytes);
+  metrics_.counter("op.nodes_sent").set(totals_.nodes_sent);
+  metrics_.counter("op.nodes_redundant").set(totals_.nodes_redundant);
+  metrics_.counter("op.op_bytes").set(totals_.op_bytes);
+  metrics_.counter("op.reconciliations").set(totals_.reconciliations);
+  metrics_.counter("op.state_fallbacks").set(totals_.state_fallbacks);
+  metrics_.counter("op.state_fallback_bytes").set(totals_.state_fallback_bytes);
+  metrics_.gauge("sim.queue_depth").set(static_cast<std::int64_t>(loop_.queue_depth()));
+  metrics_.gauge("sim.max_queue_depth").set(static_cast<std::int64_t>(loop_.max_queue_depth()));
+  metrics_.gauge("sim.executed_events").set(static_cast<std::int64_t>(loop_.executed_events()));
+  metrics_.gauge("sim.cancelled_events").set(static_cast<std::int64_t>(loop_.cancelled_events()));
 }
 
 bool OpSystem::has_replica(SiteId site, ObjectId obj) const {

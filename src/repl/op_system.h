@@ -14,6 +14,7 @@
 #include "common/cost_model.h"
 #include "common/ids.h"
 #include "graph/sync_graph.h"
+#include "obs/metrics.h"
 #include "sim/event_loop.h"
 
 namespace optrep::repl {
@@ -90,10 +91,16 @@ class OpSystem {
   };
   const Totals& totals() const { return totals_; }
 
+  // Fleet metrics ("op.*" counters, a per-session-bits histogram, and "sim.*"
+  // gauges from the event loop). Exported via obs::metrics_to_json.
+  const obs::Registry& metrics() const { return metrics_; }
+  obs::Registry& metrics() { return metrics_; }
+
  private:
   OpReplica& replica_mut(SiteId site, ObjectId obj);
   UpdateId fresh_op(SiteId site, ObjectId obj);
   void retain(OpReplica& r, UpdateId op);
+  void publish_metrics();
 
   Config cfg_;
   sim::EventLoop loop_;
@@ -104,6 +111,7 @@ class OpSystem {
   // the registry mirrors what every host would store in its log).
   std::unordered_map<ObjectId, std::map<UpdateId, std::string>> contents_;
   Totals totals_;
+  obs::Registry metrics_;
 };
 
 }  // namespace optrep::repl

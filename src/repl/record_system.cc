@@ -1,5 +1,7 @@
 #include "repl/record_system.h"
 
+#include "obs/export.h"
+
 namespace optrep::repl {
 
 void RecordSystem::create_object(SiteId site, ObjectId obj, const std::string& key,
@@ -58,6 +60,7 @@ RecordSystem::SyncResult RecordSystem::sync(SiteId dst, SiteId src, ObjectId obj
     out.report.bits_rev = vv::compare_cost_bits(cfg_.cost) / 2;
     totals_.sessions += 1;
     totals_.bits += out.report.total_bits();
+    publish_metrics();
     return out;
   }
 
@@ -72,6 +75,9 @@ RecordSystem::SyncResult RecordSystem::sync(SiteId dst, SiteId src, ObjectId obj
   opt.net = cfg_.net;
   opt.cost = cfg_.cost;
   opt.known_relation = rel;
+  opt.tracer = cfg_.tracer;
+  opt.trace_session = totals_.sessions + 1;
+  opt.metrics = &metrics_;
   out.report = vv::sync_rotating(loop_, receiver.vector, sender.vector, opt);
   out.report.bits_fwd += vv::compare_cost_bits(cfg_.cost) / 2;
   out.report.bits_rev += vv::compare_cost_bits(cfg_.cost) / 2;
@@ -92,7 +98,25 @@ RecordSystem::SyncResult RecordSystem::sync(SiteId dst, SiteId src, ObjectId obj
 
   totals_.sessions += 1;
   totals_.bits += out.report.total_bits();
+  if (!obs::within_table2_bound(cfg_.cost, cfg_.kind, out.report)) {
+    ++totals_.bound_violations;
+    metrics_.counter("obs.bound_violations").inc();
+  }
+  publish_metrics();
   return out;
+}
+
+void RecordSystem::publish_metrics() {
+  metrics_.counter("records.sessions").set(totals_.sessions);
+  metrics_.counter("records.syntactic_conflicts").set(totals_.syntactic_conflicts);
+  metrics_.counter("records.syntactic_only").set(totals_.syntactic_only);
+  metrics_.counter("records.semantic_conflicts").set(totals_.semantic_conflicts);
+  metrics_.counter("records.records_merged").set(totals_.records_merged);
+  metrics_.counter("records.flagged_records").set(totals_.flagged_records);
+  metrics_.gauge("sim.queue_depth").set(static_cast<std::int64_t>(loop_.queue_depth()));
+  metrics_.gauge("sim.max_queue_depth").set(static_cast<std::int64_t>(loop_.max_queue_depth()));
+  metrics_.gauge("sim.executed_events").set(static_cast<std::int64_t>(loop_.executed_events()));
+  metrics_.gauge("sim.cancelled_events").set(static_cast<std::int64_t>(loop_.cancelled_events()));
 }
 
 std::size_t RecordSystem::semantic_merge(RecordReplica& dst, const RecordReplica& src,

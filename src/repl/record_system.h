@@ -25,6 +25,8 @@
 
 #include "common/cost_model.h"
 #include "common/ids.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/event_loop.h"
 #include "vv/compare.h"
 #include "vv/rotating_vector.h"
@@ -64,6 +66,8 @@ class RecordSystem {
     vv::TransferMode mode{vv::TransferMode::kIdeal};
     sim::NetConfig net{};
     CostModel cost{};
+    // Optional structured tracing (see src/obs/trace.h).
+    obs::Tracer* tracer{nullptr};
   };
 
   explicit RecordSystem(Config cfg) : cfg_(cfg) {}
@@ -101,10 +105,17 @@ class RecordSystem {
     std::uint64_t semantic_conflicts{0};   // truly conflicting record pairs
     std::uint64_t records_merged{0};       // silently merged on conflict syncs
     std::uint64_t flagged_records{0};      // kFlag policy only
+    std::uint64_t bound_violations{0};     // sessions exceeding Table 2 (+COMPARE)
   };
   const Totals& totals() const { return totals_; }
 
+  // Fleet metrics ("vv.*" from sessions, "records.*" counters, "sim.*"
+  // gauges). Exported via obs::metrics_to_json.
+  const obs::Registry& metrics() const { return metrics_; }
+  obs::Registry& metrics() { return metrics_; }
+
  private:
+  void publish_metrics();
   RecordReplica& replica_mut(SiteId site, ObjectId obj);
   void apply_put(RecordReplica& r, SiteId site, const std::string& key,
                  std::string value);
@@ -118,6 +129,7 @@ class RecordSystem {
   sim::EventLoop loop_;
   std::unordered_map<SiteId, std::unordered_map<ObjectId, RecordReplica>> sites_;
   Totals totals_;
+  obs::Registry metrics_;
 };
 
 }  // namespace optrep::repl

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/export.h"
+
 namespace optrep::repl {
 
 StateSystem::StateSystem(Config cfg) : cfg_(cfg) {
@@ -63,6 +65,9 @@ SyncOutcome StateSystem::sync(SiteId dst, SiteId src, ObjectId obj) {
   opt.net = cfg_.net;
   opt.cost = cfg_.cost;
   opt.known_relation = rel;
+  opt.tracer = cfg_.tracer;
+  opt.trace_session = totals_.sessions + 1;
+  opt.metrics = &metrics_;
 
   switch (rel) {
     case vv::Ordering::kEqual:
@@ -131,9 +136,26 @@ SyncOutcome StateSystem::sync(SiteId dst, SiteId src, ObjectId obj) {
   totals_.bytes += out.report.total_bytes();
   totals_.msgs += out.report.msgs_fwd + out.report.msgs_rev;
   totals_.elems_sent += out.report.elems_sent;
+  totals_.elems_applied += out.report.elems_applied;
   totals_.elems_redundant += out.report.elems_redundant;
   totals_.skips += out.report.segments_skipped;
+  if (!obs::within_table2_bound(cfg_.cost, cfg_.kind, out.report)) {
+    ++totals_.bound_violations;
+    metrics_.counter("obs.bound_violations").inc();
+  }
+  publish_metrics();
   return out;
+}
+
+void StateSystem::publish_metrics() {
+  metrics_.counter("state.sessions").set(totals_.sessions);
+  metrics_.counter("state.payload_bytes").set(totals_.payload_bytes);
+  metrics_.counter("state.conflicts_detected").set(totals_.conflicts_detected);
+  metrics_.counter("state.reconciliations").set(totals_.reconciliations);
+  metrics_.gauge("sim.queue_depth").set(static_cast<std::int64_t>(loop_.queue_depth()));
+  metrics_.gauge("sim.max_queue_depth").set(static_cast<std::int64_t>(loop_.max_queue_depth()));
+  metrics_.gauge("sim.executed_events").set(static_cast<std::int64_t>(loop_.executed_events()));
+  metrics_.gauge("sim.cancelled_events").set(static_cast<std::int64_t>(loop_.cancelled_events()));
 }
 
 bool StateSystem::has_replica(SiteId site, ObjectId obj) const {

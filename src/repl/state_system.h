@@ -21,6 +21,8 @@
 
 #include "common/cost_model.h"
 #include "common/ids.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/event_loop.h"
 #include "sim/link.h"
 #include "vv/compare.h"
@@ -77,6 +79,9 @@ class StateSystem {
     sim::NetConfig net{};
     CostModel cost{};
     bool check_oracle{true};
+    // Optional structured tracing: every session's protocol events land
+    // here, tagged with a per-system session id (see src/obs/trace.h).
+    obs::Tracer* tracer{nullptr};
   };
 
   explicit StateSystem(Config cfg);
@@ -110,12 +115,23 @@ class StateSystem {
     // every pull/reconciliation (§6 contrasts this with operation transfer).
     std::uint64_t payload_bytes{0};
     std::uint64_t elems_sent{0};
-    std::uint64_t elems_redundant{0};
-    std::uint64_t skips{0};
+    std::uint64_t elems_applied{0};    // Σ|Δ| across sessions
+    std::uint64_t elems_redundant{0};  // Σ|Γ|
+    std::uint64_t skips{0};            // observed γ (honored segment skips)
     std::uint64_t conflicts_detected{0};
     std::uint64_t reconciliations{0};
+    // Sessions whose measured traffic exceeded the Table 2 upper bound for
+    // the configured kind (expected 0 in kIdeal mode; pipelined runs may
+    // overshoot by β, §3.1 — either way it is never silent).
+    std::uint64_t bound_violations{0};
   };
   const Totals& totals() const { return totals_; }
+
+  // Fleet-level metrics: per-session aggregates from the vv layer ("vv.*")
+  // plus system counters/histograms ("state.*") and simulator gauges
+  // ("sim.*"). Exported via obs::metrics_to_json.
+  const obs::Registry& metrics() const { return metrics_; }
+  obs::Registry& metrics() { return metrics_; }
 
   // Simulated clock shared by all sessions.
   sim::Time now() const { return loop_.now(); }
@@ -126,11 +142,13 @@ class StateSystem {
   StateReplica& replica_mut(SiteId site, ObjectId obj);
   void apply_update(StateReplica& r, SiteId site, ObjectId obj, std::string entry);
   void check_replica(const StateReplica& r) const;
+  void publish_metrics();
 
   Config cfg_;
   sim::EventLoop loop_;
   std::unordered_map<SiteId, std::unordered_map<ObjectId, StateReplica>> sites_;
   Totals totals_;
+  obs::Registry metrics_;
 };
 
 }  // namespace optrep::repl

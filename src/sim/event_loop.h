@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <queue>
 #include <unordered_set>
@@ -29,6 +30,7 @@ class EventLoop {
     OPTREP_CHECK_MSG(t >= now_, "cannot schedule into the past");
     const EventId id = next_id_++;
     queue_.push(Event{t, id, std::move(fn)});
+    if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
     return id;
   }
 
@@ -36,7 +38,10 @@ class EventLoop {
     return schedule(now_ + delay, std::move(fn));
   }
 
-  void cancel(EventId id) { cancelled_.insert(id); }
+  void cancel(EventId id) {
+    cancelled_.insert(id);
+    ++cancel_requests_;
+  }
 
   // Run one pending event; returns false when the queue is drained.
   bool step() {
@@ -45,6 +50,7 @@ class EventLoop {
       queue_.pop();
       if (cancelled_.erase(ev.id) > 0) continue;
       now_ = ev.at;
+      ++executed_;
       ev.fn();
       return true;
     }
@@ -53,18 +59,37 @@ class EventLoop {
 
   // Run to quiescence. Returns the time of the last executed event.
   Time run() {
-    std::uint64_t executed = 0;
+    std::uint64_t executed_this_run = 0;
     while (step()) {
-      ++executed;
-      OPTREP_CHECK_MSG(executed < kMaxEvents, "event loop runaway (protocol livelock?)");
+      if (++executed_this_run >= kMaxEvents) abort_runaway(executed_this_run);
     }
     return now_;
   }
 
   bool idle() const { return queue_.empty(); }
 
+  // Observability: lifetime counters and scheduling-depth gauge (published
+  // into metric registries by the systems that own a loop; see src/obs/).
+  std::uint64_t executed_events() const { return executed_; }
+  std::uint64_t cancelled_events() const { return cancel_requests_; }
+  std::size_t queue_depth() const { return queue_.size(); }  // incl. tombstones
+  std::size_t max_queue_depth() const { return max_queue_depth_; }
+
  private:
   static constexpr std::uint64_t kMaxEvents = 500'000'000;
+
+  [[noreturn]] void abort_runaway(std::uint64_t executed_this_run) const {
+    char msg[192];
+    std::snprintf(msg, sizeof msg,
+                  "event loop runaway (protocol livelock?): %llu events this run "
+                  "(%llu lifetime), queue depth %zu (max %zu), %llu cancel requests, "
+                  "now=%.9g",
+                  static_cast<unsigned long long>(executed_this_run),
+                  static_cast<unsigned long long>(executed_), queue_.size(),
+                  max_queue_depth_, static_cast<unsigned long long>(cancel_requests_),
+                  now_);
+    OPTREP_CHECK_MSG(false, msg);
+  }
 
   struct Event {
     Time at;
@@ -80,6 +105,9 @@ class EventLoop {
 
   Time now_{0};
   EventId next_id_{1};
+  std::uint64_t executed_{0};
+  std::uint64_t cancel_requests_{0};
+  std::size_t max_queue_depth_{0};
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::unordered_set<EventId> cancelled_;
 };

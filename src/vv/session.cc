@@ -62,6 +62,43 @@ std::string VvMsg::to_string() const {
 
 namespace {
 
+// Map one wire message to its typed trace event (receiver-side semantic
+// events — applied/redundant/straggler — are emitted by the receivers
+// themselves, where the classification happens).
+obs::TraceEventType wire_event_type(bool forward, const VvMsg& m) {
+  switch (m.kind) {
+    case VvMsg::Kind::kElem: return obs::TraceEventType::kElemSent;
+    case VvMsg::Kind::kHalt: return obs::TraceEventType::kHalt;
+    case VvMsg::Kind::kSkip: return obs::TraceEventType::kSkipIssued;
+    case VvMsg::Kind::kSkipped: return obs::TraceEventType::kSkipHonored;
+    case VvMsg::Kind::kAck: return obs::TraceEventType::kAck;
+    case VvMsg::Kind::kProbe: return obs::TraceEventType::kProbe;
+    case VvMsg::Kind::kVerdict: return obs::TraceEventType::kVerdict;
+  }
+  (void)forward;
+  return obs::TraceEventType::kElemSent;
+}
+
+// Per-session aggregates under the "vv." prefix. Runs once per session (not
+// per message); instrument lookups are heterogeneous map finds, so nothing
+// here allocates after the first session.
+void publish_session_metrics(obs::Registry* reg, const SyncReport& r) {
+  if (reg == nullptr) return;
+  reg->counter("vv.sessions").inc();
+  reg->counter("vv.bits_fwd").inc(r.bits_fwd);
+  reg->counter("vv.bits_rev").inc(r.bits_rev);
+  reg->counter("vv.bytes").inc(r.total_bytes());
+  reg->counter("vv.msgs").inc(r.msgs_fwd + r.msgs_rev);
+  reg->counter("vv.elems_sent").inc(r.elems_sent);
+  reg->counter("vv.elems_applied").inc(r.elems_applied);
+  reg->counter("vv.elems_redundant").inc(r.elems_redundant);
+  reg->counter("vv.elems_after_halt").inc(r.elems_after_halt);
+  reg->counter("vv.skip_msgs").inc(r.skip_msgs);
+  reg->counter("vv.segments_skipped").inc(r.segments_skipped);
+  reg->counter("vv.ack_msgs").inc(r.ack_msgs);
+  reg->histogram("vv.session_bits").record(r.total_bits());
+}
+
 // Shared plumbing for one endpoint of a session: counted sends over one link.
 class Peer {
  public:
@@ -249,6 +286,18 @@ class ReceiverBase : public Peer {
     }
   }
 
+  // Receiver-side semantic trace events (element applied / known / ignored).
+  void trace(obs::TraceEventType type, const VvMsg& m) {
+    if (opt_->tracer == nullptr) return;
+    opt_->tracer->record(obs::TraceEvent{.at = loop_->now(),
+                                         .session = opt_->trace_session,
+                                         .type = type,
+                                         .forward = true,
+                                         .site = m.site,
+                                         .value = m.value,
+                                         .bits = 0});
+  }
+
   RotatingVector* a_;
   std::optional<SiteId> prev_;  // last modified element (Alg 2/3/4 `prev`)
   bool finished_{false};
@@ -279,6 +328,7 @@ class ReceiverBasic : public ReceiverBase {
     prev_ = m.site;
     a_->set_element(m.site, m.value, false, false);
     ++c_.applied;
+    trace(obs::TraceEventType::kElemApplied, m);
     ack();
   }
 };
@@ -304,6 +354,7 @@ class ReceiverConflict : public ReceiverBase {
       if (m.conflict) {
         reconcile_ = true;  // Alg 3 lines 6–7: overlook tagged elements
         ++c_.redundant;     // |Γ|: transmitted only because its bit is set
+        trace(obs::TraceEventType::kElemRedundant, m);
         ack();
       } else {
         halt_sender();  // halt-trigger element is not part of Γ (§3.3)
@@ -314,6 +365,7 @@ class ReceiverConflict : public ReceiverBase {
     prev_ = m.site;
     a_->set_element(m.site, m.value, reconcile_ || m.conflict, false);
     ++c_.applied;
+    trace(obs::TraceEventType::kElemApplied, m);
     ack();
   }
 
@@ -373,6 +425,7 @@ class ReceiverSkip : public ReceiverBase {
         if (m.conflict) {
           reconcile_ = true;
           ++c_.redundant;
+          trace(obs::TraceEventType::kElemRedundant, m);
           if (!m.segment) {
             // Something of this sender segment remains to be skipped.
             send(VvMsg{.kind = VvMsg::Kind::kSkip, .arg = segs_});
@@ -386,6 +439,7 @@ class ReceiverSkip : public ReceiverBase {
         }
       } else {
         ++c_.straggler;  // in-flight element of a segment we asked to skip
+        trace(obs::TraceEventType::kElemStraggler, m);
       }
     } else {
       skipping_ = false;  // Alg 4 line 21
@@ -393,6 +447,7 @@ class ReceiverSkip : public ReceiverBase {
       prev_ = m.site;
       a_->set_element(m.site, m.value, reconcile_ || m.conflict, m.segment);
       ++c_.applied;
+      trace(obs::TraceEventType::kElemApplied, m);
     }
     // Segment bookkeeping from the received stream.
     if (m.segment) {
@@ -410,16 +465,50 @@ class ReceiverSkip : public ReceiverBase {
 
 struct SessionWiring {
   explicit SessionWiring(sim::EventLoop& loop, const SyncOptions& opt)
-      : duplex(&loop, opt.net) {
-    if (opt.tap) {
-      auto tap = opt.tap;
-      duplex.b_to_a().set_tap(
-          [tap](sim::Time, const VvMsg& m, std::uint64_t) { tap(true, m); });
-      duplex.a_to_b().set_tap(
-          [tap](sim::Time, const VvMsg& m, std::uint64_t) { tap(false, m); });
+      : duplex(&loop, opt.net), tracer(opt.tracer), session(opt.trace_session) {
+    if (opt.tap) taps.push_back(opt.tap);
+    for (const auto& t : opt.taps) {
+      if (t) taps.push_back(t);
+    }
+    if (!taps.empty() || tracer != nullptr) {
+      duplex.b_to_a().set_tap([this](sim::Time at, const VvMsg& m, std::uint64_t bits) {
+        observe(at, true, m, bits);
+      });
+      duplex.a_to_b().set_tap([this](sim::Time at, const VvMsg& m, std::uint64_t bits) {
+        observe(at, false, m, bits);
+      });
     }
   }
+
+  void observe(sim::Time at, bool forward, const VvMsg& m, std::uint64_t bits) {
+    for (const auto& t : taps) t(forward, m);
+    if (tracer != nullptr) {
+      tracer->record(obs::TraceEvent{.at = at,
+                                     .session = session,
+                                     .type = wire_event_type(forward, m),
+                                     .forward = forward,
+                                     .site = m.site,
+                                     .value = m.kind == VvMsg::Kind::kSkip ? m.arg : m.value,
+                                     .bits = bits});
+    }
+  }
+
+  void trace_boundary(sim::EventLoop& loop, obs::TraceEventType type, std::uint64_t bits) {
+    if (tracer != nullptr) {
+      tracer->record(obs::TraceEvent{.at = loop.now(),
+                                     .session = session,
+                                     .type = type,
+                                     .forward = true,
+                                     .site = SiteId{},
+                                     .value = 0,
+                                     .bits = bits});
+    }
+  }
+
   sim::Duplex<VvMsg> duplex;  // a_to_b: receiver→sender, b_to_a: sender→receiver
+  std::vector<SyncOptions::Tap> taps;
+  obs::Tracer* tracer{nullptr};
+  std::uint64_t session{0};
 };
 
 SyncReport assemble_report(Ordering rel, std::uint64_t compare_bits, sim::Time t0,
@@ -460,11 +549,15 @@ SyncReport run_rotating_session(sim::EventLoop& loop, RotatingVector& a,
   w.duplex.b_to_a().set_receiver([&receiver](const VvMsg& m) { receiver.on_message(m); });
   w.duplex.a_to_b().set_receiver([&sender](const VvMsg& m) { sender.on_message(m); });
   const sim::Time t0 = loop.now();
+  w.trace_boundary(loop, obs::TraceEventType::kSessionBegin, 0);
   loop.schedule(t0, [&sender] { sender.start(); });
   const sim::Time t_end = loop.run();
-  return assemble_report(rel, compare_bits, t0, t_end, w.duplex.b_to_a().stats(),
-                         w.duplex.a_to_b().stats(), sender.elems_sent(),
-                         receiver.counters(), opt.cost);
+  SyncReport r = assemble_report(rel, compare_bits, t0, t_end, w.duplex.b_to_a().stats(),
+                                 w.duplex.a_to_b().stats(), sender.elems_sent(),
+                                 receiver.counters(), opt.cost);
+  w.trace_boundary(loop, obs::TraceEventType::kSessionEnd, r.total_bits());
+  publish_session_metrics(opt.metrics, r);
+  return r;
 }
 
 Ordering resolve_relation(const RotatingVector& a, const RotatingVector& b,
@@ -530,15 +623,27 @@ SyncReport run_baseline_session(sim::EventLoop& loop, VersionVector& a,
       done_at = loop.now();
       return;
     }
-    if (m.value > a.value(m.site)) {
+    const bool is_new = m.value > a.value(m.site);
+    if (is_new) {
       a.set(m.site, m.value);
       ++applied;
     } else {
       ++redundant;
     }
+    if (w.tracer != nullptr) {
+      w.tracer->record(obs::TraceEvent{.at = loop.now(),
+                                       .session = w.session,
+                                       .type = is_new ? obs::TraceEventType::kElemApplied
+                                                      : obs::TraceEventType::kElemRedundant,
+                                       .forward = true,
+                                       .site = m.site,
+                                       .value = m.value,
+                                       .bits = 0});
+    }
   });
   w.duplex.a_to_b().set_receiver([](const VvMsg&) {});
   const sim::Time t0 = loop.now();
+  w.trace_boundary(loop, obs::TraceEventType::kSessionBegin, 0);
   loop.schedule(t0, [&] {
     for (const auto& [site, value] : to_send) {
       VvMsg m;
@@ -555,8 +660,11 @@ SyncReport run_baseline_session(sim::EventLoop& loop, VersionVector& a,
   rc.applied = applied;
   rc.redundant = redundant;
   rc.done_at = done_at;
-  return assemble_report(rel, 0, t0, t_end, w.duplex.b_to_a().stats(),
-                         w.duplex.a_to_b().stats(), to_send.size(), rc, opt.cost);
+  SyncReport r = assemble_report(rel, 0, t0, t_end, w.duplex.b_to_a().stats(),
+                                 w.duplex.a_to_b().stats(), to_send.size(), rc, opt.cost);
+  w.trace_boundary(loop, obs::TraceEventType::kSessionEnd, r.total_bits());
+  publish_session_metrics(opt.metrics, r);
+  return r;
 }
 
 std::vector<std::pair<SiteId, std::uint64_t>> sorted_elements(const VersionVector& v) {

@@ -20,8 +20,11 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "common/cost_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/event_loop.h"
 #include "sim/link.h"
 #include "vv/compare.h"
@@ -43,8 +46,22 @@ struct SyncOptions {
   // compare_cost_bits to the traffic totals.
   std::optional<Ordering> known_relation;
   // Optional transcript taps: observe every message as it enters each link
-  // (true = sender→receiver direction). For debugging and tests.
-  std::function<void(bool forward, const VvMsg&)> tap;
+  // (true = sender→receiver direction). For debugging and tests. `tap` is
+  // the original single-callback API and acts as subscriber #0; add_tap
+  // registers further subscribers, so a tracer and a test assertion can
+  // observe the same session.
+  using Tap = std::function<void(bool forward, const VvMsg&)>;
+  Tap tap;
+  std::vector<Tap> taps;
+  void add_tap(Tap t) { taps.push_back(std::move(t)); }
+
+  // Structured observability (optional, see src/obs/): typed protocol events
+  // go to `tracer` stamped with `trace_session`; per-session aggregates
+  // (counters + a total-bits histogram, "vv." prefix) go to `metrics`.
+  // Neither adds heap allocation on the per-message path.
+  obs::Tracer* tracer{nullptr};
+  std::uint64_t trace_session{0};
+  obs::Registry* metrics{nullptr};
 };
 
 struct SyncReport {

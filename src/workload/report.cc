@@ -1,0 +1,151 @@
+#include "workload/report.h"
+
+#include "obs/export.h"
+
+namespace optrep::wl {
+
+namespace {
+
+std::string_view to_string(vv::TransferMode m) {
+  switch (m) {
+    case vv::TransferMode::kPipelined: return "pipelined";
+    case vv::TransferMode::kStopAndWait: return "saw";
+    case vv::TransferMode::kIdeal: return "ideal";
+  }
+  return "?";
+}
+
+void write_workload(obs::JsonWriter& w, const Trace& trace) {
+  const GeneratorConfig& g = trace.config;
+  w.key("workload").begin_object();
+  w.field("scenario", trace.scenario);
+  w.field("sites", std::uint64_t{trace.n_sites});
+  w.field("objects", std::uint64_t{trace.n_objects});
+  w.field("steps", std::uint64_t{g.steps});
+  w.field("update_prob", g.update_prob);
+  w.field("topology", wl::to_string(g.topology));
+  w.field("locality", g.locality);
+  w.field("seed", g.seed);
+  w.end_object();
+}
+
+void write_run_stats(obs::JsonWriter& w, const RunStats& s) {
+  w.key("run").begin_object();
+  w.field("updates", s.updates);
+  w.field("syncs", s.syncs);
+  w.field("skipped", s.skipped);
+  w.field("conflicts", s.conflicts);
+  w.field("anti_entropy_rounds", std::uint64_t{s.anti_entropy_rounds});
+  w.field("eventually_consistent", s.eventually_consistent);
+  w.end_object();
+}
+
+void write_metrics_field(obs::JsonWriter& w, const obs::Registry& reg) {
+  w.key("metrics");
+  obs::write_metrics(w, reg);
+}
+
+}  // namespace
+
+std::string state_run_report_json(const repl::StateSystem& sys, const Trace& trace,
+                                  const RunStats& stats) {
+  const auto& cfg = sys.config();
+  const auto& t = sys.totals();
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "optrep.run/v1");
+  w.field("command", "state");
+  w.field("kind", vv::to_string(cfg.kind));
+  w.field("mode", to_string(cfg.mode));
+  w.field("policy", cfg.policy == repl::ResolutionPolicy::kManual ? "manual" : "automatic");
+  write_workload(w, trace);
+  write_run_stats(w, stats);
+  w.key("totals").begin_object();
+  w.field("sessions", t.sessions);
+  w.field("bits", t.bits);
+  w.field("bytes", t.bytes);
+  w.field("msgs", t.msgs);
+  w.field("payload_bytes", t.payload_bytes);
+  w.field("elems_sent", t.elems_sent);
+  w.field("elems_applied", t.elems_applied);
+  w.field("elems_redundant", t.elems_redundant);
+  w.field("segments_skipped", t.skips);
+  w.field("conflicts_detected", t.conflicts_detected);
+  w.field("reconciliations", t.reconciliations);
+  w.end_object();
+  w.key("table2").begin_object();
+  w.field("upper_bound_bits_per_session", obs::table2_upper_bound_bits(cfg.cost, cfg.kind));
+  w.field("bound_violations", t.bound_violations);
+  w.end_object();
+  write_metrics_field(w, sys.metrics());
+  w.end_object();
+  return w.take();
+}
+
+std::string op_run_report_json(const repl::OpSystem& sys, const Trace& trace,
+                               const RunStats& stats) {
+  const auto& cfg = sys.config();
+  const auto& t = sys.totals();
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "optrep.run/v1");
+  w.field("command", "op");
+  w.field("algo", cfg.use_incremental ? "syncg" : "full");
+  w.field("mode", to_string(cfg.mode));
+  w.field("op_log_limit", std::uint64_t{cfg.op_log_limit});
+  write_workload(w, trace);
+  write_run_stats(w, stats);
+  w.key("totals").begin_object();
+  w.field("sessions", t.sessions);
+  w.field("bits", t.bits);
+  w.field("bytes", t.bytes);
+  w.field("nodes_sent", t.nodes_sent);
+  w.field("nodes_redundant", t.nodes_redundant);
+  w.field("op_bytes", t.op_bytes);
+  w.field("reconciliations", t.reconciliations);
+  w.field("state_fallbacks", t.state_fallbacks);
+  w.field("state_fallback_bytes", t.state_fallback_bytes);
+  w.end_object();
+  write_metrics_field(w, sys.metrics());
+  w.end_object();
+  return w.take();
+}
+
+std::string records_run_report_json(const repl::RecordSystem& sys,
+                                    const RecordsRunTags& tags) {
+  const auto& cfg = sys.config();
+  const auto& t = sys.totals();
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "optrep.run/v1");
+  w.field("command", "records");
+  w.field("kind", vv::to_string(cfg.kind));
+  w.field("mode", to_string(cfg.mode));
+  w.field("policy", cfg.policy == repl::SemanticPolicy::kFlag ? "flag" : "lww");
+  w.key("workload").begin_object();
+  w.field("sites", std::uint64_t{tags.sites});
+  w.field("steps", std::uint64_t{tags.steps});
+  w.field("update_prob", tags.update_prob);
+  w.field("overlap", tags.overlap);
+  w.field("key_pool", std::uint64_t{tags.key_pool});
+  w.field("seed", tags.seed);
+  w.end_object();
+  w.key("totals").begin_object();
+  w.field("sessions", t.sessions);
+  w.field("bits", t.bits);
+  w.field("syntactic_conflicts", t.syntactic_conflicts);
+  w.field("syntactic_only", t.syntactic_only);
+  w.field("semantic_conflicts", t.semantic_conflicts);
+  w.field("records_merged", t.records_merged);
+  w.field("flagged_records", t.flagged_records);
+  w.end_object();
+  w.key("table2").begin_object();
+  w.field("upper_bound_bits_per_session", obs::table2_upper_bound_bits(cfg.cost, cfg.kind));
+  w.field("bound_violations", t.bound_violations);
+  w.end_object();
+  write_metrics_field(w, sys.metrics());
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace optrep::wl

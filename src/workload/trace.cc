@@ -62,6 +62,7 @@ Trace generate(const GeneratorConfig& cfg) {
   Trace t;
   t.n_sites = cfg.n_sites;
   t.n_objects = cfg.n_objects;
+  t.config = cfg;
   t.events.reserve(cfg.steps + cfg.n_objects);
   // Each object is created on a deterministic home site.
   for (std::uint32_t o = 0; o < cfg.n_objects; ++o) {
@@ -88,7 +89,9 @@ Trace append_only_log(std::uint32_t n_sites, std::uint32_t steps, std::uint64_t 
   cfg.update_prob = 0.8;  // heavy concurrent appending → conflicts abound (§4)
   cfg.topology = Topology::kRandomGossip;
   cfg.seed = seed;
-  return generate(cfg);
+  Trace t = generate(cfg);
+  t.scenario = "append_only_log";
+  return t;
 }
 
 Trace dtn_store(std::uint32_t n_sites, std::uint32_t n_objects, std::uint32_t steps,
@@ -100,7 +103,9 @@ Trace dtn_store(std::uint32_t n_sites, std::uint32_t n_objects, std::uint32_t st
   cfg.update_prob = 0.3;  // mostly opportunistic exchanges, few local writes
   cfg.topology = Topology::kRandomGossip;
   cfg.seed = seed;
-  return generate(cfg);
+  Trace t = generate(cfg);
+  t.scenario = "dtn_store";
+  return t;
 }
 
 Trace collaboration(std::uint32_t n_sites, std::uint32_t steps, std::uint64_t seed) {
@@ -113,7 +118,9 @@ Trace collaboration(std::uint32_t n_sites, std::uint32_t steps, std::uint64_t se
   cfg.cluster_size = std::max<std::uint32_t>(n_sites / 4, 2);
   cfg.bridge_prob = 0.05;
   cfg.seed = seed;
-  return generate(cfg);
+  Trace t = generate(cfg);
+  t.scenario = "collaboration";
+  return t;
 }
 
 namespace {

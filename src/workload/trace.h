@@ -22,12 +22,6 @@ struct Event {
   ObjectId obj{};
 };
 
-struct Trace {
-  std::uint32_t n_sites{0};
-  std::uint32_t n_objects{0};
-  std::vector<Event> events;
-};
-
 // How sync partners are chosen.
 enum class Topology : std::uint8_t {
   kRandomGossip,  // uniformly random peer
@@ -35,6 +29,16 @@ enum class Topology : std::uint8_t {
   kStar,          // everyone syncs with a hub (site 0)
   kClustered,     // mostly intra-cluster, occasional cross-cluster bridges
 };
+
+constexpr const char* to_string(Topology t) {
+  switch (t) {
+    case Topology::kRandomGossip: return "gossip";
+    case Topology::kRing: return "ring";
+    case Topology::kStar: return "star";
+    case Topology::kClustered: return "clustered";
+  }
+  return "?";
+}
 
 struct GeneratorConfig {
   std::uint32_t n_sites{8};
@@ -48,6 +52,16 @@ struct GeneratorConfig {
   std::uint32_t cluster_size{4};     // kClustered
   double bridge_prob{0.1};           // kClustered: cross-cluster sync chance
   std::uint64_t seed{1};
+};
+
+struct Trace {
+  std::uint32_t n_sites{0};
+  std::uint32_t n_objects{0};
+  std::vector<Event> events;
+  // Provenance tags carried into exported run reports: which scenario built
+  // the trace, and the full generator configuration (seed, topology, skew).
+  std::string scenario{"generate"};
+  GeneratorConfig config{};
 };
 
 Trace generate(const GeneratorConfig& cfg);

@@ -37,6 +37,24 @@ TEST(EventLoop, CancelledEventDoesNotRun) {
   EXPECT_FALSE(ran);
 }
 
+TEST(EventLoop, CountsExecutedCancelledAndQueueDepth) {
+  EventLoop loop;
+  EXPECT_EQ(loop.executed_events(), 0u);
+  EXPECT_EQ(loop.max_queue_depth(), 0u);
+  const auto id = loop.schedule(1.0, [] {});
+  loop.schedule(2.0, [] {});
+  loop.schedule(3.0, [] {});
+  EXPECT_EQ(loop.queue_depth(), 3u);
+  EXPECT_EQ(loop.max_queue_depth(), 3u);
+  loop.cancel(id);
+  EXPECT_EQ(loop.cancelled_events(), 1u);
+  loop.run();
+  // The cancelled event was skipped, the other two executed.
+  EXPECT_EQ(loop.executed_events(), 2u);
+  EXPECT_EQ(loop.queue_depth(), 0u);
+  EXPECT_EQ(loop.max_queue_depth(), 3u);  // high-water mark survives the drain
+}
+
 TEST(EventLoop, EventsCanScheduleMoreEvents) {
   EventLoop loop;
   int count = 0;

@@ -10,6 +10,11 @@
 //   --topology=gossip|ring|star|clustered
 //   --mode=ideal|saw|pipelined [--latency-ms=F --bandwidth=BITS_PER_S]
 //   --csv           one machine-readable result row (with header)
+//   --json          full run report (schema optrep.run/v1, see
+//                   docs/OBSERVABILITY.md): workload tags, totals, Table 2
+//                   bound checks, and the system's metrics registry
+//   --trace-out=F   write the structured protocol event trace to F as JSON
+//                   (state and records commands; op has no vv sessions)
 // state options:
 //   --kind=brv|crv|srv   --manual   (manual conflict resolution)
 // op options:
@@ -28,7 +33,10 @@
 #include <string>
 
 #include "common/rng.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "repl/record_system.h"
+#include "workload/report.h"
 #include "workload/trace.h"
 
 using namespace optrep;
@@ -51,6 +59,8 @@ struct Args {
   std::uint32_t log_limit{0};
   bool full_graph{false};
   bool csv{false};
+  bool json{false};
+  std::string trace_out;
   double overlap{0.2};
   std::uint32_t key_pool{16};
   bool flag_policy{false};
@@ -63,7 +73,7 @@ struct Args {
                "       [--update-prob=F] [--seed=N] [--topology=gossip|ring|star|clustered]\n"
                "       [--mode=ideal|saw|pipelined] [--latency-ms=F] [--bandwidth=F]\n"
                "       [--kind=brv|crv|srv] [--manual] [--log-limit=N] [--full-graph]\n"
-               "       [--csv]\n");
+               "       [--csv] [--json] [--trace-out=FILE]\n");
   std::exit(2);
 }
 
@@ -126,6 +136,11 @@ Args parse(int argc, char** argv) {
       a.full_graph = true;
     } else if (take(argv[i], "--csv", &v)) {
       a.csv = true;
+    } else if (take(argv[i], "--json", &v)) {
+      a.json = true;
+    } else if (take(argv[i], "--trace-out", &v)) {
+      if (v.empty()) usage("--trace-out needs a file path");
+      a.trace_out = v;
     } else if (take(argv[i], "--overlap", &v)) {
       a.overlap = std::strtod(v.c_str(), nullptr);
     } else if (take(argv[i], "--key-pool", &v)) {
@@ -138,8 +153,22 @@ Args parse(int argc, char** argv) {
   }
   if (a.sites < 2) usage("--sites must be >= 2");
   if (a.objects < 1) usage("--objects must be >= 1");
+  if (a.csv && a.json) usage("--csv and --json are mutually exclusive");
+  if (!a.trace_out.empty() && a.command == "op") {
+    usage("--trace-out applies to vector sessions; 'op' runs have none");
+  }
   if (a.kind == vv::VectorKind::kBrv) a.manual = true;  // §3.1: no reconciliation
   return a;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
 }
 
 wl::Trace make_trace(const Args& a) {
@@ -169,20 +198,40 @@ int run_state(const Args& a) {
   cfg.mode = a.mode;
   cfg.net = make_net(a);
   cfg.cost = CostModel{.n = a.sites, .m = 1 << 16};
+  obs::Tracer tracer;
+  if (!a.trace_out.empty()) cfg.tracer = &tracer;
   repl::StateSystem sys(cfg);
-  const wl::RunStats stats = wl::run_state(sys, make_trace(a));
+  const wl::Trace trace = make_trace(a);
+  const wl::RunStats stats = wl::run_state(sys, trace);
   const auto& t = sys.totals();
+  if (!a.trace_out.empty()) write_file(a.trace_out, obs::trace_to_json(tracer));
+  if (a.json) {
+    std::fputs(wl::state_run_report_json(sys, trace, stats).c_str(), stdout);
+    std::fputc('\n', stdout);
+    return 0;
+  }
   if (a.csv) {
-    std::printf("kind,sites,objects,steps,update_prob,seed,sessions,bits,bytes,"
-                "elems_sent,elems_redundant,skips,conflicts,reconciliations,"
-                "consistent\n");
-    std::printf("%s,%u,%u,%u,%.3f,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%d\n",
-                std::string(vv::to_string(a.kind)).c_str(), a.sites, a.objects, a.steps,
-                a.update_prob, (unsigned long long)a.seed, (unsigned long long)t.sessions,
-                (unsigned long long)t.bits, (unsigned long long)t.bytes,
-                (unsigned long long)t.elems_sent, (unsigned long long)t.elems_redundant,
-                (unsigned long long)t.skips, (unsigned long long)t.conflicts_detected,
-                (unsigned long long)t.reconciliations, stats.eventually_consistent);
+    std::puts("kind,sites,objects,steps,update_prob,seed,sessions,bits,bytes,"
+              "elems_sent,elems_redundant,skips,conflicts,reconciliations,"
+              "consistent");
+    std::puts(obs::CsvRow()
+                  .add(vv::to_string(a.kind))
+                  .add(a.sites)
+                  .add(a.objects)
+                  .add(a.steps)
+                  .add(a.update_prob)
+                  .add(a.seed)
+                  .add(t.sessions)
+                  .add(t.bits)
+                  .add(t.bytes)
+                  .add(t.elems_sent)
+                  .add(t.elems_redundant)
+                  .add(t.skips)
+                  .add(t.conflicts_detected)
+                  .add(t.reconciliations)
+                  .add(int{stats.eventually_consistent})
+                  .str()
+                  .c_str());
     return 0;
   }
   std::printf("state-transfer run (%s, %s resolution)\n",
@@ -214,19 +263,36 @@ int run_op(const Args& a) {
   cfg.use_incremental = !a.full_graph;
   cfg.op_log_limit = a.log_limit;
   repl::OpSystem sys(cfg);
-  const wl::RunStats stats = wl::run_op(sys, make_trace(a));
+  const wl::Trace trace = make_trace(a);
+  const wl::RunStats stats = wl::run_op(sys, trace);
   const auto& t = sys.totals();
+  if (a.json) {
+    std::fputs(wl::op_run_report_json(sys, trace, stats).c_str(), stdout);
+    std::fputc('\n', stdout);
+    return 0;
+  }
   if (a.csv) {
-    std::printf("algo,sites,objects,steps,update_prob,seed,log_limit,sessions,bits,"
-                "nodes_sent,nodes_redundant,op_bytes,fallbacks,fallback_bytes,"
-                "consistent\n");
-    std::printf("%s,%u,%u,%u,%.3f,%llu,%u,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%d\n",
-                a.full_graph ? "full" : "syncg", a.sites, a.objects, a.steps,
-                a.update_prob, (unsigned long long)a.seed, a.log_limit,
-                (unsigned long long)t.sessions, (unsigned long long)t.bits,
-                (unsigned long long)t.nodes_sent, (unsigned long long)t.nodes_redundant,
-                (unsigned long long)t.op_bytes, (unsigned long long)t.state_fallbacks,
-                (unsigned long long)t.state_fallback_bytes, stats.eventually_consistent);
+    std::puts("algo,sites,objects,steps,update_prob,seed,log_limit,sessions,bits,"
+              "nodes_sent,nodes_redundant,op_bytes,fallbacks,fallback_bytes,"
+              "consistent");
+    std::puts(obs::CsvRow()
+                  .add(a.full_graph ? "full" : "syncg")
+                  .add(a.sites)
+                  .add(a.objects)
+                  .add(a.steps)
+                  .add(a.update_prob)
+                  .add(a.seed)
+                  .add(a.log_limit)
+                  .add(t.sessions)
+                  .add(t.bits)
+                  .add(t.nodes_sent)
+                  .add(t.nodes_redundant)
+                  .add(t.op_bytes)
+                  .add(t.state_fallbacks)
+                  .add(t.state_fallback_bytes)
+                  .add(int{stats.eventually_consistent})
+                  .str()
+                  .c_str());
     return 0;
   }
   std::printf("operation-transfer run (%s%s)\n", a.full_graph ? "full graph" : "SYNCG",
@@ -254,6 +320,8 @@ int run_records(const Args& a) {
   cfg.mode = a.mode;
   cfg.net = make_net(a);
   cfg.cost = CostModel{.n = a.sites, .m = 1 << 16};
+  obs::Tracer tracer;
+  if (!a.trace_out.empty()) cfg.tracer = &tracer;
   repl::RecordSystem sys(cfg);
   const ObjectId db{0};
   Rng rng(a.seed);
@@ -275,18 +343,39 @@ int run_records(const Args& a) {
     }
   }
   const auto& t = sys.totals();
+  if (!a.trace_out.empty()) write_file(a.trace_out, obs::trace_to_json(tracer));
+  if (a.json) {
+    wl::RecordsRunTags tags;
+    tags.sites = a.sites;
+    tags.steps = a.steps;
+    tags.update_prob = a.update_prob;
+    tags.overlap = a.overlap;
+    tags.key_pool = a.key_pool;
+    tags.seed = a.seed;
+    std::fputs(wl::records_run_report_json(sys, tags).c_str(), stdout);
+    std::fputc('\n', stdout);
+    return 0;
+  }
   if (a.csv) {
-    std::printf("kind,policy,sites,steps,overlap,key_pool,seed,sessions,bits,"
-                "syntactic,syntactic_only,semantic,merged,flagged\n");
-    std::printf("%s,%s,%u,%u,%.3f,%u,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
-                std::string(vv::to_string(a.kind)).c_str(),
-                a.flag_policy ? "flag" : "lww", a.sites, a.steps, a.overlap, a.key_pool,
-                (unsigned long long)a.seed, (unsigned long long)t.sessions,
-                (unsigned long long)t.bits, (unsigned long long)t.syntactic_conflicts,
-                (unsigned long long)t.syntactic_only,
-                (unsigned long long)t.semantic_conflicts,
-                (unsigned long long)t.records_merged,
-                (unsigned long long)t.flagged_records);
+    std::puts("kind,policy,sites,steps,overlap,key_pool,seed,sessions,bits,"
+              "syntactic,syntactic_only,semantic,merged,flagged");
+    std::puts(obs::CsvRow()
+                  .add(vv::to_string(a.kind))
+                  .add(a.flag_policy ? "flag" : "lww")
+                  .add(a.sites)
+                  .add(a.steps)
+                  .add(a.overlap)
+                  .add(a.key_pool)
+                  .add(a.seed)
+                  .add(t.sessions)
+                  .add(t.bits)
+                  .add(t.syntactic_conflicts)
+                  .add(t.syntactic_only)
+                  .add(t.semantic_conflicts)
+                  .add(t.records_merged)
+                  .add(t.flagged_records)
+                  .str()
+                  .c_str());
     return 0;
   }
   std::printf("record-store run (%s, %s resolution)\n",
