@@ -35,7 +35,8 @@ AblationStats run_model(vv::VectorKind kind, bool post_reconcile_increment,
   std::vector<vv::VersionVector> oracle(kSites);
   AblationStats st;
 
-  for (int step = 0; step < 4000; ++step) {
+  const int steps = smoke() ? 400 : 4000;
+  for (int step = 0; step < steps; ++step) {
     const auto i = static_cast<std::uint32_t>(rng.below(kSites));
     if (rng.chance(0.5)) {
       vec[i].record_update(SiteId{i});
@@ -79,10 +80,11 @@ AblationStats run_model(vv::VectorKind kind, bool post_reconcile_increment,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  init_bench(&argc, argv);
   std::printf("==== bench_ablation: why each mechanism exists ====\n\n");
 
-  std::printf("-- A1: conflict bit. Reconciling workload, 4000 steps, 5 seeds --\n");
+  std::printf("-- A1: conflict bit. Reconciling workload --\n");
   std::printf("%-30s %-12s %-14s\n", "configuration", "sessions", "divergences");
   print_rule(58);
   for (auto [kind, label] :
@@ -91,7 +93,7 @@ int main() {
            {vv::VectorKind::kCrv, "SYNCC (conflict bit)"},
            {vv::VectorKind::kSrv, "SYNCS (conflict+segment)"}}) {
     std::uint64_t sessions = 0, div = 0;
-    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    for (std::uint64_t seed = 1; seed <= (smoke() ? 2u : 5u); ++seed) {
       const auto st = run_model(kind, /*post_reconcile_increment=*/true, seed);
       sessions += st.sessions;
       div += st.divergences;
@@ -107,7 +109,7 @@ int main() {
   print_rule(48);
   for (bool inc : {true, false}) {
     std::uint64_t errs = 0;
-    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    for (std::uint64_t seed = 1; seed <= (smoke() ? 2u : 5u); ++seed) {
       errs += run_model(vv::VectorKind::kSrv, inc, seed).compare_errors;
     }
     std::printf("%-30s %-16llu\n", inc ? "with increment (paper)" : "increment omitted",

@@ -62,6 +62,7 @@ BENCHMARK(BM_CompareFastOutcomes);
 }  // namespace
 
 int main(int argc, char** argv) {
+  init_bench(&argc, argv);
   std::printf("==== bench_compare: §3.3 comparison row ====\n");
   std::printf("wire cost:  COMPARE = 2·log(mn) bits (constant);"
               " full comparison ships one whole vector (O(n)).\n");

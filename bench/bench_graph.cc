@@ -75,12 +75,16 @@ BENCHMARK(BM_SyncGraphFull)->RangeMultiplier(4)->Range(64, 4096)->Unit(benchmark
 }  // namespace
 
 int main(int argc, char** argv) {
+  init_bench(&argc, argv);
   std::printf("==== bench_graph: SYNCG vs full graph transfer (§6.1) ====\n\n");
   std::printf("-- fixed difference (8 fresh ops), growing shared history --\n");
   std::printf("%-10s %-8s | %-14s %-14s | %-14s %-14s\n", "|V| shared", "diff",
               "SYNCG bits", "full bits", "SYNCG nodes", "full nodes");
   print_rule(84);
-  for (std::uint32_t shared : {32u, 128u, 512u, 2048u, 8192u}) {
+  const std::vector<std::uint32_t> shareds =
+      smoke() ? std::vector<std::uint32_t>{32, 128}
+              : std::vector<std::uint32_t>{32, 128, 512, 2048, 8192};
+  for (std::uint32_t shared : shareds) {
     auto [a1, b] = make_graphs(shared, 8, 4);
     CausalGraph a2 = a1;
     sim::EventLoop l1, l2;
@@ -96,16 +100,20 @@ int main(int argc, char** argv) {
   std::printf("%-10s %-8s | %-14s %-14s | %-12s %-12s\n", "|V| shared", "diff",
               "SYNCG bits", "full bits", "new nodes", "overlap");
   print_rule(78);
-  for (std::uint32_t diff : {1u, 8u, 64u, 512u}) {
-    auto [a, b] = make_graphs(1024, diff, 4);
+  const std::uint32_t shared_fixed = smoke() ? 128 : 1024;
+  const std::vector<std::uint32_t> diffs =
+      smoke() ? std::vector<std::uint32_t>{1, 8}
+              : std::vector<std::uint32_t>{1, 8, 64, 512};
+  for (std::uint32_t diff : diffs) {
+    auto [a, b] = make_graphs(shared_fixed, diff, 4);
     sim::EventLoop l1;
     auto o = gopt();
     const auto inc = sync_graph(l1, a, b, o);
     CausalGraph a2 = a;  // a was already synced; rebuild for full
-    auto [af, bf] = make_graphs(1024, diff, 4);
+    auto [af, bf] = make_graphs(shared_fixed, diff, 4);
     sim::EventLoop l2;
     const auto full = sync_graph_full(l2, af, bf, o);
-    std::printf("%-10u %-8u | %-14llu %-14llu | %-12llu %-12llu\n", 1024u, diff,
+    std::printf("%-10u %-8u | %-14llu %-14llu | %-12llu %-12llu\n", shared_fixed, diff,
                 (unsigned long long)inc.total_bits(), (unsigned long long)full.total_bits(),
                 (unsigned long long)inc.nodes_new, (unsigned long long)inc.nodes_redundant);
   }

@@ -26,7 +26,7 @@ HybridSample run(std::uint32_t log_limit) {
   wl::GeneratorConfig g;
   g.n_sites = 10;
   g.n_objects = 1;
-  g.steps = 1500;
+  g.steps = smoke() ? 200 : 1500;
   g.update_prob = 0.55;
   g.seed = 1234;
   const wl::Trace trace = wl::generate(g);
@@ -49,13 +49,17 @@ HybridSample run(std::uint32_t log_limit) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  init_bench(&argc, argv);
   std::printf("==== bench_hybrid: operation-log length vs state fallbacks (§6) ====\n");
   std::printf("(10 sites, 1500 events, ~32-byte operations, gossip; 0 = keep all)\n\n");
   std::printf("%-10s | %-14s %-16s %-11s %-12s %-10s\n", "log limit", "op bytes",
               "fallback bytes", "fallbacks", "total bytes", "converged");
   print_rule(80);
-  for (std::uint32_t limit : {0u, 512u, 128u, 32u, 8u, 2u}) {
+  const std::vector<std::uint32_t> limits =
+      smoke() ? std::vector<std::uint32_t>{0, 32, 2}
+              : std::vector<std::uint32_t>{0, 512, 128, 32, 8, 2};
+  for (std::uint32_t limit : limits) {
     const HybridSample s = run(limit);
     std::printf("%-10u | %-14llu %-16llu %-11llu %-12llu %-10s\n", limit,
                 (unsigned long long)s.op_bytes, (unsigned long long)s.fallback_bytes,

@@ -71,13 +71,18 @@ std::uint64_t run_overshoot(double rtt_s, double bw_bits, const CostModel& cm,
 }  // namespace
 
 int main(int argc, char** argv) {
+  init_bench(&argc, argv);
   std::printf("==== bench_pipelining: §3.1 network pipelining ====\n\n");
   std::printf("-- running time: pipelined vs stop-and-wait (bandwidth 1 Mbit/s) --\n");
   std::printf("%-6s %-9s | %-12s %-12s %-14s %-14s | %-10s %-10s\n", "k", "rtt(ms)",
               "t_pipe(s)", "t_saw(s)", "saved(s)", "(k-1)*rtt", "replies_p", "replies_s");
   print_rule(100);
-  for (std::uint32_t k : {8u, 32u, 128u}) {
-    for (double rtt_ms : {10.0, 50.0, 200.0}) {
+  const std::vector<std::uint32_t> ks =
+      smoke() ? std::vector<std::uint32_t>{8} : std::vector<std::uint32_t>{8, 32, 128};
+  const std::vector<double> rtts =
+      smoke() ? std::vector<double>{10.0} : std::vector<double>{10.0, 50.0, 200.0};
+  for (std::uint32_t k : ks) {
+    for (double rtt_ms : rtts) {
       const PipeSample s = run_case(k, rtt_ms / 1000.0, 1e6);
       std::printf("%-6u %-9.0f | %-12.4f %-12.4f %-14.4f %-14.4f | %-10llu %-10llu\n", k,
                   rtt_ms, s.t_pipe, s.t_saw, s.t_saw - s.t_pipe,
@@ -94,8 +99,12 @@ int main(int argc, char** argv) {
               "overshoot elems", "beta budget elems", "within");
   print_rule(72);
   const CostModel cm{.n = 2048, .m = 1 << 16};
-  for (double rtt_ms : {10.0, 100.0}) {
-    for (double bw : {1e5, 1e6, 1e7}) {
+  const std::vector<double> over_rtts =
+      smoke() ? std::vector<double>{10.0} : std::vector<double>{10.0, 100.0};
+  const std::vector<double> bws =
+      smoke() ? std::vector<double>{1e6} : std::vector<double>{1e5, 1e6, 1e7};
+  for (double rtt_ms : over_rtts) {
+    for (double bw : bws) {
       std::uint64_t beta_elems = 0;
       const std::uint64_t got = run_overshoot(rtt_ms / 1000.0, bw, cm, &beta_elems);
       std::printf("%-9.0f %-14.0f | %-18llu %-18llu %-8s\n", rtt_ms, bw,
@@ -121,7 +130,7 @@ int main(int argc, char** argv) {
     repl::StateSystem sys(cfg);
     wl::GeneratorConfig g;
     g.n_sites = 12;
-    g.steps = 800;
+    g.steps = smoke() ? 150 : 800;
     g.update_prob = 0.5;
     g.seed = 5;
     wl::run_state(sys, wl::generate(g), /*drive_to_consistency=*/false);

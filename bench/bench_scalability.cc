@@ -137,6 +137,7 @@ BENCHMARK(BM_GossipPull)->RangeMultiplier(4)->Range(16, 1024)->Unit(benchmark::k
 }  // namespace
 
 int main(int argc, char** argv) {
+  init_bench(&argc, argv);
   std::printf("==== bench_scalability: per-sync metadata traffic vs site count ====\n");
   std::printf("(history spans all n sites, %u hot writers per round, ring gossip,\n"
               " 4 rounds; bits measured in the final round, averaged per session)\n\n",
@@ -144,8 +145,12 @@ int main(int argc, char** argv) {
   std::printf("%-8s | %-14s %-14s %-14s %-16s\n", "n sites", "SRV (paper)",
               "traditional", "SK [23]", "hash history [12]");
   print_rule(72);
-  for (std::uint32_t n : {8u, 32u, 128u, 512u, 2048u}) {
-    const ScaleRow r = measure(n, 4);
+  const std::vector<std::uint32_t> ns =
+      smoke() ? std::vector<std::uint32_t>{8, 32}
+              : std::vector<std::uint32_t>{8, 32, 128, 512, 2048};
+  const std::uint32_t rounds = smoke() ? 2 : 4;
+  for (std::uint32_t n : ns) {
+    const ScaleRow r = measure(n, rounds);
     std::printf("%-8u | %-14.0f %-14.0f %-14.0f %-16.0f\n", n, r.srv_bits, r.trad_bits,
                 r.sk_bits, r.hh_bits);
   }

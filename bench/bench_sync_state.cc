@@ -81,13 +81,20 @@ BENCHMARK(BM_FastForwardSync)->RangeMultiplier(4)->Range(64, 16384)->Unit(benchm
 }  // namespace
 
 int main(int argc, char** argv) {
+  init_bench(&argc, argv);
   std::printf("==== bench_sync_state: SYNC* traffic = f(|Delta|), not f(n) ====\n\n");
   std::printf("%-7s %-7s | %-10s %-10s %-10s | %-12s %-12s %-12s\n", "n", "Delta", "BRV",
               "CRV", "SRV", "traditional", "SK(first)", "SK(repeat)");
   print_rule(92);
   BenchReporter reporter("sync_state");
-  for (std::uint32_t n : {64u, 256u, 1024u, 4096u}) {
-    for (std::uint32_t delta : {1u, 4u, 16u, 64u}) {
+  const std::vector<std::uint32_t> ns =
+      smoke() ? std::vector<std::uint32_t>{64, 256}
+              : std::vector<std::uint32_t>{64, 256, 1024, 4096};
+  const std::vector<std::uint32_t> deltas =
+      smoke() ? std::vector<std::uint32_t>{1, 4, 16}
+              : std::vector<std::uint32_t>{1, 4, 16, 64};
+  for (std::uint32_t n : ns) {
+    for (std::uint32_t delta : deltas) {
       if (delta >= n) continue;
       const Row r = measure(n, delta);
       std::printf("%-7u %-7u | %-10llu %-10llu %-10llu | %-12llu %-12llu %-12llu\n", n,

@@ -26,7 +26,10 @@ void part1_upper_bounds() {
               "within");
   print_rule(70);
   BenchReporter reporter("table2_bounds");
-  for (std::uint32_t n : {8u, 64u, 256u, 1024u}) {
+  const std::vector<std::uint32_t> ns =
+      smoke() ? std::vector<std::uint32_t>{8, 64}
+              : std::vector<std::uint32_t>{8, 64, 256, 1024};
+  for (std::uint32_t n : ns) {
     const CostModel cm{.n = n, .m = 1 << 16};
     const vv::RotatingVector full = linear_history(n);
     for (auto kind : {vv::VectorKind::kBrv, vv::VectorKind::kCrv, vv::VectorKind::kSrv}) {
@@ -61,16 +64,21 @@ void part2_scaling_and_lower_bound() {
   std::printf("%-14s %-10s %-12s %-12s %-12s %-10s\n", "update prob", "algo",
               "bits/sess", "Δ/sess", "Γ/sess", "LB ratio");
   print_rule(74);
-  for (double p_update : {0.3, 0.6, 0.9}) {
+  const std::vector<double> probs =
+      smoke() ? std::vector<double>{0.6} : std::vector<double>{0.3, 0.6, 0.9};
+  const std::uint32_t fleet_sites = smoke() ? 16 : 64;
+  const std::uint32_t evolve_steps = smoke() ? 150 : 2000;
+  const int samples = smoke() ? 100 : 1500;
+  for (double p_update : probs) {
     for (auto kind : {vv::VectorKind::kCrv, vv::VectorKind::kSrv}) {
-      VectorFleet fleet(64, kind, /*seed=*/1234);
-      fleet.evolve(2000, p_update);
+      VectorFleet fleet(fleet_sites, kind, /*seed=*/1234);
+      fleet.evolve(evolve_steps, p_update);
       // Sample phase: measure a further 1500 sync sessions.
-      const CostModel cm{.n = 64, .m = 1 << 16};
+      const CostModel cm{.n = fleet_sites, .m = 1 << 16};
       const std::uint64_t elem_bits = cm.elem_bits(kind == vv::VectorKind::kCrv ? 1 : 2);
       std::uint64_t sessions = 0, bits = 0, delta = 0, gamma_red = 0;
       double ratio_sum = 0;
-      for (int i = 0; i < 1500; ++i) {
+      for (int i = 0; i < samples; ++i) {
         const auto a = static_cast<std::uint32_t>(fleet.rng().below(fleet.size()));
         auto b = static_cast<std::uint32_t>(fleet.rng().below(fleet.size()));
         if (b == a) b = (b + 1) % fleet.size();
@@ -131,6 +139,7 @@ BENCHMARK(BM_SyncTime)
 }  // namespace
 
 int main(int argc, char** argv) {
+  init_bench(&argc, argv);
   std::printf("==== bench_table2: Table 2 reproduction ====\n");
   part1_upper_bounds();
   part2_scaling_and_lower_bound();

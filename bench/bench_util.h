@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
@@ -19,6 +20,27 @@
 #include "vv/session.h"
 
 namespace optrep::bench {
+
+// --smoke mode: every bench shrinks its parameter sweeps to a tiny but
+// representative subset so ctest/CI can exercise the full harness — including
+// the BENCH_*.json writers the regression gate consumes — in seconds. The
+// smoke rows ARE the committed baselines under bench/baselines/: they carry
+// only model-derived integers, so they are identical on every machine.
+inline bool g_smoke = false;
+inline bool smoke() { return g_smoke; }
+
+// Strip --smoke before benchmark::Initialize sees the argument list.
+inline void init_bench(int* argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      g_smoke = true;
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  *argc = kept;
+}
 
 inline vv::SyncOptions ideal_options(vv::VectorKind kind, std::uint64_t n,
                                      std::uint64_t m = 1 << 16) {

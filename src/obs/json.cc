@@ -1,0 +1,239 @@
+#include "obs/json.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace optrep::obs {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error) : text_(text), error_(error) {}
+
+  bool parse(JsonValue* out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing data after document");
+    return true;
+  }
+
+ private:
+  bool fail(const char* msg) {
+    if (error_ != nullptr) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf, "%s (byte %zu)", msg, pos_);
+      *error_ = buf;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') ++pos_;
+      else break;
+    }
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  bool consume(char c) {
+    if (eof() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return fail("unrecognized literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_value(JsonValue* out) {
+    if (eof()) return fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return parse_string(&out->string);
+      case 't':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = true;
+        return literal("true");
+      case 'f':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = false;
+        return literal("false");
+      case 'n':
+        out->type = JsonValue::Type::kNull;
+        return literal("null");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (eof() || peek() != '"') return fail("expected object key");
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':' after key");
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(&v)) return false;
+      out->members.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_array(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(&v)) return false;
+      out->items.push_back(std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return true;
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (true) {
+      if (eof()) return fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (eof()) return fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad hex digit in \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not emitted
+          // by our writers; a lone surrogate encodes as-is).
+          if (cp < 0x80) {
+            *out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            *out += static_cast<char>(0xC0 | (cp >> 6));
+            *out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (cp >> 12));
+            *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+  }
+
+  bool parse_number(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (!eof() && (peek() == '-' || peek() == '+')) ++pos_;
+    bool digits = false;
+    while (!eof()) {
+      const char c = peek();
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' || c == '-' ||
+          c == '+') {
+        digits = digits || (c >= '0' && c <= '9');
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (!digits) return fail("expected a value");
+    const std::string tok(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out->type = JsonValue::Type::kNumber;
+    out->number = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') return fail("malformed number");
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_{0};
+  std::string* error_;
+};
+
+void flatten_into(const JsonValue& v, const std::string& path, FlatDoc* out) {
+  switch (v.type) {
+    case JsonValue::Type::kNull: break;
+    case JsonValue::Type::kBool: out->numbers[path] = v.boolean ? 1.0 : 0.0; break;
+    case JsonValue::Type::kNumber: out->numbers[path] = v.number; break;
+    case JsonValue::Type::kString: out->strings[path] = v.string; break;
+    case JsonValue::Type::kArray:
+      for (std::size_t i = 0; i < v.items.size(); ++i) {
+        flatten_into(v.items[i], path + "[" + std::to_string(i) + "]", out);
+      }
+      break;
+    case JsonValue::Type::kObject:
+      for (const auto& [k, child] : v.members) {
+        flatten_into(child, path.empty() ? k : path + "." + k, out);
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+bool json_parse(std::string_view text, JsonValue* out, std::string* error) {
+  *out = JsonValue{};
+  Parser p(text, error);
+  return p.parse(out);
+}
+
+FlatDoc json_flatten(const JsonValue& root) {
+  FlatDoc out;
+  flatten_into(root, "", &out);
+  return out;
+}
+
+}  // namespace optrep::obs

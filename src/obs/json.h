@@ -1,0 +1,57 @@
+// A minimal JSON reader for the repo's own artifacts.
+//
+// optrep_report must consume what the exporters in obs/export.h and the
+// bench reporters produce (optrep.run/v1, optrep.bench/v1) without adding a
+// third-party dependency, so this is a small recursive-descent parser into a
+// DOM value plus a flattener that turns a document into dotted scalar paths
+// ("rows[3].srv_bits" → 123) for structural diffing (obs/report_diff.h).
+//
+// Scope: full JSON syntax (objects, arrays, strings with the escapes our
+// writer emits plus \uXXXX, numbers, booleans, null). Not a general-purpose
+// validator — inputs are trusted artifacts; malformed input yields a parse
+// error with byte offset, never UB.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace optrep::obs {
+
+struct JsonValue {
+  enum class Type : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type{Type::kNull};
+  bool boolean{false};
+  double number{0};
+  std::string string;
+  std::vector<JsonValue> items;                             // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;   // kObject, source order
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+
+  // First member with this key, or nullptr. Linear scan: documents here are
+  // small and member order is meaningful (source order is preserved).
+  const JsonValue* find(std::string_view key) const;
+};
+
+// Parse `text` into *out. Returns false on error and, if `error` is non-null,
+// fills it with a message that includes the byte offset.
+bool json_parse(std::string_view text, JsonValue* out, std::string* error = nullptr);
+
+// A JSON document reduced to scalar leaves addressed by dotted path
+// ("metrics.histograms.vv\.session_bits.p99" keys are NOT escaped — paths
+// are matched by substring in the gate rules, so dots inside names are
+// harmless). Booleans flatten into `numbers` as 0/1; null leaves are skipped.
+struct FlatDoc {
+  std::map<std::string, double> numbers;
+  std::map<std::string, std::string> strings;
+};
+FlatDoc json_flatten(const JsonValue& root);
+
+}  // namespace optrep::obs

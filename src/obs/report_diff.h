@@ -1,0 +1,78 @@
+// Structural diffing of measurement artifacts and the regression gate.
+//
+// optrep_report compares two sets of BENCH_*.json / optrep.run/v1 documents
+// (a committed baseline vs. the current build's output). Documents are
+// flattened to dotted scalar paths (obs/json.h); paths present in both sides
+// become MetricDeltas, and a small rule table decides which paths are
+// *gated* — i.e. count as regressions when they move in the bad direction by
+// more than the threshold. Everything else is reported but never fails the
+// gate (bench tables legitimately gain rows; simulated durations wobble with
+// parameters).
+//
+// Rule semantics: the first rule whose substring occurs in the path decides
+// the direction (more bits/bytes/wall-ns/γ/drops = bad; less consistency =
+// bad); unmatched paths are informational. A baseline of zero regresses on
+// any increase (thresholds are relative).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace optrep::obs {
+
+struct GateRule {
+  std::string substring;   // matched against the flattened path
+  bool increase_is_bad{true};
+};
+
+// Built-in rule table covering the repo's schemas: traffic (bits/bytes),
+// wall-clock spans (wall_ns), redundancy (Γ), skip-accounting (gamma),
+// dropped trace/span events and bound violations gate on increase;
+// "within"/"consistent" booleans gate on decrease.
+std::vector<GateRule> default_gate_rules();
+
+struct DiffOptions {
+  double threshold{0.05};  // relative: cur > base*(1+t) / cur < base*(1-t)
+  std::vector<GateRule> rules = default_gate_rules();
+  // Strict mode also fails the gate on paths missing from one side and on
+  // string mismatches (schema/kind drift), not only on numeric regressions.
+  bool strict{false};
+};
+
+struct MetricDelta {
+  std::string path;
+  double base{0};
+  double cur{0};
+  bool gated{false};      // a rule matched this path
+  bool regressed{false};  // gated and moved in the bad direction beyond threshold
+  bool changed() const { return base != cur; }
+  // Relative change; +∞ conventionally rendered as "new" when base == 0.
+  double ratio() const { return base != 0 ? cur / base : 0; }
+};
+
+// Comparison of one same-named document pair.
+struct DocDiff {
+  std::string name;                  // e.g. "BENCH_sync_state.json"
+  std::vector<MetricDelta> deltas;   // numeric paths present on both sides
+  std::vector<std::string> only_base;          // numeric paths that disappeared
+  std::vector<std::string> only_cur;           // numeric paths that appeared
+  std::vector<std::string> string_mismatches;  // "path: 'a' -> 'b'"
+  std::size_t regressions() const;
+  std::size_t changes() const;
+};
+
+DocDiff diff_docs(std::string name, const FlatDoc& base, const FlatDoc& cur,
+                  const DiffOptions& opt);
+
+// Did any compared document regress (or, under strict, drift structurally)?
+bool gate_failed(const std::vector<DocDiff>& diffs, const DiffOptions& opt);
+
+// Renderers. Markdown shows one table per document (changed or regressed
+// rows plus unchanged-count footers); CSV is one flat
+// "doc,path,base,current,ratio,gated,regressed" table.
+std::string diff_to_markdown(const std::vector<DocDiff>& diffs, const DiffOptions& opt);
+std::string diff_to_csv(const std::vector<DocDiff>& diffs);
+
+}  // namespace optrep::obs

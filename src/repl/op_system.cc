@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/prof.h"
+
 namespace optrep::repl {
 
 void OpSystem::create_object(SiteId site, ObjectId obj, std::string content) {
@@ -22,6 +24,7 @@ void OpSystem::update(SiteId site, ObjectId obj, std::string content) {
 }
 
 OpSyncOutcome OpSystem::sync(SiteId dst, SiteId src, ObjectId obj) {
+  OPTREP_SPAN("op.sync");
   OPTREP_CHECK_MSG(dst != src, "a site cannot synchronize with itself");
   OpSyncOutcome out;
   if (!has_replica(src, obj)) {

@@ -1,6 +1,7 @@
 #include "repl/record_system.h"
 
 #include "obs/export.h"
+#include "obs/prof.h"
 
 namespace optrep::repl {
 
@@ -13,6 +14,7 @@ void RecordSystem::create_object(SiteId site, ObjectId obj, const std::string& k
 
 void RecordSystem::put(SiteId site, ObjectId obj, const std::string& key,
                        std::string value) {
+  OPTREP_SPAN("records.put");
   apply_put(replica_mut(site, obj), site, key, std::move(value));
 }
 
@@ -47,6 +49,7 @@ bool RecordSystem::has_replica(SiteId site, ObjectId obj) const {
 }
 
 RecordSystem::SyncResult RecordSystem::sync(SiteId dst, SiteId src, ObjectId obj) {
+  OPTREP_SPAN("records.sync");
   OPTREP_CHECK_MSG(dst != src, "a site cannot synchronize with itself");
   SyncResult out;
   if (!has_replica(src, obj)) return out;

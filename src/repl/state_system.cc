@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/export.h"
+#include "obs/prof.h"
 
 namespace optrep::repl {
 
@@ -21,12 +22,14 @@ void StateSystem::create_object(SiteId site, ObjectId obj, std::string entry) {
 }
 
 void StateSystem::update(SiteId site, ObjectId obj, std::string entry) {
+  OPTREP_SPAN("state.update");
   StateReplica& r = replica_mut(site, obj);
   OPTREP_CHECK_MSG(!r.conflicted, "update on an excluded (conflicted) replica");
   apply_update(r, site, obj, std::move(entry));
 }
 
 SyncOutcome StateSystem::sync(SiteId dst, SiteId src, ObjectId obj) {
+  OPTREP_SPAN("state.sync");
   OPTREP_CHECK_MSG(dst != src, "a site cannot synchronize with itself");
   SyncOutcome out;
   if (!has_replica(src, obj)) {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/prof.h"  // header-only: OPTREP_SPAN adds no link dependency
 
 namespace optrep::sim {
 
@@ -51,7 +52,10 @@ class EventLoop {
       if (cancelled_.erase(ev.id) > 0) continue;
       now_ = ev.at;
       ++executed_;
-      ev.fn();
+      {
+        OPTREP_SPAN("sim.dispatch");
+        ev.fn();
+      }
       return true;
     }
     return false;

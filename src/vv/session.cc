@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/prof.h"
 
 namespace optrep::vv {
 
@@ -466,7 +467,6 @@ class ReceiverSkip : public ReceiverBase {
 struct SessionWiring {
   explicit SessionWiring(sim::EventLoop& loop, const SyncOptions& opt)
       : duplex(&loop, opt.net), tracer(opt.tracer), session(opt.trace_session) {
-    if (opt.tap) taps.push_back(opt.tap);
     for (const auto& t : opt.taps) {
       if (t) taps.push_back(t);
     }
@@ -574,6 +574,7 @@ Ordering resolve_relation(const RotatingVector& a, const RotatingVector& b,
 
 SyncReport sync_basic(sim::EventLoop& loop, RotatingVector& a, const RotatingVector& b,
                       const SyncOptions& opt) {
+  OPTREP_SPAN("vv.syncb");
   std::uint64_t cb = 0;
   const Ordering rel = resolve_relation(a, b, opt, &cb);
   return run_rotating_session<ReceiverBasic>(loop, a, b, opt, rel, cb);
@@ -581,6 +582,7 @@ SyncReport sync_basic(sim::EventLoop& loop, RotatingVector& a, const RotatingVec
 
 SyncReport sync_conflict(sim::EventLoop& loop, RotatingVector& a, const RotatingVector& b,
                          const SyncOptions& opt) {
+  OPTREP_SPAN("vv.syncc");
   std::uint64_t cb = 0;
   const Ordering rel = resolve_relation(a, b, opt, &cb);
   return run_rotating_session<ReceiverConflict>(loop, a, b, opt, rel, cb,
@@ -589,6 +591,7 @@ SyncReport sync_conflict(sim::EventLoop& loop, RotatingVector& a, const Rotating
 
 SyncReport sync_skip(sim::EventLoop& loop, RotatingVector& a, const RotatingVector& b,
                      const SyncOptions& opt) {
+  OPTREP_SPAN("vv.syncs");
   std::uint64_t cb = 0;
   const Ordering rel = resolve_relation(a, b, opt, &cb);
   return run_rotating_session<ReceiverSkip>(loop, a, b, opt, rel, cb,
@@ -677,6 +680,7 @@ std::vector<std::pair<SiteId, std::uint64_t>> sorted_elements(const VersionVecto
 
 SyncReport sync_traditional(sim::EventLoop& loop, VersionVector& a, const VersionVector& b,
                             const SyncOptions& opt) {
+  OPTREP_SPAN("vv.traditional");
   const Ordering rel = a.compare(b);
   return run_baseline_session(loop, a, sorted_elements(b), rel, opt);
 }
@@ -684,6 +688,7 @@ SyncReport sync_traditional(sim::EventLoop& loop, VersionVector& a, const Versio
 SyncReport sync_singhal_kshemkalyani(sim::EventLoop& loop, VersionVector& a,
                                      const VersionVector& b, VersionVector& last_sent,
                                      const SyncOptions& opt) {
+  OPTREP_SPAN("vv.sk");
   const Ordering rel = a.compare(b);
   std::vector<std::pair<SiteId, std::uint64_t>> delta;
   for (const auto& [site, value] : sorted_elements(b)) {
@@ -762,6 +767,7 @@ class ComparePeer {
 CompareSessionResult compare_session(sim::EventLoop& loop, const RotatingVector& a,
                                      const RotatingVector& b, const sim::NetConfig& net,
                                      const CostModel& cost) {
+  OPTREP_SPAN("vv.compare");
   sim::Duplex<VvMsg> duplex(&loop, net);
   ComparePeer pa(&a, &duplex.a_to_b(), &cost);
   ComparePeer pb(&b, &duplex.b_to_a(), &cost);

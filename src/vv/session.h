@@ -45,13 +45,11 @@ struct SyncOptions {
   // prior COMPARE); otherwise the session runs COMPARE itself and charges
   // compare_cost_bits to the traffic totals.
   std::optional<Ordering> known_relation;
-  // Optional transcript taps: observe every message as it enters each link
-  // (true = sender→receiver direction). For debugging and tests. `tap` is
-  // the original single-callback API and acts as subscriber #0; add_tap
-  // registers further subscribers, so a tracer and a test assertion can
-  // observe the same session.
+  // Optional transcript taps: each registered subscriber observes every
+  // message as it enters a link (true = sender→receiver direction), in
+  // registration order. For debugging and tests — a tracer and a test
+  // assertion can watch the same session.
   using Tap = std::function<void(bool forward, const VvMsg&)>;
-  Tap tap;
   std::vector<Tap> taps;
   void add_tap(Tap t) { taps.push_back(std::move(t)); }
 

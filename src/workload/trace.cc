@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/prof.h"
+
 namespace optrep::wl {
 
 namespace {
@@ -144,6 +146,7 @@ bool ensure_replica(System& sys, RunStats& stats, SiteId site, ObjectId obj,
 }  // namespace
 
 RunStats run_state(repl::StateSystem& sys, const Trace& trace, bool drive_to_consistency) {
+  OPTREP_SPAN("wl.run_state");
   RunStats stats;
   std::vector<SiteId> creators(trace.n_objects, SiteId{});
   std::uint64_t entry_no = 0;
@@ -184,6 +187,7 @@ RunStats run_state(repl::StateSystem& sys, const Trace& trace, bool drive_to_con
       sys.config().policy == repl::ResolutionPolicy::kAutomatic) {
     // Anti-entropy sweeps: ring passes in both directions until stable.
     for (std::uint32_t round = 0; round < 4 * trace.n_sites + 8; ++round) {
+      OPTREP_SPAN("wl.anti_entropy");
       bool all_consistent = true;
       for (std::uint32_t o = 0; o < trace.n_objects; ++o) {
         const ObjectId obj{o};
@@ -211,6 +215,7 @@ RunStats run_state(repl::StateSystem& sys, const Trace& trace, bool drive_to_con
 }
 
 RunStats run_op(repl::OpSystem& sys, const Trace& trace, bool drive_to_consistency) {
+  OPTREP_SPAN("wl.run_op");
   RunStats stats;
   std::vector<SiteId> creators(trace.n_objects, SiteId{});
   std::uint64_t entry_no = 0;
@@ -244,6 +249,7 @@ RunStats run_op(repl::OpSystem& sys, const Trace& trace, bool drive_to_consisten
 
   if (drive_to_consistency) {
     for (std::uint32_t round = 0; round < 4 * trace.n_sites + 8; ++round) {
+      OPTREP_SPAN("wl.anti_entropy");
       bool all_consistent = true;
       for (std::uint32_t o = 0; o < trace.n_objects; ++o) {
         const ObjectId obj{o};

@@ -9,6 +9,7 @@
 
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "repl/state_system.h"
 #include "vv/session.h"
@@ -148,6 +149,29 @@ TEST(Tracer, RingOverflowDropsOldestAndCountsDrops) {
   EXPECT_NE(json.find("\"total_recorded\":12"), std::string::npos);
 }
 
+TEST(Tracer, WrapBoundaryIsExact) {
+  // Exactly `capacity` records: the ring is full but nothing has been
+  // overwritten yet — an off-by-one here would report a phantom drop.
+  Tracer t(/*capacity=*/8);
+  TraceEvent e;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    e.value = i;
+    t.record(e);
+  }
+  EXPECT_EQ(t.size(), 8u);
+  EXPECT_EQ(t.total_recorded(), 8u);
+  EXPECT_EQ(t.dropped(), 0u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t.event(i).value, i);
+
+  // The (capacity+1)-th record evicts exactly one event: the oldest.
+  e.value = 8;
+  t.record(e);
+  EXPECT_EQ(t.size(), 8u);
+  EXPECT_EQ(t.total_recorded(), 9u);
+  EXPECT_EQ(t.dropped(), 1u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t.event(i).value, i + 1);
+}
+
 // ---------------------------------------------------------------------------
 // JsonWriter / exporters
 // ---------------------------------------------------------------------------
@@ -205,15 +229,15 @@ TEST(SessionObservability, AllTapSubscribersSeeEveryMessage) {
   opt.mode = vv::TransferMode::kIdeal;
   opt.cost = CostModel{.n = 8, .m = 256};
   opt.known_relation = vv::Ordering::kBefore;
-  int legacy = 0, extra1 = 0, extra2 = 0;
-  opt.tap = [&](bool, const vv::VvMsg&) { ++legacy; };
+  int first = 0, extra1 = 0, extra2 = 0;
+  opt.add_tap([&](bool, const vv::VvMsg&) { ++first; });
   opt.add_tap([&](bool, const vv::VvMsg&) { ++extra1; });
   opt.add_tap([&](bool, const vv::VvMsg&) { ++extra2; });
   sim::EventLoop loop;
   vv::sync_rotating(loop, a, b, opt);
-  EXPECT_GT(legacy, 0);
-  EXPECT_EQ(legacy, extra1);
-  EXPECT_EQ(legacy, extra2);
+  EXPECT_GT(first, 0);
+  EXPECT_EQ(first, extra1);
+  EXPECT_EQ(first, extra2);
 }
 
 TEST(SessionObservability, TracerRecordsSessionBracketsAndMetricsAggregate) {
@@ -255,6 +279,7 @@ TEST(SessionObservability, TracerRecordsSessionBracketsAndMetricsAggregate) {
 struct RunArtifacts {
   std::string report;
   std::string trace_json;
+  std::string metrics_csv;
 };
 
 RunArtifacts run_once(std::uint64_t seed) {
@@ -272,7 +297,8 @@ RunArtifacts run_once(std::uint64_t seed) {
   cfg.tracer = &tracer;
   repl::StateSystem sys(cfg);
   const wl::RunStats stats = wl::run_state(sys, trace);
-  return {wl::state_run_report_json(sys, trace, stats), trace_to_json(tracer)};
+  return {wl::state_run_report_json(sys, trace, stats), trace_to_json(tracer),
+          metrics_to_csv(sys.metrics())};
 }
 
 TEST(Determinism, SameSeedRunsExportByteIdenticalJson) {
@@ -280,6 +306,10 @@ TEST(Determinism, SameSeedRunsExportByteIdenticalJson) {
   const RunArtifacts r2 = run_once(7);
   EXPECT_EQ(r1.report, r2.report);
   EXPECT_EQ(r1.trace_json, r2.trace_json);
+  // The CSV export must be byte-identical too: no wall-clock values leak into
+  // the default metrics (profiling sinks are opt-in via --profile-out).
+  EXPECT_EQ(r1.metrics_csv, r2.metrics_csv);
+  EXPECT_NE(r1.metrics_csv.find("counter,"), std::string::npos);
   // And the artifacts are not degenerate.
   EXPECT_NE(r1.report.find("\"schema\":\"optrep.run/v1\""), std::string::npos);
   EXPECT_NE(r1.trace_json.find("\"session_begin\""), std::string::npos);
@@ -316,6 +346,30 @@ TEST(HotPath, RecordingAllocatesNoHeapMemory) {
   const std::uint64_t before_lookup = g_alloc_count;
   for (int i = 0; i < 1000; ++i) reg.counter("hot.counter").inc();
   EXPECT_EQ(g_alloc_count, before_lookup);
+}
+
+TEST(HotPath, SpanRecordingAllocatesNoHeapMemory) {
+  prof::Profiler profiler(/*capacity=*/64);  // small ring, wraps many times
+  Registry reg;
+  profiler.set_sink(&reg);
+  prof::set_global_profiler(&profiler);
+
+  // First record per distinct span name registers its ".wall_ns" histogram in
+  // the sink (one-time allocation); warm both names up front.
+  { OPTREP_SPAN("hot.outer"); { OPTREP_SPAN("hot.inner"); } }
+
+  const std::uint64_t before = g_alloc_count;
+  for (int i = 0; i < 10'000; ++i) {
+    OPTREP_SPAN("hot.outer");
+    { OPTREP_SPAN("hot.inner"); }
+  }
+  EXPECT_EQ(g_alloc_count, before) << "span recording must not allocate";
+  prof::set_global_profiler(nullptr);
+
+  EXPECT_EQ(profiler.total_recorded(), 20'002u);
+  EXPECT_EQ(profiler.size(), 64u);
+  EXPECT_EQ(reg.histogram("hot.outer.wall_ns").count(), 10'001u);
+  EXPECT_EQ(reg.histogram("hot.inner.wall_ns").count(), 10'001u);
 }
 
 }  // namespace

@@ -1,0 +1,125 @@
+// optrep::prof — RAII span timers, ring storage, metrics sink, and the
+// Chrome-trace (optrep.profile/v1) exporter.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/prof.h"
+
+namespace optrep::prof {
+namespace {
+
+TEST(Profiler, SpansRecordWithNestingDepthInnerClosesFirst) {
+  Profiler p(/*capacity=*/16);
+  {
+    Span outer(&p, "outer");
+    {
+      Span inner(&p, "inner");
+    }
+  }
+  ASSERT_EQ(p.size(), 2u);
+  // RAII closes inner-first, so the inner span is the older record.
+  EXPECT_STREQ(p.span(0).name, "inner");
+  EXPECT_STREQ(p.span(1).name, "outer");
+  EXPECT_EQ(p.span(1).depth + 1, p.span(0).depth);
+  EXPECT_EQ(p.span(0).tid, p.span(1).tid);
+  // The outer span brackets the inner one in time.
+  EXPECT_LE(p.span(1).start_ns, p.span(0).start_ns);
+  EXPECT_GE(p.span(1).start_ns + p.span(1).dur_ns,
+            p.span(0).start_ns + p.span(0).dur_ns);
+}
+
+TEST(Profiler, RingOverflowDropsOldestAndWrapBoundaryIsExact) {
+  Profiler p(/*capacity=*/4);
+  const char* names[] = {"s0", "s1", "s2", "s3", "s4", "s5"};
+  for (int i = 0; i < 4; ++i) Span s(&p, names[i]);
+  // Exactly at capacity: full, nothing dropped yet.
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.total_recorded(), 4u);
+  EXPECT_EQ(p.dropped(), 0u);
+
+  for (int i = 4; i < 6; ++i) Span s(&p, names[i]);
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.total_recorded(), 6u);
+  EXPECT_EQ(p.dropped(), 2u);
+  // The two oldest records were evicted: s2..s5 survive, oldest first.
+  for (std::size_t i = 0; i < p.size(); ++i) EXPECT_STREQ(p.span(i).name, names[i + 2]);
+
+  p.clear();
+  EXPECT_EQ(p.size(), 0u);
+  EXPECT_EQ(p.total_recorded(), 0u);
+  EXPECT_EQ(p.dropped(), 0u);
+}
+
+TEST(Profiler, SinkPublishesWallNsHistogramsPerSpanName) {
+  Profiler p;
+  obs::Registry reg;
+  p.set_sink(&reg);
+  for (int i = 0; i < 3; ++i) Span s(&p, "work.step");
+  { Span s(&p, "work.flush"); }
+  EXPECT_EQ(reg.histogram("work.step.wall_ns").count(), 3u);
+  EXPECT_EQ(reg.histogram("work.flush.wall_ns").count(), 1u);
+
+  // Detaching stops publication; the ring keeps recording.
+  p.set_sink(nullptr);
+  { Span s(&p, "work.step"); }
+  EXPECT_EQ(reg.histogram("work.step.wall_ns").count(), 3u);
+  EXPECT_EQ(p.total_recorded(), 5u);
+}
+
+TEST(Profiler, GlobalInstallRoutesMacroSpansAndUninstallStops) {
+  ASSERT_EQ(global_profiler(), nullptr);
+  Profiler p;
+  set_global_profiler(&p);
+  { OPTREP_SPAN("macro.scope"); }
+  set_global_profiler(nullptr);
+  { OPTREP_SPAN("macro.scope"); }  // no profiler: must be a no-op
+  ASSERT_EQ(p.total_recorded(), 1u);
+  EXPECT_STREQ(p.span(0).name, "macro.scope");
+}
+
+TEST(ProfileJson, ExportIsValidChromeTraceWithSchemaTag) {
+  Profiler p(/*capacity=*/8);
+  {
+    Span outer(&p, "vv.compare");
+    { Span inner(&p, "sim.dispatch"); }
+  }
+  const std::string json = profile_to_json(p);
+
+  obs::JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(json_parse(json, &doc, &err)) << err;
+  const obs::JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->items.size(), 2u);
+  for (const auto& ev : events->items) {
+    EXPECT_EQ(ev.find("ph")->string, "X");
+    EXPECT_EQ(ev.find("cat")->string, "optrep");
+    EXPECT_TRUE(ev.find("ts")->is_number());
+    EXPECT_TRUE(ev.find("dur")->is_number());
+    EXPECT_TRUE(ev.find("args")->find("depth")->is_number());
+  }
+  EXPECT_EQ(events->items[0].find("name")->string, "sim.dispatch");
+  EXPECT_EQ(events->items[1].find("name")->string, "vv.compare");
+
+  const obs::JsonValue* other = doc.find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->find("schema")->string, "optrep.profile/v1");
+  EXPECT_EQ(other->find("total_recorded")->number, 2.0);
+  EXPECT_EQ(other->find("dropped")->number, 0.0);
+  EXPECT_EQ(doc.find("displayTimeUnit")->string, "ns");
+}
+
+TEST(ProfileJson, EmptyProfilerExportsEmptyEventArray) {
+  Profiler p;
+  obs::JsonValue doc;
+  ASSERT_TRUE(json_parse(profile_to_json(p), &doc));
+  ASSERT_TRUE(doc.find("traceEvents")->is_array());
+  EXPECT_TRUE(doc.find("traceEvents")->items.empty());
+}
+
+}  // namespace
+}  // namespace optrep::prof

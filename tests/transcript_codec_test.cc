@@ -48,7 +48,7 @@ TEST(TranscriptCodec, SessionStreamsRoundTripAtReportedSize) {
     opt.known_relation = rel;
     BitWriter fwd_bits, rev_bits;
     std::vector<VvMsg> fwd_msgs, rev_msgs;
-    opt.tap = [&](bool forward, const VvMsg& m) {
+    opt.add_tap([&](bool forward, const VvMsg& m) {
       if (m.kind == VvMsg::Kind::kAck) return;  // free in ideal mode
       if (forward) {
         encode_msg(fwd_bits, opt.cost, opt.kind, Direction::kForward, m);
@@ -57,7 +57,7 @@ TEST(TranscriptCodec, SessionStreamsRoundTripAtReportedSize) {
         encode_msg(rev_bits, opt.cost, opt.kind, Direction::kReverse, m);
         rev_msgs.push_back(m);
       }
-    };
+    });
     sim::EventLoop loop;
     const auto rep = sync_skip(loop, a, b, opt);
 

@@ -54,9 +54,9 @@ TEST(Transcript, Figure2SyncsExactMessageSequence) {
   Fig f;
   std::vector<std::string> fwd, rev;
   auto opt = test::ideal(VectorKind::kSrv, 8);
-  opt.tap = [&](bool forward, const VvMsg& m) {
+  opt.add_tap([&](bool forward, const VvMsg& m) {
     (forward ? fwd : rev).push_back(m.to_string());
-  };
+  });
   RotatingVector a = f.theta7;
   sim::EventLoop loop;
   sync_skip(loop, a, f.theta9, opt);
@@ -78,9 +78,9 @@ TEST(Transcript, EqualVectorsExchangeOneElementAndHalt) {
   RotatingVector b = a;
   std::vector<std::string> fwd, rev;
   auto opt = test::ideal(VectorKind::kSrv, 8);
-  opt.tap = [&](bool forward, const VvMsg& m) {
+  opt.add_tap([&](bool forward, const VvMsg& m) {
     (forward ? fwd : rev).push_back(m.to_string());
-  };
+  });
   sim::EventLoop loop;
   sync_skip(loop, a, b, opt);
   EXPECT_EQ(fwd, (std::vector<std::string>{"ELEM(A:1)"}));
@@ -93,9 +93,9 @@ TEST(Transcript, SenderExhaustionEndsWithHalt) {
   b.record_update(B);
   std::vector<std::string> fwd;
   auto opt = test::ideal(VectorKind::kSrv, 8);
-  opt.tap = [&](bool forward, const VvMsg& m) {
+  opt.add_tap([&](bool forward, const VvMsg& m) {
     if (forward) fwd.push_back(m.to_string());
-  };
+  });
   sim::EventLoop loop;
   sync_skip(loop, a, b, opt);
   EXPECT_EQ(fwd, (std::vector<std::string>{"ELEM(B:1)", "ELEM(A:1)", "HALT"}));

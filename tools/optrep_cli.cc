@@ -15,6 +15,10 @@
 //                   bound checks, and the system's metrics registry
 //   --trace-out=F   write the structured protocol event trace to F as JSON
 //                   (state and records commands; op has no vv sessions)
+//   --profile-out=F write the wall-clock span profile to F as Chrome-trace /
+//                   Perfetto JSON (schema optrep.profile/v1; open in
+//                   chrome://tracing or ui.perfetto.dev). Also feeds
+//                   "<span>.wall_ns" histograms into the run's metrics
 // state options:
 //   --kind=brv|crv|srv   --manual   (manual conflict resolution)
 // op options:
@@ -30,10 +34,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "common/rng.h"
 #include "obs/export.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "repl/record_system.h"
 #include "workload/report.h"
@@ -61,6 +67,7 @@ struct Args {
   bool csv{false};
   bool json{false};
   std::string trace_out;
+  std::string profile_out;
   double overlap{0.2};
   std::uint32_t key_pool{16};
   bool flag_policy{false};
@@ -73,7 +80,7 @@ struct Args {
                "       [--update-prob=F] [--seed=N] [--topology=gossip|ring|star|clustered]\n"
                "       [--mode=ideal|saw|pipelined] [--latency-ms=F] [--bandwidth=F]\n"
                "       [--kind=brv|crv|srv] [--manual] [--log-limit=N] [--full-graph]\n"
-               "       [--csv] [--json] [--trace-out=FILE]\n");
+               "       [--csv] [--json] [--trace-out=FILE] [--profile-out=FILE]\n");
   std::exit(2);
 }
 
@@ -141,6 +148,9 @@ Args parse(int argc, char** argv) {
     } else if (take(argv[i], "--trace-out", &v)) {
       if (v.empty()) usage("--trace-out needs a file path");
       a.trace_out = v;
+    } else if (take(argv[i], "--profile-out", &v)) {
+      if (v.empty()) usage("--profile-out needs a file path");
+      a.profile_out = v;
     } else if (take(argv[i], "--overlap", &v)) {
       a.overlap = std::strtod(v.c_str(), nullptr);
     } else if (take(argv[i], "--key-pool", &v)) {
@@ -160,6 +170,35 @@ Args parse(int argc, char** argv) {
   if (a.kind == vv::VectorKind::kBrv) a.manual = true;  // §3.1: no reconciliation
   return a;
 }
+
+void write_file(const std::string& path, const std::string& content);
+
+// Installs the global profiler for the run when --profile-out is given and
+// writes the Chrome-trace JSON on scope exit. Span durations additionally
+// land in `sink` as "<name>.wall_ns" histograms, so the --json report carries
+// wall-clock percentiles next to the model-bit metrics (note: this makes the
+// metrics section run-dependent; without --profile-out reports stay
+// deterministic).
+class ProfileScope {
+ public:
+  ProfileScope(const std::string& path, obs::Registry* sink) : path_(path) {
+    if (path_.empty()) return;
+    profiler_.emplace();
+    profiler_->set_sink(sink);
+    prof::set_global_profiler(&*profiler_);
+  }
+  ~ProfileScope() {
+    if (!profiler_.has_value()) return;
+    prof::set_global_profiler(nullptr);
+    write_file(path_, prof::profile_to_json(*profiler_));
+  }
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  std::string path_;
+  std::optional<prof::Profiler> profiler_;
+};
 
 void write_file(const std::string& path, const std::string& content) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -201,6 +240,7 @@ int run_state(const Args& a) {
   obs::Tracer tracer;
   if (!a.trace_out.empty()) cfg.tracer = &tracer;
   repl::StateSystem sys(cfg);
+  ProfileScope profile(a.profile_out, &sys.metrics());
   const wl::Trace trace = make_trace(a);
   const wl::RunStats stats = wl::run_state(sys, trace);
   const auto& t = sys.totals();
@@ -263,6 +303,7 @@ int run_op(const Args& a) {
   cfg.use_incremental = !a.full_graph;
   cfg.op_log_limit = a.log_limit;
   repl::OpSystem sys(cfg);
+  ProfileScope profile(a.profile_out, &sys.metrics());
   const wl::Trace trace = make_trace(a);
   const wl::RunStats stats = wl::run_op(sys, trace);
   const auto& t = sys.totals();
@@ -323,6 +364,7 @@ int run_records(const Args& a) {
   obs::Tracer tracer;
   if (!a.trace_out.empty()) cfg.tracer = &tracer;
   repl::RecordSystem sys(cfg);
+  ProfileScope profile(a.profile_out, &sys.metrics());
   const ObjectId db{0};
   Rng rng(a.seed);
   sys.create_object(SiteId{0}, db, "genesis", "x");

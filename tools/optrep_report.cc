@@ -1,0 +1,205 @@
+// optrep_report — compare two sets of measurement artifacts and gate on
+// regressions.
+//
+//   optrep_report --baseline=PATH --current=PATH [options]
+//
+// PATH is either a single JSON document (BENCH_*.json, optrep.run/v1) or a
+// directory; in directory mode every *.json in the baseline is paired with
+// the same-named file under --current. Documents are flattened to scalar
+// paths and diffed (see src/obs/report_diff.h): traffic (bits/bytes),
+// wall-clock span percentiles (wall_ns), γ/redundancy accounting, drop
+// counters and bound violations gate on increase; consistency booleans gate
+// on decrease; everything else is informational.
+//
+// Options:
+//   --threshold=T   relative regression tolerance: "5%" or "0.05" (default 5%)
+//   --out=FILE      write the comparison (markdown, or CSV with --csv) to FILE
+//                   instead of stdout
+//   --csv           emit the flat CSV table instead of markdown
+//   --strict        also fail on missing/new metric paths and string drift
+//
+// Exit codes: 0 = no regression; 1 = gate failed; 2 = usage/IO/parse error.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/report_diff.h"
+
+using namespace optrep;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Args {
+  std::string baseline;
+  std::string current;
+  std::string out;
+  obs::DiffOptions diff;
+  bool csv{false};
+};
+
+[[noreturn]] void usage(const char* msg) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage: optrep_report --baseline=PATH --current=PATH\n"
+               "       [--threshold=5%%|0.05] [--out=FILE] [--csv] [--strict]\n"
+               "PATH: a JSON artifact or a directory of *.json artifacts.\n"
+               "exit: 0 pass, 1 regression, 2 usage/IO/parse error\n");
+  std::exit(2);
+}
+
+bool take(const char* arg, const char* name, std::string* value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '\0') {
+    *value = "";
+    return true;
+  }
+  if (arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+double parse_threshold(const std::string& v) {
+  if (v.empty()) usage("--threshold needs a value");
+  char* end = nullptr;
+  double t = std::strtod(v.c_str(), &end);
+  if (end != nullptr && *end == '%') {
+    t /= 100.0;
+    ++end;
+  }
+  if (end == nullptr || *end != '\0' || t < 0) usage("bad --threshold (use 5%% or 0.05)");
+  return t;
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (take(argv[i], "--baseline", &v)) {
+      a.baseline = v;
+    } else if (take(argv[i], "--current", &v)) {
+      a.current = v;
+    } else if (take(argv[i], "--threshold", &v)) {
+      a.diff.threshold = parse_threshold(v);
+    } else if (take(argv[i], "--out", &v)) {
+      if (v.empty()) usage("--out needs a file path");
+      a.out = v;
+    } else if (take(argv[i], "--csv", &v)) {
+      a.csv = true;
+    } else if (take(argv[i], "--strict", &v)) {
+      a.diff.strict = true;
+    } else {
+      usage((std::string("unknown option: ") + argv[i]).c_str());
+    }
+  }
+  if (a.baseline.empty() || a.current.empty()) {
+    usage("--baseline and --current are required");
+  }
+  return a;
+}
+
+bool read_file(const fs::path& path, std::string* out) {
+  std::FILE* f = std::fopen(path.string().c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[1 << 16];
+  out->clear();
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out->append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+// Load and flatten one artifact; exits with code 2 on IO or parse failure —
+// a gate that cannot read its inputs must not look green.
+obs::FlatDoc load_doc(const fs::path& path) {
+  std::string text;
+  if (!read_file(path, &text)) {
+    std::fprintf(stderr, "optrep_report: cannot read %s\n", path.string().c_str());
+    std::exit(2);
+  }
+  obs::JsonValue doc;
+  std::string err;
+  if (!obs::json_parse(text, &doc, &err)) {
+    std::fprintf(stderr, "optrep_report: %s: %s\n", path.string().c_str(), err.c_str());
+    std::exit(2);
+  }
+  return obs::json_flatten(doc);
+}
+
+std::vector<fs::path> json_files_in(const fs::path& dir) {
+  std::vector<fs::path> out;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.is_regular_file() && e.path().extension() == ".json") out.push_back(e.path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  const fs::path base_path(a.baseline), cur_path(a.current);
+  std::error_code ec;
+  if (!fs::exists(base_path, ec)) usage("--baseline path does not exist");
+  if (!fs::exists(cur_path, ec)) usage("--current path does not exist");
+
+  std::vector<obs::DocDiff> diffs;
+  bool missing_pair = false;
+  if (fs::is_directory(base_path)) {
+    if (!fs::is_directory(cur_path)) usage("--baseline is a directory but --current is not");
+    const auto files = json_files_in(base_path);
+    if (files.empty()) {
+      std::fprintf(stderr, "optrep_report: no *.json under %s\n",
+                   base_path.string().c_str());
+      return 2;
+    }
+    for (const auto& bf : files) {
+      const fs::path cf = cur_path / bf.filename();
+      if (!fs::exists(cf, ec)) {
+        std::fprintf(stderr, "optrep_report: %s has no counterpart under %s\n",
+                     bf.filename().string().c_str(), cur_path.string().c_str());
+        missing_pair = true;
+        continue;
+      }
+      diffs.push_back(
+          obs::diff_docs(bf.filename().string(), load_doc(bf), load_doc(cf), a.diff));
+    }
+  } else {
+    diffs.push_back(obs::diff_docs(base_path.filename().string(), load_doc(base_path),
+                                   load_doc(cur_path), a.diff));
+  }
+
+  const std::string rendered =
+      a.csv ? obs::diff_to_csv(diffs) : obs::diff_to_markdown(diffs, a.diff);
+  if (a.out.empty()) {
+    std::fputs(rendered.c_str(), stdout);
+  } else {
+    std::FILE* f = std::fopen(a.out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "optrep_report: cannot write %s\n", a.out.c_str());
+      return 2;
+    }
+    std::fwrite(rendered.data(), 1, rendered.size(), f);
+    std::fclose(f);
+  }
+
+  const bool failed = obs::gate_failed(diffs, a.diff) || (a.diff.strict && missing_pair);
+  if (missing_pair && !a.diff.strict) {
+    std::fprintf(stderr, "optrep_report: warning: unpaired baseline files skipped\n");
+  }
+  if (failed) {
+    std::size_t regressions = 0;
+    for (const auto& d : diffs) regressions += d.regressions();
+    std::fprintf(stderr, "optrep_report: GATE FAILED (%zu regression(s), threshold %.4g%%)\n",
+                 regressions, a.diff.threshold * 100.0);
+    return 1;
+  }
+  return 0;
+}
