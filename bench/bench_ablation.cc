@@ -87,18 +87,27 @@ int main(int argc, char** argv) {
   std::printf("-- A1: conflict bit. Reconciling workload --\n");
   std::printf("%-30s %-12s %-14s\n", "configuration", "sessions", "divergences");
   print_rule(58);
-  for (auto [kind, label] :
-       std::vector<std::pair<vv::VectorKind, const char*>>{
-           {vv::VectorKind::kBrv, "SYNCB (no conflict bit)"},
-           {vv::VectorKind::kCrv, "SYNCC (conflict bit)"},
-           {vv::VectorKind::kSrv, "SYNCS (conflict+segment)"}}) {
+  const std::uint64_t n_seeds = smoke() ? 2u : 5u;
+  const std::vector<std::pair<vv::VectorKind, const char*>> kinds{
+      {vv::VectorKind::kBrv, "SYNCB (no conflict bit)"},
+      {vv::VectorKind::kCrv, "SYNCC (conflict bit)"},
+      {vv::VectorKind::kSrv, "SYNCS (conflict+segment)"}};
+  std::vector<std::pair<vv::VectorKind, std::uint64_t>> a1_configs;
+  for (const auto& [kind, label] : kinds) {
+    for (std::uint64_t seed = 1; seed <= n_seeds; ++seed) a1_configs.emplace_back(kind, seed);
+  }
+  const auto a1_rows = sweep(
+      a1_configs, [](const std::pair<vv::VectorKind, std::uint64_t>& c, std::size_t) {
+        return run_model(c.first, /*post_reconcile_increment=*/true, c.second);
+      });
+  for (std::size_t k = 0; k < kinds.size(); ++k) {
     std::uint64_t sessions = 0, div = 0;
-    for (std::uint64_t seed = 1; seed <= (smoke() ? 2u : 5u); ++seed) {
-      const auto st = run_model(kind, /*post_reconcile_increment=*/true, seed);
+    for (std::uint64_t s = 0; s < n_seeds; ++s) {
+      const AblationStats& st = a1_rows[k * n_seeds + s];
       sessions += st.sessions;
       div += st.divergences;
     }
-    std::printf("%-30s %-12llu %-14llu\n", label, (unsigned long long)sessions,
+    std::printf("%-30s %-12llu %-14llu\n", kinds[k].second, (unsigned long long)sessions,
                 (unsigned long long)div);
   }
   std::printf("(expected: BRV loses values under reconciliation — the §3.2 failure;\n"
@@ -107,12 +116,19 @@ int main(int argc, char** argv) {
   std::printf("-- A2: §2.2 post-reconciliation increment --\n");
   std::printf("%-30s %-16s\n", "configuration", "COMPARE errors");
   print_rule(48);
+  std::vector<std::pair<bool, std::uint64_t>> a2_configs;
   for (bool inc : {true, false}) {
+    for (std::uint64_t seed = 1; seed <= n_seeds; ++seed) a2_configs.emplace_back(inc, seed);
+  }
+  const auto a2_rows =
+      sweep(a2_configs, [](const std::pair<bool, std::uint64_t>& c, std::size_t) {
+        return run_model(vv::VectorKind::kSrv, c.first, c.second);
+      });
+  for (std::size_t k = 0; k < 2; ++k) {
     std::uint64_t errs = 0;
-    for (std::uint64_t seed = 1; seed <= (smoke() ? 2u : 5u); ++seed) {
-      errs += run_model(vv::VectorKind::kSrv, inc, seed).compare_errors;
-    }
-    std::printf("%-30s %-16llu\n", inc ? "with increment (paper)" : "increment omitted",
+    for (std::uint64_t s = 0; s < n_seeds; ++s) errs += a2_rows[k * n_seeds + s].compare_errors;
+    std::printf("%-30s %-16llu\n",
+                k == 0 ? "with increment (paper)" : "increment omitted",
                 (unsigned long long)errs);
   }
   std::printf("(expected: omitting the increment breaks the front-dominates invariant\n"

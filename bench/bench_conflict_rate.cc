@@ -79,10 +79,15 @@ int main(int argc, char** argv) {
   const std::vector<double> probs =
       smoke() ? std::vector<double>{0.3, 0.85}
               : std::vector<double>{0.1, 0.3, 0.5, 0.7, 0.85, 0.95};
-  for (double p : probs) {
-    const Sample crv = run_kind(vv::VectorKind::kCrv, p, 7);
-    const Sample srv = run_kind(vv::VectorKind::kSrv, p, 7);
-    std::printf("%-8.2f %-10.2f | %-12.1f %-12.1f | %-12.2f %-12.2f %-10.2f\n", p,
+  struct Row {
+    Sample crv, srv;
+  };
+  const auto rows = sweep(probs, [](double p, std::size_t) {
+    return Row{run_kind(vv::VectorKind::kCrv, p, 7), run_kind(vv::VectorKind::kSrv, p, 7)};
+  });
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& [crv, srv] = rows[i];
+    std::printf("%-8.2f %-10.2f | %-12.1f %-12.1f | %-12.2f %-12.2f %-10.2f\n", probs[i],
                 crv.conflict_fraction, crv.bits_per_session, srv.bits_per_session,
                 crv.redundant_per_session, srv.redundant_per_session,
                 srv.skips_per_session);

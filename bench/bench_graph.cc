@@ -84,14 +84,19 @@ int main(int argc, char** argv) {
   const std::vector<std::uint32_t> shareds =
       smoke() ? std::vector<std::uint32_t>{32, 128}
               : std::vector<std::uint32_t>{32, 128, 512, 2048, 8192};
-  for (std::uint32_t shared : shareds) {
+  struct SharedRow {
+    GraphSyncReport inc, full;
+  };
+  const auto shared_rows = sweep(shareds, [](std::uint32_t shared, std::size_t) {
     auto [a1, b] = make_graphs(shared, 8, 4);
     CausalGraph a2 = a1;
     sim::EventLoop l1, l2;
     auto o = gopt();
-    const auto inc = sync_graph(l1, a1, b, o);
-    const auto full = sync_graph_full(l2, a2, b, o);
-    std::printf("%-10u %-8u | %-14llu %-14llu | %-14llu %-14llu\n", shared, 8u,
+    return SharedRow{sync_graph(l1, a1, b, o), sync_graph_full(l2, a2, b, o)};
+  });
+  for (std::size_t i = 0; i < shared_rows.size(); ++i) {
+    const auto& [inc, full] = shared_rows[i];
+    std::printf("%-10u %-8u | %-14llu %-14llu | %-14llu %-14llu\n", shareds[i], 8u,
                 (unsigned long long)inc.total_bits(), (unsigned long long)full.total_bits(),
                 (unsigned long long)inc.nodes_sent, (unsigned long long)full.nodes_sent);
   }
@@ -104,16 +109,23 @@ int main(int argc, char** argv) {
   const std::vector<std::uint32_t> diffs =
       smoke() ? std::vector<std::uint32_t>{1, 8}
               : std::vector<std::uint32_t>{1, 8, 64, 512};
-  for (std::uint32_t diff : diffs) {
+  struct DiffRow {
+    GraphSyncReport inc, full;
+  };
+  const auto diff_rows = sweep(diffs, [shared_fixed](std::uint32_t diff, std::size_t) {
     auto [a, b] = make_graphs(shared_fixed, diff, 4);
     sim::EventLoop l1;
     auto o = gopt();
-    const auto inc = sync_graph(l1, a, b, o);
-    CausalGraph a2 = a;  // a was already synced; rebuild for full
-    auto [af, bf] = make_graphs(shared_fixed, diff, 4);
+    DiffRow row;
+    row.inc = sync_graph(l1, a, b, o);
+    auto [af, bf] = make_graphs(shared_fixed, diff, 4);  // rebuild for full
     sim::EventLoop l2;
-    const auto full = sync_graph_full(l2, af, bf, o);
-    std::printf("%-10u %-8u | %-14llu %-14llu | %-12llu %-12llu\n", shared_fixed, diff,
+    row.full = sync_graph_full(l2, af, bf, o);
+    return row;
+  });
+  for (std::size_t i = 0; i < diff_rows.size(); ++i) {
+    const auto& [inc, full] = diff_rows[i];
+    std::printf("%-10u %-8u | %-14llu %-14llu | %-12llu %-12llu\n", shared_fixed, diffs[i],
                 (unsigned long long)inc.total_bits(), (unsigned long long)full.total_bits(),
                 (unsigned long long)inc.nodes_new, (unsigned long long)inc.nodes_redundant);
   }

@@ -59,9 +59,11 @@ int main(int argc, char** argv) {
   const std::vector<std::uint32_t> limits =
       smoke() ? std::vector<std::uint32_t>{0, 32, 2}
               : std::vector<std::uint32_t>{0, 512, 128, 32, 8, 2};
-  for (std::uint32_t limit : limits) {
-    const HybridSample s = run(limit);
-    std::printf("%-10u | %-14llu %-16llu %-11llu %-12llu %-10s\n", limit,
+  const auto rows =
+      sweep(limits, [](std::uint32_t limit, std::size_t) { return run(limit); });
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const HybridSample& s = rows[i];
+    std::printf("%-10u | %-14llu %-16llu %-11llu %-12llu %-10s\n", limits[i],
                 (unsigned long long)s.op_bytes, (unsigned long long)s.fallback_bytes,
                 (unsigned long long)s.fallbacks,
                 (unsigned long long)(s.op_bytes + s.fallback_bytes),

@@ -81,14 +81,21 @@ int main(int argc, char** argv) {
       smoke() ? std::vector<std::uint32_t>{8} : std::vector<std::uint32_t>{8, 32, 128};
   const std::vector<double> rtts =
       smoke() ? std::vector<double>{10.0} : std::vector<double>{10.0, 50.0, 200.0};
+  std::vector<std::pair<std::uint32_t, double>> pipe_configs;
   for (std::uint32_t k : ks) {
-    for (double rtt_ms : rtts) {
-      const PipeSample s = run_case(k, rtt_ms / 1000.0, 1e6);
-      std::printf("%-6u %-9.0f | %-12.4f %-12.4f %-14.4f %-14.4f | %-10llu %-10llu\n", k,
-                  rtt_ms, s.t_pipe, s.t_saw, s.t_saw - s.t_pipe,
-                  (k - 1) * rtt_ms / 1000.0, (unsigned long long)s.msgs_rev_pipe,
-                  (unsigned long long)s.msgs_rev_saw);
-    }
+    for (double rtt_ms : rtts) pipe_configs.emplace_back(k, rtt_ms);
+  }
+  const auto pipe_rows =
+      sweep(pipe_configs, [](const std::pair<std::uint32_t, double>& c, std::size_t) {
+        return run_case(c.first, c.second / 1000.0, 1e6);
+      });
+  for (std::size_t i = 0; i < pipe_rows.size(); ++i) {
+    const auto [k, rtt_ms] = pipe_configs[i];
+    const PipeSample& s = pipe_rows[i];
+    std::printf("%-6u %-9.0f | %-12.4f %-12.4f %-14.4f %-14.4f | %-10llu %-10llu\n", k,
+                rtt_ms, s.t_pipe, s.t_saw, s.t_saw - s.t_pipe,
+                (k - 1) * rtt_ms / 1000.0, (unsigned long long)s.msgs_rev_pipe,
+                (unsigned long long)s.msgs_rev_saw);
   }
   std::printf("\n(paper: pipelining saves (k-1)*rtt and makes (k-1) replies implicit —\n"
               " the 'saved' column should track '(k-1)*rtt', and the pipelined reply\n"
@@ -103,14 +110,24 @@ int main(int argc, char** argv) {
       smoke() ? std::vector<double>{10.0} : std::vector<double>{10.0, 100.0};
   const std::vector<double> bws =
       smoke() ? std::vector<double>{1e6} : std::vector<double>{1e5, 1e6, 1e7};
+  std::vector<std::pair<double, double>> over_configs;
   for (double rtt_ms : over_rtts) {
-    for (double bw : bws) {
-      std::uint64_t beta_elems = 0;
-      const std::uint64_t got = run_overshoot(rtt_ms / 1000.0, bw, cm, &beta_elems);
-      std::printf("%-9.0f %-14.0f | %-18llu %-18llu %-8s\n", rtt_ms, bw,
-                  (unsigned long long)got, (unsigned long long)beta_elems,
-                  got <= beta_elems ? "yes" : "NO");
-    }
+    for (double bw : bws) over_configs.emplace_back(rtt_ms, bw);
+  }
+  struct OverRow {
+    std::uint64_t got{0}, beta{0};
+  };
+  const auto over_rows =
+      sweep(over_configs, [&cm](const std::pair<double, double>& c, std::size_t) {
+        OverRow row;
+        row.got = run_overshoot(c.first / 1000.0, c.second, cm, &row.beta);
+        return row;
+      });
+  for (std::size_t i = 0; i < over_rows.size(); ++i) {
+    const auto [rtt_ms, bw] = over_configs[i];
+    std::printf("%-9.0f %-14.0f | %-18llu %-18llu %-8s\n", rtt_ms, bw,
+                (unsigned long long)over_rows[i].got, (unsigned long long)over_rows[i].beta,
+                over_rows[i].got <= over_rows[i].beta ? "yes" : "NO");
   }
   std::printf("\n-- whole-system effect: one trace, total simulated network time --\n");
   std::printf("(12 sites, 800 events, SRV, 20 ms latency, 1 Mbit/s)\n");

@@ -149,9 +149,11 @@ int main(int argc, char** argv) {
       smoke() ? std::vector<std::uint32_t>{8, 32}
               : std::vector<std::uint32_t>{8, 32, 128, 512, 2048};
   const std::uint32_t rounds = smoke() ? 2 : 4;
-  for (std::uint32_t n : ns) {
-    const ScaleRow r = measure(n, rounds);
-    std::printf("%-8u | %-14.0f %-14.0f %-14.0f %-16.0f\n", n, r.srv_bits, r.trad_bits,
+  const auto rows = sweep(
+      ns, [rounds](std::uint32_t n, std::size_t) { return measure(n, rounds); });
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ScaleRow& r = rows[i];
+    std::printf("%-8u | %-14.0f %-14.0f %-14.0f %-16.0f\n", ns[i], r.srv_bits, r.trad_bits,
                 r.sk_bits, r.hh_bits);
   }
   std::printf("\n(expected shape: traditional grows linearly with n; hash histories grow\n"

@@ -77,18 +77,27 @@ int main(int argc, char** argv) {
   const std::vector<double> overlaps =
       smoke() ? std::vector<double>{0.0, 0.6}
               : std::vector<double>{0.0, 0.1, 0.3, 0.6, 0.9};
+  std::vector<std::pair<double, std::uint32_t>> configs;
   for (double overlap : overlaps) {
     for (std::uint32_t pool : {4u, 64u}) {
       if (overlap == 0.0 && pool != 4u) continue;  // pool is moot at 0 overlap
-      const SemSample s = run(overlap, pool, 42);
-      const double filtered =
-          s.syntactic == 0 ? 0.0
-                           : 100.0 * (double)s.syntactic_only / (double)s.syntactic;
-      std::printf("%-9.1f %-9u | %-11llu %-14llu %-12.1f%% %-14llu %-11.1f\n", overlap,
-                  pool, (unsigned long long)s.syntactic,
-                  (unsigned long long)s.syntactic_only, filtered,
-                  (unsigned long long)s.semantic, (double)s.bits / (double)s.sessions);
+      configs.emplace_back(overlap, pool);
     }
+  }
+  const auto rows =
+      sweep(configs, [](const std::pair<double, std::uint32_t>& c, std::size_t) {
+        return run(c.first, c.second, 42);
+      });
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto [overlap, pool] = configs[i];
+    const SemSample& s = rows[i];
+    const double filtered =
+        s.syntactic == 0 ? 0.0
+                         : 100.0 * (double)s.syntactic_only / (double)s.syntactic;
+    std::printf("%-9.1f %-9u | %-11llu %-14llu %-12.1f%% %-14llu %-11.1f\n", overlap,
+                pool, (unsigned long long)s.syntactic,
+                (unsigned long long)s.syntactic_only, filtered,
+                (unsigned long long)s.semantic, (double)s.bits / (double)s.sessions);
   }
   std::printf("\n(expected shape: with disjoint write sets every syntactic conflict is\n"
               " filtered — ~100%% false alarms, exactly the regime where the cost of\n"

@@ -30,6 +30,33 @@ std::uint64_t causal_graph_bytes(const graph::CausalGraph& g) {
   return g.node_count() * (3 * 12);  // id + two parent ids
 }
 
+struct StorageRow {
+  std::uint64_t vv, rot, ps, hh, cg;
+};
+
+// One sweep point: every one of `n` sites updates `u` times, fully gossiped.
+StorageRow measure(std::uint32_t n, std::uint32_t u) {
+  vv::VersionVector vec;
+  vv::RotatingVector rot;
+  meta::PredecessorSet ps;
+  meta::HashHistory hh;
+  graph::CausalGraph cg;
+  cg.create(UpdateId{SiteId{0}, 1});
+  std::uint64_t cg_seq = 1;
+  for (std::uint32_t round = 0; round < u; ++round) {
+    for (std::uint32_t s = 0; s < n; ++s) {
+      vec.increment(SiteId{s});
+      rot.record_update(SiteId{s});
+      const UpdateId id{SiteId{s}, round + 1};
+      ps.record_update(id);
+      hh.record_update(id);
+      cg.append(UpdateId{SiteId{0}, ++cg_seq});
+    }
+  }
+  return {version_vector_bytes(vec), rotating_vector_bytes(rot), ps.storage_bytes(),
+          hh.storage_bytes(), causal_graph_bytes(cg)};
+}
+
 // The O(1) update cost that keeps rotating vectors cheap to maintain (§4.1:
 // "Incrementing an element in SRV due to replica updates consumes O(1) space
 // and time").
@@ -54,34 +81,18 @@ int main(int argc, char** argv) {
               "pred. set", "hash hist.", "causal graph");
   print_rule(74);
 
-  const std::uint32_t n = 32;
+  constexpr std::uint32_t n = 32;
   const std::vector<std::uint32_t> us =
       smoke() ? std::vector<std::uint32_t>{1, 4, 16}
               : std::vector<std::uint32_t>{1, 4, 16, 64, 256};
-  for (std::uint32_t u : us) {
-    vv::VersionVector vec;
-    vv::RotatingVector rot;
-    meta::PredecessorSet ps;
-    meta::HashHistory hh;
-    graph::CausalGraph cg;
-    cg.create(UpdateId{SiteId{0}, 1});
-    std::uint64_t cg_seq = 1;
-    for (std::uint32_t round = 0; round < u; ++round) {
-      for (std::uint32_t s = 0; s < n; ++s) {
-        vec.increment(SiteId{s});
-        rot.record_update(SiteId{s});
-        const UpdateId id{SiteId{s}, round + 1};
-        ps.record_update(id);
-        hh.record_update(id);
-        cg.append(UpdateId{SiteId{0}, ++cg_seq});
-      }
-    }
-    std::printf("%-10u | %-10llu %-10llu %-12llu %-12llu %-12llu\n", u,
-                (unsigned long long)version_vector_bytes(vec),
-                (unsigned long long)rotating_vector_bytes(rot),
-                (unsigned long long)ps.storage_bytes(),
-                (unsigned long long)hh.storage_bytes(),
-                (unsigned long long)causal_graph_bytes(cg));
+  const auto rows =
+      sweep(us, [](std::uint32_t u, std::size_t) { return measure(n, u); });
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const StorageRow& r = rows[i];
+    std::printf("%-10u | %-10llu %-10llu %-12llu %-12llu %-12llu\n", us[i],
+                (unsigned long long)r.vv, (unsigned long long)r.rot,
+                (unsigned long long)r.ps, (unsigned long long)r.hh,
+                (unsigned long long)r.cg);
   }
   std::printf("\n(expected shape: the two vector columns are flat in u — O(n) only;\n"
               " predecessor sets, hash histories and causal graphs grow linearly with\n"

@@ -93,27 +93,36 @@ int main(int argc, char** argv) {
   const std::vector<std::uint32_t> deltas =
       smoke() ? std::vector<std::uint32_t>{1, 4, 16}
               : std::vector<std::uint32_t>{1, 4, 16, 64};
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> configs;
   for (std::uint32_t n : ns) {
     for (std::uint32_t delta : deltas) {
       if (delta >= n) continue;
-      const Row r = measure(n, delta);
-      std::printf("%-7u %-7u | %-10llu %-10llu %-10llu | %-12llu %-12llu %-12llu\n", n,
-                  delta, (unsigned long long)r.brv, (unsigned long long)r.crv,
-                  (unsigned long long)r.srv, (unsigned long long)r.trad,
-                  (unsigned long long)r.sk_first, (unsigned long long)r.sk_second);
-      obs::JsonWriter w;
-      w.begin_object();
-      w.field("n", n);
-      w.field("delta", delta);
-      w.field("brv_bits", r.brv);
-      w.field("crv_bits", r.crv);
-      w.field("srv_bits", r.srv);
-      w.field("traditional_bits", r.trad);
-      w.field("sk_first_bits", r.sk_first);
-      w.field("sk_repeat_bits", r.sk_second);
-      w.end_object();
-      reporter.add_row(w.take());
+      configs.emplace_back(n, delta);
     }
+  }
+  const auto rows = sweep(
+      configs, [](const std::pair<std::uint32_t, std::uint32_t>& c, std::size_t) {
+        return measure(c.first, c.second);
+      });
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto [n, delta] = configs[i];
+    const Row& r = rows[i];
+    std::printf("%-7u %-7u | %-10llu %-10llu %-10llu | %-12llu %-12llu %-12llu\n", n,
+                delta, (unsigned long long)r.brv, (unsigned long long)r.crv,
+                (unsigned long long)r.srv, (unsigned long long)r.trad,
+                (unsigned long long)r.sk_first, (unsigned long long)r.sk_second);
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("n", n);
+    w.field("delta", delta);
+    w.field("brv_bits", r.brv);
+    w.field("crv_bits", r.crv);
+    w.field("srv_bits", r.srv);
+    w.field("traditional_bits", r.trad);
+    w.field("sk_first_bits", r.sk_first);
+    w.field("sk_repeat_bits", r.sk_second);
+    w.end_object();
+    reporter.add_row(w.take());
   }
   reporter.flush();
   std::printf("\n(read down a column: rotating-vector bits track Delta and barely move\n"

@@ -69,14 +69,21 @@ int main(int argc, char** argv) {
   const std::vector<std::uint32_t> step_counts =
       smoke() ? std::vector<std::uint32_t>{200}
               : std::vector<std::uint32_t>{200, 800, 3200};
+  std::vector<std::pair<std::uint32_t, double>> configs;
   for (std::uint32_t steps : step_counts) {
-    for (double p : {0.3, 0.7}) {
-      const ModelSample s = run(steps, p);
-      std::printf("%-8u %-8.1f | %-16llu %-14llu | %-16llu %-14llu | %-6s\n", steps, p,
-                  (unsigned long long)s.state_payload, (unsigned long long)s.state_bits,
-                  (unsigned long long)s.op_payload, (unsigned long long)s.op_bits,
-                  s.both_consistent ? "yes" : "NO");
-    }
+    for (double p : {0.3, 0.7}) configs.emplace_back(steps, p);
+  }
+  const auto rows =
+      sweep(configs, [](const std::pair<std::uint32_t, double>& c, std::size_t) {
+        return run(c.first, c.second);
+      });
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto [steps, p] = configs[i];
+    const ModelSample& s = rows[i];
+    std::printf("%-8u %-8.1f | %-16llu %-14llu | %-16llu %-14llu | %-6s\n", steps, p,
+                (unsigned long long)s.state_payload, (unsigned long long)s.state_bits,
+                (unsigned long long)s.op_payload, (unsigned long long)s.op_bits,
+                s.both_consistent ? "yes" : "NO");
   }
   std::printf("\n(expected shape: operation transfer's payload traffic grows with the\n"
               " number of *new* operations per session and stays near-linear in the\n"

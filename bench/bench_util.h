@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <utility>
@@ -15,6 +16,8 @@
 
 #include "common/rng.h"
 #include "obs/export.h"
+#include "rt/sweep.h"
+#include "rt/thread_pool.h"
 #include "sim/event_loop.h"
 #include "vv/compare.h"
 #include "vv/session.h"
@@ -29,7 +32,14 @@ namespace optrep::bench {
 inline bool g_smoke = false;
 inline bool smoke() { return g_smoke; }
 
-// Strip --smoke before benchmark::Initialize sees the argument list.
+// --threads=N (0 = all hardware threads; default 1): how many workers the
+// bench's sweep() fans configuration points across. Results are byte-identical
+// for every N — see src/rt/thread_pool.h.
+inline unsigned g_threads = 1;
+inline unsigned threads() { return g_threads; }
+
+// Strip harness flags (--smoke, --threads=N) before benchmark::Initialize
+// sees the argument list.
 inline void init_bench(int* argc, char** argv) {
   int kept = 1;
   for (int i = 1; i < *argc; ++i) {
@@ -37,9 +47,31 @@ inline void init_bench(int* argc, char** argv) {
       g_smoke = true;
       continue;
     }
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      const long n = std::atol(argv[i] + 10);
+      g_threads = n <= 0 ? rt::ThreadPool::hardware_threads() : static_cast<unsigned>(n);
+      continue;
+    }
     argv[kept++] = argv[i];
   }
   *argc = kept;
+}
+
+// The process-wide sweep pool, sized by --threads. Constructed on first use
+// so init_bench has already parsed the flag.
+inline rt::ThreadPool& sweep_pool() {
+  static rt::ThreadPool pool(g_threads);
+  return pool;
+}
+
+// Map fn(config, index) over a config vector on the sweep pool; results come
+// back in config order regardless of thread count (rt::parallel_sweep), so
+// callers print/report rows sequentially afterwards and emit byte-identical
+// output for any --threads.
+template <class Config, class Fn>
+auto sweep(const std::vector<Config>& configs, Fn&& fn) {
+  OPTREP_SPAN("bench.sweep");
+  return rt::parallel_sweep(sweep_pool(), configs, std::forward<Fn>(fn));
 }
 
 inline vv::SyncOptions ideal_options(vv::VectorKind kind, std::uint64_t n,

@@ -1,0 +1,92 @@
+// A move-only callable with fixed inline storage — no heap, ever.
+//
+// std::function heap-allocates any callable larger than its small-buffer
+// optimization (16 bytes on common ABIs), which puts an allocator round trip
+// on every simulated message delivery: the event closure captures the handler
+// pointer plus a by-value VvMsg and overflows the SBO. FixedFunction stores
+// the callable inline in a caller-chosen capacity and static_asserts at the
+// construction site when a capture does not fit, so "this path does not
+// allocate" is a compile-time property rather than a hope.
+//
+// Semantics: move-only (captured state is moved, never copied), empty state
+// supported, calling an empty function is a checked error.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/check.h"
+
+namespace optrep {
+
+template <class Sig, std::size_t Capacity = 64>
+class FixedFunction;
+
+template <class R, class... Args, std::size_t Capacity>
+class FixedFunction<R(Args...), Capacity> {
+ public:
+  FixedFunction() = default;
+
+  template <class F, class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, FixedFunction> &&
+                                     std::is_invocable_r_v<R, D&, Args...>>>
+  FixedFunction(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    static_assert(sizeof(D) <= Capacity,
+                  "callable does not fit FixedFunction inline storage; "
+                  "raise Capacity or shrink the capture");
+    static_assert(alignof(D) <= alignof(std::max_align_t));
+    static_assert(std::is_nothrow_move_constructible_v<D>,
+                  "captured state must be nothrow-movable");
+    ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+    invoke_ = [](void* b, Args&&... args) -> R {
+      return (*std::launder(reinterpret_cast<D*>(b)))(std::forward<Args>(args)...);
+    };
+    relocate_ = [](void* src, void* dst) {
+      D* s = std::launder(reinterpret_cast<D*>(src));
+      if (dst != nullptr) ::new (dst) D(std::move(*s));
+      s->~D();
+    };
+  }
+
+  FixedFunction(FixedFunction&& o) noexcept { move_from(o); }
+  FixedFunction& operator=(FixedFunction&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  FixedFunction(const FixedFunction&) = delete;
+  FixedFunction& operator=(const FixedFunction&) = delete;
+  ~FixedFunction() { reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  R operator()(Args... args) const {
+    OPTREP_DCHECK(invoke_ != nullptr);
+    return invoke_(const_cast<unsigned char*>(buf_), std::forward<Args>(args)...);
+  }
+
+  void reset() {
+    if (relocate_ != nullptr) relocate_(buf_, nullptr);
+    invoke_ = nullptr;
+    relocate_ = nullptr;
+  }
+
+ private:
+  void move_from(FixedFunction& o) noexcept {
+    if (o.relocate_ != nullptr) o.relocate_(o.buf_, buf_);
+    invoke_ = o.invoke_;
+    relocate_ = o.relocate_;
+    o.invoke_ = nullptr;
+    o.relocate_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  R (*invoke_)(void*, Args&&...) = nullptr;
+  void (*relocate_)(void* src, void* dst) = nullptr;  // dst == nullptr: destroy
+};
+
+}  // namespace optrep

@@ -30,6 +30,8 @@ class Counter {
   void set(std::uint64_t v) { v_ = v; }
   std::uint64_t value() const { return v_; }
   void reset() { v_ = 0; }
+  // Fold another counter in (shard merge): totals add.
+  void merge_from(const Counter& o) { v_ += o.v_; }
 
  private:
   std::uint64_t v_{0};
@@ -44,6 +46,12 @@ class Gauge {
   void add(std::int64_t d) { set(v_ + d); }
   std::int64_t value() const { return v_; }
   std::int64_t max() const { return max_; }
+  // Fold another gauge in (shard merge): levels add (a gauge shard holds its
+  // worker's contribution to a shared level), high-water marks take the max.
+  void merge_from(const Gauge& o) {
+    v_ += o.v_;
+    if (o.max_ > max_) max_ = o.max_;
+  }
 
  private:
   std::int64_t v_{0};
@@ -79,6 +87,18 @@ class Histogram {
   // ⌈q·count⌉-th smallest recorded value, clamped into [min, max] so that
   // percentile(0) == min and percentile(1) == max exactly.
   std::uint64_t percentile(double q) const;
+
+  // Fold another histogram in (shard merge): bucket-wise addition, which is
+  // exact — merging shards then querying equals recording every value into
+  // one histogram.
+  void merge_from(const Histogram& o) {
+    if (o.count_ == 0) return;
+    for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += o.buckets_[i];
+    if (count_ == 0 || o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+    count_ += o.count_;
+    sum_ += o.sum_;
+  }
 
   struct Snapshot {
     std::uint64_t count{0};
@@ -134,6 +154,15 @@ class Registry {
   }
 
   bool empty() const { return counters_.empty() && gauges_.empty() && histograms_.empty(); }
+
+  // Fold a shard registry into this one, creating instruments as needed.
+  // Commutative and associative over shards, so the merged result does not
+  // depend on worker scheduling or merge order.
+  void merge_from(const Registry& o) {
+    for (const auto& [name, c] : o.counters_) counter(name).merge_from(c);
+    for (const auto& [name, g] : o.gauges_) gauge(name).merge_from(g);
+    for (const auto& [name, h] : o.histograms_) histogram(name).merge_from(h);
+  }
 
  private:
   template <class T>

@@ -93,24 +93,26 @@ class Profiler {
   void record_closed(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns,
                      std::uint32_t tid, std::uint32_t depth) {
     std::lock_guard<std::mutex> lock(mu_);
-    ++total_;
-    const SpanRecord rec{name, start_ns, dur_ns, tid, depth};
-    if (size_ < buf_.size()) {
-      buf_[(head_ + size_) % buf_.size()] = rec;
-      ++size_;
-    } else {
-      buf_[head_] = rec;
-      head_ = (head_ + 1) % buf_.size();
-      ++dropped_;
+    push_locked({name, start_ns, dur_ns, tid, depth});
+  }
+
+  // Fold another profiler's retained spans into this one (shard merge at a
+  // parallel join). Span timestamps are rebased from the shard's epoch onto
+  // this profiler's epoch, so merged profiles stay on one timeline. Drops in
+  // the shard carry over; drops caused by this ring overflowing are counted
+  // here as usual.
+  void absorb(const Profiler& o) {
+    OPTREP_CHECK(&o != this);
+    std::scoped_lock lock(mu_, o.mu_);
+    const auto delta = std::chrono::duration_cast<std::chrono::nanoseconds>(o.epoch_ - epoch_);
+    for (std::size_t i = 0; i < o.size_; ++i) {
+      SpanRecord rec = o.buf_[(o.head_ + i) % o.buf_.size()];
+      rec.start_ns = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(rec.start_ns) + delta.count());
+      push_locked(rec);
     }
-    if (sink_ != nullptr) {
-      auto it = sink_cache_.find(name);
-      if (it == sink_cache_.end()) {
-        obs::Histogram& h = sink_->histogram(std::string(name) + ".wall_ns");
-        it = sink_cache_.emplace(name, &h).first;
-      }
-      it->second->record(dur_ns);
-    }
+    total_ += o.total_ - o.size_;  // spans the shard recorded but no longer retains
+    dropped_ += o.dropped_;
   }
 
   std::size_t capacity() const { return buf_.size(); }
@@ -131,6 +133,27 @@ class Profiler {
   }
 
  private:
+  // Requires mu_ held.
+  void push_locked(const SpanRecord& rec) {
+    ++total_;
+    if (size_ < buf_.size()) {
+      buf_[(head_ + size_) % buf_.size()] = rec;
+      ++size_;
+    } else {
+      buf_[head_] = rec;
+      head_ = (head_ + 1) % buf_.size();
+      ++dropped_;
+    }
+    if (sink_ != nullptr) {
+      auto it = sink_cache_.find(rec.name);
+      if (it == sink_cache_.end()) {
+        obs::Histogram& h = sink_->histogram(std::string(rec.name) + ".wall_ns");
+        it = sink_cache_.emplace(rec.name, &h).first;
+      }
+      it->second->record(rec.dur_ns);
+    }
+  }
+
   std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mu_;
   std::vector<SpanRecord> buf_;  // sized once; never reallocated

@@ -14,6 +14,7 @@ std::vector<GateRule> default_gate_rules() {
       {"bytes", true},       // wire-byte traffic
       {"gamma", true},       // observed γ (segments the receiver paid for)
       {"redundant", true},   // |Γ| elements / redundant graph nodes
+      {"probe", true},       // flat-index probe totals/max: longer chains are bad
       {"straggler", true},
       {"dropped", true},     // ring truncation must not silently grow
       {"violations", true},  // Table 2 bound violations

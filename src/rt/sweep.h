@@ -1,0 +1,98 @@
+// Deterministic parallel sweeps over explicit configuration vectors, plus
+// per-worker observability shards.
+//
+// parallel_sweep maps fn over a config vector on a ThreadPool and returns
+// results in config order: each item writes only its own preallocated result
+// slot, so the output is identical for any thread count or schedule. This is
+// the shape every bench uses — build the config list up front, map it, then
+// print/report rows sequentially.
+//
+// obs::Registry and prof::Profiler sinks are not safe (Registry) or not
+// meaningful (one shared mutex) to share across workers, so ObsShards gives
+// each worker its own pair; merge_into folds them after the join. Merging is
+// commutative (counter adds, bucket-wise histogram adds, span rebasing), so
+// the merged registry is schedule-independent; only wall-clock span values
+// vary between runs, exactly as in single-threaded profiling.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/prof.h"
+#include "rt/thread_pool.h"
+
+namespace optrep::rt {
+
+class ObsShards {
+ public:
+  struct Shard {
+    obs::Registry registry;
+    prof::Profiler profiler;
+    explicit Shard(std::size_t profiler_capacity) : profiler(profiler_capacity) {}
+  };
+
+  explicit ObsShards(unsigned workers,
+                     std::size_t profiler_capacity = prof::Profiler::kDefaultCapacity) {
+    OPTREP_CHECK(workers > 0);
+    shards_.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      shards_.push_back(std::make_unique<Shard>(profiler_capacity));
+    }
+  }
+
+  unsigned workers() const { return static_cast<unsigned>(shards_.size()); }
+  Shard& shard(unsigned worker) { return *shards_[worker]; }
+  obs::Registry& registry(unsigned worker) { return shards_[worker]->registry; }
+  prof::Profiler& profiler(unsigned worker) { return shards_[worker]->profiler; }
+
+  // Fold every shard into the given sinks (either may be null). Shards are
+  // merged in worker order, but the result is order-independent for metrics;
+  // profiler span order within the target ring follows merge order.
+  void merge_into(obs::Registry* registry, prof::Profiler* profiler) {
+    for (auto& s : shards_) {
+      if (registry != nullptr) registry->merge_from(s->registry);
+      if (profiler != nullptr) profiler->absorb(s->profiler);
+    }
+  }
+
+ private:
+  // unique_ptr for stable addresses (Profiler is not movable) and to keep
+  // shards on separate allocations rather than false-sharing one array.
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+// Map fn(config, index) over configs on the pool; out[i] corresponds to
+// configs[i] regardless of scheduling. Result must be default-constructible
+// and move-assignable.
+template <class Config, class Fn>
+auto parallel_sweep(ThreadPool& pool, const std::vector<Config>& configs, Fn&& fn)
+    -> std::vector<decltype(fn(configs[std::size_t{0}], std::size_t{0}))> {
+  using Result = decltype(fn(configs[std::size_t{0}], std::size_t{0}));
+  std::vector<Result> out(configs.size());
+  pool.for_each_index(configs.size(),
+                      [&](std::size_t i) { out[i] = fn(configs[i], i); });
+  return out;
+}
+
+// As above with a per-worker observability shard passed to fn(config, index,
+// shard). Pass work that records metrics or spans through here so no two
+// workers ever touch the same Registry.
+template <class Config, class Fn>
+auto parallel_sweep(ThreadPool& pool, const std::vector<Config>& configs, ObsShards& shards,
+                    Fn&& fn)
+    -> std::vector<decltype(fn(configs[std::size_t{0}], std::size_t{0},
+                               std::declval<ObsShards::Shard&>()))> {
+  using Result = decltype(fn(configs[std::size_t{0}], std::size_t{0},
+                             std::declval<ObsShards::Shard&>()));
+  OPTREP_CHECK(shards.workers() >= pool.threads());
+  std::vector<Result> out(configs.size());
+  pool.for_each_index_worker(configs.size(), [&](std::size_t i, unsigned worker) {
+    out[i] = fn(configs[i], i, shards.shard(worker));
+  });
+  return out;
+}
+
+}  // namespace optrep::rt

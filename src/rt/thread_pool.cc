@@ -1,0 +1,81 @@
+#include "rt/thread_pool.h"
+
+namespace optrep::rt {
+
+unsigned ThreadPool::hardware_threads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  threads_ = threads == 0 ? hardware_threads() : threads;
+  workers_.reserve(threads_ - 1);
+  for (unsigned w = 1; w < threads_; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::drain(const std::function<void(std::size_t, unsigned)>& fn,
+                       std::size_t count, unsigned worker) {
+  for (;;) {
+    std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) return;
+    fn(i, worker);
+  }
+}
+
+void ThreadPool::for_each_index_worker(
+    std::size_t count, const std::function<void(std::size_t, unsigned)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    // Inline path: no synchronization, identical to a plain loop.
+    for (std::size_t i = 0; i < count; ++i) fn(i, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    OPTREP_CHECK(job_ == nullptr);  // no nested/concurrent dispatch
+    job_ = &fn;
+    job_count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    done_ = 0;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  drain(fn, count, 0);
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return done_ == workers_.size(); });
+  job_ = nullptr;
+}
+
+void ThreadPool::worker_loop(unsigned worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t, unsigned)>* fn = nullptr;
+    std::size_t count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = job_;
+      count = job_count_;
+    }
+    drain(*fn, count, worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (++done_ == workers_.size()) cv_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace optrep::rt

@@ -1,0 +1,102 @@
+// optrep::rt — a deterministic parallel runtime for sweeps and Monte-Carlo
+// workloads.
+//
+// The repo's experiments are embarrassingly parallel at the *configuration*
+// granularity: every bench sweep point and every independent sync-session
+// sample is a pure function of its parameters and an explicit seed. ThreadPool
+// runs those functions across cores while keeping the results byte-identical
+// to a single-threaded run:
+//
+//   - work items are indexed; each writes only its own result slot, so the
+//     assembled output is in item order no matter which worker ran what;
+//   - randomness is derived per item with task_seed(base, index) (a SplitMix64
+//     mix), never from a shared generator, so schedules cannot leak into
+//     random streams;
+//   - shared observability sinks are avoided: workers record into per-worker
+//     shards (see rt/sweep.h) that merge commutatively at join.
+//
+// The pool is intentionally simple — one mutex-protected job slot dispatched
+// by an atomic index counter. Sweep items are milliseconds to seconds of work,
+// so queue overhead is irrelevant; what matters is that `threads = 1` runs
+// inline on the caller with zero synchronization, keeping the default bench
+// configuration exactly as deterministic (and profilable) as before.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace optrep::rt {
+
+// Derive the seed for work item `task_index` from a base seed: a SplitMix64
+// step over the pair. Independent of thread count and schedule by
+// construction; distinct indexes give decorrelated xoshiro initial states
+// because Rng itself re-expands the seed through SplitMix64.
+constexpr std::uint64_t task_seed(std::uint64_t base_seed, std::uint64_t task_index) {
+  std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL * (task_index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class ThreadPool {
+ public:
+  // threads == 0 selects hardware_threads(). threads == 1 creates no worker
+  // threads at all: every run executes inline on the calling thread.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned threads() const { return threads_; }
+  static unsigned hardware_threads();
+
+  // Execute fn(item) for every item in [0, count), distributed across the
+  // pool; blocks until all items completed. The caller participates as worker
+  // 0, so a pool of N threads uses N-1 spawned workers. Items must be
+  // independent: they may run in any order, concurrently.
+  void for_each_index(std::size_t count, const std::function<void(std::size_t)>& fn) {
+    for_each_index_worker(count, [&fn](std::size_t i, unsigned) { fn(i); });
+  }
+
+  // As above, with the dense worker index (0 = caller, 1..threads-1 =
+  // spawned workers) passed alongside — the key for per-worker shards.
+  void for_each_index_worker(std::size_t count,
+                             const std::function<void(std::size_t, unsigned)>& fn);
+
+ private:
+  void worker_loop(unsigned worker);
+  // Pull-and-run items of the current job until exhausted.
+  void drain(const std::function<void(std::size_t, unsigned)>& fn, std::size_t count,
+             unsigned worker);
+
+  unsigned threads_{1};
+  std::vector<std::thread> workers_;
+
+  // Job slot, guarded by mu_. A job is dispatched by bumping generation_;
+  // workers grab indexes from next_ and report completion through done_.
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_{0};
+  const std::function<void(std::size_t, unsigned)>* job_{nullptr};
+  std::size_t job_count_{0};
+  std::atomic<std::size_t> next_{0};
+  std::size_t done_{0};
+  bool stop_{false};
+};
+
+// parallel_for: fn(i) for i in [begin, end), across the pool.
+template <class Fn>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end, Fn&& fn) {
+  OPTREP_CHECK(begin <= end);
+  pool.for_each_index(end - begin, [&](std::size_t i) { fn(begin + i); });
+}
+
+}  // namespace optrep::rt

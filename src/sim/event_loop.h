@@ -3,16 +3,23 @@
 // All protocol executions in optrep run on this loop: links schedule message
 // deliveries, and protocol peers schedule their own continuations (e.g. "send
 // the next element when the link frees"). Simulated time is in seconds.
+//
+// The event queue is allocation-free in steady state: event closures are
+// FixedFunction (inline storage, no heap — a capture that outgrows the slot
+// is a compile error, not a silent allocation), and the heap is a plain
+// vector manipulated with std::push_heap/pop_heap so dispatch moves events
+// out instead of copying them. Once the vector has grown to the execution's
+// peak depth (or was reserve()d there), scheduling allocates nothing — which
+// is what keeps the per-message path of the sync protocols off the allocator.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "common/check.h"
+#include "common/fixed_function.h"
 #include "obs/prof.h"  // header-only: OPTREP_SPAN adds no link dependency
 
 namespace optrep::sim {
@@ -22,34 +29,47 @@ using Time = double;
 class EventLoop {
  public:
   using EventId = std::uint64_t;
+  // Inline event storage: sized for the largest scheduled closure (a link
+  // delivery capturing a handler pointer plus a by-value GraphMsg, ~88 bytes).
+  using EventFn = FixedFunction<void(), 96>;
 
   Time now() const { return now_; }
 
   // Schedule fn at absolute time t (>= now). Events at equal times run in
   // scheduling order, which keeps executions deterministic.
-  EventId schedule(Time t, std::function<void()> fn) {
+  EventId schedule(Time t, EventFn fn) {
     OPTREP_CHECK_MSG(t >= now_, "cannot schedule into the past");
     const EventId id = next_id_++;
-    queue_.push(Event{t, id, std::move(fn)});
+    queue_.push_back(Event{t, id, std::move(fn)});
+    std::push_heap(queue_.begin(), queue_.end(), Later{});
     if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
     return id;
   }
 
-  EventId schedule_after(Time delay, std::function<void()> fn) {
+  EventId schedule_after(Time delay, EventFn fn) {
     return schedule(now_ + delay, std::move(fn));
   }
 
+  // Pre-size the event queue; with capacity for the peak depth, scheduling
+  // never reallocates.
+  void reserve(std::size_t events) { queue_.reserve(events); }
+
+  // Cancelled ids live in a small vector, not a hash set: a live execution has
+  // at most a handful pending (typically one HALT-cancelled send), and vector
+  // capacity is retained across sessions, so repeated cancels on a reused loop
+  // never touch the allocator.
   void cancel(EventId id) {
-    cancelled_.insert(id);
+    cancelled_.push_back(id);
     ++cancel_requests_;
   }
 
   // Run one pending event; returns false when the queue is drained.
   bool step() {
     while (!queue_.empty()) {
-      Event ev = queue_.top();
-      queue_.pop();
-      if (cancelled_.erase(ev.id) > 0) continue;
+      std::pop_heap(queue_.begin(), queue_.end(), Later{});
+      Event ev = std::move(queue_.back());
+      queue_.pop_back();
+      if (!cancelled_.empty() && take_cancelled(ev.id)) continue;
       now_ = ev.at;
       ++executed_;
       {
@@ -95,10 +115,18 @@ class EventLoop {
     OPTREP_CHECK_MSG(false, msg);
   }
 
+  bool take_cancelled(EventId id) {
+    const auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+    if (it == cancelled_.end()) return false;
+    *it = cancelled_.back();
+    cancelled_.pop_back();
+    return true;
+  }
+
   struct Event {
     Time at;
     EventId id;
-    std::function<void()> fn;
+    EventFn fn;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -112,8 +140,8 @@ class EventLoop {
   std::uint64_t executed_{0};
   std::uint64_t cancel_requests_{0};
   std::size_t max_queue_depth_{0};
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  std::vector<Event> queue_;  // binary max-heap under Later (min-time at front)
+  std::vector<EventId> cancelled_;
 };
 
 }  // namespace optrep::sim

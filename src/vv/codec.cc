@@ -105,9 +105,8 @@ VvMsg decode_msg(BitReader& r, const CostModel& cm, VectorKind kind, Direction d
 
 std::vector<std::uint8_t> encode_vector(const RotatingVector& v) {
   BitWriter w;
-  const auto elems = v.in_order();
-  w.put(elems.size(), 32);
-  for (const auto& e : elems) {
+  w.put(v.size(), 32);
+  for (const auto& e : v) {
     w.put(e.site.value, 32);
     w.put(e.value, 64);
     w.put(e.conflict ? 1 : 0, 1);
@@ -121,6 +120,7 @@ RotatingVector decode_vector(const std::vector<std::uint8_t>& bytes) {
   BitReader r(bytes);
   const auto count = r.get(32);
   RotatingVector v;
+  v.reserve(count);
   std::optional<SiteId> prev;
   for (std::uint64_t i = 0; i < count; ++i) {
     const SiteId site{static_cast<std::uint32_t>(r.get(32))};

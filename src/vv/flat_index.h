@@ -1,0 +1,156 @@
+// FlatSiteIndex: an open-addressed site→slot hash map for RotatingVector.
+//
+// The site index sits on every point operation of the §3–§4 algorithms —
+// value(), rotate_after(), record_update() each do at least one lookup — and
+// std::unordered_map pays a pointer chase into a heap node per probe plus a
+// node allocation per insert. This index is two parallel flat arrays (SoA:
+// 32-bit keys and 32-bit slot indexes) probed linearly over a power-of-two
+// table, so a lookup is a multiply, a shift, and a short scan of contiguous
+// cache lines, and inserts allocate only on the amortized table doubling.
+//
+// Deletion is tombstone-free: erase() backward-shifts the displaced suffix of
+// the probe cluster into the hole (Knuth 6.4 Algorithm R), so long-lived
+// vectors with churn (the §7 pruning extension) never degrade into
+// tombstone-saturated scans.
+//
+// The empty marker is a slot value of kNilSlot (0xffffffff). RotatingVector
+// caps its slot count below that (it already rejects vectors that large), so
+// no stored slot index can collide with the marker and no separate occupancy
+// bitmap is needed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+
+namespace optrep::vv {
+
+class FlatSiteIndex {
+ public:
+  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+
+  FlatSiteIndex() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Slot index of `site`, or kNilSlot when absent.
+  std::uint32_t find(SiteId site) const {
+    if (size_ == 0) return kNilSlot;
+    for (std::size_t i = home(site);; i = (i + 1) & mask_) {
+      if (slots_[i] == kNilSlot) return kNilSlot;
+      if (keys_[i] == site) return slots_[i];
+    }
+  }
+  bool contains(SiteId site) const { return find(site) != kNilSlot; }
+
+  // Insert an absent site. `slot` must not equal kNilSlot.
+  void insert(SiteId site, std::uint32_t slot) {
+    OPTREP_DCHECK(slot != kNilSlot);
+    OPTREP_DCHECK(!contains(site));
+    if ((size_ + 1) * 4 > capacity() * 3) grow();  // load factor ≤ 0.75
+    std::size_t i = home(site);
+    while (slots_[i] != kNilSlot) i = (i + 1) & mask_;
+    keys_[i] = site;
+    slots_[i] = slot;
+    ++size_;
+  }
+
+  // Remove `site` if present; returns whether it was. Backward-shift: walk
+  // the cluster after the hole and move back every entry whose home position
+  // does not lie strictly between the hole and it.
+  bool erase(SiteId site) {
+    if (size_ == 0) return false;
+    std::size_t i = home(site);
+    for (;; i = (i + 1) & mask_) {
+      if (slots_[i] == kNilSlot) return false;
+      if (keys_[i] == site) break;
+    }
+    std::size_t hole = i;
+    for (std::size_t j = (hole + 1) & mask_; slots_[j] != kNilSlot; j = (j + 1) & mask_) {
+      // Distance from j's home to j vs. from the hole to j, both mod table
+      // size: if the home is at or before the hole, j may legally move there.
+      const std::size_t dist_home = (j - home_of(j)) & mask_;
+      const std::size_t dist_hole = (j - hole) & mask_;
+      if (dist_home >= dist_hole) {
+        keys_[hole] = keys_[j];
+        slots_[hole] = slots_[j];
+        hole = j;
+      }
+    }
+    slots_[hole] = kNilSlot;
+    --size_;
+    return true;
+  }
+
+  // Pre-size for `n` sites so steady-state inserts never reallocate.
+  void reserve(std::size_t n) {
+    std::size_t cap = kMinCapacity;
+    while (n * 4 > cap * 3) cap <<= 1;
+    if (cap > capacity()) rehash(cap);
+  }
+
+  // Index-quality introspection for benches: probe lengths (cells scanned to
+  // find each present key, 1 = home hit) and the table footprint. O(capacity);
+  // deterministic for a deterministic workload, so suitable as a committed
+  // baseline metric.
+  struct ProbeStats {
+    std::uint64_t total{0};   // Σ probe length over present keys
+    std::uint64_t max{0};     // worst single probe length
+    std::uint64_t bytes{0};   // table footprint (keys + slots arrays)
+  };
+  ProbeStats probe_stats() const {
+    ProbeStats st;
+    st.bytes = capacity() * (sizeof(SiteId) + sizeof(std::uint32_t));
+    for (std::size_t i = 0; i < capacity(); ++i) {
+      if (slots_[i] == kNilSlot) continue;
+      const std::uint64_t len = ((i - home_of(i)) & mask_) + 1;
+      st.total += len;
+      if (len > st.max) st.max = len;
+    }
+    return st;
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 8;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  // Multiply-shift (Fibonacci) hash of the 32-bit site id, folded onto the
+  // table: the high multiplier bits are the best-mixed, so take them via the
+  // shift rather than masking the low ones.
+  std::size_t home(SiteId site) const {
+    return (site.value * 0x9e3779b9u) >> shift_;
+  }
+  std::size_t home_of(std::size_t i) const { return home(keys_[i]); }
+
+  void grow() { rehash(capacity() == 0 ? kMinCapacity : capacity() * 2); }
+
+  void rehash(std::size_t new_cap) {
+    std::vector<SiteId> old_keys = std::move(keys_);
+    std::vector<std::uint32_t> old_slots = std::move(slots_);
+    keys_.assign(new_cap, SiteId{});
+    slots_.assign(new_cap, kNilSlot);
+    mask_ = new_cap - 1;
+    shift_ = 32;
+    for (std::size_t c = new_cap; c > 1; c >>= 1) --shift_;
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      if (old_slots[i] == kNilSlot) continue;
+      std::size_t j = home(old_keys[i]);
+      while (slots_[j] != kNilSlot) j = (j + 1) & mask_;
+      keys_[j] = old_keys[i];
+      slots_[j] = old_slots[i];
+    }
+  }
+
+  std::vector<SiteId> keys_;           // valid only where slots_[i] != kNilSlot
+  std::vector<std::uint32_t> slots_;   // kNilSlot marks an empty cell
+  std::size_t size_{0};
+  std::size_t mask_{0};
+  unsigned shift_{32};  // 32 - log2(capacity); capacity 0 ⇒ never probed
+};
+
+}  // namespace optrep::vv

@@ -1,5 +1,7 @@
 #include "vv/rotating_vector.h"
 
+#include <algorithm>
+
 namespace optrep::vv {
 
 std::vector<RotatingVector::Element> RotatingVector::in_order() const {
@@ -29,18 +31,12 @@ void RotatingVector::record_update(SiteId site) {
 }
 
 void RotatingVector::rotate_after(std::optional<SiteId> prev, SiteId site) {
-  std::uint32_t s;
-  auto it = index_.find(site);
-  if (it == index_.end()) {
-    s = insert_front(site);
-  } else {
-    s = it->second;
-  }
+  std::uint32_t s = index_.find(site);
+  if (s == kNil) s = insert_front(site);
   std::uint32_t p = kNil;
   if (prev.has_value()) {
-    auto pit = index_.find(*prev);
-    OPTREP_CHECK_MSG(pit != index_.end(), "ROTATE: prev element not present");
-    p = pit->second;
+    p = index_.find(*prev);
+    OPTREP_CHECK_MSG(p != kNil, "ROTATE: prev element not present");
   }
   OPTREP_CHECK_MSG(p != s, "ROTATE: element cannot follow itself");
   // Rotating an element onto its current position is a no-op (and must not
@@ -52,13 +48,8 @@ void RotatingVector::rotate_after(std::optional<SiteId> prev, SiteId site) {
 
 void RotatingVector::set_element(SiteId site, std::uint64_t value, bool conflict,
                                  bool segment) {
-  auto it = index_.find(site);
-  std::uint32_t s;
-  if (it == index_.end()) {
-    s = insert_front(site);
-  } else {
-    s = it->second;
-  }
+  std::uint32_t s = index_.find(site);
+  if (s == kNil) s = insert_front(site);
   Slot& slot = slots_[s];
   slot.elem.value = value;
   slot.elem.conflict = conflict;
@@ -81,7 +72,8 @@ std::string RotatingVector::to_string() const {
 }
 
 bool RotatingVector::identical_to(const RotatingVector& other) const {
-  return in_order() == other.in_order();
+  if (size() != other.size()) return false;
+  return std::equal(begin(), end(), other.begin());
 }
 
 bool RotatingVector::same_values(const VersionVector& oracle) const {
@@ -93,13 +85,12 @@ bool RotatingVector::same_values(const VersionVector& oracle) const {
 }
 
 void RotatingVector::erase(SiteId site) {
-  auto it = index_.find(site);
-  if (it == index_.end()) return;
-  const std::uint32_t s = it->second;
+  const std::uint32_t s = index_.find(site);
+  if (s == kNil) return;
   unlink(s);  // carries a set segment bit to the predecessor
   slots_[s] = Slot{};
   free_slots_.push_back(s);
-  index_.erase(it);
+  index_.erase(site);
 }
 
 std::uint32_t RotatingVector::insert_front(SiteId site) {
@@ -116,7 +107,7 @@ std::uint32_t RotatingVector::insert_front(SiteId site) {
   if (head_ != kNil) slots_[head_].prev = s;
   head_ = s;
   if (tail_ == kNil) tail_ = s;
-  index_.emplace(site, s);
+  index_.insert(site, s);
   return s;
 }
 

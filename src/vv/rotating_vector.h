@@ -6,23 +6,26 @@
 // a second segment bit. All three use this class; BRV simply never sets the
 // bits.
 //
-// Representation: a slot table plus a site→slot hash index plus an intrusive
-// doubly-linked list over slots encoding ≺. Lookup, rotate and insert are
-// O(1); storage is O(n) — exactly the assumptions of §3.3.
+// Representation: a slot table plus a flat open-addressed site→slot index
+// (vv/flat_index.h) plus an intrusive doubly-linked list over slots encoding
+// ≺. Lookup, rotate and insert are O(1); storage is O(n) — exactly the
+// assumptions of §3.3.
 //
 // Order convention: front() is ⌊v⌋ (the least element, i.e. the most recently
 // updated site) and back() is ⌈v⌉. Iteration runs front→back, the order in
-// which SYNC* algorithms transmit elements.
+// which SYNC* algorithms transmit elements; begin()/end() walk that order
+// without materializing anything.
 #pragma once
 
 #include <cstdint>
+#include <iterator>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/check.h"
 #include "common/ids.h"
+#include "vv/flat_index.h"
 #include "vv/version_vector.h"
 
 namespace optrep::vv {
@@ -53,12 +56,21 @@ class RotatingVector {
 
   RotatingVector() = default;
 
+  // Pre-size slot table, free list, and index for `n` sites: afterwards, a
+  // vector that never exceeds n elements performs no heap allocation in
+  // record_update / rotate_after / set_element / erase.
+  void reserve(std::size_t n) {
+    slots_.reserve(n);
+    free_slots_.reserve(n);
+    index_.reserve(n);
+  }
+
   // ---- reads -------------------------------------------------------------
 
   // v[i]; zero when absent (zero-valued elements are not stored).
   std::uint64_t value(SiteId site) const {
-    auto it = index_.find(site);
-    return it == index_.end() ? 0 : slots_[it->second].elem.value;
+    const std::uint32_t s = index_.find(site);
+    return s == kNil ? 0 : slots_[s].elem.value;
   }
   bool contains(SiteId site) const { return index_.contains(site); }
 
@@ -85,7 +97,43 @@ class RotatingVector {
     return slots_[s.next].elem.site;
   }
 
-  // Elements in ≺ order, front to back.
+  // Forward iteration in ≺ order, front to back — no materialization; senders
+  // walk this directly. Mutating the vector invalidates iterators.
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Element;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Element*;
+    using reference = const Element&;
+
+    const_iterator() = default;
+    reference operator*() const { return owner_->slots_[s_].elem; }
+    pointer operator->() const { return &owner_->slots_[s_].elem; }
+    const_iterator& operator++() {
+      s_ = owner_->slots_[s_].next;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator t = *this;
+      ++*this;
+      return t;
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.s_ == b.s_;
+    }
+
+   private:
+    friend class RotatingVector;
+    const_iterator(const RotatingVector* owner, std::uint32_t s) : owner_(owner), s_(s) {}
+    const RotatingVector* owner_{nullptr};
+    std::uint32_t s_{0xffffffffu};
+  };
+  const_iterator begin() const { return {this, head_}; }
+  const_iterator end() const { return {this, kNil}; }
+
+  // Elements in ≺ order, front to back, as an owned vector. Prefer
+  // begin()/end() on hot paths; this copies every element.
   std::vector<Element> in_order() const;
 
   // Values only, for oracle cross-checks.
@@ -128,8 +176,15 @@ class RotatingVector {
   // Value equality ignoring order and bits (what Theorem 3.1 is about).
   bool same_values(const VersionVector& oracle) const;
 
+  // Probe statistics of the site index (see FlatSiteIndex::probe_stats) —
+  // deterministic index-quality numbers for bench_microops baselines.
+  FlatSiteIndex::ProbeStats index_probe_stats() const { return index_.probe_stats(); }
+
  private:
+  // Also the FlatSiteIndex empty marker: slot indexes stay below kNil (the
+  // "vector too large" check in insert_front), so the index can use it freely.
   static constexpr std::uint32_t kNil = 0xffffffffu;
+  static_assert(kNil == FlatSiteIndex::kNilSlot);
 
   struct Slot {
     Element elem;
@@ -138,14 +193,14 @@ class RotatingVector {
   };
 
   const Slot& slot_of(SiteId site) const {
-    auto it = index_.find(site);
-    OPTREP_CHECK_MSG(it != index_.end(), "element not present");
-    return slots_[it->second];
+    const std::uint32_t s = index_.find(site);
+    OPTREP_CHECK_MSG(s != kNil, "element not present");
+    return slots_[s];
   }
   Slot& slot_of_mut(SiteId site) {
-    auto it = index_.find(site);
-    OPTREP_CHECK_MSG(it != index_.end(), "element not present");
-    return slots_[it->second];
+    const std::uint32_t s = index_.find(site);
+    OPTREP_CHECK_MSG(s != kNil, "element not present");
+    return slots_[s];
   }
 
   // Insert a fresh zero-valued slot at the front; returns its index.
@@ -158,7 +213,7 @@ class RotatingVector {
   void link_after(std::uint32_t p, std::uint32_t s);
 
   std::vector<Slot> slots_;
-  std::unordered_map<SiteId, std::uint32_t> index_;
+  FlatSiteIndex index_;
   std::uint32_t head_{kNil};
   std::uint32_t tail_{kNil};
   std::vector<std::uint32_t> free_slots_;  // reusable after erase()

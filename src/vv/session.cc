@@ -134,9 +134,7 @@ class ElementSender : public Peer {
  public:
   ElementSender(sim::EventLoop* loop, sim::Link<VvMsg>* tx, const SyncOptions* opt,
                 const RotatingVector* b)
-      : Peer(loop, tx, opt), b_(b) {
-    if (auto f = b_->front()) cur_ = f->site;
-  }
+      : Peer(loop, tx, opt), b_(b), cur_(b->begin()) {}
 
   void start() {
     if (pipelined()) {
@@ -186,17 +184,18 @@ class ElementSender : public Peer {
 
   // Send the element at cur_ (or HALT when exhausted); returns link-free time.
   sim::Time emit_current() {
-    if (!cur_.has_value()) {
+    if (cur_ == b_->end()) {
       const sim::Time free = send(VvMsg{.kind = VvMsg::Kind::kHalt});
       finish();
       return free;
     }
+    const RotatingVector::Element& e = *cur_;
     VvMsg m;
     m.kind = VvMsg::Kind::kElem;
-    m.site = *cur_;
-    m.value = b_->value(*cur_);
-    m.conflict = b_->conflict_bit(*cur_);
-    m.segment = b_->segment_bit(*cur_);
+    m.site = e.site;
+    m.value = e.value;
+    m.conflict = e.conflict;
+    m.segment = e.segment;
     const sim::Time free = send(m);
     ++elems_sent_;
     advance();
@@ -206,9 +205,9 @@ class ElementSender : public Peer {
   // Move cur_ one step toward ⌈b⌉, tracking the segment counter (Alg 4
   // lines 11–14: segs advances when passing a segment-final element).
   void advance() {
-    OPTREP_CHECK(cur_.has_value());
-    if (b_->segment_bit(*cur_)) ++segs_;
-    cur_ = b_->next(*cur_);
+    OPTREP_CHECK(cur_ != b_->end());
+    if (cur_->segment) ++segs_;
+    ++cur_;
   }
 
   // SKIP(arg): honored only when we are still inside segment `arg`
@@ -221,8 +220,8 @@ class ElementSender : public Peer {
       return;
     }
     // Fast-forward past the remainder of the current segment without sending.
-    while (cur_.has_value()) {
-      const bool end_of_segment = b_->segment_bit(*cur_);
+    while (cur_ != b_->end()) {
+      const bool end_of_segment = cur_->segment;
       advance();
       if (end_of_segment) break;
     }
@@ -241,7 +240,9 @@ class ElementSender : public Peer {
   }
 
   const RotatingVector* b_;
-  std::optional<SiteId> cur_;
+  // Walks b in ≺ order; b is not mutated during a session, so the iterator
+  // stays valid for the session's lifetime.
+  RotatingVector::const_iterator cur_;
   std::uint64_t segs_{0};
   std::uint64_t elems_sent_{0};
   bool done_{false};
@@ -466,11 +467,12 @@ class ReceiverSkip : public ReceiverBase {
 
 struct SessionWiring {
   explicit SessionWiring(sim::EventLoop& loop, const SyncOptions& opt)
-      : duplex(&loop, opt.net), tracer(opt.tracer), session(opt.trace_session) {
-    for (const auto& t : opt.taps) {
-      if (t) taps.push_back(t);
-    }
-    if (!taps.empty() || tracer != nullptr) {
+      : duplex(&loop, opt.net), opt_(&opt), tracer(opt.tracer), session(opt.trace_session) {
+    // Taps are read in place from the options (which outlive the session) —
+    // copying them here would clone a std::function per tap per session.
+    bool any_tap = false;
+    for (const auto& t : opt.taps) any_tap = any_tap || static_cast<bool>(t);
+    if (any_tap || tracer != nullptr) {
       duplex.b_to_a().set_tap([this](sim::Time at, const VvMsg& m, std::uint64_t bits) {
         observe(at, true, m, bits);
       });
@@ -481,7 +483,9 @@ struct SessionWiring {
   }
 
   void observe(sim::Time at, bool forward, const VvMsg& m, std::uint64_t bits) {
-    for (const auto& t : taps) t(forward, m);
+    for (const auto& t : opt_->taps) {
+      if (t) t(forward, m);
+    }
     if (tracer != nullptr) {
       tracer->record(obs::TraceEvent{.at = at,
                                      .session = session,
@@ -506,7 +510,7 @@ struct SessionWiring {
   }
 
   sim::Duplex<VvMsg> duplex;  // a_to_b: receiver→sender, b_to_a: sender→receiver
-  std::vector<SyncOptions::Tap> taps;
+  const SyncOptions* opt_;
   obs::Tracer* tracer{nullptr};
   std::uint64_t session{0};
 };

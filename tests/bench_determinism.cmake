@@ -1,0 +1,36 @@
+# Thread-count determinism gate: run one bench with --threads=1 and
+# --threads=8 in separate scratch directories and require every emitted
+# BENCH_*.json to be byte-identical. The sweep runtime (src/rt/) promises
+# results in config order with per-task seeds, so any divergence here is a
+# scheduling leak.
+#
+# Invoked from ctest:  cmake -DBENCH=<bench binary> -DOUT=<scratch dir>
+#                            -P bench_determinism.cmake
+if(NOT DEFINED BENCH OR NOT DEFINED OUT)
+  message(FATAL_ERROR "pass -DBENCH=<binary> and -DOUT=<scratch dir>")
+endif()
+
+file(REMOVE_RECURSE ${OUT})
+foreach(threads 1 8)
+  file(MAKE_DIRECTORY ${OUT}/t${threads})
+  execute_process(COMMAND ${BENCH} --smoke --threads=${threads} --benchmark_filter=^$
+                  WORKING_DIRECTORY ${OUT}/t${threads}
+                  RESULT_VARIABLE rc
+                  OUTPUT_QUIET ERROR_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${BENCH} failed with --threads=${threads}: ${rc}")
+  endif()
+endforeach()
+
+file(GLOB rows RELATIVE ${OUT}/t1 ${OUT}/t1/BENCH_*.json)
+if(rows STREQUAL "")
+  message(FATAL_ERROR "${BENCH} wrote no BENCH_*.json rows")
+endif()
+foreach(f ${rows})
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT}/t1/${f} ${OUT}/t8/${f}
+                  RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR "${f} differs between --threads=1 and --threads=8")
+  endif()
+endforeach()
+message(STATUS "byte-identical across thread counts: ${rows}")

@@ -1,0 +1,193 @@
+// Randomized differential tests for the hot-path storage layer:
+//
+//  * FlatSiteIndex vs a std::unordered_map oracle — inserts, erases (the
+//    tombstone-free backward-shift path), finds and growth.
+//  * RotatingVector vs a std::list + std::unordered_map oracle — the full
+//    mutator surface (record_update / rotate_after / set_element / erase),
+//    including free-slot reuse after erase and the §4 segment-bit carry to
+//    the predecessor on unlink.
+//
+// Everything is seeded: a failure reproduces exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "vv/flat_index.h"
+#include "vv/rotating_vector.h"
+
+namespace optrep::vv {
+namespace {
+
+TEST(FlatSiteIndexFuzz, MatchesUnorderedMapOracle) {
+  FlatSiteIndex index;
+  std::unordered_map<std::uint32_t, std::uint32_t> oracle;
+  Rng rng(20250807);
+  constexpr std::uint32_t kSitePool = 300;  // dense enough to force collisions
+
+  for (int op = 0; op < 20'000; ++op) {
+    const SiteId site{static_cast<std::uint32_t>(rng.below(kSitePool))};
+    const auto roll = rng.below(10);
+    if (roll < 5) {  // insert / overwrite
+      const auto slot = static_cast<std::uint32_t>(rng.below(0xfffffffeu));
+      if (oracle.count(site.value) == 0) {
+        index.insert(site, slot);
+        oracle[site.value] = slot;
+      }
+    } else if (roll < 8) {  // erase (backward-shift deletion)
+      index.erase(site);
+      oracle.erase(site.value);
+    } else {  // point lookup
+      const auto it = oracle.find(site.value);
+      EXPECT_EQ(index.find(site), it == oracle.end() ? FlatSiteIndex::kNilSlot
+                                                     : it->second);
+    }
+    ASSERT_EQ(index.size(), oracle.size());
+  }
+  // Full sweep at the end: every key, plus some guaranteed-absent ones.
+  for (std::uint32_t s = 0; s < 2 * kSitePool; ++s) {
+    const auto it = oracle.find(s);
+    EXPECT_EQ(index.find(SiteId{s}),
+              it == oracle.end() ? FlatSiteIndex::kNilSlot : it->second);
+  }
+  // Probe chains must stay short at load factor <= 0.75 with backward-shift
+  // deletion (no tombstone accumulation after 20k ops).
+  const auto ps = index.probe_stats();
+  EXPECT_LE(ps.max, 16u);
+}
+
+// Mirror of the RotatingVector mutators over std::list + std::unordered_map.
+struct Oracle {
+  struct Elem {
+    std::uint32_t site;
+    std::uint64_t value{0};
+    bool conflict{false};
+    bool segment{false};
+  };
+  std::list<Elem> order;
+  std::unordered_map<std::uint32_t, std::list<Elem>::iterator> idx;
+
+  bool contains(std::uint32_t site) const { return idx.count(site) > 0; }
+
+  std::list<Elem>::iterator insert_front(std::uint32_t site) {
+    order.push_front(Elem{site});
+    return idx[site] = order.begin();
+  }
+
+  // §4 carry: a rotated-out or erased segment boundary moves to the element
+  // before it (if any).
+  void carry_segment(std::list<Elem>::iterator it) {
+    if (!it->segment) return;
+    it->segment = false;
+    if (it != order.begin()) std::prev(it)->segment = true;
+  }
+
+  void rotate_after(std::optional<std::uint32_t> prev, std::uint32_t site) {
+    auto it = idx.count(site) ? idx[site] : insert_front(site);
+    auto pos = order.begin();
+    if (prev.has_value()) {
+      auto p = idx.at(*prev);
+      if (std::next(p) == it) return;  // already directly after prev: no-op
+      pos = std::next(p);
+    } else if (it == order.begin()) {
+      return;  // already at the front: no-op
+    }
+    carry_segment(it);
+    order.splice(pos, order, it);  // iterators stay valid
+  }
+
+  void record_update(std::uint32_t site) {
+    rotate_after(std::nullopt, site);
+    auto it = idx.at(site);
+    it->value += 1;
+    it->conflict = false;
+  }
+
+  void set_element(std::uint32_t site, std::uint64_t value, bool conflict, bool segment) {
+    auto it = idx.count(site) ? idx[site] : insert_front(site);
+    it->value = value;
+    it->conflict = conflict;
+    it->segment = segment;
+  }
+
+  void erase(std::uint32_t site) {
+    const auto f = idx.find(site);
+    if (f == idx.end()) return;
+    carry_segment(f->second);
+    order.erase(f->second);
+    idx.erase(f);
+  }
+};
+
+void expect_same(const RotatingVector& v, const Oracle& o, int op) {
+  ASSERT_EQ(v.size(), o.order.size()) << "op " << op;
+  auto it = v.begin();
+  std::size_t pos = 0;
+  for (const auto& e : o.order) {
+    ASSERT_NE(it, v.end()) << "op " << op << " pos " << pos;
+    EXPECT_EQ(it->site.value, e.site) << "op " << op << " pos " << pos;
+    EXPECT_EQ(it->value, e.value) << "op " << op << " pos " << pos;
+    EXPECT_EQ(it->conflict, e.conflict) << "op " << op << " pos " << pos;
+    EXPECT_EQ(it->segment, e.segment) << "op " << op << " pos " << pos;
+    ++it;
+    ++pos;
+  }
+  EXPECT_EQ(it, v.end()) << "op " << op;
+}
+
+TEST(RotatingVectorFuzz, MatchesListOracle) {
+  RotatingVector v;
+  Oracle o;
+  Rng rng(424242);
+  constexpr std::uint32_t kSitePool = 48;
+  std::vector<std::uint32_t> present;  // sites currently in the vector
+
+  const auto refresh_present = [&] {
+    present.clear();
+    for (const auto& e : o.order) present.push_back(e.site);
+  };
+
+  for (int op = 0; op < 12'000; ++op) {
+    const SiteId site{static_cast<std::uint32_t>(rng.below(kSitePool))};
+    const auto roll = rng.below(100);
+    if (roll < 35) {
+      v.record_update(site);
+      o.record_update(site.value);
+    } else if (roll < 55) {
+      // rotate_after with a valid prev (present, != site) or φ.
+      refresh_present();
+      std::optional<SiteId> prev;
+      if (!present.empty() && rng.chance(0.7)) {
+        const auto p = present[rng.below(present.size())];
+        if (p != site.value) prev = SiteId{p};
+      }
+      v.rotate_after(prev, site);
+      o.rotate_after(prev.has_value() ? std::optional<std::uint32_t>{prev->value}
+                                      : std::nullopt,
+                     site.value);
+    } else if (roll < 70) {
+      const std::uint64_t value = rng.below(1 << 20);
+      const bool conflict = rng.chance(0.3);
+      const bool segment = rng.chance(0.3);
+      v.set_element(site, value, conflict, segment);
+      o.set_element(site.value, value, conflict, segment);
+    } else if (roll < 90) {
+      // Erase exercises free-slot reuse (the next insert takes the slot back)
+      // and the segment-bit carry on unlink.
+      v.erase(site);
+      o.erase(site.value);
+    } else {
+      EXPECT_EQ(v.value(site), o.contains(site.value) ? o.idx.at(site.value)->value : 0);
+      expect_same(v, o, op);
+      if (::testing::Test::HasFailure()) return;  // seeded: first divergence is enough
+    }
+  }
+  expect_same(v, o, 12'000);
+}
+
+}  // namespace
+}  // namespace optrep::vv

@@ -372,5 +372,47 @@ TEST(HotPath, SpanRecordingAllocatesNoHeapMemory) {
   EXPECT_EQ(reg.histogram("hot.inner.wall_ns").count(), 10'001u);
 }
 
+// The tentpole no-allocation contract: once a receiver's slot table, the
+// event-loop queue and the link handlers are warm, a whole sync session —
+// element messages, acks, HALT — runs without touching the heap. Message
+// delivery closures live in the EventLoop's FixedFunction inline storage and
+// the flat site index grows only when the site set does.
+TEST(HotPath, SteadyStateSyncSessionAllocatesNoHeapMemory) {
+  constexpr std::uint32_t kSites = 24;
+  constexpr std::uint32_t kMissing = 8;
+  vv::RotatingVector base;
+  for (std::uint32_t i = 0; i < kSites - kMissing; ++i) base.record_update(SiteId{i});
+  vv::RotatingVector b = base;
+  for (std::uint32_t i = kSites - kMissing; i < kSites; ++i) b.record_update(SiteId{i});
+
+  vv::SyncOptions opt;
+  opt.kind = vv::VectorKind::kSrv;
+  opt.mode = vv::TransferMode::kPipelined;
+  opt.cost = CostModel{.n = kSites, .m = 1 << 16};
+  opt.known_relation = vv::Ordering::kBefore;
+
+  sim::EventLoop loop;
+  loop.reserve(4 * kSites);
+
+  // Warm-up session: grows the receiver's slot table and whatever scratch the
+  // loop/link layer sizes on first use.
+  vv::RotatingVector warm = base;
+  warm.reserve(kSites);
+  vv::sync_rotating(loop, warm, b, opt);
+
+  vv::RotatingVector a = base;
+  a.reserve(kSites);
+  const std::uint64_t before = g_alloc_count;
+  const vv::SyncReport rep = vv::sync_rotating(loop, a, b, opt);
+  EXPECT_EQ(g_alloc_count, before)
+      << "steady-state sync sessions must not allocate per message";
+  EXPECT_EQ(rep.elems_applied, kMissing);
+  // SRV may skip dominated segments, so a's order need not equal b's; the
+  // values must.
+  for (std::uint32_t i = 0; i < kSites; ++i) {
+    EXPECT_EQ(a.value(SiteId{i}), b.value(SiteId{i})) << "site " << i;
+  }
+}
+
 }  // namespace
 }  // namespace optrep::obs

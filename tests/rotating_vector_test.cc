@@ -9,7 +9,7 @@ const SiteId A{0}, B{1}, C{2}, D{3};
 
 std::vector<SiteId> order_sites(const RotatingVector& v) {
   std::vector<SiteId> out;
-  for (const auto& e : v.in_order()) out.push_back(e.site);
+  for (const auto& e : v) out.push_back(e.site);  // exercises the iterator
   return out;
 }
 

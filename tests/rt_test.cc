@@ -1,0 +1,152 @@
+// optrep::rt — deterministic parallel runtime tests: every index runs exactly
+// once for any thread count, parallel_sweep returns results in config order,
+// task_seed splitting is schedule-independent, and observability shards merge
+// into the same registry a serial run would have produced.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/prof.h"
+#include "rt/sweep.h"
+#include "rt/thread_pool.h"
+
+namespace optrep::rt {
+namespace {
+
+TEST(ThreadPool, SingleThreadRunsInlineInOrder) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1u);
+  std::vector<std::size_t> order;
+  pool.for_each_index(16, [&order](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 16u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnceForAnyThreadCount) {
+  for (unsigned threads : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.threads(), threads);
+    constexpr std::size_t kCount = 1000;
+    std::vector<std::atomic<std::uint32_t>> hits(kCount);
+    pool.for_each_index(kCount, [&hits](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(hits[i].load(), 1u) << "index " << i << ", threads " << threads;
+    }
+  }
+}
+
+TEST(ThreadPool, WorkerIndexIsDenseAndInRange) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 256;
+  std::vector<std::atomic<std::uint32_t>> by_worker(8);
+  pool.for_each_index_worker(kCount, [&by_worker](std::size_t, unsigned worker) {
+    ASSERT_LT(worker, 4u);
+    by_worker[worker].fetch_add(1, std::memory_order_relaxed);
+  });
+  std::uint32_t total = 0;
+  for (const auto& w : by_worker) total += w.load();
+  EXPECT_EQ(total, kCount);
+}
+
+TEST(ThreadPool, ZeroItemsAndBackToBackJobsWork) {
+  ThreadPool pool(3);
+  pool.for_each_index(0, [](std::size_t) { FAIL() << "no items to run"; });
+  std::atomic<std::uint64_t> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.for_each_index(10, [&sum](std::size_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(sum.load(), 50u * 45u);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<std::uint32_t>> hits(100);
+  parallel_for(pool, 10, 90, [&hits](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), (i >= 10 && i < 90) ? 1u : 0u) << i;
+  }
+}
+
+TEST(TaskSeed, IndependentOfScheduleAndDecorrelated) {
+  // Pure function of (base, index): no hidden state to leak schedules into.
+  EXPECT_EQ(task_seed(42, 7), task_seed(42, 7));
+  EXPECT_NE(task_seed(42, 7), task_seed(42, 8));
+  EXPECT_NE(task_seed(42, 7), task_seed(43, 7));
+  // Streams from adjacent indexes must diverge immediately.
+  Rng a(task_seed(1, 0));
+  Rng b(task_seed(1, 1));
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(ParallelSweep, ResultsInConfigOrderForAnyThreadCount) {
+  const std::vector<std::uint32_t> configs = [] {
+    std::vector<std::uint32_t> v(64);
+    std::iota(v.begin(), v.end(), 1);
+    return v;
+  }();
+  const auto model = [](std::uint32_t c, std::size_t idx) {
+    // Deterministic per-item work using the split seed.
+    Rng rng(task_seed(99, idx));
+    return static_cast<std::uint64_t>(c) * 1000 + rng.below(1000);
+  };
+  ThreadPool serial(1);
+  const auto expected = parallel_sweep(serial, configs, model);
+  for (unsigned threads : {2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(parallel_sweep(pool, configs, model), expected)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ObsShards, MergedRegistryMatchesSerialRun) {
+  const std::size_t kItems = 200;
+  // Serial reference: one registry, all items.
+  obs::Registry expected;
+  for (std::size_t i = 0; i < kItems; ++i) {
+    expected.counter("sweep.items").inc();
+    expected.histogram("sweep.value").record(i % 17);
+  }
+  for (unsigned threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    ObsShards shards(pool.threads());
+    std::vector<int> configs(kItems, 0);
+    parallel_sweep(pool, configs, shards,
+                   [](int, std::size_t idx, ObsShards::Shard& shard) {
+                     shard.registry.counter("sweep.items").inc();
+                     shard.registry.histogram("sweep.value").record(idx % 17);
+                     return 0;
+                   });
+    obs::Registry merged;
+    shards.merge_into(&merged, nullptr);
+    EXPECT_EQ(merged.counter("sweep.items").value(), kItems);
+    EXPECT_EQ(merged.histogram("sweep.value").count(), kItems);
+    EXPECT_EQ(merged.histogram("sweep.value").sum(),
+              expected.histogram("sweep.value").sum());
+    EXPECT_EQ(merged.histogram("sweep.value").max(),
+              expected.histogram("sweep.value").max());
+  }
+}
+
+TEST(ObsShards, ProfilerAbsorbKeepsSpansAndTotals) {
+  ObsShards shards(2);
+  shards.profiler(0).record_closed("a", 100, 10, 0, 0);
+  shards.profiler(1).record_closed("b", 200, 20, 0, 0);
+  prof::Profiler merged(prof::Profiler::kDefaultCapacity);
+  shards.merge_into(nullptr, &merged);
+  EXPECT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged.total_recorded(), 2u);
+}
+
+}  // namespace
+}  // namespace optrep::rt

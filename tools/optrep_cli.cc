@@ -4,6 +4,11 @@
 //   optrep_cli op      [options]  drive an operation-transfer system (SYNCG)
 //   optrep_cli records [options]  drive a keyed record store with
 //                                 semantic-over-syntactic conflict detection
+//   optrep_cli sweep   [options]  run K independent state-transfer runs with
+//                                 split seeds, sharded across a thread pool;
+//                                 rows come out in run order for any
+//                                 --threads value and per-worker metrics are
+//                                 merged after the join
 //
 // Common options:
 //   --sites=N --objects=N --steps=N --update-prob=F --seed=N
@@ -27,6 +32,9 @@
 // records options:
 //   --overlap=F --key-pool=N   (shared-key write probability / pool size)
 //   --flag                     (flag true conflicts instead of LWW)
+// sweep options:
+//   --seeds=K            number of independent runs (seed_k = task_seed(seed, k))
+//   --threads=N          worker threads (0 = hardware concurrency)
 //
 // Examples:
 //   optrep_cli state --kind=srv --sites=32 --steps=5000 --update-prob=0.7
@@ -42,6 +50,8 @@
 #include "obs/prof.h"
 #include "obs/trace.h"
 #include "repl/record_system.h"
+#include "rt/sweep.h"
+#include "rt/thread_pool.h"
 #include "workload/report.h"
 #include "workload/trace.h"
 
@@ -71,16 +81,19 @@ struct Args {
   double overlap{0.2};
   std::uint32_t key_pool{16};
   bool flag_policy{false};
+  std::uint32_t sweep_seeds{8};
+  unsigned threads{1};
 };
 
 [[noreturn]] void usage(const char* msg) {
   if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
   std::fprintf(stderr,
-               "usage: optrep_cli <state|op|records> [--sites=N] [--objects=N] [--steps=N]\n"
+               "usage: optrep_cli <state|op|records|sweep> [--sites=N] [--objects=N] [--steps=N]\n"
                "       [--update-prob=F] [--seed=N] [--topology=gossip|ring|star|clustered]\n"
                "       [--mode=ideal|saw|pipelined] [--latency-ms=F] [--bandwidth=F]\n"
                "       [--kind=brv|crv|srv] [--manual] [--log-limit=N] [--full-graph]\n"
-               "       [--csv] [--json] [--trace-out=FILE] [--profile-out=FILE]\n");
+               "       [--csv] [--json] [--trace-out=FILE] [--profile-out=FILE]\n"
+               "       [--seeds=K] [--threads=N]\n");
   std::exit(2);
 }
 
@@ -100,8 +113,9 @@ Args parse(int argc, char** argv) {
   if (argc < 2) usage("missing command");
   Args a;
   a.command = argv[1];
-  if (a.command != "state" && a.command != "op" && a.command != "records") {
-    usage("command must be 'state', 'op' or 'records'");
+  if (a.command != "state" && a.command != "op" && a.command != "records" &&
+      a.command != "sweep") {
+    usage("command must be 'state', 'op', 'records' or 'sweep'");
   }
   for (int i = 2; i < argc; ++i) {
     std::string v;
@@ -157,6 +171,11 @@ Args parse(int argc, char** argv) {
       a.key_pool = static_cast<std::uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
     } else if (take(argv[i], "--flag", &v)) {
       a.flag_policy = true;
+    } else if (take(argv[i], "--seeds", &v)) {
+      a.sweep_seeds = static_cast<std::uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (take(argv[i], "--threads", &v)) {
+      const long n = std::strtol(v.c_str(), nullptr, 10);
+      a.threads = n <= 0 ? rt::ThreadPool::hardware_threads() : static_cast<unsigned>(n);
     } else {
       usage((std::string("unknown option: ") + argv[i]).c_str());
     }
@@ -166,6 +185,14 @@ Args parse(int argc, char** argv) {
   if (a.csv && a.json) usage("--csv and --json are mutually exclusive");
   if (!a.trace_out.empty() && a.command == "op") {
     usage("--trace-out applies to vector sessions; 'op' runs have none");
+  }
+  if (a.command == "sweep") {
+    if (a.sweep_seeds < 1) usage("--seeds must be >= 1");
+    // Per-run tracing/profiling would interleave across workers; the sweep
+    // reports merged metrics instead.
+    if (!a.trace_out.empty() || !a.profile_out.empty()) {
+      usage("'sweep' does not support --trace-out / --profile-out");
+    }
   }
   if (a.kind == vv::VectorKind::kBrv) a.manual = true;  // §3.1: no reconciliation
   return a;
@@ -435,11 +462,97 @@ int run_records(const Args& a) {
   return 0;
 }
 
+// K independent state-transfer runs with per-task split seeds on a thread
+// pool. Every run owns its system, trace, and event loop; per-worker metric
+// shards are merged after the join, so the row table AND the merged registry
+// are byte-identical for any --threads value.
+int run_sweep(const Args& a) {
+  struct Row {
+    std::uint64_t seed{0};
+    std::uint64_t sessions{0};
+    std::uint64_t bits{0};
+    std::uint64_t conflicts{0};
+    std::uint64_t reconciliations{0};
+    bool consistent{false};
+  };
+  rt::ThreadPool pool(a.threads);
+  rt::ObsShards shards(pool.threads());
+  std::vector<std::uint32_t> runs(a.sweep_seeds);
+  for (std::uint32_t k = 0; k < a.sweep_seeds; ++k) runs[k] = k;
+  const auto rows = rt::parallel_sweep(
+      pool, runs, shards,
+      [&a](std::uint32_t k, std::size_t, rt::ObsShards::Shard& shard) {
+        Args run = a;
+        run.seed = rt::task_seed(a.seed, k);
+        repl::StateSystem::Config cfg;
+        cfg.n_sites = run.sites;
+        cfg.kind = run.kind;
+        cfg.policy = run.manual ? repl::ResolutionPolicy::kManual
+                                : repl::ResolutionPolicy::kAutomatic;
+        cfg.mode = run.mode;
+        cfg.net = make_net(run);
+        cfg.cost = CostModel{.n = run.sites, .m = 1 << 16};
+        repl::StateSystem sys(cfg);
+        const wl::RunStats stats = wl::run_state(sys, make_trace(run));
+        shard.registry.merge_from(sys.metrics());
+        const auto& t = sys.totals();
+        return Row{run.seed,          t.sessions,
+                   t.bits,            t.conflicts_detected,
+                   t.reconciliations, stats.eventually_consistent};
+      });
+  obs::Registry merged;
+  shards.merge_into(&merged, nullptr);
+
+  bool all_consistent = true;
+  for (const Row& r : rows) all_consistent = all_consistent && r.consistent;
+  if (a.json) {
+    std::fputs(obs::metrics_to_json(merged).c_str(), stdout);
+    std::fputc('\n', stdout);
+    return all_consistent || a.manual ? 0 : 1;
+  }
+  if (a.csv) {
+    std::puts("run,seed,sessions,bits,conflicts,reconciliations,consistent");
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      const Row& r = rows[k];
+      std::puts(obs::CsvRow()
+                    .add(static_cast<std::uint64_t>(k))
+                    .add(r.seed)
+                    .add(r.sessions)
+                    .add(r.bits)
+                    .add(r.conflicts)
+                    .add(r.reconciliations)
+                    .add(int{r.consistent})
+                    .str()
+                    .c_str());
+    }
+    return all_consistent || a.manual ? 0 : 1;
+  }
+  std::printf("sweep: %u runs of 'state' (%s) on %u worker(s)\n", a.sweep_seeds,
+              std::string(vv::to_string(a.kind)).c_str(), pool.threads());
+  std::printf("%-5s %-22s %-10s %-12s %-10s %-8s\n", "run", "seed", "sessions",
+              "bits", "conflicts", "ok");
+  std::uint64_t sessions = 0, bits = 0;
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    const Row& r = rows[k];
+    std::printf("%-5zu %-22llu %-10llu %-12llu %-10llu %-8s\n", k,
+                (unsigned long long)r.seed, (unsigned long long)r.sessions,
+                (unsigned long long)r.bits, (unsigned long long)r.conflicts,
+                r.consistent ? "yes" : "NO");
+    sessions += r.sessions;
+    bits += r.bits;
+  }
+  std::printf("total: %llu sessions, %llu model bits; merged metrics: %zu counters\n",
+              (unsigned long long)sessions, (unsigned long long)bits,
+              merged.counters().size());
+  return all_consistent || a.manual ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args a = parse(argc, argv);
   if (a.command == "state") return run_state(a);
   if (a.command == "op") return run_op(a);
+  if (a.command == "sweep") return run_sweep(a);
   return run_records(a);
 }
