@@ -1,0 +1,172 @@
+// W-frames — frame-batched sync transport (sim::FrameLink + vv/frame_codec).
+//
+// Part 1 runs pipelined worst-case sessions (receiver empty, sender holds n
+// elements) with framing off and on and reports, per (n, algo, budget):
+//   - executed event-loop dispatches, unframed vs framed (the tentpole claim:
+//     ≥5× fewer at n=10k, checked in-process),
+//   - §3.3 model bits (asserted identical with framing on/off),
+//   - realistic wire bytes, per-message vs delta-varint framed (framed must
+//     shrink, checked in-process).
+// All row fields are model-derived integers, so the committed baseline under
+// bench/baselines/ is byte-identical on every machine and thread count.
+//
+// Part 2 times the same sessions (google-benchmark): fewer dispatches and
+// one encode per frame also shrink real wall-clock per simulated session.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/check.h"
+#include "vv/frame_codec.h"
+
+using namespace optrep;
+using namespace optrep::bench;
+
+namespace {
+
+vv::SyncOptions pipelined_options(vv::VectorKind kind, std::uint32_t n,
+                                  std::uint32_t budget) {
+  vv::SyncOptions opt;
+  opt.kind = kind;
+  opt.mode = vv::TransferMode::kPipelined;
+  opt.cost = CostModel{.n = n, .m = 1 << 16};
+  // Finite, non-round figures: pipelined speculation needs a real link rate,
+  // and off-grid timing keeps event-order ties honest.
+  opt.net = {.latency_s = 0.0013, .bandwidth_bits_per_s = 99700.0};
+  opt.net.frame_budget = budget;
+  opt.known_relation = vv::Ordering::kBefore;
+  return opt;
+}
+
+void part1_events_and_bytes() {
+  std::printf("\n== Frame batching: dispatches and wire bytes per session "
+              "(pipelined, receiver empty) ==\n");
+  std::printf("%-8s %-6s %-8s %-12s %-12s %-8s %-12s %-12s %-8s\n", "n", "algo",
+              "budget", "events[0]", "events[B]", "ratio", "bytes", "framed", "saved");
+  print_rule(96);
+  BenchReporter reporter("wire");
+  struct Config {
+    std::uint32_t n;
+    vv::VectorKind kind;
+    std::uint32_t budget;
+  };
+  std::vector<Config> configs;
+  const std::vector<std::uint32_t> ns = smoke() ? std::vector<std::uint32_t>{1000, 10000}
+                                                : std::vector<std::uint32_t>{1000, 10000, 50000};
+  for (std::uint32_t n : ns) {
+    for (auto kind : {vv::VectorKind::kBrv, vv::VectorKind::kCrv, vv::VectorKind::kSrv}) {
+      for (std::uint32_t budget : {16u, 64u}) configs.push_back({n, kind, budget});
+    }
+  }
+  struct Row {
+    std::uint64_t events_unframed{0}, events_framed{0};
+    std::uint64_t bytes{0}, framed_bytes{0}, frames{0};
+    std::string json;
+  };
+  const auto rows = sweep(configs, [](const Config& c, std::size_t) {
+    const vv::RotatingVector full = linear_history(c.n);
+
+    vv::RotatingVector a0;
+    sim::EventLoop loop0;
+    const auto r0 = vv::sync_rotating(loop0, a0, full, pipelined_options(c.kind, c.n, 0));
+
+    vv::RotatingVector a1;
+    sim::EventLoop loop1;
+    const auto r1 =
+        vv::sync_rotating(loop1, a1, full, pipelined_options(c.kind, c.n, c.budget));
+
+    // Framing must be invisible to the protocol and the §3.3 accounting...
+    OPTREP_CHECK(r1.total_bits() == r0.total_bits());
+    OPTREP_CHECK(r1.total_bytes() == r0.total_bytes());
+    OPTREP_CHECK(r1.elems_sent == r0.elems_sent);
+    OPTREP_CHECK(r1.duration == r0.duration);
+    // ...while shrinking both dispatch count and realistic wire bytes: the
+    // acceptance bar is ≥5× fewer executed events from n=1000 up.
+    OPTREP_CHECK(r0.loop_events >= 5 * r1.loop_events);
+    OPTREP_CHECK(r1.total_framed_bytes() < r0.total_bytes());
+
+    Row row;
+    row.events_unframed = r0.loop_events;
+    row.events_framed = r1.loop_events;
+    row.bytes = r1.total_bytes();
+    row.framed_bytes = r1.total_framed_bytes();
+    row.frames = r1.total_frames();
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("n", c.n);
+    w.field("algo", vv::to_string(c.kind));
+    w.field("budget", c.budget);
+    w.field("elems", r1.elems_sent);
+    w.field("model_bits", r1.total_bits());
+    w.field("wire_bytes", row.bytes);
+    w.field("framed_wire_bytes", row.framed_bytes);
+    w.field("frames", row.frames);
+    w.field("events_unframed", row.events_unframed);
+    w.field("events_framed", row.events_framed);
+    w.end_object();
+    row.json = w.take();
+    return row;
+  });
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::printf("%-8u %-6s %-8u %-12llu %-12llu %-8.1f %-12llu %-12llu %5.1f%%\n",
+                configs[i].n, std::string(vv::to_string(configs[i].kind)).c_str(),
+                configs[i].budget, (unsigned long long)r.events_unframed,
+                (unsigned long long)r.events_framed,
+                static_cast<double>(r.events_unframed) /
+                    static_cast<double>(r.events_framed),
+                (unsigned long long)r.bytes, (unsigned long long)r.framed_bytes,
+                100.0 * (1.0 - static_cast<double>(r.framed_bytes) /
+                                   static_cast<double>(r.bytes)));
+    reporter.add_row(rows[i].json);
+  }
+  reporter.flush();
+}
+
+void BM_PipelinedSync(benchmark::State& state) {
+  const auto budget = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t n = 10000;
+  const vv::RotatingVector full = linear_history(n);
+  const auto opt = pipelined_options(vv::VectorKind::kSrv, n, budget);
+  for (auto _ : state) {
+    state.PauseTiming();
+    vv::RotatingVector a;
+    state.ResumeTiming();
+    sim::EventLoop loop;
+    auto rep = vv::sync_rotating(loop, a, full, opt);
+    benchmark::DoNotOptimize(rep.loop_events);
+  }
+  state.counters["budget"] = budget;
+}
+
+BENCHMARK(BM_PipelinedSync)->Arg(0)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_FrameEncode(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  std::vector<vv::VvMsg> msgs;
+  for (std::size_t i = 0; i < len; ++i) {
+    msgs.push_back(vv::VvMsg{.kind = vv::VvMsg::Kind::kElem,
+                             .site = SiteId{static_cast<std::uint32_t>(i * 31)},
+                             .value = 100000 + i * 5, .segment = i % 8 == 0});
+  }
+  std::vector<std::uint8_t> out;
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(vv::frame_encode(out, msgs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * len));
+}
+
+BENCHMARK(BM_FrameEncode)->Arg(16)->Arg(64)->Arg(1024);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  init_bench(&argc, argv);
+  std::printf("==== bench_wire: frame-batched transport (threads=%u) ====\n", threads());
+  part1_events_and_bytes();
+  std::printf("\n== Wall-clock per n=10k pipelined session vs frame budget ==\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

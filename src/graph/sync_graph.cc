@@ -43,9 +43,76 @@ std::uint64_t graph_msg_wire_bytes(const GraphMsg& m) {
 
 namespace {
 
+std::uint32_t varint_len(std::uint64_t v) {
+  std::uint32_t len = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+std::uint64_t zigzag(std::int64_t n) {
+  return (static_cast<std::uint64_t>(n) << 1) ^ static_cast<std::uint64_t>(n >> 63);
+}
+
+// Varint-delta cost of one id against the running chain; advances the chain.
+std::uint64_t id_delta_bytes(UpdateId& prev, UpdateId id) {
+  const std::uint64_t site_zz = zigzag(static_cast<std::int64_t>(id.site.value) -
+                                       static_cast<std::int64_t>(prev.site.value));
+  const std::uint64_t seq_zz = zigzag(static_cast<std::int64_t>(id.seq - prev.seq));
+  prev = id;
+  return varint_len(site_zz) + varint_len(seq_zz);
+}
+
+// Framed size of one message; `prev` is the cross-message delta base (the id
+// of the last node or skip target seen in this frame). Metadata is capped at
+// the unframed size per message — a frame never exceeds the messages it
+// replaces; operation payloads are incompressible and ride along as-is.
+std::uint64_t graph_msg_framed_bytes(UpdateId& prev, const GraphMsg& m, bool ship_ops) {
+  switch (m.kind) {
+    case GraphMsg::Kind::kNode: {
+      UpdateId chain = prev;
+      std::uint64_t b = 1 + id_delta_bytes(chain, m.node.id);
+      b += id_delta_bytes(chain, m.node.lp);
+      b += id_delta_bytes(chain, m.node.rp);
+      prev = m.node.id;
+      return std::min(b, graph_msg_wire_bytes(m)) +
+             (ship_ops ? m.node.op_bytes : 0);
+    }
+    case GraphMsg::Kind::kSkipTo: {
+      UpdateId chain = prev;
+      const std::uint64_t b = 1 + id_delta_bytes(chain, m.target);
+      prev = m.target;
+      return std::min(b, graph_msg_wire_bytes(m));
+    }
+    case GraphMsg::Kind::kJumped:
+    case GraphMsg::Kind::kHalt:
+    case GraphMsg::Kind::kAck:
+      return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::uint64_t graph_frame_wire_bytes(const std::vector<GraphMsg>& msgs, bool ship_ops) {
+  UpdateId prev{};
+  std::uint64_t total = 0;
+  for (const GraphMsg& m : msgs) total += graph_msg_framed_bytes(prev, m, ship_ops);
+  return total;
+}
+
+std::uint64_t graph_frame_wire_bytes_single(const GraphMsg& m, bool ship_ops) {
+  UpdateId prev{};
+  return graph_msg_framed_bytes(prev, m, ship_ops);
+}
+
+namespace {
+
 class GraphPeer {
  public:
-  GraphPeer(sim::EventLoop* loop, sim::Link<GraphMsg>* tx, const GraphSyncOptions* opt)
+  GraphPeer(sim::EventLoop* loop, sim::FrameLink<GraphMsg>* tx, const GraphSyncOptions* opt)
       : loop_(loop), tx_(tx), opt_(opt) {}
   virtual ~GraphPeer() = default;
   virtual void on_message(const GraphMsg& m) = 0;
@@ -65,14 +132,14 @@ class GraphPeer {
   bool pipelined() const { return opt_->mode == vv::TransferMode::kPipelined; }
 
   sim::EventLoop* loop_;
-  sim::Link<GraphMsg>* tx_;
+  sim::FrameLink<GraphMsg>* tx_;
   const GraphSyncOptions* opt_;
 };
 
 // Algorithm 5, b's hosting site: DFS from the sink, reverse arc direction.
 class GraphSender : public GraphPeer {
  public:
-  GraphSender(sim::EventLoop* loop, sim::Link<GraphMsg>* tx, const GraphSyncOptions* opt,
+  GraphSender(sim::EventLoop* loop, sim::FrameLink<GraphMsg>* tx, const GraphSyncOptions* opt,
               const CausalGraph* b)
       : GraphPeer(loop, tx, opt), b_(b) {
     if (!b_->empty()) stack_.push_back(b_->sink());
@@ -178,7 +245,7 @@ class GraphSender : public GraphPeer {
 // parents; on an existing node, names the next branch head to jump to.
 class GraphReceiver : public GraphPeer {
  public:
-  GraphReceiver(sim::EventLoop* loop, sim::Link<GraphMsg>* tx, const GraphSyncOptions* opt,
+  GraphReceiver(sim::EventLoop* loop, sim::FrameLink<GraphMsg>* tx, const GraphSyncOptions* opt,
                 CausalGraph* a)
       : GraphPeer(loop, tx, opt), a_(a) {}
 
@@ -268,21 +335,46 @@ class GraphReceiver : public GraphPeer {
   std::uint64_t acks_{0};
 };
 
+void install_framing(sim::FrameDuplex<GraphMsg>& duplex, bool ship_ops) {
+  for (sim::FrameLink<GraphMsg>* l : {&duplex.a_to_b(), &duplex.b_to_a()}) {
+    l->set_frame_sizer([ship_ops](const std::vector<GraphMsg>& msgs) {
+      return graph_frame_wire_bytes(msgs, ship_ops);
+    });
+    l->set_msg_sizer(
+        [ship_ops](const GraphMsg& m) { return graph_frame_wire_bytes_single(m, ship_ops); });
+    l->set_flush_after([](const GraphMsg& m) { return m.kind != GraphMsg::Kind::kNode; });
+  }
+}
+
+void harvest_framing(sim::EventLoop& loop, sim::FrameDuplex<GraphMsg>& duplex,
+                     std::uint64_t events_before, GraphSyncReport& r) {
+  duplex.b_to_a().close_frame();
+  duplex.a_to_b().close_frame();
+  r.frames_fwd = duplex.b_to_a().stats().frames;
+  r.frames_rev = duplex.a_to_b().stats().frames;
+  r.framed_bytes_fwd = duplex.b_to_a().stats().framed_wire_bytes;
+  r.framed_bytes_rev = duplex.a_to_b().stats().framed_wire_bytes;
+  r.loop_events = loop.executed_events() - events_before;
+}
+
 }  // namespace
 
 GraphSyncReport sync_graph(sim::EventLoop& loop, CausalGraph& a, const CausalGraph& b,
                            const GraphSyncOptions& opt) {
   const vv::Ordering rel = a.compare(b);
-  sim::Duplex<GraphMsg> duplex(&loop, opt.net);
+  sim::FrameDuplex<GraphMsg> duplex(&loop, opt.net);
+  install_framing(duplex, opt.ship_ops);
   GraphSender sender(&loop, &duplex.b_to_a(), &opt, &b);
   GraphReceiver receiver(&loop, &duplex.a_to_b(), &opt, &a);
   duplex.b_to_a().set_receiver([&receiver](const GraphMsg& m) { receiver.on_message(m); });
   duplex.a_to_b().set_receiver([&sender](const GraphMsg& m) { sender.on_message(m); });
   const sim::Time t0 = loop.now();
+  const std::uint64_t ev0 = loop.executed_events();
   loop.schedule(t0, [&sender] { sender.start(); });
   const sim::Time t_end = loop.run();
 
   GraphSyncReport r;
+  harvest_framing(loop, duplex, ev0, r);
   r.initial_relation = rel;
   r.bits_fwd = duplex.b_to_a().stats().model_bits;
   r.bits_rev = duplex.a_to_b().stats().model_bits;
@@ -304,7 +396,8 @@ GraphSyncReport sync_graph(sim::EventLoop& loop, CausalGraph& a, const CausalGra
 GraphSyncReport sync_graph_full(sim::EventLoop& loop, CausalGraph& a, const CausalGraph& b,
                                 const GraphSyncOptions& opt) {
   const vv::Ordering rel = a.compare(b);
-  sim::Duplex<GraphMsg> duplex(&loop, opt.net);
+  sim::FrameDuplex<GraphMsg> duplex(&loop, opt.net);
+  install_framing(duplex, opt.ship_ops);
   std::uint64_t nodes_new = 0;
   std::uint64_t nodes_redundant = 0;
   std::uint64_t op_bytes = 0;
@@ -327,6 +420,7 @@ GraphSyncReport sync_graph_full(sim::EventLoop& loop, CausalGraph& a, const Caus
   std::sort(nodes.begin(), nodes.end(),
             [](const Node& x, const Node& y) { return x.id < y.id; });
   const sim::Time t0 = loop.now();
+  const std::uint64_t ev0 = loop.executed_events();
   loop.schedule(t0, [&duplex, nodes = std::move(nodes), &opt] {
     for (const Node& n : nodes) {
       GraphMsg m;
@@ -343,6 +437,7 @@ GraphSyncReport sync_graph_full(sim::EventLoop& loop, CausalGraph& a, const Caus
   const sim::Time t_end = loop.run();
 
   GraphSyncReport r;
+  harvest_framing(loop, duplex, ev0, r);
   r.initial_relation = rel;
   r.bits_fwd = duplex.b_to_a().stats().model_bits;
   r.bytes_fwd = duplex.b_to_a().stats().wire_bytes;

@@ -17,6 +17,7 @@
 #include "common/cost_model.h"
 #include "graph/causal_graph.h"
 #include "sim/event_loop.h"
+#include "sim/frame_link.h"
 #include "sim/link.h"
 #include "vv/session.h"  // TransferMode
 
@@ -43,6 +44,14 @@ struct GraphMsg {
 std::uint64_t graph_msg_model_bits(const CostModel& cm, const GraphMsg& m);
 std::uint64_t graph_msg_wire_bytes(const GraphMsg& m);
 
+// Realistic size of a coalesced wire frame (sim::FrameLink): update ids are
+// priced as zigzag-varint deltas along the frame (a DFS streams consecutive
+// ids, so the common delta is one or two bytes), capped per message at the
+// unframed size; operation payloads ride along unchanged when ship_ops.
+// Size-only — graph frames are never materialized as bytes.
+std::uint64_t graph_frame_wire_bytes(const std::vector<GraphMsg>& msgs, bool ship_ops);
+std::uint64_t graph_frame_wire_bytes_single(const GraphMsg& m, bool ship_ops);
+
 struct GraphSyncOptions {
   vv::TransferMode mode{vv::TransferMode::kPipelined};
   sim::NetConfig net{};
@@ -61,6 +70,15 @@ struct GraphSyncReport {
   std::uint64_t bytes_rev{0};
   std::uint64_t msgs_fwd{0};
   std::uint64_t msgs_rev{0};
+
+  // Frame batching (sim::FrameLink, opt.net.frame_budget): coalesced wire
+  // frames, their delta-varint byte totals, and the event-loop dispatches the
+  // sync executed. Model-bit fields above are identical with framing on/off.
+  std::uint64_t frames_fwd{0};
+  std::uint64_t frames_rev{0};
+  std::uint64_t framed_bytes_fwd{0};
+  std::uint64_t framed_bytes_rev{0};
+  std::uint64_t loop_events{0};
 
   std::uint64_t nodes_sent{0};       // kNode messages transmitted
   std::uint64_t nodes_new{0};        // |V_b \ V_a| delivered

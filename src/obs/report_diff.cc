@@ -11,7 +11,10 @@ std::vector<GateRule> default_gate_rules() {
   return {
       {"wall_ns", true},     // profiling spans: more wall time is a regression
       {"bits", true},        // model-bit traffic (covers *_bits, bits_fwd, …)
-      {"bytes", true},       // wire-byte traffic
+      {"bytes", true},       // wire-byte traffic (incl. framed_wire_bytes)
+      {"events", true},      // event-loop dispatches (events_framed/_unframed)
+      {"wire", true},        // any other wire-path figure (codec sizes)
+      {"frames", true},      // more frames = less coalescing for the same run
       {"gamma", true},       // observed γ (segments the receiver paid for)
       {"redundant", true},   // |Γ| elements / redundant graph nodes
       {"probe", true},       // flat-index probe totals/max: longer chains are bad

@@ -107,6 +107,8 @@ OpSyncOutcome OpSystem::sync(SiteId dst, SiteId src, ObjectId obj) {
   totals_.sessions += 1;
   totals_.bits += out.report.total_bits();
   totals_.bytes += out.report.bytes_fwd + out.report.bytes_rev;
+  totals_.frames += out.report.frames_fwd + out.report.frames_rev;
+  totals_.framed_bytes += out.report.framed_bytes_fwd + out.report.framed_bytes_rev;
   totals_.nodes_sent += out.report.nodes_sent;
   totals_.nodes_redundant += out.report.nodes_redundant;
   totals_.op_bytes += out.report.op_bytes_shipped;
@@ -119,6 +121,8 @@ void OpSystem::publish_metrics() {
   metrics_.counter("op.sessions").set(totals_.sessions);
   metrics_.counter("op.bits").set(totals_.bits);
   metrics_.counter("op.bytes").set(totals_.bytes);
+  metrics_.counter("op.frames").set(totals_.frames);
+  metrics_.counter("op.framed_bytes").set(totals_.framed_bytes);
   metrics_.counter("op.nodes_sent").set(totals_.nodes_sent);
   metrics_.counter("op.nodes_redundant").set(totals_.nodes_redundant);
   metrics_.counter("op.op_bytes").set(totals_.op_bytes);

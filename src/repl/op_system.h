@@ -82,6 +82,10 @@ class OpSystem {
     std::uint64_t sessions{0};
     std::uint64_t bits{0};
     std::uint64_t bytes{0};
+    // Frame batching (net.frame_budget): coalesced wire frames and their
+    // delta-varint byte totals; frames == messages when framing is off.
+    std::uint64_t frames{0};
+    std::uint64_t framed_bytes{0};
     std::uint64_t nodes_sent{0};
     std::uint64_t nodes_redundant{0};
     std::uint64_t op_bytes{0};

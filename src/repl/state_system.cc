@@ -138,6 +138,8 @@ SyncOutcome StateSystem::sync(SiteId dst, SiteId src, ObjectId obj) {
   totals_.bits += out.report.total_bits();
   totals_.bytes += out.report.total_bytes();
   totals_.msgs += out.report.msgs_fwd + out.report.msgs_rev;
+  totals_.frames += out.report.total_frames();
+  totals_.framed_bytes += out.report.total_framed_bytes();
   totals_.elems_sent += out.report.elems_sent;
   totals_.elems_applied += out.report.elems_applied;
   totals_.elems_redundant += out.report.elems_redundant;
@@ -152,6 +154,8 @@ SyncOutcome StateSystem::sync(SiteId dst, SiteId src, ObjectId obj) {
 
 void StateSystem::publish_metrics() {
   metrics_.counter("state.sessions").set(totals_.sessions);
+  metrics_.counter("state.frames").set(totals_.frames);
+  metrics_.counter("state.framed_bytes").set(totals_.framed_bytes);
   metrics_.counter("state.payload_bytes").set(totals_.payload_bytes);
   metrics_.counter("state.conflicts_detected").set(totals_.conflicts_detected);
   metrics_.counter("state.reconciliations").set(totals_.reconciliations);

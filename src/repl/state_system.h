@@ -111,6 +111,10 @@ class StateSystem {
     std::uint64_t bits{0};
     std::uint64_t bytes{0};
     std::uint64_t msgs{0};
+    // Frame batching (net.frame_budget): coalesced wire frames and their
+    // delta-varint byte totals; frames == msgs when framing is off.
+    std::uint64_t frames{0};
+    std::uint64_t framed_bytes{0};
     // Object content shipped: state transfer moves the whole payload on
     // every pull/reconciliation (§6 contrasts this with operation transfer).
     std::uint64_t payload_bytes{0};

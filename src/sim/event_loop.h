@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <limits>
 #include <vector>
 
 #include "common/check.h"
@@ -48,6 +49,24 @@ class EventLoop {
 
   EventId schedule_after(Time delay, EventFn fn) {
     return schedule(now_ + delay, std::move(fn));
+  }
+
+  // Time of the earliest queued event, or +inf when the queue is empty. May
+  // report a cancelled (tombstoned) event's time — callers using this as a
+  // delivery horizon (sim::FrameLink) only become more conservative for it.
+  Time next_event_time() const {
+    if (queue_.empty()) return std::numeric_limits<Time>::infinity();
+    return queue_.front().at;
+  }
+
+  // Advance the clock inside a dispatch without executing an event. Only legal
+  // up to the next queued event: a handler that batches several logical
+  // actions in one dispatch (frame delivery) uses this to give each action its
+  // exact per-message timestamp while the queue stays causally consistent.
+  void advance_to(Time t) {
+    OPTREP_CHECK_MSG(t >= now_, "cannot advance into the past");
+    OPTREP_CHECK_MSG(t <= next_event_time(), "cannot advance past a queued event");
+    now_ = t;
   }
 
   // Pre-size the event queue; with capacity for the peak depth, scheduling

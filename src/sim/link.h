@@ -23,11 +23,17 @@ struct LinkStats {
   std::uint64_t messages{0};
   std::uint64_t model_bits{0};   // §3.3 cost-model size
   std::uint64_t wire_bytes{0};   // realistic byte-aligned encoding
+  std::uint64_t frames{0};       // coalesced wire frames (== messages unframed)
+  std::uint64_t framed_wire_bytes{0};  // realistic bytes under frame batching
 };
 
 struct NetConfig {
   Time latency_s{0};
   double bandwidth_bits_per_s{std::numeric_limits<double>::infinity()};
+  // Maximum messages coalesced into one wire frame by FrameLink; 0 disables
+  // framing (one frame, one encode, one delivery event per message — the
+  // legacy Link behavior, byte- and event-identical).
+  std::uint32_t frame_budget{0};
 
   Time rtt() const { return 2 * latency_s; }
 };
@@ -38,6 +44,13 @@ class Link {
   using Handler = std::function<void(const Msg&)>;
 
   Link(EventLoop* loop, NetConfig cfg) : loop_(loop), cfg_(cfg) { OPTREP_CHECK(loop != nullptr); }
+
+  // Scheduled delivery closures capture `this`; a moved-from Link would leave
+  // them dangling, so Link is pinned to its construction address.
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+  Link(Link&&) = delete;
+  Link& operator=(Link&&) = delete;
 
   void set_receiver(Handler h) { deliver_ = std::move(h); }
 
@@ -58,9 +71,9 @@ class Link {
     stats_.messages += 1;
     stats_.model_bits += model_bits;
     stats_.wire_bytes += wire_bytes;
-    // Copy the message into the delivery event.
-    Handler* deliver = &deliver_;
-    loop_->schedule(arrive, [deliver, msg] { (*deliver)(msg); });
+    // Copy the message into the delivery event. Capturing `this` (not a raw
+    // handler pointer) is safe because Link is immovable.
+    loop_->schedule(arrive, [this, msg] { deliver_(msg); });
     return free_at_;
   }
 

@@ -17,10 +17,12 @@ void BitWriter::put(std::uint64_t value, std::uint32_t bits) {
 
 std::uint64_t BitReader::get(std::uint32_t bits) {
   OPTREP_CHECK(bits <= 64);
+  // Whole-field bounds check up front: truncated or corrupted input fails
+  // loudly before any bit of the field is consumed.
+  OPTREP_CHECK_MSG(pos_ + bits <= 8 * buf_->size(), "read past end of buffer");
   std::uint64_t out = 0;
   for (std::uint32_t i = 0; i < bits; ++i) {
     const std::uint64_t pos = pos_++;
-    OPTREP_CHECK_MSG(pos / 8 < buf_->size(), "read past end of buffer");
     const std::uint8_t byte = (*buf_)[pos / 8];
     out = (out << 1) | ((byte >> (7 - pos % 8)) & 1u);
   }

@@ -1,0 +1,52 @@
+// Delta-varint frame codec: the realistic wire encoding of a coalesced
+// message frame (sim::FrameLink) on the sender→receiver and receiver→sender
+// vv links.
+//
+// The per-message codec (vv/codec.h) realizes the §3.3 cost model bit for
+// bit; this codec is what the *bytes* of a batched implementation would look
+// like, and only feeds the `framed_wire_bytes` figure — model-bit accounting
+// and every Table 2 cross-check are computed from the per-message sizes and
+// are untouched by framing (tests assert this).
+//
+// Layout: a frame is a self-delimiting byte string, one tag byte per message
+// (no count header, so a one-message control frame costs exactly its
+// unframed byte), followed by tag-dependent fields:
+//
+//   0x01 HALT            0x02 SKIPPED         0x03 ACK
+//   0x06 VERDICT(not)    0x07 VERDICT(covers)
+//   0x04|wide  SKIP      + segment index (varint, or 4-byte LE when wide)
+//   0x20|flags PROBE     + site, value (delta-varint or wide, as elements)
+//   0x80|flags ELEM      + site, value
+//
+// Element site ids and values are sent as zigzag-LEB128 *deltas* against the
+// previous element of the same frame (the first element diffs against zero).
+// Elements stream in ≺ order, and consecutive updates have nearby values, so
+// the common delta fits one or two bytes. Wide flag bits (0x04 site,
+// 0x08 value on elements/probes; 0x10 on SKIP) switch a field to its
+// fixed-width raw encoding whenever the varint would be longer, which caps
+// every message at its unframed byte size — a frame is never larger than the
+// messages it replaces (fuzzed against the per-message codec as oracle).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vv/wire.h"
+
+namespace optrep::vv {
+
+// Exact encoded size of one frame, computed without materializing bytes
+// (this is the FrameLink sizer: it runs once per frame on the hot path).
+std::uint64_t frame_wire_bytes(const std::vector<VvMsg>& msgs);
+
+// Size of a one-message frame (the frame_budget == 0 accounting path).
+std::uint64_t frame_wire_bytes_single(const VvMsg& m);
+
+// Append the frame encoding of msgs to out; returns the bytes appended
+// (== frame_wire_bytes(msgs)).
+std::uint64_t frame_encode(std::vector<std::uint8_t>& out, const std::vector<VvMsg>& msgs);
+
+// Decode a whole frame (consumes the full byte string).
+std::vector<VvMsg> frame_decode(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace optrep::vv

@@ -97,11 +97,14 @@ class RotatingVector {
     return slots_[s.next].elem.site;
   }
 
-  // Forward iteration in ≺ order, front to back — no materialization; senders
-  // walk this directly. Mutating the vector invalidates iterators.
+  // Iteration in ≺ order, front to back — no materialization; senders walk
+  // this directly. Bidirectional: a pipelined sender that speculated ahead
+  // rewinds its cursor with operator-- when a HALT or SKIP revokes the
+  // untransmitted tail (sim::FrameLink). Mutating the vector invalidates
+  // iterators.
   class const_iterator {
    public:
-    using iterator_category = std::forward_iterator_tag;
+    using iterator_category = std::bidirectional_iterator_tag;
     using value_type = Element;
     using difference_type = std::ptrdiff_t;
     using pointer = const Element*;
@@ -117,6 +120,15 @@ class RotatingVector {
     const_iterator operator++(int) {
       const_iterator t = *this;
       ++*this;
+      return t;
+    }
+    const_iterator& operator--() {
+      s_ = s_ == kNil ? owner_->tail_ : owner_->slots_[s_].prev;
+      return *this;
+    }
+    const_iterator operator--(int) {
+      const_iterator t = *this;
+      --*this;
       return t;
     }
     friend bool operator==(const const_iterator& a, const const_iterator& b) {

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "obs/prof.h"
+#include "vv/frame_codec.h"
 
 namespace optrep::vv {
 
@@ -97,33 +98,43 @@ void publish_session_metrics(obs::Registry* reg, const SyncReport& r) {
   reg->counter("vv.skip_msgs").inc(r.skip_msgs);
   reg->counter("vv.segments_skipped").inc(r.segments_skipped);
   reg->counter("vv.ack_msgs").inc(r.ack_msgs);
+  reg->counter("vv.frames").inc(r.total_frames());
+  reg->counter("vv.framed_bytes").inc(r.total_framed_bytes());
+  reg->counter("vv.loop_events").inc(r.loop_events);
   reg->histogram("vv.session_bits").record(r.total_bits());
+  // Dispatch efficiency of the transport: executed events per transmitted
+  // element, x100 (framing drives this far below 100).
+  reg->histogram("vv.events_per_100_elems")
+      .record(r.elems_sent > 0 ? r.loop_events * 100 / r.elems_sent : r.loop_events * 100);
 }
 
 // Shared plumbing for one endpoint of a session: counted sends over one link.
 class Peer {
  public:
-  Peer(sim::EventLoop* loop, sim::Link<VvMsg>* tx, const SyncOptions* opt)
+  Peer(sim::EventLoop* loop, sim::FrameLink<VvMsg>* tx, const SyncOptions* opt)
       : loop_(loop), tx_(tx), opt_(opt) {}
   virtual ~Peer() = default;
 
   virtual void on_message(const VvMsg& m) = 0;
 
  protected:
-  sim::Time send(const VvMsg& m) {
+  // `revocable` marks a speculative framed send (pipelined burst) that a
+  // later HALT/SKIP may take back before transmission starts; reactive
+  // messages stay committed at hand-off, exactly as unframed.
+  sim::Time send(const VvMsg& m, bool revocable = false) {
     std::uint64_t bits = msg_model_bits(opt_->cost, opt_->kind, m);
     std::uint64_t bytes = msg_wire_bytes(opt_->kind, m);
     if (m.kind == VvMsg::Kind::kAck && opt_->mode == TransferMode::kIdeal) {
       bits = 0;  // kIdeal: flow control is free; measures pure algorithm cost
       bytes = 0;
     }
-    return tx_->send(m, bits, bytes);
+    return tx_->send(m, bits, bytes, revocable);
   }
 
   bool pipelined() const { return opt_->mode == TransferMode::kPipelined; }
 
   sim::EventLoop* loop_;
-  sim::Link<VvMsg>* tx_;
+  sim::FrameLink<VvMsg>* tx_;
   const SyncOptions* opt_;
 };
 
@@ -132,7 +143,7 @@ class Peer {
 // (handled by the cost model); the SRV sender additionally honors SKIP.
 class ElementSender : public Peer {
  public:
-  ElementSender(sim::EventLoop* loop, sim::Link<VvMsg>* tx, const SyncOptions* opt,
+  ElementSender(sim::EventLoop* loop, sim::FrameLink<VvMsg>* tx, const SyncOptions* opt,
                 const RotatingVector* b)
       : Peer(loop, tx, opt), b_(b), cur_(b->begin()) {}
 
@@ -145,9 +156,13 @@ class ElementSender : public Peer {
   }
 
   void on_message(const VvMsg& m) override {
-    if (done_) return;
     switch (m.kind) {
       case VvMsg::Kind::kHalt:
+        // Processed even when done_: under framing the speculative tail
+        // (possibly including our own end-of-vector HALT) may still sit
+        // untransmitted in the link and must be taken back — exactly the
+        // elements the unframed pump would never have sent (§3.1 overshoot).
+        revoke_speculative_tail();
         finish();
         break;
       case VvMsg::Kind::kSkip:
@@ -155,6 +170,7 @@ class ElementSender : public Peer {
         handle_skip(m.arg);
         break;
       case VvMsg::Kind::kAck:
+        if (done_) return;
         OPTREP_CHECK_MSG(!pipelined(), "ACK in pipelined mode");
         send_next();
         break;
@@ -167,12 +183,23 @@ class ElementSender : public Peer {
 
  private:
   // Pipelined streaming (§3.1): transmit the next element as soon as the link
-  // frees, until HALT arrives or the vector is exhausted.
+  // frees, until HALT arrives or the vector is exhausted. Under framing, one
+  // pump dispatch hands the link a whole frame's worth of speculative
+  // (revocable) sends and parks a single continuation at the last link-free
+  // time; the per-message transmission schedule is unchanged.
   void pump() {
     pending_ = 0;
     if (done_) return;
-    const sim::Time free = emit_current();
-    if (done_) return;  // emitted HALT
+    const std::uint32_t burst = tx_->framed() ? tx_->config().frame_budget : 1;
+    sim::Time free = loop_->now();
+    for (std::uint32_t i = 0; i < burst; ++i) {
+      // The first message of a pump dispatch is exactly what the unframed
+      // pump would emit at this instant — committed at hand-off, like every
+      // unframed send. Only the rest of the burst is speculation, committed
+      // once its transmission starts.
+      free = emit_current(/*revocable=*/tx_->framed() && i > 0);
+      if (done_) return;  // emitted HALT
+    }
     pending_ = loop_->schedule(free, [this] { pump(); });
   }
 
@@ -183,9 +210,9 @@ class ElementSender : public Peer {
   }
 
   // Send the element at cur_ (or HALT when exhausted); returns link-free time.
-  sim::Time emit_current() {
+  sim::Time emit_current(bool revocable = false) {
     if (cur_ == b_->end()) {
-      const sim::Time free = send(VvMsg{.kind = VvMsg::Kind::kHalt});
+      const sim::Time free = send(VvMsg{.kind = VvMsg::Kind::kHalt}, revocable);
       finish();
       return free;
     }
@@ -196,7 +223,7 @@ class ElementSender : public Peer {
     m.value = e.value;
     m.conflict = e.conflict;
     m.segment = e.segment;
-    const sim::Time free = send(m);
+    const sim::Time free = send(m, revocable);
     ++elems_sent_;
     advance();
     return free;
@@ -210,24 +237,69 @@ class ElementSender : public Peer {
     ++cur_;
   }
 
+  // Take back the speculative sends whose transmission has not started,
+  // rewinding the cursor (and segs_/elems_sent_/done_) step by step so the
+  // sender state equals what the unframed pump would have produced by now.
+  void revoke_speculative_tail() {
+    tx_->cancel_tail([this](const VvMsg& m) {
+      switch (m.kind) {
+        case VvMsg::Kind::kHalt:
+          done_ = false;  // un-emit the speculative end-of-vector marker
+          break;
+        case VvMsg::Kind::kElem:
+          --cur_;
+          if (cur_->segment) --segs_;
+          --elems_sent_;
+          break;
+        default:
+          OPTREP_CHECK_MSG(false, "unexpected revoked message at sender");
+      }
+    });
+  }
+
   // SKIP(arg): honored only when we are still inside segment `arg`
-  // (Alg 4 sender lines 8–10); stale requests are ignored.
+  // (Alg 4 sender lines 8–10); stale requests are ignored. Under framing the
+  // decision must be made against the *committed* (actually transmitted)
+  // cursor state: peek at the speculative tail first, and only when the skip
+  // is honored revoke that tail and fast-forward from the committed position.
   void handle_skip(std::uint64_t arg) {
-    if (arg != segs_) {
+    std::uint64_t tail_segs = 0;
+    bool tail_halt = false;
+    tx_->peek_tail([&](const VvMsg& m) {
+      if (m.kind == VvMsg::Kind::kHalt) {
+        tail_halt = true;
+      } else if (m.kind == VvMsg::Kind::kElem && m.segment) {
+        ++tail_segs;
+      }
+    });
+    if (done_ && !tail_halt) return;  // end-of-vector HALT already committed
+    if (arg != segs_ - tail_segs) {
       // Stale: the elements the receiver wanted skipped are already on the
-      // wire. In stop-and-wait this cannot happen.
+      // wire (or speculatively queued behind them — the stream keeps going
+      // either way). In stop-and-wait this cannot happen.
       OPTREP_CHECK_MSG(pipelined(), "stale SKIP in lockstep mode");
       return;
     }
+    revoke_speculative_tail();
     // Fast-forward past the remainder of the current segment without sending.
     while (cur_ != b_->end()) {
       const bool end_of_segment = cur_->segment;
       advance();
       if (end_of_segment) break;
     }
+    // The unframed pump's continuation fires when the link frees — capture
+    // that instant before the marker occupies the link, so the framed resume
+    // emits its first post-skip message at the exact legacy hand-off time.
+    const sim::Time resume = std::max(loop_->now(), tx_->free_at());
     // Tell the receiver one segment was elided so its reconstruction of our
-    // segment index stays exact (see wire.h kSkipped).
+    // segment index stays exact (see wire.h kSkipped). Committed at hand-off.
     send(VvMsg{.kind = VvMsg::Kind::kSkipped});
+    if (tx_->framed() && pipelined()) {
+      // The old continuation pointed at the pre-revocation link-free time;
+      // re-park it. (Unframed keeps its continuation: identical schedule.)
+      if (pending_ != 0) loop_->cancel(pending_);
+      pending_ = loop_->schedule(resume, [this] { pump(); });
+    }
     if (!pipelined()) send_next();  // SKIP doubles as the ack
   }
 
@@ -263,7 +335,7 @@ struct ReceiverCounters {
 
 class ReceiverBase : public Peer {
  public:
-  ReceiverBase(sim::EventLoop* loop, sim::Link<VvMsg>* tx, const SyncOptions* opt,
+  ReceiverBase(sim::EventLoop* loop, sim::FrameLink<VvMsg>* tx, const SyncOptions* opt,
                RotatingVector* a)
       : Peer(loop, tx, opt), a_(a) {}
 
@@ -338,7 +410,7 @@ class ReceiverBasic : public ReceiverBase {
 // Algorithm 3, receiver side.
 class ReceiverConflict : public ReceiverBase {
  public:
-  ReceiverConflict(sim::EventLoop* loop, sim::Link<VvMsg>* tx, const SyncOptions* opt,
+  ReceiverConflict(sim::EventLoop* loop, sim::FrameLink<VvMsg>* tx, const SyncOptions* opt,
                    RotatingVector* a, bool initially_concurrent)
       : ReceiverBase(loop, tx, opt, a), reconcile_(initially_concurrent) {}
 
@@ -380,7 +452,7 @@ class ReceiverConflict : public ReceiverBase {
 // (FIFO delivery makes this reconstruction exact; see DESIGN.md).
 class ReceiverSkip : public ReceiverBase {
  public:
-  ReceiverSkip(sim::EventLoop* loop, sim::Link<VvMsg>* tx, const SyncOptions* opt,
+  ReceiverSkip(sim::EventLoop* loop, sim::FrameLink<VvMsg>* tx, const SyncOptions* opt,
                RotatingVector* a, bool initially_concurrent)
       : ReceiverBase(loop, tx, opt, a), reconcile_(initially_concurrent) {}
 
@@ -468,6 +540,16 @@ class ReceiverSkip : public ReceiverBase {
 struct SessionWiring {
   explicit SessionWiring(sim::EventLoop& loop, const SyncOptions& opt)
       : duplex(&loop, opt.net), opt_(&opt), tracer(opt.tracer), session(opt.trace_session) {
+    // Realistic framed-byte accounting (vv/frame_codec.h) and the control
+    // flush rule. Function pointers and captureless lambdas: no per-session
+    // heap allocation.
+    duplex.b_to_a().set_frame_sizer(&frame_wire_bytes);
+    duplex.a_to_b().set_frame_sizer(&frame_wire_bytes);
+    duplex.b_to_a().set_msg_sizer(&frame_wire_bytes_single);
+    duplex.a_to_b().set_msg_sizer(&frame_wire_bytes_single);
+    const auto flush = [](const VvMsg& m) { return m.kind != VvMsg::Kind::kElem; };
+    duplex.b_to_a().set_flush_after(flush);
+    duplex.a_to_b().set_flush_after(flush);
     // Taps are read in place from the options (which outlive the session) —
     // copying them here would clone a std::function per tap per session.
     bool any_tap = false;
@@ -509,7 +591,19 @@ struct SessionWiring {
     }
   }
 
-  sim::Duplex<VvMsg> duplex;  // a_to_b: receiver→sender, b_to_a: sender→receiver
+  // Close any open frames (end of session is a flush point) and harvest the
+  // framing figures plus the event-loop dispatch count into the report.
+  void harvest_framing(sim::EventLoop& loop, std::uint64_t events_before, SyncReport& r) {
+    duplex.b_to_a().close_frame();
+    duplex.a_to_b().close_frame();
+    r.frames_fwd = duplex.b_to_a().stats().frames;
+    r.frames_rev = duplex.a_to_b().stats().frames;
+    r.framed_bytes_fwd = duplex.b_to_a().stats().framed_wire_bytes;
+    r.framed_bytes_rev = duplex.a_to_b().stats().framed_wire_bytes;
+    r.loop_events = loop.executed_events() - events_before;
+  }
+
+  sim::FrameDuplex<VvMsg> duplex;  // a_to_b: receiver→sender, b_to_a: sender→receiver
   const SyncOptions* opt_;
   obs::Tracer* tracer{nullptr};
   std::uint64_t session{0};
@@ -553,12 +647,14 @@ SyncReport run_rotating_session(sim::EventLoop& loop, RotatingVector& a,
   w.duplex.b_to_a().set_receiver([&receiver](const VvMsg& m) { receiver.on_message(m); });
   w.duplex.a_to_b().set_receiver([&sender](const VvMsg& m) { sender.on_message(m); });
   const sim::Time t0 = loop.now();
+  const std::uint64_t ev0 = loop.executed_events();
   w.trace_boundary(loop, obs::TraceEventType::kSessionBegin, 0);
   loop.schedule(t0, [&sender] { sender.start(); });
   const sim::Time t_end = loop.run();
   SyncReport r = assemble_report(rel, compare_bits, t0, t_end, w.duplex.b_to_a().stats(),
                                  w.duplex.a_to_b().stats(), sender.elems_sent(),
                                  receiver.counters(), opt.cost);
+  w.harvest_framing(loop, ev0, r);
   w.trace_boundary(loop, obs::TraceEventType::kSessionEnd, r.total_bits());
   publish_session_metrics(opt.metrics, r);
   return r;
@@ -650,6 +746,7 @@ SyncReport run_baseline_session(sim::EventLoop& loop, VersionVector& a,
   });
   w.duplex.a_to_b().set_receiver([](const VvMsg&) {});
   const sim::Time t0 = loop.now();
+  const std::uint64_t ev0 = loop.executed_events();
   w.trace_boundary(loop, obs::TraceEventType::kSessionBegin, 0);
   loop.schedule(t0, [&] {
     for (const auto& [site, value] : to_send) {
@@ -669,6 +766,7 @@ SyncReport run_baseline_session(sim::EventLoop& loop, VersionVector& a,
   rc.done_at = done_at;
   SyncReport r = assemble_report(rel, 0, t0, t_end, w.duplex.b_to_a().stats(),
                                  w.duplex.a_to_b().stats(), to_send.size(), rc, opt.cost);
+  w.harvest_framing(loop, ev0, r);
   w.trace_boundary(loop, obs::TraceEventType::kSessionEnd, r.total_bits());
   publish_session_metrics(opt.metrics, r);
   return r;
@@ -708,7 +806,7 @@ namespace {
 // probe with a domination bit, and decides from (own bit, peer bit).
 class ComparePeer {
  public:
-  ComparePeer(const RotatingVector* v, sim::Link<VvMsg>* tx, const CostModel* cm)
+  ComparePeer(const RotatingVector* v, sim::FrameLink<VvMsg>* tx, const CostModel* cm)
       : v_(v), tx_(tx), cm_(cm) {}
 
   void start() {
@@ -758,7 +856,7 @@ class ComparePeer {
 
  private:
   const RotatingVector* v_;
-  sim::Link<VvMsg>* tx_;
+  sim::FrameLink<VvMsg>* tx_;
   const CostModel* cm_;
   VvMsg peer_probe_{};
   bool i_cover_peer_{false};
@@ -772,7 +870,16 @@ CompareSessionResult compare_session(sim::EventLoop& loop, const RotatingVector&
                                      const RotatingVector& b, const sim::NetConfig& net,
                                      const CostModel& cost) {
   OPTREP_SPAN("vv.compare");
-  sim::Duplex<VvMsg> duplex(&loop, net);
+  // COMPARE rides the framed transport too: probes and verdicts are control
+  // messages (every frame flushes), so framing only affects byte accounting.
+  sim::FrameDuplex<VvMsg> duplex(&loop, net);
+  duplex.a_to_b().set_msg_sizer(&frame_wire_bytes_single);
+  duplex.b_to_a().set_msg_sizer(&frame_wire_bytes_single);
+  duplex.a_to_b().set_frame_sizer(&frame_wire_bytes);
+  duplex.b_to_a().set_frame_sizer(&frame_wire_bytes);
+  const auto flush = [](const VvMsg& m) { return m.kind != VvMsg::Kind::kElem; };
+  duplex.a_to_b().set_flush_after(flush);
+  duplex.b_to_a().set_flush_after(flush);
   ComparePeer pa(&a, &duplex.a_to_b(), &cost);
   ComparePeer pb(&b, &duplex.b_to_a(), &cost);
   duplex.a_to_b().set_receiver([&pb](const VvMsg& m) { pb.on_message(m); });

@@ -26,6 +26,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/event_loop.h"
+#include "sim/frame_link.h"
 #include "sim/link.h"
 #include "vv/compare.h"
 #include "vv/rotating_vector.h"
@@ -75,6 +76,17 @@ struct SyncReport {
   std::uint64_t msgs_fwd{0};
   std::uint64_t msgs_rev{0};
 
+  // Frame batching (sim::FrameLink, opt.net.frame_budget): coalesced wire
+  // frames and their delta-varint byte totals (vv/frame_codec.h), plus the
+  // event-loop dispatches the session executed. With frame_budget == 0 every
+  // message is its own frame. Model-bit fields above are identical with
+  // framing on or off.
+  std::uint64_t frames_fwd{0};
+  std::uint64_t frames_rev{0};
+  std::uint64_t framed_bytes_fwd{0};
+  std::uint64_t framed_bytes_rev{0};
+  std::uint64_t loop_events{0};
+
   // Element accounting at the receiver.
   std::uint64_t elems_sent{0};        // Elem messages transmitted by sender
   std::uint64_t elems_applied{0};     // |Δ|: new values written into a
@@ -92,6 +104,8 @@ struct SyncReport {
 
   std::uint64_t total_bits() const { return bits_fwd + bits_rev; }
   std::uint64_t total_bytes() const { return bytes_fwd + bytes_rev; }
+  std::uint64_t total_frames() const { return frames_fwd + frames_rev; }
+  std::uint64_t total_framed_bytes() const { return framed_bytes_fwd + framed_bytes_rev; }
 };
 
 // SYNCB_b(a) — Algorithm 2. Requires a ∦ b (checked). After the call a's

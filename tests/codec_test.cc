@@ -171,5 +171,21 @@ TEST(VectorSnapshot, EmptyVector) {
   EXPECT_TRUE(back.empty());
 }
 
+TEST(BitReaderDeath, ReadPastEndOfBufferIsRejected) {
+  BitWriter w;
+  w.put(0b1011, 4);
+  BitReader r(w.bytes());  // one byte buffered: 8 readable bits
+  EXPECT_EQ(r.get(4), 0b1011u);
+  EXPECT_EQ(r.get(4), 0u);  // padding bits of the final byte
+  EXPECT_DEATH(r.get(1), "read past end of buffer");
+
+  BitReader r2(w.bytes());
+  EXPECT_DEATH(r2.get(9), "read past end of buffer");  // overshoots upfront
+
+  const std::vector<std::uint8_t> empty;
+  BitReader r3(empty);
+  EXPECT_DEATH(r3.get(1), "read past end of buffer");
+}
+
 }  // namespace
 }  // namespace optrep::vv

@@ -1,0 +1,155 @@
+// vv frame codec: the delta-varint frame encoding must round-trip exactly,
+// size itself exactly, and never exceed the unframed per-message encoding —
+// fuzzed with the per-message codec's message model as oracle.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "vv/frame_codec.h"
+#include "vv/session.h"
+#include "vv/wire.h"
+
+namespace optrep::vv {
+namespace {
+
+// Field-wise equality over the fields each kind transmits.
+void expect_msg_eq(const VvMsg& want, const VvMsg& got) {
+  ASSERT_EQ(want.kind, got.kind);
+  switch (want.kind) {
+    case VvMsg::Kind::kElem:
+      EXPECT_EQ(want.site, got.site);
+      EXPECT_EQ(want.value, got.value);
+      EXPECT_EQ(want.conflict, got.conflict);
+      EXPECT_EQ(want.segment, got.segment);
+      break;
+    case VvMsg::Kind::kProbe:
+      EXPECT_EQ(want.site, got.site);
+      EXPECT_EQ(want.value, got.value);
+      break;
+    case VvMsg::Kind::kSkip:
+    case VvMsg::Kind::kVerdict:
+      EXPECT_EQ(want.arg, got.arg);
+      break;
+    case VvMsg::Kind::kHalt:
+    case VvMsg::Kind::kSkipped:
+    case VvMsg::Kind::kAck:
+      break;
+  }
+}
+
+void check_frame(const std::vector<VvMsg>& msgs) {
+  std::vector<std::uint8_t> bytes;
+  const std::uint64_t appended = frame_encode(bytes, msgs);
+  EXPECT_EQ(appended, bytes.size());
+  EXPECT_EQ(appended, frame_wire_bytes(msgs));  // sizer is exact
+
+  const std::vector<VvMsg> decoded = frame_decode(bytes);
+  ASSERT_EQ(decoded.size(), msgs.size());
+  for (std::size_t i = 0; i < msgs.size(); ++i) expect_msg_eq(msgs[i], decoded[i]);
+
+  // A frame never exceeds the per-message encodings it replaces, and the
+  // §3.3 model-bit total of the decoded sequence is unchanged — framing is
+  // a byte-level optimization, invisible to the cost model.
+  const CostModel cm{.n = 1 << 16, .m = 1 << 20};
+  std::uint64_t unframed = 0, bits_in = 0, bits_out = 0;
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    unframed += msg_wire_bytes(VectorKind::kSrv, msgs[i]);
+    bits_in += msg_model_bits(cm, VectorKind::kSrv, msgs[i]);
+    bits_out += msg_model_bits(cm, VectorKind::kSrv, decoded[i]);
+  }
+  EXPECT_LE(appended, unframed);
+  EXPECT_EQ(bits_in, bits_out);
+}
+
+TEST(FrameCodec, TypicalElementRunIsMuchSmaller) {
+  // A ≺-ordered element stream: site ids scattered, values within one epoch.
+  std::vector<VvMsg> msgs;
+  for (int i = 0; i < 64; ++i) {
+    msgs.push_back(VvMsg{.kind = VvMsg::Kind::kElem, .site = SiteId{static_cast<uint32_t>(i * 7)},
+                         .value = 100'000 + static_cast<std::uint64_t>(i) * 3,
+                         .segment = i % 8 == 0});
+  }
+  msgs.push_back(VvMsg{.kind = VvMsg::Kind::kHalt});
+  check_frame(msgs);
+  // 64 elements at 14 unframed bytes each collapse to a few bytes apiece.
+  EXPECT_LT(frame_wire_bytes(msgs), 64 * 14 / 3);
+}
+
+TEST(FrameCodec, SingleControlFrameCostsOneByte) {
+  for (auto kind : {VvMsg::Kind::kHalt, VvMsg::Kind::kSkipped, VvMsg::Kind::kAck}) {
+    const std::vector<VvMsg> one{VvMsg{.kind = kind}};
+    EXPECT_EQ(frame_wire_bytes(one), 1u);
+    EXPECT_EQ(frame_wire_bytes_single(one[0]), 1u);
+    check_frame(one);
+  }
+  check_frame({VvMsg{.kind = VvMsg::Kind::kVerdict, .arg = 0}});
+  check_frame({VvMsg{.kind = VvMsg::Kind::kVerdict, .arg = 1}});
+}
+
+TEST(FrameCodec, WideFallbacksCapFieldSizes) {
+  // Deltas that would need >4 (site) / >8 (value) varint bytes switch to the
+  // fixed-width encoding; a huge SKIP index caps at the 5 unframed bytes.
+  std::vector<VvMsg> msgs{
+      VvMsg{.kind = VvMsg::Kind::kElem, .site = SiteId{0xFFFFFFFF}, .value = ~std::uint64_t{0}},
+      VvMsg{.kind = VvMsg::Kind::kElem, .site = SiteId{0}, .value = 0},
+      VvMsg{.kind = VvMsg::Kind::kProbe, .site = SiteId{0x80000000}, .value = 1ull << 63},
+      VvMsg{.kind = VvMsg::Kind::kSkip, .arg = 0xFFFFFFFF},  // 5-varint-byte index → wide
+  };
+  check_frame(msgs);
+}
+
+TEST(FrameCodec, FuzzRoundTripAgainstPerMessageSizes) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<VvMsg> msgs;
+    const int len = 1 + static_cast<int>(rng.range(0, 40));
+    std::uint64_t value = rng.next() >> (rng.next() % 64);
+    for (int i = 0; i < len; ++i) {
+      VvMsg m;
+      switch (rng.range(0, 9)) {
+        case 0: m.kind = VvMsg::Kind::kHalt; break;
+        case 1: m.kind = VvMsg::Kind::kSkipped; break;
+        case 2: m.kind = VvMsg::Kind::kAck; break;
+        case 3:
+          m.kind = VvMsg::Kind::kSkip;
+          m.arg = static_cast<std::uint32_t>(rng.next()) >> (rng.next() % 32);
+          break;
+        case 4:
+          m.kind = VvMsg::Kind::kVerdict;
+          m.arg = rng.range(0, 1);
+          break;
+        case 5:
+          m.kind = VvMsg::Kind::kProbe;
+          m.site = SiteId{static_cast<std::uint32_t>(rng.next())};
+          m.value = rng.next() >> (rng.next() % 64);
+          break;
+        default:  // bias toward elements, the common message
+          m.kind = VvMsg::Kind::kElem;
+          m.site = SiteId{static_cast<std::uint32_t>(rng.next() >> (rng.next() % 32))};
+          value += rng.range(0, 1000);  // mostly small deltas, as in ≺ order
+          if (rng.range(0, 20) == 0) value = rng.next();  // occasional jump
+          m.value = value;
+          m.conflict = rng.range(0, 1) == 1;
+          m.segment = rng.range(0, 1) == 1;
+          break;
+      }
+      msgs.push_back(m);
+    }
+    check_frame(msgs);
+  }
+}
+
+TEST(FrameCodecDeath, TruncatedFrameIsRejected) {
+  std::vector<VvMsg> msgs{
+      VvMsg{.kind = VvMsg::Kind::kElem, .site = SiteId{12}, .value = 345678},
+  };
+  std::vector<std::uint8_t> bytes;
+  frame_encode(bytes, msgs);
+  ASSERT_GT(bytes.size(), 1u);
+  bytes.pop_back();  // cut the value field short
+  EXPECT_DEATH(frame_decode(bytes), "truncated input");
+}
+
+}  // namespace
+}  // namespace optrep::vv

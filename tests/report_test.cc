@@ -108,6 +108,26 @@ TEST(ReportDiff, BitsIncreaseBeyondThresholdRegresses) {
   EXPECT_FALSE(gate_failed({diff_docs("d", beyond, base, opt)}, opt));
 }
 
+TEST(ReportDiff, EventAndFrameIncreasesRegress) {
+  // The frame-batching figures are gated: more executed dispatches or more
+  // frames for the same workload means the coalescing regressed.
+  DiffOptions opt;
+  opt.threshold = 0.05;
+  for (const char* field : {"events_framed", "events_unframed", "frames",
+                            "framed_wire_bytes"}) {
+    const std::string key = std::string("{\"rows\":[{\"") + field + "\":";
+    const FlatDoc base = flat_of(key + "100}]}");
+    const FlatDoc worse = flat_of(key + "150}]}");
+    const DocDiff diff = diff_docs("BENCH_wire.json", base, worse, opt);
+    ASSERT_EQ(diff.deltas.size(), 1u) << field;
+    EXPECT_TRUE(diff.deltas[0].gated) << field;
+    EXPECT_TRUE(gate_failed({diff}, opt)) << field;
+    // Improvements (fewer events, smaller frames) pass.
+    EXPECT_FALSE(gate_failed({diff_docs("BENCH_wire.json", worse, base, opt)}, opt))
+        << field;
+  }
+}
+
 TEST(ReportDiff, ConsistencyDecreaseRegressesIncreaseDoesNot) {
   const FlatDoc good = flat_of("{\"eventually_consistent\":1}");
   const FlatDoc bad = flat_of("{\"eventually_consistent\":0}");
