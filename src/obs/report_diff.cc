@@ -21,6 +21,8 @@ std::vector<GateRule> default_gate_rules() {
       {"straggler", true},
       {"dropped", true},     // ring truncation must not silently grow
       {"violations", true},  // Table 2 bound violations
+      {"retries", true},     // recovery retries per fault budget must not grow
+      {"failures", true},    // exhausted retry budgets (sync_failures)
       {"within", false},     // within_table2_bound booleans
       {"consistent", false},
   };

@@ -11,6 +11,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/check.h"
 #include "common/cost_model.h"
 #include "common/ids.h"
 #include "graph/sync_graph.h"
@@ -56,7 +57,12 @@ class OpSystem {
     std::uint32_t op_log_limit{0};
   };
 
-  explicit OpSystem(Config cfg) : cfg_(cfg) {}
+  explicit OpSystem(Config cfg) : cfg_(cfg) {
+    // The fault model covers vv sessions only: graph synchronization has no
+    // recovery wrapper, so a lossy network would silently lose operations.
+    OPTREP_CHECK_MSG(!cfg_.net.faults.enabled(),
+                     "fault injection is not supported for operation transfer");
+  }
 
   const Config& config() const { return cfg_; }
 

@@ -56,7 +56,11 @@ RecordSystem::SyncResult RecordSystem::sync(SiteId dst, SiteId src, ObjectId obj
   const RecordReplica& sender = sites_[src][obj];
   RecordReplica& receiver = sites_[dst][obj];
 
-  const vv::Ordering rel = vv::compare_fast(receiver.vector, sender.vector);
+  // Under fault injection an earlier failed sync may have left the receiver
+  // partially joined, so the lossy path uses the exact comparison.
+  const vv::Ordering rel = cfg_.net.faults.enabled()
+                               ? vv::compare_full(receiver.vector, sender.vector)
+                               : vv::compare_fast(receiver.vector, sender.vector);
   out.relation = rel;
   if (rel == vv::Ordering::kEqual || rel == vv::Ordering::kAfter) {
     out.report.bits_fwd = vv::compare_cost_bits(cfg_.cost) / 2;
@@ -81,9 +85,24 @@ RecordSystem::SyncResult RecordSystem::sync(SiteId dst, SiteId src, ObjectId obj
   opt.tracer = cfg_.tracer;
   opt.trace_session = totals_.sessions + 1;
   opt.metrics = &metrics_;
-  out.report = vv::sync_rotating(loop_, receiver.vector, sender.vector, opt);
+  out.report = vv::sync_with_recovery(loop_, receiver.vector, sender.vector, opt);
   out.report.bits_fwd += vv::compare_cost_bits(cfg_.cost) / 2;
   out.report.bits_rev += vv::compare_cost_bits(cfg_.cost) / 2;
+
+  if (!out.report.converged) {
+    // Retry budget exhausted. sync_with_recovery left the vector untouched,
+    // so the failed sync is a complete no-op — the vector never claims
+    // knowledge of records that did not arrive (the semantic detector would
+    // otherwise skip merging them later). A later sync redoes the work.
+    ++totals_.sync_failures;
+    totals_.sessions += 1;
+    totals_.bits += out.report.total_bits();
+    totals_.retries += out.report.retries;
+    totals_.faults_injected += out.report.total_faults();
+    totals_.recovery_bits += out.report.recovery_bits;
+    publish_metrics();
+    return out;
+  }
 
   if (rel == vv::Ordering::kBefore) {
     // Plain state transfer: the sender's records strictly supersede ours.
@@ -101,7 +120,13 @@ RecordSystem::SyncResult RecordSystem::sync(SiteId dst, SiteId src, ObjectId obj
 
   totals_.sessions += 1;
   totals_.bits += out.report.total_bits();
-  if (!obs::within_table2_bound(cfg_.cost, cfg_.kind, out.report)) {
+  totals_.retries += out.report.retries;
+  totals_.faults_injected += out.report.total_faults();
+  totals_.recovery_bits += out.report.recovery_bits;
+  // Table 2 bounds a single fault-free session; retried traffic is accounted
+  // separately (recovery_bits), so the bound check only runs lossless.
+  if (!cfg_.net.faults.enabled() &&
+      !obs::within_table2_bound(cfg_.cost, cfg_.kind, out.report)) {
     ++totals_.bound_violations;
     metrics_.counter("obs.bound_violations").inc();
   }
@@ -116,6 +141,12 @@ void RecordSystem::publish_metrics() {
   metrics_.counter("records.semantic_conflicts").set(totals_.semantic_conflicts);
   metrics_.counter("records.records_merged").set(totals_.records_merged);
   metrics_.counter("records.flagged_records").set(totals_.flagged_records);
+  if (cfg_.net.faults.enabled()) {
+    metrics_.counter("records.retries").set(totals_.retries);
+    metrics_.counter("records.sync_failures").set(totals_.sync_failures);
+    metrics_.counter("records.faults_injected").set(totals_.faults_injected);
+    metrics_.counter("records.recovery_bits").set(totals_.recovery_bits);
+  }
   metrics_.gauge("sim.queue_depth").set(static_cast<std::int64_t>(loop_.queue_depth()));
   metrics_.gauge("sim.max_queue_depth").set(static_cast<std::int64_t>(loop_.max_queue_depth()));
   metrics_.gauge("sim.executed_events").set(static_cast<std::int64_t>(loop_.executed_events()));

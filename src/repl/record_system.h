@@ -106,6 +106,13 @@ class RecordSystem {
     std::uint64_t records_merged{0};       // silently merged on conflict syncs
     std::uint64_t flagged_records{0};      // kFlag policy only
     std::uint64_t bound_violations{0};     // sessions exceeding Table 2 (+COMPARE)
+    // Fault injection (net.faults): session re-runs, sessions abandoned after
+    // the retry budget (rolled back, redone by a later sync), injected
+    // message faults, and the model-bit traffic attributable to recovery.
+    std::uint64_t retries{0};
+    std::uint64_t sync_failures{0};
+    std::uint64_t faults_injected{0};
+    std::uint64_t recovery_bits{0};
   };
   const Totals& totals() const { return totals_; }
 

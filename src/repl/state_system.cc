@@ -13,6 +13,10 @@ StateSystem::StateSystem(Config cfg) : cfg_(cfg) {
                        cfg_.policy == ResolutionPolicy::kManual,
                    "BRV supports no conflict reconciliation (§3.1); use manual "
                    "resolution or CRV/SRV");
+  // Lossy-network runs: a sync that exhausts its retry budget leaves the
+  // receiver's vector partially joined, a state the at-rest oracles cannot
+  // describe — history containment no longer matches the vector order.
+  if (cfg_.net.faults.enabled()) cfg_.check_oracle = false;
 }
 
 void StateSystem::create_object(SiteId site, ObjectId obj, std::string entry) {
@@ -43,8 +47,13 @@ SyncOutcome StateSystem::sync(SiteId dst, SiteId src, ObjectId obj) {
   }
   StateReplica& receiver = sites_[dst][obj];  // created empty if absent
 
-  // COMPARE runs first (O(1) traffic); the session charges its bits.
-  const vv::Ordering rel = vv::compare_fast(receiver.vector, sender.vector);
+  // COMPARE runs first (O(1) traffic); the session charges its bits. Under
+  // fault injection a previously failed sync may have left the receiver
+  // partially joined — outside the at-rest states compare_fast assumes — so
+  // the lossy path pays for the exact comparison.
+  const vv::Ordering rel = cfg_.net.faults.enabled()
+                               ? vv::compare_full(receiver.vector, sender.vector)
+                               : vv::compare_fast(receiver.vector, sender.vector);
   out.relation = rel;
 
   if (cfg_.check_oracle) {
@@ -86,9 +95,16 @@ SyncOutcome StateSystem::sync(SiteId dst, SiteId src, ObjectId obj) {
       break;
 
     case vv::Ordering::kBefore: {
-      out.report = vv::sync_rotating(loop_, receiver.vector, sender.vector, opt);
+      out.report = vv::sync_with_recovery(loop_, receiver.vector, sender.vector, opt);
       out.report.bits_fwd += vv::compare_cost_bits(cfg_.cost) / 2;
       out.report.bits_rev += vv::compare_cost_bits(cfg_.cost) / 2;
+      if (!out.report.converged) {
+        // Retry budget exhausted: sync_with_recovery left the vector as it
+        // was, so the failed sync is a complete no-op — metadata never
+        // claims content that was not transferred.
+        out.action = SyncOutcome::Action::kFailed;
+        break;
+      }
       for (const auto& e : sender.data.entries) totals_.payload_bytes += e.size();
       receiver.data = sender.data;  // state transfer overwrites the replica
       receiver.oracle_vector.join(sender.oracle_vector);
@@ -112,9 +128,13 @@ SyncOutcome StateSystem::sync(SiteId dst, SiteId src, ObjectId obj) {
       }
       // Automatic reconciliation: vector sync, payload merge, then the
       // mandated local update on the receiving site ([11 §C], §2.2).
-      out.report = vv::sync_rotating(loop_, receiver.vector, sender.vector, opt);
+      out.report = vv::sync_with_recovery(loop_, receiver.vector, sender.vector, opt);
       out.report.bits_fwd += vv::compare_cost_bits(cfg_.cost) / 2;
       out.report.bits_rev += vv::compare_cost_bits(cfg_.cost) / 2;
+      if (!out.report.converged) {
+        out.action = SyncOutcome::Action::kFailed;
+        break;
+      }
       for (const auto& e : sender.data.entries) totals_.payload_bytes += e.size();
       receiver.data.merge(sender.data);
       receiver.oracle_vector.join(sender.oracle_vector);
@@ -144,7 +164,14 @@ SyncOutcome StateSystem::sync(SiteId dst, SiteId src, ObjectId obj) {
   totals_.elems_applied += out.report.elems_applied;
   totals_.elems_redundant += out.report.elems_redundant;
   totals_.skips += out.report.segments_skipped;
-  if (!obs::within_table2_bound(cfg_.cost, cfg_.kind, out.report)) {
+  totals_.retries += out.report.retries;
+  totals_.faults_injected += out.report.total_faults();
+  totals_.recovery_bits += out.report.recovery_bits;
+  if (!out.report.converged) ++totals_.sync_failures;
+  // Table 2 bounds a single fault-free session; retried traffic is accounted
+  // separately (recovery_bits), so the bound check only runs lossless.
+  if (!cfg_.net.faults.enabled() &&
+      !obs::within_table2_bound(cfg_.cost, cfg_.kind, out.report)) {
     ++totals_.bound_violations;
     metrics_.counter("obs.bound_violations").inc();
   }
@@ -159,6 +186,12 @@ void StateSystem::publish_metrics() {
   metrics_.counter("state.payload_bytes").set(totals_.payload_bytes);
   metrics_.counter("state.conflicts_detected").set(totals_.conflicts_detected);
   metrics_.counter("state.reconciliations").set(totals_.reconciliations);
+  if (cfg_.net.faults.enabled()) {
+    metrics_.counter("state.retries").set(totals_.retries);
+    metrics_.counter("state.sync_failures").set(totals_.sync_failures);
+    metrics_.counter("state.faults_injected").set(totals_.faults_injected);
+    metrics_.counter("state.recovery_bits").set(totals_.recovery_bits);
+  }
   metrics_.gauge("sim.queue_depth").set(static_cast<std::int64_t>(loop_.queue_depth()));
   metrics_.gauge("sim.max_queue_depth").set(static_cast<std::int64_t>(loop_.max_queue_depth()));
   metrics_.gauge("sim.executed_events").set(static_cast<std::int64_t>(loop_.executed_events()));

@@ -65,6 +65,7 @@ struct SyncOutcome {
     kReconciled,   // automatic conflict resolution ran
     kConflictHeld, // manual policy: replicas excluded, no transfer
     kSkipped,      // replica missing/excluded
+    kFailed,       // fault injection: retry budget exhausted, no merge applied
   } action{Action::kNone};
   vv::SyncReport report;  // traffic of the vector exchange (zeroed for kNone paths)
 };
@@ -78,6 +79,10 @@ class StateSystem {
     vv::TransferMode mode{vv::TransferMode::kIdeal};
     sim::NetConfig net{};
     CostModel cost{};
+    // Cross-check against the traditional-vector and causal-history oracles.
+    // Forced off when net.faults is enabled: a failed (non-converged) session
+    // leaves the receiver's vector partially joined, which the oracles — built
+    // around complete at-rest merges — cannot model.
     bool check_oracle{true};
     // Optional structured tracing: every session's protocol events land
     // here, tagged with a per-system session id (see src/obs/trace.h).
@@ -124,6 +129,13 @@ class StateSystem {
     std::uint64_t skips{0};            // observed γ (honored segment skips)
     std::uint64_t conflicts_detected{0};
     std::uint64_t reconciliations{0};
+    // Fault injection (net.faults): session re-runs, sessions that never
+    // converged within the retry budget, injected message faults, and the
+    // model-bit traffic attributable to recovery attempts.
+    std::uint64_t retries{0};
+    std::uint64_t sync_failures{0};
+    std::uint64_t faults_injected{0};
+    std::uint64_t recovery_bits{0};
     // Sessions whose measured traffic exceeded the Table 2 upper bound for
     // the configured kind (expected 0 in kIdeal mode; pipelined runs may
     // overshoot by β, §3.1 — either way it is never silent).

@@ -28,12 +28,33 @@ struct LinkStats {
 };
 
 struct NetConfig {
+  // Deterministic per-message fault injection (sim/fault_link.h). Rates are
+  // independent probabilities rolled at delivery time, in this order:
+  // corrupt → drop → duplicate → reorder. All zero (the default) disables
+  // injection entirely — no generator is constructed and the delivery path
+  // is bit-identical to the fault-free build.
+  struct FaultConfig {
+    double drop{0};       // message discarded
+    double duplicate{0};  // a second copy delivered right after the first
+    double reorder{0};    // delivery held back past later arrivals
+    double corrupt{0};    // payload bit-flipped; detected and discarded (CRC)
+    std::uint64_t seed{1};
+    // How long a reordered message is held; 0 → one propagation latency
+    // (plus ε so zero-latency links still reorder).
+    Time reorder_hold_s{0};
+
+    bool enabled() const {
+      return drop > 0 || duplicate > 0 || reorder > 0 || corrupt > 0;
+    }
+  };
+
   Time latency_s{0};
   double bandwidth_bits_per_s{std::numeric_limits<double>::infinity()};
   // Maximum messages coalesced into one wire frame by FrameLink; 0 disables
   // framing (one frame, one encode, one delivery event per message — the
   // legacy Link behavior, byte- and event-identical).
   std::uint32_t frame_budget{0};
+  FaultConfig faults{};
 
   Time rtt() const { return 2 * latency_s; }
 };

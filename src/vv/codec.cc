@@ -29,6 +29,13 @@ std::uint64_t BitReader::get(std::uint32_t bits) {
   return out;
 }
 
+bool BitReader::try_get(std::uint32_t bits, std::uint64_t* out) {
+  OPTREP_CHECK(bits <= 64);
+  if (pos_ + bits > 8 * buf_->size()) return false;
+  *out = get(bits);
+  return true;
+}
+
 namespace {
 
 std::uint32_t flag_bits(VectorKind kind) {
@@ -105,6 +112,68 @@ VvMsg decode_msg(BitReader& r, const CostModel& cm, VectorKind kind, Direction d
   return msg;
 }
 
+MsgDecodeResult try_decode_msg(BitReader& r, const CostModel& cm, VectorKind kind,
+                               Direction dir, std::uint64_t limit_bits) {
+  MsgDecodeResult res;
+  // A field may not run past the logical payload end (limit_bits) nor the
+  // physical buffer; the logical limit is the tighter of the two because the
+  // last byte is zero-padded.
+  const auto take = [&](std::uint32_t bits, std::uint64_t* out) {
+    if (r.bits_read() + bits > limit_bits) return false;
+    return r.try_get(bits, out);
+  };
+  std::uint64_t prefix = 0;
+  if (!take(1, &prefix)) {
+    res.error = DecodeError::kTruncated;
+    return res;
+  }
+  if (prefix == 1) {
+    std::uint64_t site = 0, value = 0, flag = 0;
+    if (dir == Direction::kForward) {
+      res.msg.kind = VvMsg::Kind::kElem;
+      if (!take(cm.site_bits(), &site) || !take(cm.value_bits(), &value)) {
+        res.error = DecodeError::kTruncated;
+        return res;
+      }
+      res.msg.site = SiteId{static_cast<std::uint32_t>(site)};
+      res.msg.value = value;
+      if (flag_bits(kind) >= 1) {
+        if (!take(1, &flag)) {
+          res.error = DecodeError::kTruncated;
+          return res;
+        }
+        res.msg.conflict = flag != 0;
+      }
+      if (flag_bits(kind) >= 2) {
+        if (!take(1, &flag)) {
+          res.error = DecodeError::kTruncated;
+          return res;
+        }
+        res.msg.segment = flag != 0;
+      }
+    } else {
+      res.msg.kind = VvMsg::Kind::kSkip;
+      if (!take(cm.site_bits(), &site)) {
+        res.error = DecodeError::kTruncated;
+        return res;
+      }
+      res.msg.arg = site;
+    }
+    return res;
+  }
+  std::uint64_t second = 0;
+  if (!take(1, &second)) {
+    res.error = DecodeError::kTruncated;
+    return res;
+  }
+  if (second == 0) {
+    res.msg.kind = VvMsg::Kind::kHalt;
+  } else {
+    res.msg.kind = dir == Direction::kForward ? VvMsg::Kind::kSkipped : VvMsg::Kind::kAck;
+  }
+  return res;
+}
+
 std::vector<std::uint8_t> encode_vector(const RotatingVector& v) {
   BitWriter w;
   w.put(v.size(), 32);
@@ -135,6 +204,36 @@ RotatingVector decode_vector(const std::vector<std::uint8_t>& bytes) {
     prev = site;
   }
   return v;
+}
+
+DecodeError try_decode_vector(const std::vector<std::uint8_t>& bytes, RotatingVector* out) {
+  BitReader r(bytes);
+  const std::uint64_t limit = 8 * bytes.size();
+  std::uint64_t count = 0;
+  if (!r.try_get(32, &count)) return DecodeError::kTruncated;
+  // Each element record is a fixed 13 bytes; reject impossible counts before
+  // reserving memory for them.
+  if (count * 104 > limit - 32) return DecodeError::kTruncated;
+  RotatingVector v;
+  v.reserve(count);
+  std::optional<SiteId> prev;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t site = 0, value = 0, conflict = 0, segment = 0, pad = 0;
+    if (!r.try_get(32, &site) || !r.try_get(64, &value) || !r.try_get(1, &conflict) ||
+        !r.try_get(1, &segment) || !r.try_get(6, &pad)) {
+      return DecodeError::kTruncated;
+    }
+    // A valid snapshot never repeats a site and pads with zeros.
+    if (pad != 0 || v.value(SiteId{static_cast<std::uint32_t>(site)}) != 0) {
+      return DecodeError::kBadValue;
+    }
+    v.rotate_after(prev, SiteId{static_cast<std::uint32_t>(site)});
+    v.set_element(SiteId{static_cast<std::uint32_t>(site)}, value, conflict != 0,
+                  segment != 0);
+    prev = SiteId{static_cast<std::uint32_t>(site)};
+  }
+  *out = std::move(v);
+  return DecodeError::kNone;
 }
 
 }  // namespace optrep::vv

@@ -39,12 +39,24 @@ class BitReader {
  public:
   explicit BitReader(const std::vector<std::uint8_t>& buf) : buf_(&buf) {}
   std::uint64_t get(std::uint32_t bits);
+  // Non-aborting variant for untrusted input: false (and *out untouched) when
+  // the field would run past the end of the buffer.
+  bool try_get(std::uint32_t bits, std::uint64_t* out);
   std::uint64_t bits_read() const { return pos_; }
   bool exhausted(std::uint64_t total_bits) const { return pos_ >= total_bits; }
 
  private:
   const std::vector<std::uint8_t>* buf_;
   std::uint64_t pos_{0};
+};
+
+// Typed decode errors for untrusted (possibly corrupted/truncated) input.
+// The aborting decoders below remain for trusted buffers the caller
+// constructed itself — feeding them garbage is API misuse.
+enum class DecodeError : std::uint8_t {
+  kNone = 0,
+  kTruncated,  // a field ran past the end of the payload
+  kBadValue,   // structurally impossible field contents
 };
 
 // Which half of the duplex a message travels on (the prefix codes differ).
@@ -57,8 +69,26 @@ void encode_msg(BitWriter& w, const CostModel& cm, VectorKind kind, Direction di
 
 VvMsg decode_msg(BitReader& r, const CostModel& cm, VectorKind kind, Direction dir);
 
+// Non-aborting decode of one message from an untrusted payload: never reads
+// past `limit_bits` (or the underlying buffer). Corruption that flips a
+// prefix bit can turn a 2-bit control code into an element header that wants
+// far more bits than the payload holds — that surfaces as kTruncated here
+// instead of a CHECK abort, making corrupted frames a recoverable protocol
+// event (sim/fault_link.h).
+struct MsgDecodeResult {
+  VvMsg msg{};
+  DecodeError error{DecodeError::kNone};
+  bool ok() const { return error == DecodeError::kNone; }
+};
+MsgDecodeResult try_decode_msg(BitReader& r, const CostModel& cm, VectorKind kind,
+                               Direction dir, std::uint64_t limit_bits);
+
 // Byte-aligned snapshot of a full rotating vector (order, values, bits).
 std::vector<std::uint8_t> encode_vector(const RotatingVector& v);
 RotatingVector decode_vector(const std::vector<std::uint8_t>& bytes);
+
+// Non-aborting snapshot decode for untrusted bytes (e.g. on-disk state):
+// returns the error instead of aborting; *out is valid only on kNone.
+DecodeError try_decode_vector(const std::vector<std::uint8_t>& bytes, RotatingVector* out);
 
 }  // namespace optrep::vv

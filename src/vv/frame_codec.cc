@@ -108,35 +108,45 @@ std::uint64_t msg_framed_bytes(DeltaState& st, const VvMsg& m) {
   return 0;
 }
 
+// Non-aborting reader: every accessor reports truncation/overflow through its
+// return value so the decoder can surface a typed error for untrusted bytes.
 class FrameReader {
  public:
   explicit FrameReader(const std::vector<std::uint8_t>& buf) : buf_(&buf) {}
 
   bool done() const { return pos_ == buf_->size(); }
 
-  std::uint8_t byte() {
-    OPTREP_CHECK_MSG(pos_ < buf_->size(), "frame decode: truncated input");
-    return (*buf_)[pos_++];
+  bool byte(std::uint8_t* out) {
+    if (pos_ >= buf_->size()) return false;
+    *out = (*buf_)[pos_++];
+    return true;
   }
 
-  std::uint64_t varint() {
+  FrameDecodeError varint(std::uint64_t* out) {
     std::uint64_t v = 0;
     std::uint32_t shift = 0;
     while (true) {
-      OPTREP_CHECK_MSG(shift < 64, "frame decode: varint overflow");
-      const std::uint8_t b = byte();
+      if (shift >= 64) return FrameDecodeError::kVarintOverflow;
+      std::uint8_t b = 0;
+      if (!byte(&b)) return FrameDecodeError::kTruncated;
       v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
-      if ((b & 0x80) == 0) return v;
+      if ((b & 0x80) == 0) {
+        *out = v;
+        return FrameDecodeError::kNone;
+      }
       shift += 7;
     }
   }
 
-  std::uint64_t fixed(std::uint32_t bytes) {
+  bool fixed(std::uint32_t bytes, std::uint64_t* out) {
     std::uint64_t v = 0;
     for (std::uint32_t i = 0; i < bytes; ++i) {
-      v |= static_cast<std::uint64_t>(byte()) << (8 * i);
+      std::uint8_t b = 0;
+      if (!byte(&b)) return false;
+      v |= static_cast<std::uint64_t>(b) << (8 * i);
     }
-    return v;
+    *out = v;
+    return true;
   }
 
  private:
@@ -214,33 +224,44 @@ std::uint64_t frame_encode(std::vector<std::uint8_t>& out, const std::vector<VvM
   return out.size() - before;
 }
 
-std::vector<VvMsg> frame_decode(const std::vector<std::uint8_t>& bytes) {
-  std::vector<VvMsg> msgs;
+FrameDecodeError try_frame_decode(const std::vector<std::uint8_t>& bytes,
+                                  std::vector<VvMsg>* out) {
+  out->clear();
   FrameReader r(bytes);
   DeltaState st;
   while (!r.done()) {
-    const std::uint8_t tag = r.byte();
+    std::uint8_t tag = 0;
+    if (!r.byte(&tag)) return FrameDecodeError::kTruncated;
     VvMsg m;
     if ((tag & kTagElem) != 0 || (tag & kTagProbe) != 0) {
       m.kind = (tag & kTagElem) != 0 ? VvMsg::Kind::kElem : VvMsg::Kind::kProbe;
       m.conflict = m.kind == VvMsg::Kind::kElem && (tag & kFlagConflict) != 0;
       m.segment = m.kind == VvMsg::Kind::kElem && (tag & kFlagSegment) != 0;
+      std::uint64_t raw = 0;
       if ((tag & kFlagWideSite) != 0) {
-        m.site = SiteId{static_cast<std::uint32_t>(r.fixed(kWideSiteBytes))};
+        if (!r.fixed(kWideSiteBytes, &raw)) return FrameDecodeError::kTruncated;
+        m.site = SiteId{static_cast<std::uint32_t>(raw)};
       } else {
+        if (const auto err = r.varint(&raw); err != FrameDecodeError::kNone) return err;
         m.site = SiteId{static_cast<std::uint32_t>(
-            static_cast<std::int64_t>(st.prev_site) + unzigzag(r.varint()))};
+            static_cast<std::int64_t>(st.prev_site) + unzigzag(raw))};
       }
       if ((tag & kFlagWideValue) != 0) {
-        m.value = r.fixed(kWideValueBytes);
+        if (!r.fixed(kWideValueBytes, &raw)) return FrameDecodeError::kTruncated;
+        m.value = raw;
       } else {
-        m.value = st.prev_value + static_cast<std::uint64_t>(unzigzag(r.varint()));
+        if (const auto err = r.varint(&raw); err != FrameDecodeError::kNone) return err;
+        m.value = st.prev_value + static_cast<std::uint64_t>(unzigzag(raw));
       }
       st.prev_site = m.site.value;
       st.prev_value = m.value;
     } else if ((tag & kTagSkip) != 0 && (tag & ~(kTagSkip | kFlagWideSkip)) == 0) {
       m.kind = VvMsg::Kind::kSkip;
-      m.arg = (tag & kFlagWideSkip) != 0 ? r.fixed(kWideSiteBytes) : r.varint();
+      if ((tag & kFlagWideSkip) != 0) {
+        if (!r.fixed(kWideSiteBytes, &m.arg)) return FrameDecodeError::kTruncated;
+      } else {
+        if (const auto err = r.varint(&m.arg); err != FrameDecodeError::kNone) return err;
+      }
     } else {
       switch (tag) {
         case kTagHalt:
@@ -261,11 +282,20 @@ std::vector<VvMsg> frame_decode(const std::vector<std::uint8_t>& bytes) {
           m.arg = 1;
           break;
         default:
-          OPTREP_CHECK_MSG(false, "frame decode: unknown tag");
+          return FrameDecodeError::kUnknownTag;
       }
     }
-    msgs.push_back(m);
+    out->push_back(m);
   }
+  return FrameDecodeError::kNone;
+}
+
+std::vector<VvMsg> frame_decode(const std::vector<std::uint8_t>& bytes) {
+  std::vector<VvMsg> msgs;
+  const FrameDecodeError err = try_frame_decode(bytes, &msgs);
+  OPTREP_CHECK_MSG(err != FrameDecodeError::kTruncated, "frame decode: truncated input");
+  OPTREP_CHECK_MSG(err != FrameDecodeError::kVarintOverflow, "frame decode: varint overflow");
+  OPTREP_CHECK_MSG(err != FrameDecodeError::kUnknownTag, "frame decode: unknown tag");
   return msgs;
 }
 

@@ -46,7 +46,22 @@ std::uint64_t frame_wire_bytes_single(const VvMsg& m);
 // (== frame_wire_bytes(msgs)).
 std::uint64_t frame_encode(std::vector<std::uint8_t>& out, const std::vector<VvMsg>& msgs);
 
-// Decode a whole frame (consumes the full byte string).
+// Typed decode errors for untrusted frame bytes (e.g. after in-flight
+// corruption, sim/fault_link.h).
+enum class FrameDecodeError : std::uint8_t {
+  kNone = 0,
+  kTruncated,       // a field ran past the end of the frame
+  kVarintOverflow,  // a varint continued past 64 bits
+  kUnknownTag,      // a tag byte outside the codec's map
+};
+
+// Decode a whole frame (consumes the full byte string) without aborting:
+// returns the error and leaves *out with the messages decoded before it.
+FrameDecodeError try_frame_decode(const std::vector<std::uint8_t>& bytes,
+                                  std::vector<VvMsg>* out);
+
+// Aborting decode for trusted buffers the caller encoded itself — feeding
+// this garbage is API misuse.
 std::vector<VvMsg> frame_decode(const std::vector<std::uint8_t>& bytes);
 
 }  // namespace optrep::vv

@@ -1,0 +1,88 @@
+// Sans-I/O core for the COMPARE protocol (Algorithm 1): one endpoint sends
+// its front-element probe, answers the peer's probe with a domination
+// verdict, and decides =, ≺, ≻ or ‖ from (own bit, peer bit).
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "vv/order.h"
+#include "vv/protocol/core.h"
+#include "vv/rotating_vector.h"
+
+namespace optrep::vv::protocol {
+
+class CompareCore {
+ public:
+  explicit CompareCore(const RotatingVector* v) : v_(v) {}
+
+  void step(const Event& ev, Actions& out) {
+    switch (ev.type) {
+      case Event::Type::kStart: {
+        VvMsg probe{.kind = VvMsg::Kind::kProbe};
+        if (const auto f = v_->front()) {
+          probe.site = f->site;
+          probe.value = f->value;
+        }
+        emit(out, Action::Type::kSend, probe);
+        return;
+      }
+      case Event::Type::kMsg:
+        on_msg(ev.msg, out);
+        return;
+      case Event::Type::kLinkFree:
+      case Event::Type::kAbort:
+        return;
+    }
+  }
+
+  Ordering decide() const {
+    OPTREP_CHECK_MSG(has_verdict_, "COMPARE session incomplete");
+    const bool self_empty = v_->empty();
+    const bool peer_empty = peer_probe_.value == 0;
+    if (self_empty && peer_empty) return Ordering::kEqual;
+    if (self_empty) return Ordering::kBefore;
+    if (peer_empty) return Ordering::kAfter;
+    if (i_cover_peer_ && peer_covers_me_) return Ordering::kEqual;
+    if (peer_covers_me_) return Ordering::kBefore;  // peer knows all we know
+    if (i_cover_peer_) return Ordering::kAfter;
+    return Ordering::kConcurrent;
+  }
+
+  bool complete() const { return has_verdict_; }
+  std::uint64_t violations() const { return violations_; }
+
+ private:
+  void on_msg(const VvMsg& m, Actions& out) {
+    switch (m.kind) {
+      case VvMsg::Kind::kProbe: {
+        peer_probe_ = m;
+        // Do we cover the peer's probe? (Empty probe: trivially covered;
+        // our emptiness makes us cover nothing but the empty probe.)
+        const bool covers = m.value == 0 || v_->value(m.site) >= m.value;
+        // Our own bit: does the peer cover our front? We cannot know — the
+        // peer tells us; we only emit our verdict about *their* probe.
+        i_cover_peer_ = covers;
+        emit(out, Action::Type::kSend,
+             VvMsg{.kind = VvMsg::Kind::kVerdict, .arg = covers ? 1u : 0u});
+        return;
+      }
+      case VvMsg::Kind::kVerdict:
+        peer_covers_me_ = m.arg != 0;
+        has_verdict_ = true;
+        return;
+      default:
+        ++violations_;  // message kind COMPARE never exchanges
+        return;
+    }
+  }
+
+  const RotatingVector* v_;
+  VvMsg peer_probe_{};
+  bool i_cover_peer_{false};
+  bool peer_covers_me_{false};
+  bool has_verdict_{false};
+  std::uint64_t violations_{0};
+};
+
+}  // namespace optrep::vv::protocol

@@ -1,0 +1,164 @@
+#include "vv/protocol/receiver_core.h"
+
+namespace optrep::vv::protocol {
+
+void BasicReceiverCore::step(const Event& ev, Actions& out) {
+  if (ev.type == Event::Type::kAbort) {
+    finished_ = true;
+    return;
+  }
+  if (ev.type != Event::Type::kMsg) return;
+  const VvMsg& m = ev.msg;
+  if (m.kind == VvMsg::Kind::kHalt) {
+    mark_finished(out);
+    return;
+  }
+  if (m.kind != VvMsg::Kind::kElem) {
+    ++c_.violations;  // was a hard invariant; reachable under faults/fuzzing
+    return;
+  }
+  if (finished_) {
+    ++c_.after_halt;
+    return;
+  }
+  if (m.value <= a_->value(m.site)) {
+    // The element that triggers the halt is not part of Γ (§3.3).
+    halt_sender(out);
+    return;
+  }
+  a_->rotate_after(prev_, m.site);
+  prev_ = m.site;
+  a_->set_element(m.site, m.value, false, false);
+  ++c_.applied;
+  emit(out, Action::Type::kTraceApplied, m);
+  ack(out);
+}
+
+void ConflictReceiverCore::step(const Event& ev, Actions& out) {
+  if (ev.type == Event::Type::kAbort) {
+    finished_ = true;
+    return;
+  }
+  if (ev.type != Event::Type::kMsg) return;
+  const VvMsg& m = ev.msg;
+  if (m.kind == VvMsg::Kind::kHalt) {
+    mark_finished(out);
+    return;
+  }
+  if (m.kind != VvMsg::Kind::kElem) {
+    ++c_.violations;
+    return;
+  }
+  if (finished_) {
+    ++c_.after_halt;
+    return;
+  }
+  if (m.value <= a_->value(m.site)) {
+    if (m.conflict) {
+      reconcile_ = true;  // Alg 3 lines 6–7: overlook tagged elements
+      ++c_.redundant;     // |Γ|: transmitted only because its bit is set
+      emit(out, Action::Type::kTraceRedundant, m);
+      ack(out);
+    } else {
+      halt_sender(out);  // halt-trigger element is not part of Γ (§3.3)
+    }
+    return;
+  }
+  a_->rotate_after(prev_, m.site);
+  prev_ = m.site;
+  a_->set_element(m.site, m.value, reconcile_ || m.conflict, false);
+  ++c_.applied;
+  emit(out, Action::Type::kTraceApplied, m);
+  ack(out);
+}
+
+// Close off the run of rotated-in elements if anything of ours follows it in
+// ≺_a. Elements spliced in by a session need not dominate what sits behind
+// them, so without the boundary a later SYNCS could treat the region as one
+// segment and skip elements its peer lacks. (Not spelled out in the paper's
+// pseudocode; see DESIGN.md "deviations".) Also the right closure when a
+// faulty session is torn down mid-flight: an aborted attempt leaves the same
+// interrupted run a HALT would.
+void SkipReceiverCore::close_open_run() {
+  if (!finished_ && prev_.has_value() && a_->next(*prev_).has_value()) {
+    a_->set_segment_bit(*prev_, true);
+  }
+}
+
+void SkipReceiverCore::step(const Event& ev, Actions& out) {
+  if (ev.type == Event::Type::kAbort) {
+    close_open_run();
+    finished_ = true;
+    return;
+  }
+  if (ev.type != Event::Type::kMsg) return;
+  const VvMsg& m = ev.msg;
+  switch (m.kind) {
+    case VvMsg::Kind::kHalt:
+      // Sender exhausted its vector: close the open run (see above).
+      close_open_run();
+      mark_finished(out);
+      return;
+    case VvMsg::Kind::kSkipped:
+      if (finished_) return;  // in-flight marker after our HALT: not γ
+      ++segs_;
+      skipping_ = false;
+      ++c_.segments_skipped;
+      return;
+    case VvMsg::Kind::kElem:
+      break;
+    default:
+      ++c_.violations;
+      return;
+  }
+  if (finished_) {
+    ++c_.after_halt;
+    return;
+  }
+  bool responded = false;
+  if (m.value <= a_->value(m.site)) {
+    if (!skipping_) {
+      // Alg 4 lines 9–11, strengthened: the run of rotated-in elements is
+      // interrupted, so it must be closed off *whenever* it exists — not
+      // only when `reconcile` is already set. (The paper guards this with
+      // `reconcile`, but the flag may only become true from this very
+      // element's conflict bit, after later insertions have already been
+      // spliced in front of elements they do not dominate; a finer
+      // segmentation is always safe. See DESIGN.md "deviations".)
+      if (prev_.has_value()) a_->set_segment_bit(*prev_, true);
+      if (m.conflict) {
+        reconcile_ = true;
+        ++c_.redundant;
+        emit(out, Action::Type::kTraceRedundant, m);
+        if (!m.segment) {
+          // Something of this sender segment remains to be skipped.
+          emit(out, Action::Type::kSend, VvMsg{.kind = VvMsg::Kind::kSkip, .arg = segs_});
+          ++c_.skip_msgs;
+          skipping_ = true;
+          responded = true;  // SKIP doubles as the stop-and-wait ack
+        }
+      } else {
+        halt_sender(out);  // halt-trigger element is not part of Γ (§3.3)
+        responded = true;
+      }
+    } else {
+      ++c_.straggler;  // in-flight element of a segment we asked to skip
+      emit(out, Action::Type::kTraceStraggler, m);
+    }
+  } else {
+    skipping_ = false;  // Alg 4 line 21
+    a_->rotate_after(prev_, m.site);
+    prev_ = m.site;
+    a_->set_element(m.site, m.value, reconcile_ || m.conflict, m.segment);
+    ++c_.applied;
+    emit(out, Action::Type::kTraceApplied, m);
+  }
+  // Segment bookkeeping from the received stream.
+  if (m.segment) {
+    ++segs_;
+    skipping_ = false;
+  }
+  if (!responded && !finished_) ack(out);
+}
+
+}  // namespace optrep::vv::protocol

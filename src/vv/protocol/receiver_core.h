@@ -1,0 +1,84 @@
+// Sans-I/O receiver cores for SYNCB (Alg 2), SYNCC (Alg 3) and SYNCS
+// (Alg 4). Receivers own the vector being synchronized — mutating `a` is
+// protocol logic, not I/O — and classify every incoming element (applied /
+// redundant / straggler), emitting trace-marker actions so the binding can
+// observe without the cores depending on obs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "vv/protocol/core.h"
+#include "vv/rotating_vector.h"
+
+namespace optrep::vv::protocol {
+
+class ReceiverCoreBase {
+ public:
+  const ReceiverCounters& counters() const { return c_; }
+  bool finished() const { return finished_; }
+
+ protected:
+  ReceiverCoreBase(bool pipelined, RotatingVector* a) : pipelined_(pipelined), a_(a) {}
+
+  void ack(Actions& out) {
+    if (pipelined_ || finished_) return;
+    emit(out, Action::Type::kSend, VvMsg{.kind = VvMsg::Kind::kAck});
+    ++c_.acks;
+  }
+
+  void halt_sender(Actions& out) {
+    emit(out, Action::Type::kSend, VvMsg{.kind = VvMsg::Kind::kHalt});
+    mark_finished(out);
+  }
+
+  void mark_finished(Actions& out) {
+    if (!finished_) {
+      finished_ = true;
+      emit(out, Action::Type::kFinished);
+    }
+  }
+
+  bool pipelined_;
+  RotatingVector* a_;
+  std::optional<SiteId> prev_;  // last modified element (Alg 2/3/4 `prev`)
+  bool finished_{false};
+  ReceiverCounters c_;
+};
+
+// Algorithm 2, receiver side.
+class BasicReceiverCore : public ReceiverCoreBase {
+ public:
+  BasicReceiverCore(bool pipelined, RotatingVector* a) : ReceiverCoreBase(pipelined, a) {}
+  void step(const Event& ev, Actions& out);
+};
+
+// Algorithm 3, receiver side.
+class ConflictReceiverCore : public ReceiverCoreBase {
+ public:
+  ConflictReceiverCore(bool pipelined, RotatingVector* a, bool initially_concurrent)
+      : ReceiverCoreBase(pipelined, a), reconcile_(initially_concurrent) {}
+  void step(const Event& ev, Actions& out);
+
+ private:
+  bool reconcile_;
+};
+
+// Algorithm 4, receiver side, with exact tracking of the sender's segment
+// index: segs_ counts segment-final elements received plus SKIPPED markers
+// (FIFO delivery makes this reconstruction exact; see DESIGN.md).
+class SkipReceiverCore : public ReceiverCoreBase {
+ public:
+  SkipReceiverCore(bool pipelined, RotatingVector* a, bool initially_concurrent)
+      : ReceiverCoreBase(pipelined, a), reconcile_(initially_concurrent) {}
+  void step(const Event& ev, Actions& out);
+
+ private:
+  void close_open_run();
+
+  bool reconcile_;
+  bool skipping_{false};
+  std::uint64_t segs_{0};
+};
+
+}  // namespace optrep::vv::protocol

@@ -1,0 +1,178 @@
+#include "vv/protocol/sender_core.h"
+
+namespace optrep::vv::protocol {
+
+ElementSenderCore::ElementSenderCore(Config cfg, const RotatingVector* b)
+    : cfg_(cfg), b_(b), cur_(b->begin()) {}
+
+void ElementSenderCore::step(const Event& ev, Actions& out) {
+  switch (ev.type) {
+    case Event::Type::kStart:
+      if (cfg_.pipelined) {
+        pump(out);
+      } else {
+        send_next(out);
+      }
+      return;
+    case Event::Type::kLinkFree:
+      pump(out);
+      return;
+    case Event::Type::kAbort:
+      done_ = true;
+      return;
+    case Event::Type::kMsg:
+      on_msg(ev, out);
+      return;
+  }
+}
+
+void ElementSenderCore::on_msg(const Event& ev, Actions& out) {
+  switch (ev.msg.kind) {
+    case VvMsg::Kind::kHalt:
+      // Processed even when done_: under framing the speculative tail
+      // (possibly including our own end-of-vector HALT) may still sit
+      // untransmitted in the link and must be taken back — exactly the
+      // elements the unframed pump would never have sent (§3.1 overshoot).
+      rewind(ev.tail);
+      emit(out, Action::Type::kRevokeTail);
+      finish(out);
+      return;
+    case VvMsg::Kind::kSkip:
+      if (!cfg_.skip_enabled) {
+        ++violations_;  // SKIP outside SYNCS
+        return;
+      }
+      handle_skip(ev.msg.arg, ev.tail, out);
+      return;
+    case VvMsg::Kind::kAck:
+      if (done_) return;
+      if (cfg_.pipelined) {
+        ++violations_;  // ACK in pipelined mode (duplicated/reordered wire)
+        return;
+      }
+      send_next(out);
+      return;
+    default:
+      ++violations_;  // message kind the sender never receives
+      return;
+  }
+}
+
+// Pipelined streaming (§3.1): transmit the next element as soon as the link
+// frees, until HALT arrives or the vector is exhausted. Under framing, one
+// pump dispatch hands the link a whole frame's worth of speculative
+// (revocable) sends and parks a single continuation at the last link-free
+// time; the per-message transmission schedule is unchanged.
+void ElementSenderCore::pump(Actions& out) {
+  if (done_) return;
+  for (std::uint32_t i = 0; i < cfg_.burst; ++i) {
+    // The first message of a pump dispatch is exactly what the unframed pump
+    // would emit at this instant — committed at hand-off, like every unframed
+    // send. Only the rest of the burst is speculation, committed once its
+    // transmission starts.
+    emit_current(out, /*revocable=*/cfg_.framed && i > 0);
+    if (done_) return;  // emitted HALT
+  }
+  emit(out, Action::Type::kPumpWhenFree);
+}
+
+// Stop-and-wait: transmit one element, then wait for ACK / SKIP / HALT.
+void ElementSenderCore::send_next(Actions& out) {
+  if (done_) return;
+  emit_current(out, /*revocable=*/false);
+}
+
+// Send the element at cur_ (or HALT when exhausted).
+void ElementSenderCore::emit_current(Actions& out, bool revocable) {
+  if (cur_ == b_->end()) {
+    emit(out, revocable ? Action::Type::kSendRevocable : Action::Type::kSend,
+         VvMsg{.kind = VvMsg::Kind::kHalt});
+    finish(out);
+    return;
+  }
+  const RotatingVector::Element& e = *cur_;
+  VvMsg m;
+  m.kind = VvMsg::Kind::kElem;
+  m.site = e.site;
+  m.value = e.value;
+  m.conflict = e.conflict;
+  m.segment = e.segment;
+  emit(out, revocable ? Action::Type::kSendRevocable : Action::Type::kSend, m);
+  ++elems_sent_;
+  advance();
+}
+
+// Move cur_ one step toward ⌈b⌉, tracking the segment counter (Alg 4
+// lines 11–14: segs advances when passing a segment-final element).
+void ElementSenderCore::advance() {
+  OPTREP_CHECK(cur_ != b_->end());
+  if (cur_->segment) ++segs_;
+  ++cur_;
+}
+
+// Un-emit the speculative tail the binding is about to revoke, rewinding the
+// cursor (and segs_/elems_sent_/done_) so the sender state equals what the
+// unframed pump would have produced by now. Counts are clamped so a
+// malicious TailView (fuzzing) cannot walk the cursor out of range.
+void ElementSenderCore::rewind(const TailView& tail) {
+  if (tail.halt) done_ = false;  // un-emit the speculative end-of-vector marker
+  std::uint64_t n = tail.elems;
+  while (n > 0 && elems_sent_ > 0 && cur_ != b_->begin()) {
+    --cur_;
+    if (cur_->segment && segs_ > 0) --segs_;
+    --elems_sent_;
+    --n;
+  }
+  if (n > 0) ++violations_;  // tail view exceeded what was actually sent
+}
+
+// SKIP(arg): honored only when we are still inside segment `arg`
+// (Alg 4 sender lines 8–10); stale requests are ignored. Under framing the
+// decision must be made against the *committed* (actually transmitted)
+// cursor state: the event's tail view subtracts the speculative sends, and
+// only when the skip is honored is that tail revoked and the cursor
+// fast-forwarded from the committed position.
+void ElementSenderCore::handle_skip(std::uint64_t arg, const TailView& tail, Actions& out) {
+  if (done_ && !tail.halt) return;  // end-of-vector HALT already committed
+  if (tail.segment_finals > segs_) {
+    ++violations_;  // inconsistent tail view (fuzzing only)
+    return;
+  }
+  if (arg != segs_ - tail.segment_finals) {
+    // Stale: the elements the receiver wanted skipped are already on the
+    // wire (or speculatively queued behind them — the stream keeps going
+    // either way). In fault-free stop-and-wait this cannot happen; a
+    // duplicated or reordered SKIP makes it reachable, so count and ignore.
+    if (!cfg_.pipelined) ++violations_;
+    return;
+  }
+  rewind(tail);
+  emit(out, Action::Type::kRevokeTail);
+  // Fast-forward past the remainder of the current segment without sending.
+  while (cur_ != b_->end()) {
+    const bool end_of_segment = cur_->segment;
+    advance();
+    if (end_of_segment) break;
+  }
+  // The unframed pump's continuation fires when the link frees — the binding
+  // captures that instant before the marker occupies the link, so the framed
+  // resume emits its first post-skip message at the exact legacy hand-off
+  // time.
+  emit(out, Action::Type::kCaptureResume);
+  // Tell the receiver one segment was elided so its reconstruction of our
+  // segment index stays exact (see wire.h kSkipped). Committed at hand-off.
+  emit(out, Action::Type::kSend, VvMsg{.kind = VvMsg::Kind::kSkipped});
+  if (cfg_.framed && cfg_.pipelined) {
+    // The old continuation pointed at the pre-revocation link-free time;
+    // re-park it. (Unframed keeps its continuation: identical schedule.)
+    emit(out, Action::Type::kRepumpAtResume);
+  }
+  if (!cfg_.pipelined) send_next(out);  // SKIP doubles as the ack
+}
+
+void ElementSenderCore::finish(Actions& out) {
+  done_ = true;
+  emit(out, Action::Type::kFinished);
+}
+
+}  // namespace optrep::vv::protocol

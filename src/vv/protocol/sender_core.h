@@ -1,0 +1,64 @@
+// Sans-I/O sender core for the rotating-vector sync protocols.
+//
+// One core serves all three algorithms: the SYNCB and SYNCC senders are
+// identical element streams (Alg 2/3 — payload width is the binding's
+// concern), and the SYNCS sender (Alg 4) additionally honors SKIP requests
+// when `Config::skip_enabled` is set.
+#pragma once
+
+#include <cstdint>
+
+#include "vv/protocol/core.h"
+#include "vv/rotating_vector.h"
+
+namespace optrep::vv::protocol {
+
+// Streams b's elements in ≺ order until the vector is exhausted (HALT sent)
+// or the receiver halts us. Pipelined mode emits `burst` sends per pump
+// dispatch (the frame budget when framed; 1 otherwise) — the first committed,
+// the rest speculative — and parks a continuation at the link-free time.
+// Stop-and-wait emits one element per ACK/SKIP round trip.
+class ElementSenderCore {
+ public:
+  struct Config {
+    bool skip_enabled{false};  // SYNCS: honor SKIP(segment) requests
+    bool pipelined{true};
+    bool framed{false};
+    std::uint32_t burst{1};  // sends per pump dispatch
+  };
+
+  ElementSenderCore(Config cfg, const RotatingVector* b);
+
+  void step(const Event& ev, Actions& out);
+
+  std::uint64_t elems_sent() const { return elems_sent_; }
+  bool done() const { return done_; }
+  std::uint64_t violations() const { return violations_; }
+
+ private:
+  void on_msg(const Event& ev, Actions& out);
+  void pump(Actions& out);
+  void send_next(Actions& out);
+  void emit_current(Actions& out, bool revocable);
+  void advance();
+  void rewind(const TailView& tail);
+  void handle_skip(std::uint64_t arg, const TailView& tail, Actions& out);
+  void finish(Actions& out);
+
+  Config cfg_;
+  const RotatingVector* b_;
+  // Walks b in ≺ order; b is not mutated during a session, so the iterator
+  // stays valid for the session's lifetime.
+  RotatingVector::const_iterator cur_;
+  std::uint64_t segs_{0};
+  std::uint64_t elems_sent_{0};
+  std::uint64_t violations_{0};
+  bool done_{false};
+};
+
+// Per-algorithm names (Alg 2/3/4); see Config::skip_enabled for SYNCS.
+using BasicSenderCore = ElementSenderCore;
+using ConflictSenderCore = ElementSenderCore;
+using SkipSenderCore = ElementSenderCore;
+
+}  // namespace optrep::vv::protocol

@@ -1,12 +1,27 @@
+// Thin I/O binding for the sans-I/O protocol cores (vv/protocol/).
+//
+// All protocol logic — SYNCB/SYNCC/SYNCS, the two baselines, COMPARE — lives
+// in pure step(event)->actions state machines. This file owns everything the
+// cores must not: the event loop, the framed links, speculative send/revoke
+// bookkeeping, message sizing (§3.3 model bits + realistic bytes), tracing,
+// metrics, fault injection, and the retry loop (sync_with_recovery).
 #include "vv/session.h"
 
 #include <algorithm>
-#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/rng.h"
 #include "obs/prof.h"
+#include "sim/fault_link.h"
+#include "vv/codec.h"
 #include "vv/frame_codec.h"
+#include "vv/protocol/baseline_core.h"
+#include "vv/protocol/compare_core.h"
+#include "vv/protocol/core.h"
+#include "vv/protocol/receiver_core.h"
+#include "vv/protocol/sender_core.h"
 
 namespace optrep::vv {
 
@@ -65,8 +80,8 @@ std::string VvMsg::to_string() const {
 namespace {
 
 // Map one wire message to its typed trace event (receiver-side semantic
-// events — applied/redundant/straggler — are emitted by the receivers
-// themselves, where the classification happens).
+// events — applied/redundant/straggler — are emitted by the receiver cores
+// as trace actions, where the classification happens).
 obs::TraceEventType wire_event_type(bool forward, const VvMsg& m) {
   switch (m.kind) {
     case VvMsg::Kind::kElem: return obs::TraceEventType::kElemSent;
@@ -83,7 +98,8 @@ obs::TraceEventType wire_event_type(bool forward, const VvMsg& m) {
 
 // Per-session aggregates under the "vv." prefix. Runs once per session (not
 // per message); instrument lookups are heterogeneous map finds, so nothing
-// here allocates after the first session.
+// here allocates after the first session. Fault/violation counters are only
+// touched when nonzero, keeping fault-free metric sets unchanged.
 void publish_session_metrics(obs::Registry* reg, const SyncReport& r) {
   if (reg == nullptr) return;
   reg->counter("vv.sessions").inc();
@@ -101,6 +117,13 @@ void publish_session_metrics(obs::Registry* reg, const SyncReport& r) {
   reg->counter("vv.frames").inc(r.total_frames());
   reg->counter("vv.framed_bytes").inc(r.total_framed_bytes());
   reg->counter("vv.loop_events").inc(r.loop_events);
+  if (r.total_faults() > 0) reg->counter("vv.faults_injected").inc(r.total_faults());
+  if (r.faults_decode_errors > 0) {
+    reg->counter("vv.faults_decode_errors").inc(r.faults_decode_errors);
+  }
+  if (r.protocol_violations > 0) {
+    reg->counter("vv.protocol_violations").inc(r.protocol_violations);
+  }
   reg->histogram("vv.session_bits").record(r.total_bits());
   // Dispatch efficiency of the transport: executed events per transmitted
   // element, x100 (framing drives this far below 100).
@@ -108,22 +131,85 @@ void publish_session_metrics(obs::Registry* reg, const SyncReport& r) {
       .record(r.elems_sent > 0 ? r.loop_events * 100 / r.elems_sent : r.loop_events * 100);
 }
 
-// Shared plumbing for one endpoint of a session: counted sends over one link.
-class Peer {
+// Builds the bit-flip corrupter the fault injector runs over discarded
+// messages: encode with the real per-message codec, flip one uniformly
+// chosen bit, and attempt the typed re-decode so FaultStats can report how
+// many corruptions the decoder alone would have rejected.
+sim::FaultInjector<VvMsg>::Corrupter make_corrupter(CostModel cm, VectorKind kind,
+                                                    Direction dir) {
+  return [cm, kind, dir](VvMsg& m, Rng& rng) -> bool {
+    BitWriter w;
+    encode_msg(w, cm, kind, dir, m);
+    if (w.bit_size() == 0) return true;
+    std::vector<std::uint8_t> buf = w.bytes();
+    const std::uint64_t bit = rng.below(w.bit_size());
+    buf[bit / 8] ^= static_cast<std::uint8_t>(0x80u >> (bit % 8));
+    BitReader r(buf);
+    const MsgDecodeResult d = try_decode_msg(r, cm, kind, dir, w.bit_size());
+    if (!d.ok()) return true;
+    m = d.msg;
+    return false;
+  };
+}
+
+// Scratch action buffer shared by every driver on this thread: dispatches
+// never nest (links deliver via scheduled events, never synchronously), and
+// the retained capacity keeps steady-state sessions off the allocator.
+protocol::Actions& scratch_actions() {
+  static thread_local protocol::Actions acts;
+  return acts;
+}
+
+// Pumps one protocol core over one direction of the simulated transport:
+// executes the core's actions (sized counted sends, revocations, parked
+// continuations, trace markers) and feeds arriving messages back as events.
+// This is the only place protocol state meets the clock.
+template <class Core>
+class CoreDriver {
  public:
-  Peer(sim::EventLoop* loop, sim::FrameLink<VvMsg>* tx, const SyncOptions* opt)
-      : loop_(loop), tx_(tx), opt_(opt) {}
-  virtual ~Peer() = default;
+  CoreDriver(sim::EventLoop* loop, sim::FrameLink<VvMsg>* tx, const SyncOptions* opt,
+             VectorKind size_kind, Core core)
+      : loop_(loop), tx_(tx), opt_(opt), size_kind_(size_kind), core_(std::move(core)) {}
 
-  virtual void on_message(const VvMsg& m) = 0;
+  // Parked continuations capture `this`: pinned to the construction address.
+  CoreDriver(const CoreDriver&) = delete;
+  CoreDriver& operator=(const CoreDriver&) = delete;
 
- protected:
-  // `revocable` marks a speculative framed send (pipelined burst) that a
-  // later HALT/SKIP may take back before transmission starts; reactive
-  // messages stay committed at hand-off, exactly as unframed.
-  sim::Time send(const VvMsg& m, bool revocable = false) {
-    std::uint64_t bits = msg_model_bits(opt_->cost, opt_->kind, m);
-    std::uint64_t bytes = msg_wire_bytes(opt_->kind, m);
+  Core& core() { return core_; }
+  const Core& core() const { return core_; }
+
+  void start() { dispatch(protocol::Event::start()); }
+  void abort() { dispatch(protocol::Event::abort()); }
+
+  void on_message(const VvMsg& m) {
+    protocol::TailView tail;
+    if (m.kind == VvMsg::Kind::kHalt || m.kind == VvMsg::Kind::kSkip) {
+      // Snapshot the speculative tail of our outgoing link: the core decides
+      // on revocation from counts alone (sans-I/O), and cancel_tail revokes
+      // exactly the messages this peek visits.
+      tx_->peek_tail([&tail](const VvMsg& q) {
+        if (q.kind == VvMsg::Kind::kHalt) {
+          tail.halt = true;
+        } else if (q.kind == VvMsg::Kind::kElem) {
+          ++tail.elems;
+          if (q.segment) ++tail.segment_finals;
+        }
+      });
+    }
+    dispatch(protocol::Event::msg_arrival(m, tail));
+  }
+
+  sim::Time done_at() const { return done_at_; }
+
+ private:
+  void on_pump() {
+    pending_ = 0;
+    dispatch(protocol::Event::link_free());
+  }
+
+  sim::Time send(const VvMsg& m, bool revocable) {
+    std::uint64_t bits = msg_model_bits(opt_->cost, size_kind_, m);
+    std::uint64_t bytes = msg_wire_bytes(size_kind_, m);
     if (m.kind == VvMsg::Kind::kAck && opt_->mode == TransferMode::kIdeal) {
       bits = 0;  // kIdeal: flow control is free; measures pure algorithm cost
       bytes = 0;
@@ -131,236 +217,6 @@ class Peer {
     return tx_->send(m, bits, bytes, revocable);
   }
 
-  bool pipelined() const { return opt_->mode == TransferMode::kPipelined; }
-
-  sim::EventLoop* loop_;
-  sim::FrameLink<VvMsg>* tx_;
-  const SyncOptions* opt_;
-};
-
-// The sender side of SYNCB/SYNCC/SYNCS: streams b's elements in ≺ order.
-// SYNCB and SYNCC senders are identical except for the element payload width
-// (handled by the cost model); the SRV sender additionally honors SKIP.
-class ElementSender : public Peer {
- public:
-  ElementSender(sim::EventLoop* loop, sim::FrameLink<VvMsg>* tx, const SyncOptions* opt,
-                const RotatingVector* b)
-      : Peer(loop, tx, opt), b_(b), cur_(b->begin()) {}
-
-  void start() {
-    if (pipelined()) {
-      pump();
-    } else {
-      send_next();
-    }
-  }
-
-  void on_message(const VvMsg& m) override {
-    switch (m.kind) {
-      case VvMsg::Kind::kHalt:
-        // Processed even when done_: under framing the speculative tail
-        // (possibly including our own end-of-vector HALT) may still sit
-        // untransmitted in the link and must be taken back — exactly the
-        // elements the unframed pump would never have sent (§3.1 overshoot).
-        revoke_speculative_tail();
-        finish();
-        break;
-      case VvMsg::Kind::kSkip:
-        OPTREP_CHECK_MSG(opt_->kind == VectorKind::kSrv, "SKIP outside SYNCS");
-        handle_skip(m.arg);
-        break;
-      case VvMsg::Kind::kAck:
-        if (done_) return;
-        OPTREP_CHECK_MSG(!pipelined(), "ACK in pipelined mode");
-        send_next();
-        break;
-      default:
-        OPTREP_CHECK_MSG(false, "unexpected message at sender");
-    }
-  }
-
-  std::uint64_t elems_sent() const { return elems_sent_; }
-
- private:
-  // Pipelined streaming (§3.1): transmit the next element as soon as the link
-  // frees, until HALT arrives or the vector is exhausted. Under framing, one
-  // pump dispatch hands the link a whole frame's worth of speculative
-  // (revocable) sends and parks a single continuation at the last link-free
-  // time; the per-message transmission schedule is unchanged.
-  void pump() {
-    pending_ = 0;
-    if (done_) return;
-    const std::uint32_t burst = tx_->framed() ? tx_->config().frame_budget : 1;
-    sim::Time free = loop_->now();
-    for (std::uint32_t i = 0; i < burst; ++i) {
-      // The first message of a pump dispatch is exactly what the unframed
-      // pump would emit at this instant — committed at hand-off, like every
-      // unframed send. Only the rest of the burst is speculation, committed
-      // once its transmission starts.
-      free = emit_current(/*revocable=*/tx_->framed() && i > 0);
-      if (done_) return;  // emitted HALT
-    }
-    pending_ = loop_->schedule(free, [this] { pump(); });
-  }
-
-  // Stop-and-wait: transmit one element, then wait for ACK / SKIP / HALT.
-  void send_next() {
-    if (done_) return;
-    emit_current();
-  }
-
-  // Send the element at cur_ (or HALT when exhausted); returns link-free time.
-  sim::Time emit_current(bool revocable = false) {
-    if (cur_ == b_->end()) {
-      const sim::Time free = send(VvMsg{.kind = VvMsg::Kind::kHalt}, revocable);
-      finish();
-      return free;
-    }
-    const RotatingVector::Element& e = *cur_;
-    VvMsg m;
-    m.kind = VvMsg::Kind::kElem;
-    m.site = e.site;
-    m.value = e.value;
-    m.conflict = e.conflict;
-    m.segment = e.segment;
-    const sim::Time free = send(m, revocable);
-    ++elems_sent_;
-    advance();
-    return free;
-  }
-
-  // Move cur_ one step toward ⌈b⌉, tracking the segment counter (Alg 4
-  // lines 11–14: segs advances when passing a segment-final element).
-  void advance() {
-    OPTREP_CHECK(cur_ != b_->end());
-    if (cur_->segment) ++segs_;
-    ++cur_;
-  }
-
-  // Take back the speculative sends whose transmission has not started,
-  // rewinding the cursor (and segs_/elems_sent_/done_) step by step so the
-  // sender state equals what the unframed pump would have produced by now.
-  void revoke_speculative_tail() {
-    tx_->cancel_tail([this](const VvMsg& m) {
-      switch (m.kind) {
-        case VvMsg::Kind::kHalt:
-          done_ = false;  // un-emit the speculative end-of-vector marker
-          break;
-        case VvMsg::Kind::kElem:
-          --cur_;
-          if (cur_->segment) --segs_;
-          --elems_sent_;
-          break;
-        default:
-          OPTREP_CHECK_MSG(false, "unexpected revoked message at sender");
-      }
-    });
-  }
-
-  // SKIP(arg): honored only when we are still inside segment `arg`
-  // (Alg 4 sender lines 8–10); stale requests are ignored. Under framing the
-  // decision must be made against the *committed* (actually transmitted)
-  // cursor state: peek at the speculative tail first, and only when the skip
-  // is honored revoke that tail and fast-forward from the committed position.
-  void handle_skip(std::uint64_t arg) {
-    std::uint64_t tail_segs = 0;
-    bool tail_halt = false;
-    tx_->peek_tail([&](const VvMsg& m) {
-      if (m.kind == VvMsg::Kind::kHalt) {
-        tail_halt = true;
-      } else if (m.kind == VvMsg::Kind::kElem && m.segment) {
-        ++tail_segs;
-      }
-    });
-    if (done_ && !tail_halt) return;  // end-of-vector HALT already committed
-    if (arg != segs_ - tail_segs) {
-      // Stale: the elements the receiver wanted skipped are already on the
-      // wire (or speculatively queued behind them — the stream keeps going
-      // either way). In stop-and-wait this cannot happen.
-      OPTREP_CHECK_MSG(pipelined(), "stale SKIP in lockstep mode");
-      return;
-    }
-    revoke_speculative_tail();
-    // Fast-forward past the remainder of the current segment without sending.
-    while (cur_ != b_->end()) {
-      const bool end_of_segment = cur_->segment;
-      advance();
-      if (end_of_segment) break;
-    }
-    // The unframed pump's continuation fires when the link frees — capture
-    // that instant before the marker occupies the link, so the framed resume
-    // emits its first post-skip message at the exact legacy hand-off time.
-    const sim::Time resume = std::max(loop_->now(), tx_->free_at());
-    // Tell the receiver one segment was elided so its reconstruction of our
-    // segment index stays exact (see wire.h kSkipped). Committed at hand-off.
-    send(VvMsg{.kind = VvMsg::Kind::kSkipped});
-    if (tx_->framed() && pipelined()) {
-      // The old continuation pointed at the pre-revocation link-free time;
-      // re-park it. (Unframed keeps its continuation: identical schedule.)
-      if (pending_ != 0) loop_->cancel(pending_);
-      pending_ = loop_->schedule(resume, [this] { pump(); });
-    }
-    if (!pipelined()) send_next();  // SKIP doubles as the ack
-  }
-
-  void finish() {
-    done_ = true;
-    if (pending_ != 0) {
-      loop_->cancel(pending_);
-      pending_ = 0;
-    }
-  }
-
-  const RotatingVector* b_;
-  // Walks b in ≺ order; b is not mutated during a session, so the iterator
-  // stays valid for the session's lifetime.
-  RotatingVector::const_iterator cur_;
-  std::uint64_t segs_{0};
-  std::uint64_t elems_sent_{0};
-  bool done_{false};
-  sim::EventLoop::EventId pending_{0};
-};
-
-// Counters shared by all receivers, harvested into the SyncReport.
-struct ReceiverCounters {
-  std::uint64_t applied{0};
-  std::uint64_t redundant{0};
-  std::uint64_t straggler{0};
-  std::uint64_t after_halt{0};
-  std::uint64_t skip_msgs{0};
-  std::uint64_t segments_skipped{0};
-  std::uint64_t acks{0};
-  sim::Time done_at{0};
-};
-
-class ReceiverBase : public Peer {
- public:
-  ReceiverBase(sim::EventLoop* loop, sim::FrameLink<VvMsg>* tx, const SyncOptions* opt,
-               RotatingVector* a)
-      : Peer(loop, tx, opt), a_(a) {}
-
-  const ReceiverCounters& counters() const { return c_; }
-
- protected:
-  void ack() {
-    if (pipelined() || finished_) return;
-    send(VvMsg{.kind = VvMsg::Kind::kAck});
-    ++c_.acks;
-  }
-
-  void halt_sender() {
-    send(VvMsg{.kind = VvMsg::Kind::kHalt});
-    mark_finished();
-  }
-
-  void mark_finished() {
-    if (!finished_) {
-      finished_ = true;
-      c_.done_at = loop_->now();
-    }
-  }
-
-  // Receiver-side semantic trace events (element applied / known / ignored).
   void trace(obs::TraceEventType type, const VvMsg& m) {
     if (opt_->tracer == nullptr) return;
     opt_->tracer->record(obs::TraceEvent{.at = loop_->now(),
@@ -372,174 +228,75 @@ class ReceiverBase : public Peer {
                                          .bits = 0});
   }
 
-  RotatingVector* a_;
-  std::optional<SiteId> prev_;  // last modified element (Alg 2/3/4 `prev`)
-  bool finished_{false};
-  ReceiverCounters c_;
-};
-
-// Algorithm 2, receiver side.
-class ReceiverBasic : public ReceiverBase {
- public:
-  using ReceiverBase::ReceiverBase;
-
-  void on_message(const VvMsg& m) override {
-    if (m.kind == VvMsg::Kind::kHalt) {
-      mark_finished();
-      return;
-    }
-    OPTREP_CHECK(m.kind == VvMsg::Kind::kElem);
-    if (finished_) {
-      ++c_.after_halt;
-      return;
-    }
-    if (m.value <= a_->value(m.site)) {
-      // The element that triggers the halt is not part of Γ (§3.3).
-      halt_sender();
-      return;
-    }
-    a_->rotate_after(prev_, m.site);
-    prev_ = m.site;
-    a_->set_element(m.site, m.value, false, false);
-    ++c_.applied;
-    trace(obs::TraceEventType::kElemApplied, m);
-    ack();
-  }
-};
-
-// Algorithm 3, receiver side.
-class ReceiverConflict : public ReceiverBase {
- public:
-  ReceiverConflict(sim::EventLoop* loop, sim::FrameLink<VvMsg>* tx, const SyncOptions* opt,
-                   RotatingVector* a, bool initially_concurrent)
-      : ReceiverBase(loop, tx, opt, a), reconcile_(initially_concurrent) {}
-
-  void on_message(const VvMsg& m) override {
-    if (m.kind == VvMsg::Kind::kHalt) {
-      mark_finished();
-      return;
-    }
-    OPTREP_CHECK(m.kind == VvMsg::Kind::kElem);
-    if (finished_) {
-      ++c_.after_halt;
-      return;
-    }
-    if (m.value <= a_->value(m.site)) {
-      if (m.conflict) {
-        reconcile_ = true;  // Alg 3 lines 6–7: overlook tagged elements
-        ++c_.redundant;     // |Γ|: transmitted only because its bit is set
-        trace(obs::TraceEventType::kElemRedundant, m);
-        ack();
-      } else {
-        halt_sender();  // halt-trigger element is not part of Γ (§3.3)
-      }
-      return;
-    }
-    a_->rotate_after(prev_, m.site);
-    prev_ = m.site;
-    a_->set_element(m.site, m.value, reconcile_ || m.conflict, false);
-    ++c_.applied;
-    trace(obs::TraceEventType::kElemApplied, m);
-    ack();
-  }
-
- private:
-  bool reconcile_;
-};
-
-// Algorithm 4, receiver side, with exact tracking of the sender's segment
-// index: segs_ counts segment-final elements received plus SKIPPED markers
-// (FIFO delivery makes this reconstruction exact; see DESIGN.md).
-class ReceiverSkip : public ReceiverBase {
- public:
-  ReceiverSkip(sim::EventLoop* loop, sim::FrameLink<VvMsg>* tx, const SyncOptions* opt,
-               RotatingVector* a, bool initially_concurrent)
-      : ReceiverBase(loop, tx, opt, a), reconcile_(initially_concurrent) {}
-
-  void on_message(const VvMsg& m) override {
-    switch (m.kind) {
-      case VvMsg::Kind::kHalt:
-        // Sender exhausted its vector: close off the run of rotated-in
-        // elements if anything of ours follows it in ≺_a. Elements spliced
-        // in by this session need not dominate what sits behind them, so
-        // without the boundary a later SYNCS could treat the region as one
-        // segment and skip elements its peer lacks. (Not spelled out in the
-        // paper's pseudocode; see DESIGN.md "deviations".)
-        if (!finished_ && prev_.has_value() && a_->next(*prev_).has_value()) {
-          a_->set_segment_bit(*prev_, true);
-        }
-        mark_finished();
-        return;
-      case VvMsg::Kind::kSkipped:
-        if (finished_) return;  // in-flight marker after our HALT: not γ
-        ++segs_;
-        skipping_ = false;
-        ++c_.segments_skipped;
-        return;
-      case VvMsg::Kind::kElem:
-        break;
-      default:
-        OPTREP_CHECK_MSG(false, "unexpected message at SYNCS receiver");
-    }
-    if (finished_) {
-      ++c_.after_halt;
-      return;
-    }
-    bool responded = false;
-    if (m.value <= a_->value(m.site)) {
-      if (!skipping_) {
-        // Alg 4 lines 9–11, strengthened: the run of rotated-in elements is
-        // interrupted, so it must be closed off *whenever* it exists — not
-        // only when `reconcile` is already set. (The paper guards this with
-        // `reconcile`, but the flag may only become true from this very
-        // element's conflict bit, after later insertions have already been
-        // spliced in front of elements they do not dominate; a finer
-        // segmentation is always safe. See DESIGN.md "deviations".)
-        if (prev_.has_value()) a_->set_segment_bit(*prev_, true);
-        if (m.conflict) {
-          reconcile_ = true;
-          ++c_.redundant;
-          trace(obs::TraceEventType::kElemRedundant, m);
-          if (!m.segment) {
-            // Something of this sender segment remains to be skipped.
-            send(VvMsg{.kind = VvMsg::Kind::kSkip, .arg = segs_});
-            ++c_.skip_msgs;
-            skipping_ = true;
-            responded = true;  // SKIP doubles as the stop-and-wait ack
+  void dispatch(const protocol::Event& ev) {
+    protocol::Actions& acts = scratch_actions();
+    acts.clear();
+    core_.step(ev, acts);
+    // `free` tracks the link-free time reached by this dispatch's sends —
+    // where kPumpWhenFree parks the continuation (the unframed pump's
+    // schedule, and the last burst message's free time when framed).
+    sim::Time free = loop_->now();
+    for (const protocol::Action& a : acts) {
+      switch (a.type) {
+        case protocol::Action::Type::kSend:
+          free = send(a.msg, /*revocable=*/false);
+          break;
+        case protocol::Action::Type::kSendRevocable:
+          free = send(a.msg, /*revocable=*/true);
+          break;
+        case protocol::Action::Type::kRevokeTail:
+          // The core already rewound its cursor from the event's TailView.
+          tx_->cancel_tail([](const VvMsg&) {});
+          break;
+        case protocol::Action::Type::kPumpWhenFree:
+          pending_ = loop_->schedule(free, [this] { on_pump(); });
+          break;
+        case protocol::Action::Type::kCaptureResume:
+          resume_ = std::max(loop_->now(), tx_->free_at());
+          break;
+        case protocol::Action::Type::kRepumpAtResume:
+          if (pending_ != 0) loop_->cancel(pending_);
+          pending_ = loop_->schedule(resume_, [this] { on_pump(); });
+          break;
+        case protocol::Action::Type::kFinished:
+          if (done_at_ == 0) done_at_ = loop_->now();
+          if (pending_ != 0) {
+            loop_->cancel(pending_);
+            pending_ = 0;
           }
-        } else {
-          halt_sender();  // halt-trigger element is not part of Γ (§3.3)
-          responded = true;
-        }
-      } else {
-        ++c_.straggler;  // in-flight element of a segment we asked to skip
-        trace(obs::TraceEventType::kElemStraggler, m);
+          break;
+        case protocol::Action::Type::kTraceApplied:
+          trace(obs::TraceEventType::kElemApplied, a.msg);
+          break;
+        case protocol::Action::Type::kTraceRedundant:
+          trace(obs::TraceEventType::kElemRedundant, a.msg);
+          break;
+        case protocol::Action::Type::kTraceStraggler:
+          trace(obs::TraceEventType::kElemStraggler, a.msg);
+          break;
       }
-    } else {
-      skipping_ = false;  // Alg 4 line 21
-      a_->rotate_after(prev_, m.site);
-      prev_ = m.site;
-      a_->set_element(m.site, m.value, reconcile_ || m.conflict, m.segment);
-      ++c_.applied;
-      trace(obs::TraceEventType::kElemApplied, m);
     }
-    // Segment bookkeeping from the received stream.
-    if (m.segment) {
-      ++segs_;
-      skipping_ = false;
-    }
-    if (!responded && !finished_) ack();
   }
 
- private:
-  bool reconcile_;
-  bool skipping_{false};
-  std::uint64_t segs_{0};
+  sim::EventLoop* loop_;
+  sim::FrameLink<VvMsg>* tx_;
+  const SyncOptions* opt_;
+  VectorKind size_kind_;
+  Core core_;
+  sim::EventLoop::EventId pending_{0};
+  sim::Time resume_{0};
+  sim::Time done_at_{0};
 };
 
 struct SessionWiring {
+  using Handler = std::function<void(const VvMsg&)>;
+
   explicit SessionWiring(sim::EventLoop& loop, const SyncOptions& opt)
-      : duplex(&loop, opt.net), opt_(&opt), tracer(opt.tracer), session(opt.trace_session) {
+      : duplex(&loop, opt.net),
+        loop_(&loop),
+        opt_(&opt),
+        tracer(opt.tracer),
+        session(opt.trace_session) {
     // Realistic framed-byte accounting (vv/frame_codec.h) and the control
     // flush rule. Function pointers and captureless lambdas: no per-session
     // heap allocation.
@@ -561,6 +318,35 @@ struct SessionWiring {
       duplex.a_to_b().set_tap([this](sim::Time at, const VvMsg& m, std::uint64_t bits) {
         observe(at, false, m, bits);
       });
+    }
+  }
+
+  // Install the endpoints' delivery handlers. When fault injection is on, a
+  // FaultInjector interposes per direction; with faults off no injector is
+  // constructed and the delivery path is identical to the pre-fault build
+  // (fault-free bit-identity is a hard invariant, tested).
+  void connect(Handler to_receiver, Handler to_sender, VectorKind size_kind) {
+    if (opt_->net.faults.enabled()) {
+      // Reordered messages are held one propagation latency by default (plus
+      // ε so zero-latency links still reorder).
+      const sim::Time hold = opt_->net.latency_s + 1e-6;
+      // Decorrelate sessions sharing one loop: each session would otherwise
+      // replay the identical prefix of the (seed, salt) fault stream — a few
+      // unlucky leading rolls would then repeat in every session of a run.
+      // The executed-event count is deterministic, so runs stay reproducible.
+      sim::NetConfig::FaultConfig fc = opt_->net.faults;
+      fc.seed = sim::fault_stream_seed(fc.seed, 0xA5A5ULL + loop_->executed_events());
+      inj_fwd.emplace(loop_, fc, sim::kFaultSaltForward, hold);
+      inj_rev.emplace(loop_, fc, sim::kFaultSaltReverse, hold);
+      inj_fwd->set_receiver(std::move(to_receiver));
+      inj_rev->set_receiver(std::move(to_sender));
+      inj_fwd->set_corrupter(make_corrupter(opt_->cost, size_kind, Direction::kForward));
+      inj_rev->set_corrupter(make_corrupter(opt_->cost, size_kind, Direction::kReverse));
+      duplex.b_to_a().set_receiver([this](const VvMsg& m) { inj_fwd->deliver(m); });
+      duplex.a_to_b().set_receiver([this](const VvMsg& m) { inj_rev->deliver(m); });
+    } else {
+      duplex.b_to_a().set_receiver(std::move(to_receiver));
+      duplex.a_to_b().set_receiver(std::move(to_sender));
     }
   }
 
@@ -592,7 +378,8 @@ struct SessionWiring {
   }
 
   // Close any open frames (end of session is a flush point) and harvest the
-  // framing figures plus the event-loop dispatch count into the report.
+  // framing figures, the event-loop dispatch count, and the fault statistics
+  // into the report.
   void harvest_framing(sim::EventLoop& loop, std::uint64_t events_before, SyncReport& r) {
     duplex.b_to_a().close_frame();
     duplex.a_to_b().close_frame();
@@ -601,59 +388,104 @@ struct SessionWiring {
     r.framed_bytes_fwd = duplex.b_to_a().stats().framed_wire_bytes;
     r.framed_bytes_rev = duplex.a_to_b().stats().framed_wire_bytes;
     r.loop_events = loop.executed_events() - events_before;
+    if (inj_fwd.has_value()) {
+      r.faults_dropped = inj_fwd->stats().dropped + inj_rev->stats().dropped;
+      r.faults_duplicated = inj_fwd->stats().duplicated + inj_rev->stats().duplicated;
+      r.faults_reordered = inj_fwd->stats().reordered + inj_rev->stats().reordered;
+      r.faults_corrupted = inj_fwd->stats().corrupted + inj_rev->stats().corrupted;
+      r.faults_decode_errors =
+          inj_fwd->stats().corrupt_decode_errors + inj_rev->stats().corrupt_decode_errors;
+    }
   }
 
   sim::FrameDuplex<VvMsg> duplex;  // a_to_b: receiver→sender, b_to_a: sender→receiver
+  sim::EventLoop* loop_;
   const SyncOptions* opt_;
   obs::Tracer* tracer{nullptr};
   std::uint64_t session{0};
+  std::optional<sim::FaultInjector<VvMsg>> inj_fwd;
+  std::optional<sim::FaultInjector<VvMsg>> inj_rev;
 };
 
-SyncReport assemble_report(Ordering rel, std::uint64_t compare_bits, sim::Time t0,
-                           sim::Time t_end, const sim::LinkStats& fwd,
-                           const sim::LinkStats& rev, std::uint64_t elems_sent,
-                           const ReceiverCounters& rc, const CostModel& cm) {
-  SyncReport r;
-  r.initial_relation = rel;
-  r.bits_fwd = fwd.model_bits + compare_bits / 2;
-  r.bits_rev = rev.model_bits + compare_bits / 2;
-  r.bytes_fwd = fwd.wire_bytes + (compare_bits > 0 ? wire_bytes_elem(false) : 0);
-  r.bytes_rev = rev.wire_bytes + (compare_bits > 0 ? wire_bytes_elem(false) : 0);
-  r.msgs_fwd = fwd.messages + (compare_bits > 0 ? 1 : 0);
-  r.msgs_rev = rev.messages + (compare_bits > 0 ? 1 : 0);
-  r.elems_sent = elems_sent;
-  r.elems_applied = rc.applied;
-  r.elems_redundant = rc.redundant;
-  r.elems_straggler = rc.straggler;
-  r.elems_after_halt = rc.after_halt;
-  r.skip_msgs = rc.skip_msgs;
-  r.segments_skipped = rc.segments_skipped;
-  r.ack_msgs = rc.acks;
-  r.duration = t_end - t0;
-  r.receiver_done_at = (rc.done_at > t0 ? rc.done_at - t0 : 0);
-  (void)cm;
-  return r;
-}
+// The one shared report builder: rotating sessions and baseline sessions
+// fill the same fields from the same sources (link stats, receiver counters,
+// timing) instead of each assembling a SyncReport by hand.
+struct SessionAccounting {
+  Ordering rel{Ordering::kEqual};
+  std::uint64_t compare_bits{0};
+  sim::Time t0{0};
+  sim::Time t_end{0};
+  const sim::LinkStats* fwd{nullptr};
+  const sim::LinkStats* rev{nullptr};
+  std::uint64_t elems_sent{0};
+  const protocol::ReceiverCounters* rc{nullptr};
+  sim::Time receiver_done_at{0};
+  std::uint64_t sender_violations{0};
 
-template <class Receiver, class... ReceiverArgs>
+  SyncReport build() const {
+    SyncReport r;
+    r.initial_relation = rel;
+    r.bits_fwd = fwd->model_bits + compare_bits / 2;
+    r.bits_rev = rev->model_bits + compare_bits / 2;
+    r.bytes_fwd = fwd->wire_bytes + (compare_bits > 0 ? wire_bytes_elem(false) : 0);
+    r.bytes_rev = rev->wire_bytes + (compare_bits > 0 ? wire_bytes_elem(false) : 0);
+    r.msgs_fwd = fwd->messages + (compare_bits > 0 ? 1 : 0);
+    r.msgs_rev = rev->messages + (compare_bits > 0 ? 1 : 0);
+    r.elems_sent = elems_sent;
+    r.elems_applied = rc->applied;
+    r.elems_redundant = rc->redundant;
+    r.elems_straggler = rc->straggler;
+    r.elems_after_halt = rc->after_halt;
+    r.skip_msgs = rc->skip_msgs;
+    r.segments_skipped = rc->segments_skipped;
+    r.ack_msgs = rc->acks;
+    r.duration = t_end - t0;
+    r.receiver_done_at = (receiver_done_at > t0 ? receiver_done_at - t0 : 0);
+    r.protocol_violations = sender_violations + rc->violations;
+    return r;
+  }
+};
+
+template <class ReceiverCore, class... ReceiverArgs>
 SyncReport run_rotating_session(sim::EventLoop& loop, RotatingVector& a,
                                 const RotatingVector& b, const SyncOptions& opt,
                                 Ordering rel, std::uint64_t compare_bits,
                                 ReceiverArgs&&... rargs) {
   SessionWiring w(loop, opt);
-  ElementSender sender(&loop, &w.duplex.b_to_a(), &opt, &b);
-  Receiver receiver(&loop, &w.duplex.a_to_b(), &opt, &a,
-                    std::forward<ReceiverArgs>(rargs)...);
-  w.duplex.b_to_a().set_receiver([&receiver](const VvMsg& m) { receiver.on_message(m); });
-  w.duplex.a_to_b().set_receiver([&sender](const VvMsg& m) { sender.on_message(m); });
+  protocol::ElementSenderCore::Config scfg;
+  scfg.skip_enabled = opt.kind == VectorKind::kSrv;
+  scfg.pipelined = opt.mode == TransferMode::kPipelined;
+  scfg.framed = w.duplex.b_to_a().framed();
+  scfg.burst = scfg.framed ? opt.net.frame_budget : 1;
+  CoreDriver<protocol::ElementSenderCore> sender(
+      &loop, &w.duplex.b_to_a(), &opt, opt.kind, protocol::ElementSenderCore(scfg, &b));
+  CoreDriver<ReceiverCore> receiver(
+      &loop, &w.duplex.a_to_b(), &opt, opt.kind,
+      ReceiverCore(scfg.pipelined, &a, std::forward<ReceiverArgs>(rargs)...));
+  w.connect([&receiver](const VvMsg& m) { receiver.on_message(m); },
+            [&sender](const VvMsg& m) { sender.on_message(m); }, opt.kind);
   const sim::Time t0 = loop.now();
   const std::uint64_t ev0 = loop.executed_events();
   w.trace_boundary(loop, obs::TraceEventType::kSessionBegin, 0);
   loop.schedule(t0, [&sender] { sender.start(); });
   const sim::Time t_end = loop.run();
-  SyncReport r = assemble_report(rel, compare_bits, t0, t_end, w.duplex.b_to_a().stats(),
-                                 w.duplex.a_to_b().stats(), sender.elems_sent(),
-                                 receiver.counters(), opt.cost);
+  if (opt.net.faults.enabled() && !receiver.core().finished()) {
+    // The attempt stalled (a dropped HALT/ACK): tear the receiver down so it
+    // closes any open SRV segment run — partial state must stay safe for the
+    // next attempt and for future sessions.
+    receiver.abort();
+  }
+  const SessionAccounting acc{rel,
+                              compare_bits,
+                              t0,
+                              t_end,
+                              &w.duplex.b_to_a().stats(),
+                              &w.duplex.a_to_b().stats(),
+                              sender.core().elems_sent(),
+                              &receiver.core().counters(),
+                              receiver.done_at(),
+                              sender.core().violations()};
+  SyncReport r = acc.build();
   w.harvest_framing(loop, ev0, r);
   w.trace_boundary(loop, obs::TraceEventType::kSessionEnd, r.total_bits());
   publish_session_metrics(opt.metrics, r);
@@ -677,7 +509,7 @@ SyncReport sync_basic(sim::EventLoop& loop, RotatingVector& a, const RotatingVec
   OPTREP_SPAN("vv.syncb");
   std::uint64_t cb = 0;
   const Ordering rel = resolve_relation(a, b, opt, &cb);
-  return run_rotating_session<ReceiverBasic>(loop, a, b, opt, rel, cb);
+  return run_rotating_session<protocol::BasicReceiverCore>(loop, a, b, opt, rel, cb);
 }
 
 SyncReport sync_conflict(sim::EventLoop& loop, RotatingVector& a, const RotatingVector& b,
@@ -685,8 +517,8 @@ SyncReport sync_conflict(sim::EventLoop& loop, RotatingVector& a, const Rotating
   OPTREP_SPAN("vv.syncc");
   std::uint64_t cb = 0;
   const Ordering rel = resolve_relation(a, b, opt, &cb);
-  return run_rotating_session<ReceiverConflict>(loop, a, b, opt, rel, cb,
-                                                rel == Ordering::kConcurrent);
+  return run_rotating_session<protocol::ConflictReceiverCore>(loop, a, b, opt, rel, cb,
+                                                              rel == Ordering::kConcurrent);
 }
 
 SyncReport sync_skip(sim::EventLoop& loop, RotatingVector& a, const RotatingVector& b,
@@ -694,8 +526,8 @@ SyncReport sync_skip(sim::EventLoop& loop, RotatingVector& a, const RotatingVect
   OPTREP_SPAN("vv.syncs");
   std::uint64_t cb = 0;
   const Ordering rel = resolve_relation(a, b, opt, &cb);
-  return run_rotating_session<ReceiverSkip>(loop, a, b, opt, rel, cb,
-                                            rel == Ordering::kConcurrent);
+  return run_rotating_session<protocol::SkipReceiverCore>(loop, a, b, opt, rel, cb,
+                                                          rel == Ordering::kConcurrent);
 }
 
 SyncReport sync_rotating(sim::EventLoop& loop, RotatingVector& a, const RotatingVector& b,
@@ -711,61 +543,173 @@ SyncReport sync_rotating(sim::EventLoop& loop, RotatingVector& a, const Rotating
 
 namespace {
 
-// Baseline sessions: the send set is known upfront, so the sender enqueues
-// everything (the link's FIFO pacing models transmission time) and the
-// receiver simply joins.
+// Fold one attempt's traffic/element/fault accounting into the recovery
+// total. Retry attempts additionally charge recovery_bits.
+void accumulate_attempt(SyncReport& total, const SyncReport& r, bool retry_attempt,
+                        sim::Time attempt_offset) {
+  total.bits_fwd += r.bits_fwd;
+  total.bits_rev += r.bits_rev;
+  total.bytes_fwd += r.bytes_fwd;
+  total.bytes_rev += r.bytes_rev;
+  total.msgs_fwd += r.msgs_fwd;
+  total.msgs_rev += r.msgs_rev;
+  total.frames_fwd += r.frames_fwd;
+  total.frames_rev += r.frames_rev;
+  total.framed_bytes_fwd += r.framed_bytes_fwd;
+  total.framed_bytes_rev += r.framed_bytes_rev;
+  total.loop_events += r.loop_events;
+  total.elems_sent += r.elems_sent;
+  total.elems_applied += r.elems_applied;
+  total.elems_redundant += r.elems_redundant;
+  total.elems_straggler += r.elems_straggler;
+  total.elems_after_halt += r.elems_after_halt;
+  total.skip_msgs += r.skip_msgs;
+  total.segments_skipped += r.segments_skipped;
+  total.ack_msgs += r.ack_msgs;
+  total.protocol_violations += r.protocol_violations;
+  total.faults_dropped += r.faults_dropped;
+  total.faults_duplicated += r.faults_duplicated;
+  total.faults_reordered += r.faults_reordered;
+  total.faults_corrupted += r.faults_corrupted;
+  total.faults_decode_errors += r.faults_decode_errors;
+  if (r.receiver_done_at > 0) total.receiver_done_at = attempt_offset + r.receiver_done_at;
+  if (retry_attempt) total.recovery_bits += r.total_bits();
+}
+
+sim::Time backoff_delay(const RetryPolicy& p, std::uint32_t retry_index) {
+  sim::Time d = p.base_backoff_s;
+  for (std::uint32_t i = 1; i < retry_index; ++i) {
+    d *= 2;
+    if (d >= p.max_backoff_s) return p.max_backoff_s;
+  }
+  return std::min(d, p.max_backoff_s);
+}
+
+}  // namespace
+
+SyncReport sync_with_recovery(sim::EventLoop& loop, RotatingVector& a, const RotatingVector& b,
+                              const SyncOptions& opt) {
+  if (!opt.net.faults.enabled()) return sync_rotating(loop, a, b, opt);
+  OPTREP_SPAN("vv.sync_recovery");
+  const sim::Time t0 = loop.now();
+  SyncReport total;
+  bool converged = false;
+  std::uint32_t runs = 0;
+  // The receiver's pre-sync state. Every attempt starts from here: the
+  // receiver-halt rule (Alg 2/3/4 stop at the first already-known element)
+  // is only sound when the receiver's knowledge is prefix-closed w.r.t. the
+  // sender's rotation order, and a faulted partial application breaks that —
+  // a retry against partial state would halt early forever. Discarding the
+  // partial join costs re-sent elements (charged to recovery_bits), never
+  // correctness.
+  const RotatingVector original = a;
+  Ordering rel0 = Ordering::kEqual;  // relation of (original, b), fixed
+  while (true) {
+    std::uint64_t cb = 0;
+    if (runs == 0) {
+      // Initial relation; re-used for every attempt since each starts from
+      // `original`. The *exact* comparator: callers on lossy paths may hold
+      // vectors outside the at-rest states compare_fast assumes.
+      if (opt.known_relation.has_value()) {
+        rel0 = *opt.known_relation;
+      } else {
+        rel0 = compare_full(a, b);
+        cb = compare_cost_bits(opt.cost);
+      }
+      total.initial_relation = rel0;
+      if (rel0 == Ordering::kEqual || rel0 == Ordering::kAfter) {
+        converged = true;  // receiver already covers the sender
+      }
+    } else {
+      // Convergence check on the last attempt's outcome (exact comparison:
+      // a partial join is not an at-rest state).
+      const Ordering rel = compare_full(a, b);
+      cb = compare_cost_bits(opt.cost);
+      total.recovery_bits += cb;
+      if (rel == Ordering::kEqual || rel == Ordering::kAfter) {
+        converged = true;  // receiver covers the sender: element-wise max holds
+      } else {
+        a = original;  // discard partial progress (halt-rule safety, above)
+      }
+    }
+    total.bits_fwd += cb / 2;
+    total.bits_rev += cb / 2;
+    if (cb > 0) {
+      total.bytes_fwd += wire_bytes_elem(false);
+      total.bytes_rev += wire_bytes_elem(false);
+      total.msgs_fwd += 1;
+      total.msgs_rev += 1;
+    }
+    if (converged) break;
+    if (opt.kind == VectorKind::kBrv && rel0 == Ordering::kConcurrent && runs > 0) {
+      break;  // SYNCB cannot reconcile ‖ (Alg 2 precondition): best effort only
+    }
+    if (runs > opt.retry.max_retries) break;  // retry budget exhausted
+    if (runs > 0) {
+      // Bounded exponential backoff, advanced on the simulated clock by a
+      // no-op event so the next attempt's timestamps reflect the wait.
+      loop.schedule(loop.now() + backoff_delay(opt.retry, runs), [] {});
+      loop.run();
+    }
+    SyncOptions cur = opt;
+    cur.known_relation = rel0;
+    // Every attempt observes an independent deterministic fault pattern.
+    cur.net.faults.seed = sim::fault_attempt_seed(opt.net.faults.seed, runs);
+    const sim::Time astart = loop.now();
+    const SyncReport r = sync_rotating(loop, a, b, cur);
+    accumulate_attempt(total, r, runs > 0, astart - t0);
+    ++runs;
+  }
+  // A failed sync leaves the receiver exactly as it was: callers never see a
+  // partially joined vector (the repl systems rely on this to keep metadata
+  // and content atomic).
+  if (!converged) a = original;
+  total.attempts = runs;
+  total.retries = runs > 0 ? runs - 1 : 0;
+  total.converged = converged;
+  total.duration = loop.now() - t0;
+  if (opt.metrics != nullptr) {
+    if (total.retries > 0) opt.metrics->counter("vv.retries").inc(total.retries);
+    if (!converged) opt.metrics->counter("vv.sync_failures").inc();
+  }
+  return total;
+}
+
+namespace {
+
+// Baseline sessions: the send set is known upfront, so the sender core emits
+// everything on kStart (the link's FIFO pacing models transmission time) and
+// the receiver core simply joins. Baseline traffic is sized as BRV elements
+// (no conflict/segment bits) regardless of opt.kind.
 SyncReport run_baseline_session(sim::EventLoop& loop, VersionVector& a,
                                 const std::vector<std::pair<SiteId, std::uint64_t>>& to_send,
                                 Ordering rel, const SyncOptions& opt) {
   SessionWiring w(loop, opt);
-  std::uint64_t applied = 0;
-  std::uint64_t redundant = 0;
-  sim::Time done_at = 0;
-  w.duplex.b_to_a().set_receiver([&](const VvMsg& m) {
-    if (m.kind == VvMsg::Kind::kHalt) {
-      done_at = loop.now();
-      return;
-    }
-    const bool is_new = m.value > a.value(m.site);
-    if (is_new) {
-      a.set(m.site, m.value);
-      ++applied;
-    } else {
-      ++redundant;
-    }
-    if (w.tracer != nullptr) {
-      w.tracer->record(obs::TraceEvent{.at = loop.now(),
-                                       .session = w.session,
-                                       .type = is_new ? obs::TraceEventType::kElemApplied
-                                                      : obs::TraceEventType::kElemRedundant,
-                                       .forward = true,
-                                       .site = m.site,
-                                       .value = m.value,
-                                       .bits = 0});
-    }
-  });
-  w.duplex.a_to_b().set_receiver([](const VvMsg&) {});
+  CoreDriver<protocol::BaselineSenderCore> sender(&loop, &w.duplex.b_to_a(), &opt,
+                                                  VectorKind::kBrv,
+                                                  protocol::BaselineSenderCore(&to_send));
+  CoreDriver<protocol::BaselineReceiverCore> receiver(&loop, &w.duplex.a_to_b(), &opt,
+                                                      VectorKind::kBrv,
+                                                      protocol::BaselineReceiverCore(&a));
+  w.connect([&receiver](const VvMsg& m) { receiver.on_message(m); },
+            [&sender](const VvMsg& m) { sender.on_message(m); }, VectorKind::kBrv);
   const sim::Time t0 = loop.now();
   const std::uint64_t ev0 = loop.executed_events();
   w.trace_boundary(loop, obs::TraceEventType::kSessionBegin, 0);
-  loop.schedule(t0, [&] {
-    for (const auto& [site, value] : to_send) {
-      VvMsg m;
-      m.kind = VvMsg::Kind::kElem;
-      m.site = site;
-      m.value = value;
-      w.duplex.b_to_a().send(m, opt.cost.elem_bits(0), wire_bytes_elem(false));
-    }
-    w.duplex.b_to_a().send(VvMsg{.kind = VvMsg::Kind::kHalt}, opt.cost.halt_bits(),
-                           wire_bytes_halt());
-  });
+  loop.schedule(t0, [&sender] { sender.start(); });
   const sim::Time t_end = loop.run();
-  ReceiverCounters rc;
-  rc.applied = applied;
-  rc.redundant = redundant;
-  rc.done_at = done_at;
-  SyncReport r = assemble_report(rel, 0, t0, t_end, w.duplex.b_to_a().stats(),
-                                 w.duplex.a_to_b().stats(), to_send.size(), rc, opt.cost);
+  if (opt.net.faults.enabled() && !receiver.core().finished()) receiver.abort();
+  const SessionAccounting acc{rel,
+                              /*compare_bits=*/0,
+                              t0,
+                              t_end,
+                              &w.duplex.b_to_a().stats(),
+                              &w.duplex.a_to_b().stats(),
+                              sender.core().elems_sent(),
+                              &receiver.core().counters(),
+                              receiver.done_at(),
+                              /*sender_violations=*/0};
+  SyncReport r = acc.build();
   w.harvest_framing(loop, ev0, r);
   w.trace_boundary(loop, obs::TraceEventType::kSessionEnd, r.total_bits());
   publish_session_metrics(opt.metrics, r);
@@ -800,72 +744,6 @@ SyncReport sync_singhal_kshemkalyani(sim::EventLoop& loop, VersionVector& a,
   return run_baseline_session(loop, a, delta, rel, opt);
 }
 
-namespace {
-
-// One endpoint of the COMPARE session: sends its probe, answers the peer's
-// probe with a domination bit, and decides from (own bit, peer bit).
-class ComparePeer {
- public:
-  ComparePeer(const RotatingVector* v, sim::FrameLink<VvMsg>* tx, const CostModel* cm)
-      : v_(v), tx_(tx), cm_(cm) {}
-
-  void start() {
-    VvMsg probe{.kind = VvMsg::Kind::kProbe};
-    if (const auto f = v_->front()) {
-      probe.site = f->site;
-      probe.value = f->value;
-    }
-    tx_->send(probe, cm_->compare_probe_bits(), wire_bytes_elem(false));
-  }
-
-  void on_message(const VvMsg& m) {
-    switch (m.kind) {
-      case VvMsg::Kind::kProbe: {
-        peer_probe_ = m;
-        // Do we cover the peer's probe? (Empty probe: trivially covered;
-        // our emptiness makes us cover nothing but the empty probe.)
-        const bool covers = m.value == 0 || v_->value(m.site) >= m.value;
-        // Our own bit: does the peer cover our front? We cannot know — the
-        // peer tells us; we only emit our verdict about *their* probe.
-        VvMsg verdict{.kind = VvMsg::Kind::kVerdict, .arg = covers ? 1u : 0u};
-        i_cover_peer_ = covers;
-        tx_->send(verdict, 1, 1);
-        break;
-      }
-      case VvMsg::Kind::kVerdict:
-        peer_covers_me_ = m.arg != 0;
-        has_verdict_ = true;
-        break;
-      default:
-        OPTREP_CHECK_MSG(false, "unexpected message in COMPARE session");
-    }
-  }
-
-  Ordering decide() const {
-    OPTREP_CHECK_MSG(has_verdict_, "COMPARE session incomplete");
-    const bool self_empty = v_->empty();
-    const bool peer_empty = peer_probe_.value == 0;
-    if (self_empty && peer_empty) return Ordering::kEqual;
-    if (self_empty) return Ordering::kBefore;
-    if (peer_empty) return Ordering::kAfter;
-    if (i_cover_peer_ && peer_covers_me_) return Ordering::kEqual;
-    if (peer_covers_me_) return Ordering::kBefore;  // peer knows all we know
-    if (i_cover_peer_) return Ordering::kAfter;
-    return Ordering::kConcurrent;
-  }
-
- private:
-  const RotatingVector* v_;
-  sim::FrameLink<VvMsg>* tx_;
-  const CostModel* cm_;
-  VvMsg peer_probe_{};
-  bool i_cover_peer_{false};
-  bool peer_covers_me_{false};
-  bool has_verdict_{false};
-};
-
-}  // namespace
-
 CompareSessionResult compare_session(sim::EventLoop& loop, const RotatingVector& a,
                                      const RotatingVector& b, const sim::NetConfig& net,
                                      const CostModel& cost) {
@@ -880,19 +758,39 @@ CompareSessionResult compare_session(sim::EventLoop& loop, const RotatingVector&
   const auto flush = [](const VvMsg& m) { return m.kind != VvMsg::Kind::kElem; };
   duplex.a_to_b().set_flush_after(flush);
   duplex.b_to_a().set_flush_after(flush);
-  ComparePeer pa(&a, &duplex.a_to_b(), &cost);
-  ComparePeer pb(&b, &duplex.b_to_a(), &cost);
-  duplex.a_to_b().set_receiver([&pb](const VvMsg& m) { pb.on_message(m); });
-  duplex.b_to_a().set_receiver([&pa](const VvMsg& m) { pa.on_message(m); });
+  protocol::CompareCore ca(&a);
+  protocol::CompareCore cb(&b);
+  // COMPARE's binding is trivial (two counted sends per endpoint, no
+  // speculation): a local pump suffices instead of a full CoreDriver.
+  const auto drive = [&cost](protocol::CompareCore& core, sim::FrameLink<VvMsg>* tx,
+                             const protocol::Event& ev) {
+    protocol::Actions& acts = scratch_actions();
+    acts.clear();
+    core.step(ev, acts);
+    for (const protocol::Action& act : acts) {
+      if (act.type != protocol::Action::Type::kSend) continue;
+      if (act.msg.kind == VvMsg::Kind::kProbe) {
+        tx->send(act.msg, cost.compare_probe_bits(), wire_bytes_elem(false));
+      } else {
+        tx->send(act.msg, 1, 1);
+      }
+    }
+  };
+  duplex.a_to_b().set_receiver([&](const VvMsg& m) {
+    drive(cb, &duplex.b_to_a(), protocol::Event::msg_arrival(m));
+  });
+  duplex.b_to_a().set_receiver([&](const VvMsg& m) {
+    drive(ca, &duplex.a_to_b(), protocol::Event::msg_arrival(m));
+  });
   const sim::Time t0 = loop.now();
-  loop.schedule(t0, [&pa, &pb] {
-    pa.start();
-    pb.start();
+  loop.schedule(t0, [&] {
+    drive(ca, &duplex.a_to_b(), protocol::Event::start());
+    drive(cb, &duplex.b_to_a(), protocol::Event::start());
   });
   const sim::Time t_end = loop.run();
   CompareSessionResult r;
-  r.at_a = pa.decide();
-  r.at_b = pb.decide();
+  r.at_a = ca.decide();
+  r.at_b = cb.decide();
   r.total_bits = duplex.a_to_b().stats().model_bits + duplex.b_to_a().stats().model_bits;
   r.duration = t_end - t0;
   return r;

@@ -37,6 +37,15 @@ namespace optrep::vv {
 
 enum class TransferMode : std::uint8_t { kPipelined, kStopAndWait, kIdeal };
 
+// Retry policy for sync_with_recovery: how many times a session may be
+// re-run when fault injection keeps the replicas from converging, and the
+// bounded exponential backoff between attempts.
+struct RetryPolicy {
+  std::uint32_t max_retries{6};
+  sim::Time base_backoff_s{0.05};  // attempt k waits base · 2^k, capped below
+  sim::Time max_backoff_s{2.0};
+};
+
 struct SyncOptions {
   VectorKind kind{VectorKind::kSrv};
   TransferMode mode{TransferMode::kPipelined};
@@ -61,6 +70,9 @@ struct SyncOptions {
   obs::Tracer* tracer{nullptr};
   std::uint64_t trace_session{0};
   obs::Registry* metrics{nullptr};
+
+  // Used by sync_with_recovery when opt.net.faults.enabled().
+  RetryPolicy retry{};
 };
 
 struct SyncReport {
@@ -102,10 +114,30 @@ struct SyncReport {
   sim::Time duration{0};
   sim::Time receiver_done_at{0};
 
+  // Fault injection and recovery (all zero / defaults on fault-free runs).
+  // attempts counts full session runs inside sync_with_recovery; retries is
+  // attempts - 1; recovery_bits is the model-bit traffic attributable to
+  // retries (attempts past the first, including their re-COMPAREs).
+  std::uint32_t attempts{1};
+  std::uint32_t retries{0};
+  std::uint64_t recovery_bits{0};
+  bool converged{true};  // receiver == element-wise max when the call returned
+  // Messages the cores ignored because they were impossible in the current
+  // state (duplicates of already-consumed control messages, stale skips, ...).
+  std::uint64_t protocol_violations{0};
+  std::uint64_t faults_dropped{0};
+  std::uint64_t faults_duplicated{0};
+  std::uint64_t faults_reordered{0};
+  std::uint64_t faults_corrupted{0};
+  std::uint64_t faults_decode_errors{0};  // corruptions the typed codec caught
+
   std::uint64_t total_bits() const { return bits_fwd + bits_rev; }
   std::uint64_t total_bytes() const { return bytes_fwd + bytes_rev; }
   std::uint64_t total_frames() const { return frames_fwd + frames_rev; }
   std::uint64_t total_framed_bytes() const { return framed_bytes_fwd + framed_bytes_rev; }
+  std::uint64_t total_faults() const {
+    return faults_dropped + faults_duplicated + faults_reordered + faults_corrupted;
+  }
 };
 
 // SYNCB_b(a) — Algorithm 2. Requires a ∦ b (checked). After the call a's
@@ -128,6 +160,23 @@ SyncReport sync_skip(sim::EventLoop& loop, RotatingVector& a, const RotatingVect
 // Dispatch on opt.kind.
 SyncReport sync_rotating(sim::EventLoop& loop, RotatingVector& a, const RotatingVector& b,
                          const SyncOptions& opt);
+
+// Fault-tolerant wrapper: runs sync_rotating under opt.net.faults, then
+// re-COMPAREs (exact compare_full — faulted partial syncs may leave vectors
+// outside the at-rest states compare_fast assumes) and retries with bounded
+// exponential backoff (opt.retry) until the receiver covers the sender or
+// the retry budget runs out. Each attempt derives an independent fault seed
+// via sim::fault_attempt_seed. With faults disabled this is exactly
+// sync_rotating. BRV + concurrent vectors run one best-effort pass
+// (SYNCB cannot reconcile ‖; report.converged reflects the outcome).
+//
+// Atomicity: every attempt starts from the receiver's pre-call state — the
+// protocols' receiver-halt rule is only sound against a prefix-closed
+// receiver, which a faulted partial application is not — and when the call
+// returns with report.converged == false the receiver is left exactly as it
+// was (partial progress is discarded, its traffic charged to recovery_bits).
+SyncReport sync_with_recovery(sim::EventLoop& loop, RotatingVector& a, const RotatingVector& b,
+                              const SyncOptions& opt);
 
 // Traditional baseline: ship the entire vector, receiver joins element-wise.
 SyncReport sync_traditional(sim::EventLoop& loop, VersionVector& a, const VersionVector& b,

@@ -45,6 +45,26 @@ void write_metrics_field(obs::JsonWriter& w, const obs::Registry& reg) {
   obs::write_metrics(w, reg);
 }
 
+// Fault-injection tags + recovery totals. Emitted only when faults are
+// configured, so lossless reports stay byte-identical to earlier schemas.
+void write_faults(obs::JsonWriter& w, const sim::NetConfig& net, std::uint64_t retries,
+                  std::uint64_t sync_failures, std::uint64_t faults_injected,
+                  std::uint64_t recovery_bits) {
+  if (!net.faults.enabled()) return;
+  const auto& f = net.faults;
+  w.key("faults").begin_object();
+  w.field("loss", f.drop);
+  w.field("dup", f.duplicate);
+  w.field("reorder", f.reorder);
+  w.field("corrupt", f.corrupt);
+  w.field("fault_seed", f.seed);
+  w.field("injected", faults_injected);
+  w.field("retries", retries);
+  w.field("sync_failures", sync_failures);
+  w.field("recovery_bits", recovery_bits);
+  w.end_object();
+}
+
 }  // namespace
 
 std::string state_run_report_json(const repl::StateSystem& sys, const Trace& trace,
@@ -77,6 +97,7 @@ std::string state_run_report_json(const repl::StateSystem& sys, const Trace& tra
   w.field("upper_bound_bits_per_session", obs::table2_upper_bound_bits(cfg.cost, cfg.kind));
   w.field("bound_violations", t.bound_violations);
   w.end_object();
+  write_faults(w, cfg.net, t.retries, t.sync_failures, t.faults_injected, t.recovery_bits);
   write_metrics_field(w, sys.metrics());
   w.end_object();
   return w.take();
@@ -143,6 +164,7 @@ std::string records_run_report_json(const repl::RecordSystem& sys,
   w.field("upper_bound_bits_per_session", obs::table2_upper_bound_bits(cfg.cost, cfg.kind));
   w.field("bound_violations", t.bound_violations);
   w.end_object();
+  write_faults(w, cfg.net, t.retries, t.sync_failures, t.faults_injected, t.recovery_bits);
   write_metrics_field(w, sys.metrics());
   w.end_object();
   return w.take();

@@ -1,0 +1,239 @@
+// End-to-end fault injection through the simulated sessions: every
+// sync_with_recovery call under a lossy network must terminate, keep its
+// retries within the configured budget, and leave the receiver either
+// exactly converged (element-wise maximum, Theorem 3.1) or — when the
+// budget runs out — exactly as it started.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "vv/compare.h"
+#include "vv/session.h"
+
+namespace optrep::vv {
+namespace {
+
+struct VecPair {
+  RotatingVector a;
+  RotatingVector b;
+};
+
+// §2.1-conformant pair from a gossip world: each replica increments only its
+// own site's counter and may adopt another replica's full state when that
+// state covers its own, so every drawn vector is reachable by a real history.
+// The rotation-order invariant the receiver-halt rule depends on only holds
+// for such states — independently randomized vectors can coincidentally agree
+// on an element's value without sharing the history behind it.
+std::optional<VecPair> try_world_pair(Rng& rng, std::uint32_t n_sites,
+                                      bool want_concurrent) {
+  std::vector<RotatingVector> w(n_sites);
+  const std::uint64_t steps = rng.range(20, 80);
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    const auto r = static_cast<std::uint32_t>(rng.range(0, n_sites - 1));
+    if (rng.chance(0.55)) {
+      w[r].record_update(SiteId{r});
+    } else {
+      const auto s = static_cast<std::uint32_t>(rng.range(0, n_sites - 1));
+      if (s != r && compare_full(w[r], w[s]) == Ordering::kBefore) w[r] = w[s];
+    }
+  }
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> cands;
+  for (std::uint32_t i = 0; i < n_sites; ++i)
+    for (std::uint32_t j = 0; j < n_sites; ++j) {
+      if (i == j) continue;
+      const Ordering rel = compare_full(w[i], w[j]);
+      if (want_concurrent ? rel == Ordering::kConcurrent : rel == Ordering::kBefore)
+        cands.push_back({i, j});
+    }
+  if (cands.empty()) return std::nullopt;
+  const auto [i, j] = cands[rng.range(0, cands.size() - 1)];
+  return VecPair{w[i], w[j]};
+}
+
+VecPair make_pair_(Rng& rng, std::uint32_t n_sites, bool want_concurrent) {
+  for (;;) {
+    if (auto p = try_world_pair(rng, n_sites, want_concurrent)) return *p;
+  }
+}
+
+std::string digest(const RotatingVector& v) {
+  std::string out;
+  for (auto it = v.begin(); it != v.end(); ++it) {
+    out += std::to_string(it->site.value) + ":" + std::to_string(it->value) +
+           (it->conflict ? "c" : "") + (it->segment ? "s" : "") + " ";
+  }
+  return out;
+}
+
+bool covers_max(const RotatingVector& a, const RotatingVector& orig,
+                const RotatingVector& b) {
+  for (auto it = b.begin(); it != b.end(); ++it)
+    if (a.value(it->site) != std::max(orig.value(it->site), it->value)) return false;
+  for (auto it = orig.begin(); it != orig.end(); ++it)
+    if (a.value(it->site) < it->value) return false;
+  return true;
+}
+
+SyncOptions base_options(VectorKind kind, TransferMode mode) {
+  SyncOptions opt;
+  opt.kind = kind;
+  opt.mode = mode;
+  opt.cost = CostModel{.n = 6, .m = 1 << 16};
+  opt.net = {.latency_s = 0.002, .bandwidth_bits_per_s = 2000.0};
+  return opt;
+}
+
+struct FaultMix {
+  const char* name;
+  double drop, dup, reorder, corrupt;
+};
+
+constexpr FaultMix kMixes[] = {
+    {"drop", 0.25, 0, 0, 0},
+    {"dup", 0, 0.3, 0, 0},
+    {"reorder", 0, 0, 0.3, 0},
+    {"corrupt", 0, 0, 0, 0.25},
+    {"all", 0.1, 0.1, 0.1, 0.1},
+    // Near-blackhole: almost nothing gets through, so the retry budget is
+    // exhausted and the restore path actually runs.
+    {"blackhole", 0.9, 0, 0, 0.5},
+};
+
+// The convergence/atomicity contract, swept over kinds × modes × fault
+// classes × seeds. Heavy rates on purpose: failed attempts and exhausted
+// budgets must be reachable, and both outcomes are asserted exactly.
+TEST(FaultSessions, EverySessionTerminatesConvergedOrRestored) {
+  Rng rng(4242);
+  std::uint64_t converged_runs = 0, failed_runs = 0, total_faults = 0;
+  for (const FaultMix& mix : kMixes) {
+    for (auto kind : {VectorKind::kBrv, VectorKind::kCrv, VectorKind::kSrv}) {
+      for (auto mode : {TransferMode::kPipelined, TransferMode::kStopAndWait}) {
+        for (int trial = 0; trial < 25; ++trial) {
+          const bool concurrent = kind != VectorKind::kBrv && rng.chance(0.5);
+          VecPair p = make_pair_(rng, 6, concurrent);
+          const Ordering rel = compare_full(p.a, p.b);
+          const RotatingVector original = p.a;
+
+          SyncOptions opt = base_options(kind, mode);
+          opt.known_relation = rel;
+          opt.net.faults.drop = mix.drop;
+          opt.net.faults.duplicate = mix.dup;
+          opt.net.faults.reorder = mix.reorder;
+          opt.net.faults.corrupt = mix.corrupt;
+          opt.net.faults.seed = rng.range(1, 1 << 20);
+          opt.retry.base_backoff_s = 0.001;  // keep simulated time small
+
+          sim::EventLoop loop;
+          const SyncReport r = sync_with_recovery(loop, p.a, p.b, opt);
+
+          EXPECT_LE(r.retries, opt.retry.max_retries) << mix.name;
+          EXPECT_EQ(r.attempts, r.retries + 1) << mix.name;
+          total_faults += r.total_faults();
+          if (r.converged) {
+            ++converged_runs;
+            EXPECT_TRUE(covers_max(p.a, original, p.b))
+                << mix.name << " kind " << (int)kind << " trial " << trial;
+            const Ordering after = compare_full(p.a, p.b);
+            EXPECT_TRUE(after == Ordering::kEqual || after == Ordering::kAfter);
+          } else {
+            ++failed_runs;
+            // Atomicity: a failed sync is a complete no-op on the receiver.
+            EXPECT_EQ(digest(p.a), digest(original)) << mix.name;
+          }
+          if (r.retries > 0) {
+            EXPECT_GT(r.recovery_bits, 0u);
+          }
+        }
+      }
+    }
+  }
+  // The sweep must actually exercise both the fault machinery and both
+  // outcomes, or the assertions above are vacuous.
+  EXPECT_GT(total_faults, 0u);
+  EXPECT_GT(converged_runs, 0u);
+  EXPECT_GT(failed_runs, 0u);
+}
+
+// Corrupted messages hit the real codec: with corruption enabled, a portion
+// of the flips must be caught as typed decode errors (the rest by the
+// modeled checksum), and both counters surface in the report.
+TEST(FaultSessions, CorruptionIsCountedAndSomeCaughtByTypedDecoders) {
+  Rng rng(99);
+  std::uint64_t corrupted = 0, decode_errors = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    VecPair p = make_pair_(rng, 6, false);
+    if (compare_full(p.a, p.b) != Ordering::kBefore) continue;
+    SyncOptions opt = base_options(VectorKind::kSrv, TransferMode::kPipelined);
+    opt.known_relation = Ordering::kBefore;
+    opt.net.faults.corrupt = 0.3;
+    opt.net.faults.seed = 1000 + trial;
+    opt.retry.base_backoff_s = 0.001;
+    sim::EventLoop loop;
+    const SyncReport r = sync_with_recovery(loop, p.a, p.b, opt);
+    corrupted += r.faults_corrupted;
+    decode_errors += r.faults_decode_errors;
+  }
+  EXPECT_GT(corrupted, 0u);
+  EXPECT_GT(decode_errors, 0u);
+  EXPECT_LE(decode_errors, corrupted);
+}
+
+// Per-attempt fault seeds are independent: a session whose first attempt is
+// disrupted converges on a later attempt (the same stream would fail
+// forever), and the whole run is reproducible seed-for-seed.
+TEST(FaultSessions, RetriesUseIndependentSeedsAndAreDeterministic) {
+  auto run = [](std::uint64_t seed) {
+    Rng rng(2026);
+    VecPair p = make_pair_(rng, 5, false);
+    SyncOptions opt = base_options(VectorKind::kCrv, TransferMode::kPipelined);
+    opt.known_relation = Ordering::kBefore;
+    opt.net.faults.drop = 0.35;
+    opt.net.faults.seed = seed;
+    opt.retry.base_backoff_s = 0.001;
+    sim::EventLoop loop;
+    const SyncReport r = sync_with_recovery(loop, p.a, p.b, opt);
+    return std::make_pair(r, digest(p.a));
+  };
+  // Find a seed whose first attempt is disrupted but which converges.
+  bool saw_retry_then_converge = false;
+  for (std::uint64_t seed = 1; seed <= 60 && !saw_retry_then_converge; ++seed) {
+    const auto [r, d] = run(seed);
+    if (r.converged && r.retries > 0) {
+      saw_retry_then_converge = true;
+      const auto [r2, d2] = run(seed);  // bit-for-bit reproducible
+      EXPECT_EQ(r2.retries, r.retries);
+      EXPECT_EQ(r2.recovery_bits, r.recovery_bits);
+      EXPECT_EQ(r2.total_faults(), r.total_faults());
+      EXPECT_EQ(d2, d);
+    }
+  }
+  EXPECT_TRUE(saw_retry_then_converge);
+}
+
+// The retry budget is a real bound: with a network that drops everything,
+// the session gives up after exactly max_retries retries, restores the
+// receiver, and reports converged = false.
+TEST(FaultSessions, TotalLossExhaustsTheBudgetAndRestores) {
+  Rng rng(7);
+  VecPair p = make_pair_(rng, 5, false);
+  ASSERT_EQ(compare_full(p.a, p.b), Ordering::kBefore);
+  const RotatingVector original = p.a;
+  SyncOptions opt = base_options(VectorKind::kSrv, TransferMode::kPipelined);
+  opt.known_relation = Ordering::kBefore;
+  opt.net.faults.drop = 1.0;
+  opt.retry.max_retries = 3;
+  opt.retry.base_backoff_s = 0.001;
+  sim::EventLoop loop;
+  const SyncReport r = sync_with_recovery(loop, p.a, p.b, opt);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.retries, 3u);
+  EXPECT_EQ(r.attempts, 4u);
+  EXPECT_EQ(digest(p.a), digest(original));
+}
+
+}  // namespace
+}  // namespace optrep::vv

@@ -140,7 +140,50 @@ TEST(FrameCodec, FuzzRoundTripAgainstPerMessageSizes) {
   }
 }
 
-TEST(FrameCodecDeath, TruncatedFrameIsRejected) {
+TEST(FrameCodecErrors, TruncatedFrameReturnsTypedError) {
+  std::vector<VvMsg> msgs{
+      VvMsg{.kind = VvMsg::Kind::kElem, .site = SiteId{12}, .value = 345678},
+      VvMsg{.kind = VvMsg::Kind::kElem, .site = SiteId{13}, .value = 345679},
+  };
+  std::vector<std::uint8_t> bytes;
+  frame_encode(bytes, msgs);
+  ASSERT_GT(bytes.size(), 1u);
+  bytes.pop_back();  // cut the last value field short
+  std::vector<VvMsg> out;
+  EXPECT_EQ(try_frame_decode(bytes, &out), FrameDecodeError::kTruncated);
+  // Partial-decode semantics: everything before the damage is preserved.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].site.value, msgs[0].site.value);
+  EXPECT_EQ(out[0].value, msgs[0].value);
+}
+
+TEST(FrameCodecErrors, UnknownTagReturnsTypedError) {
+  std::vector<VvMsg> msgs{VvMsg{.kind = VvMsg::Kind::kHalt}};
+  std::vector<std::uint8_t> bytes;
+  frame_encode(bytes, msgs);
+  bytes.push_back(0x18);  // a tag byte outside the codec's map
+  std::vector<VvMsg> out;
+  EXPECT_EQ(try_frame_decode(bytes, &out), FrameDecodeError::kUnknownTag);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(FrameCodecErrors, VarintOverflowReturnsTypedError) {
+  std::vector<VvMsg> msgs{VvMsg{.kind = VvMsg::Kind::kElem, .site = SiteId{1}, .value = 2}};
+  std::vector<std::uint8_t> bytes;
+  frame_encode(bytes, msgs);
+  // Replace the encoded value with a varint that continues past 64 bits.
+  while (!bytes.empty() && (bytes.back() & 0x80) == 0 &&
+         bytes.size() > 1)  // strip the short value varint
+    bytes.pop_back();
+  for (int i = 0; i < 11; ++i) bytes.push_back(0x80);
+  bytes.push_back(0x01);
+  std::vector<VvMsg> out;
+  EXPECT_EQ(try_frame_decode(bytes, &out), FrameDecodeError::kVarintOverflow);
+}
+
+// The aborting API keeps its trusted-input contract: feeding it a damaged
+// buffer is API misuse, not a recoverable condition.
+TEST(FrameCodecDeath, TruncatedFrameAbortsTheTrustedDecoder) {
   std::vector<VvMsg> msgs{
       VvMsg{.kind = VvMsg::Kind::kElem, .site = SiteId{12}, .value = 345678},
   };

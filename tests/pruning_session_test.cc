@@ -1,0 +1,147 @@
+// Pruning × sessions: site retirement interleaved with multi-round
+// synchronization. The §7 membership manager must be able to retire a site
+// *between* sync rounds — after the fleet converged on its final value —
+// prune it from every replica, and leave all later rounds (fresh updates,
+// reconciliation, further syncs) fully functional for BRV, CRV and SRV.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "vv/compare.h"
+#include "vv/pruning.h"
+#include "vv/session.h"
+
+namespace optrep::vv {
+namespace {
+
+SyncReport sync_pair(RotatingVector& a, const RotatingVector& b, VectorKind kind) {
+  const Ordering rel = compare_full(a, b);
+  if (rel == Ordering::kEqual || rel == Ordering::kAfter) return {};
+  // BRV cannot reconcile concurrent replicas (§3.1); callers below only
+  // create concurrency for CRV/SRV.
+  EXPECT_FALSE(kind == VectorKind::kBrv && rel == Ordering::kConcurrent);
+  SyncOptions opt;
+  opt.kind = kind;
+  opt.cost = CostModel{.n = 8, .m = 1 << 16};
+  opt.net = {.latency_s = 0.001, .bandwidth_bits_per_s = 5000.0};
+  opt.known_relation = rel;
+  sim::EventLoop loop;
+  return sync_rotating(loop, a, b, opt);
+}
+
+// Pairwise anti-entropy until every replica holds identical values.
+void converge(std::vector<RotatingVector>& reps, VectorKind kind) {
+  for (int round = 0; round < 20; ++round) {
+    for (std::size_t i = 0; i < reps.size(); ++i)
+      for (std::size_t j = 0; j < reps.size(); ++j)
+        if (i != j) sync_pair(reps[i], reps[j], kind);
+    bool all_equal = true;
+    for (std::size_t i = 1; i < reps.size(); ++i)
+      all_equal &= compare_full(reps[0], reps[i]) == Ordering::kEqual;
+    if (all_equal) return;
+  }
+  FAIL() << "replicas did not converge within the round budget";
+}
+
+TEST(PruningSessions, RetirementBetweenSyncRoundsAllKinds) {
+  const SiteId A{0}, B{1}, C{2}, D{3};
+  for (auto kind : {VectorKind::kBrv, VectorKind::kCrv, VectorKind::kSrv}) {
+    const bool concurrent_ok = kind != VectorKind::kBrv;
+    std::vector<RotatingVector> reps(4);
+
+    // Round 1: everyone (including the soon-retired D) updates. For BRV the
+    // updates flow through replica 0 so no pair ever goes concurrent.
+    if (concurrent_ok) {
+      reps[0].record_update(A);
+      reps[1].record_update(B);
+      reps[2].record_update(C);
+      reps[3].record_update(D);
+      reps[3].record_update(D);
+    } else {
+      reps[0].record_update(A);
+      reps[0].record_update(B);
+      reps[0].record_update(C);
+      reps[0].record_update(D);
+      reps[0].record_update(D);
+    }
+    converge(reps, kind);
+
+    // D retires: once every live replica reports having absorbed its final
+    // value, the element is provably stable and prunable everywhere.
+    MembershipManager mm;
+    mm.retire(D);
+    for (const auto& r : reps) mm.observe_replica(r.to_version_vector());
+    ASSERT_EQ(mm.prunable().size(), 1u);
+    for (auto& r : reps) {
+      EXPECT_EQ(mm.prune(r), 1u);
+      EXPECT_FALSE(r.contains(D));
+    }
+    // Pruning a stable element changes no pairwise relation.
+    for (std::size_t i = 1; i < reps.size(); ++i)
+      EXPECT_EQ(compare_full(reps[0], reps[i]), Ordering::kEqual);
+
+    // Round 2: fresh updates on the surviving sites, then full convergence
+    // through pruned vectors. The retired element must not resurface.
+    if (concurrent_ok) {
+      reps[0].record_update(A);
+      reps[1].record_update(B);
+      reps[2].record_update(C);
+    } else {
+      reps[1].record_update(A);
+    }
+    converge(reps, kind);
+    for (const auto& r : reps) EXPECT_FALSE(r.contains(D));
+
+    // Round 3: retire another site (C) mid-stream and repeat, proving the
+    // manager composes across epochs on already-pruned vectors.
+    mm.retire(C);
+    for (const auto& r : reps) mm.observe_replica(r.to_version_vector());
+    for (auto& r : reps) mm.prune(r);
+    for (const auto& r : reps) EXPECT_FALSE(r.contains(C));
+    if (concurrent_ok) {
+      reps[0].record_update(A);
+      reps[1].record_update(B);
+    } else {
+      reps[2].record_update(B);
+    }
+    converge(reps, kind);
+  }
+}
+
+// Pruned vectors through the lossy-network recovery path: retirement and
+// fault tolerance compose. (The fault model never resurrects a pruned
+// element — faulted attempts restart from the receiver's pruned state.)
+TEST(PruningSessions, PrunedVectorsSyncUnderFaults) {
+  const SiteId A{0}, B{1}, D{3};
+  RotatingVector a, b;
+  a.record_update(A);
+  a.record_update(D);
+  b = a;
+  b.record_update(B);
+  b.record_update(B);
+
+  MembershipManager mm;
+  mm.retire(D);
+  mm.observe_replica(a.to_version_vector());
+  mm.observe_replica(b.to_version_vector());
+  ASSERT_EQ(mm.prune(a), 1u);
+  ASSERT_EQ(mm.prune(b), 1u);
+
+  SyncOptions opt;
+  opt.kind = VectorKind::kSrv;
+  opt.cost = CostModel{.n = 4, .m = 1 << 16};
+  opt.net = {.latency_s = 0.001, .bandwidth_bits_per_s = 2000.0};
+  opt.known_relation = Ordering::kBefore;
+  opt.net.faults.drop = 0.2;
+  opt.net.faults.duplicate = 0.1;
+  opt.net.faults.seed = 11;
+  opt.retry.base_backoff_s = 0.001;
+  sim::EventLoop loop;
+  const SyncReport r = sync_with_recovery(loop, a, b, opt);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(compare_full(a, b), Ordering::kEqual);
+  EXPECT_FALSE(a.contains(D));
+}
+
+}  // namespace
+}  // namespace optrep::vv

@@ -1,0 +1,102 @@
+// Fault injection through the replication systems: the state- and
+// record-transfer layers must surface retries and failures from the session
+// layer, keep a failed sync a complete no-op, and stay convergent once the
+// network lets a sync through.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/check.h"
+#include "repl/op_system.h"
+#include "repl/record_system.h"
+#include "repl/state_system.h"
+
+namespace optrep::repl {
+namespace {
+
+const SiteId A{0}, B{1}, C{2};
+const ObjectId kObj{0};
+
+StateSystem::Config lossy_state_cfg(double drop, std::uint64_t seed) {
+  StateSystem::Config cfg;
+  cfg.n_sites = 4;
+  cfg.kind = vv::VectorKind::kSrv;
+  cfg.policy = ResolutionPolicy::kAutomatic;
+  cfg.cost = CostModel{.n = 8, .m = 1024};
+  cfg.net.latency_s = 0.001;
+  cfg.net.faults.drop = drop;
+  cfg.net.faults.seed = seed;
+  return cfg;
+}
+
+TEST(ReplFaults, StateSyncRetriesAndConverges) {
+  StateSystem sys(lossy_state_cfg(0.2, 5));
+  sys.create_object(A, kObj, "base");
+  for (int i = 0; i < 6; ++i) sys.update(A, kObj, "v" + std::to_string(i));
+  const auto out = sys.sync(B, A, kObj);
+  ASSERT_EQ(out.action, SyncOutcome::Action::kPulled);
+  EXPECT_TRUE(out.report.converged);
+  EXPECT_TRUE(sys.replicas_consistent(kObj));
+  EXPECT_GT(sys.totals().faults_injected, 0u);
+}
+
+TEST(ReplFaults, StateSyncFailureIsACompleteNoOp) {
+  StateSystem sys(lossy_state_cfg(1.0, 1));  // nothing ever arrives
+  sys.create_object(A, kObj, "base");
+  sys.update(A, kObj, "v1");
+  const auto out = sys.sync(B, A, kObj);  // creates B's replica, empty
+  EXPECT_EQ(out.action, SyncOutcome::Action::kFailed);
+  EXPECT_FALSE(out.report.converged);
+  EXPECT_EQ(out.report.retries, vv::RetryPolicy{}.max_retries);
+  EXPECT_EQ(sys.totals().sync_failures, 1u);
+  // The receiver's metadata never claims content that was not transferred.
+  EXPECT_TRUE(sys.replica(B, kObj).vector.to_version_vector() == vv::VersionVector{});
+  EXPECT_TRUE(sys.replica(B, kObj).data.entries.empty());
+}
+
+TEST(ReplFaults, FaultTotalsAccumulateAcrossSessions) {
+  StateSystem sys(lossy_state_cfg(0.25, 77));
+  sys.create_object(A, kObj, "base");
+  for (int round = 0; round < 5; ++round) {
+    sys.update(A, kObj, "a" + std::to_string(round));
+    sys.sync(B, A, kObj);
+    sys.sync(C, B, kObj);
+  }
+  const auto& t = sys.totals();
+  EXPECT_GT(t.faults_injected, 0u);
+  EXPECT_GT(t.retries + t.sync_failures, 0u);
+  EXPECT_GT(t.recovery_bits, 0u);
+}
+
+TEST(ReplFaults, RecordSyncUnderFaultsMergesOrRollsBack) {
+  RecordSystem::Config cfg;
+  cfg.n_sites = 4;
+  cfg.kind = vv::VectorKind::kSrv;
+  cfg.cost = CostModel{.n = 8, .m = 1024};
+  cfg.net.latency_s = 0.001;
+  cfg.net.faults.drop = 0.25;
+  cfg.net.faults.seed = 3;
+  RecordSystem sys(cfg);
+  sys.create_object(A, kObj, "k0", "v0");
+  for (int i = 0; i < 5; ++i) sys.put(A, kObj, "k" + std::to_string(i), "vA");
+  sys.sync(B, A, kObj);
+  sys.put(B, kObj, "kb", "vB");
+  sys.put(A, kObj, "ka", "vA2");
+  for (int round = 0; round < 8; ++round) {
+    const auto r1 = sys.sync(B, A, kObj);
+    const auto r2 = sys.sync(A, B, kObj);
+    if (r1.report.converged && r2.report.converged) break;
+  }
+  EXPECT_TRUE(sys.replicas_consistent(kObj));
+  EXPECT_GT(sys.totals().faults_injected, 0u);
+}
+
+TEST(ReplFaultsDeath, OpTransferRejectsFaultInjection) {
+  OpSystem::Config cfg;
+  cfg.n_sites = 3;
+  cfg.net.faults.drop = 0.1;
+  EXPECT_DEATH(OpSystem{cfg}, "fault injection is not supported");
+}
+
+}  // namespace
+}  // namespace optrep::repl

@@ -35,6 +35,9 @@
 // sweep options:
 //   --seeds=K            number of independent runs (seed_k = task_seed(seed, k))
 //   --threads=N          worker threads (0 = hardware concurrency)
+// fault options (state, records, sweep):
+//   --loss=P --dup=P --reorder=P --corrupt=P   per-message fault probabilities
+//   --fault-seed=N       fault stream seed (independent of --seed)
 //
 // Examples:
 //   optrep_cli state --kind=srv --sites=32 --steps=5000 --update-prob=0.7
@@ -83,6 +86,16 @@ struct Args {
   bool flag_policy{false};
   std::uint32_t sweep_seeds{8};
   unsigned threads{1};
+  // Fault injection (state/records/sweep; op has no recovery path).
+  double loss{0};
+  double dup{0};
+  double reorder{0};
+  double corrupt{0};
+  std::uint64_t fault_seed{1};
+
+  bool faults_requested() const {
+    return loss > 0 || dup > 0 || reorder > 0 || corrupt > 0;
+  }
 };
 
 [[noreturn]] void usage(const char* msg) {
@@ -93,7 +106,8 @@ struct Args {
                "       [--mode=ideal|saw|pipelined] [--latency-ms=F] [--bandwidth=F]\n"
                "       [--kind=brv|crv|srv] [--manual] [--log-limit=N] [--full-graph]\n"
                "       [--csv] [--json] [--trace-out=FILE] [--profile-out=FILE]\n"
-               "       [--seeds=K] [--threads=N]\n");
+               "       [--seeds=K] [--threads=N]\n"
+               "       [--loss=P] [--dup=P] [--reorder=P] [--corrupt=P] [--fault-seed=N]\n");
   std::exit(2);
 }
 
@@ -171,6 +185,16 @@ Args parse(int argc, char** argv) {
       a.key_pool = static_cast<std::uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
     } else if (take(argv[i], "--flag", &v)) {
       a.flag_policy = true;
+    } else if (take(argv[i], "--loss", &v)) {
+      a.loss = std::strtod(v.c_str(), nullptr);
+    } else if (take(argv[i], "--dup", &v)) {
+      a.dup = std::strtod(v.c_str(), nullptr);
+    } else if (take(argv[i], "--reorder", &v)) {
+      a.reorder = std::strtod(v.c_str(), nullptr);
+    } else if (take(argv[i], "--corrupt", &v)) {
+      a.corrupt = std::strtod(v.c_str(), nullptr);
+    } else if (take(argv[i], "--fault-seed", &v)) {
+      a.fault_seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (take(argv[i], "--seeds", &v)) {
       a.sweep_seeds = static_cast<std::uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
     } else if (take(argv[i], "--threads", &v)) {
@@ -193,6 +217,12 @@ Args parse(int argc, char** argv) {
     if (!a.trace_out.empty() || !a.profile_out.empty()) {
       usage("'sweep' does not support --trace-out / --profile-out");
     }
+  }
+  for (const double p : {a.loss, a.dup, a.reorder, a.corrupt}) {
+    if (p < 0 || p > 1) usage("fault probabilities must be in [0, 1]");
+  }
+  if (a.faults_requested() && a.command == "op") {
+    usage("fault injection applies to vector sessions; 'op' has no recovery path");
   }
   if (a.kind == vv::VectorKind::kBrv) a.manual = true;  // §3.1: no reconciliation
   return a;
@@ -252,6 +282,11 @@ sim::NetConfig make_net(const Args& a) {
   sim::NetConfig net;
   net.latency_s = a.latency_ms / 1000.0;
   if (a.bandwidth > 0) net.bandwidth_bits_per_s = a.bandwidth;
+  net.faults.drop = a.loss;
+  net.faults.duplicate = a.dup;
+  net.faults.reorder = a.reorder;
+  net.faults.corrupt = a.corrupt;
+  net.faults.seed = a.fault_seed;
   return net;
 }
 
@@ -484,6 +519,8 @@ int run_sweep(const Args& a) {
       [&a](std::uint32_t k, std::size_t, rt::ObsShards::Shard& shard) {
         Args run = a;
         run.seed = rt::task_seed(a.seed, k);
+        // Independent fault streams per run, like the workload seeds.
+        run.fault_seed = rt::task_seed(a.fault_seed, k);
         repl::StateSystem::Config cfg;
         cfg.n_sites = run.sites;
         cfg.kind = run.kind;
