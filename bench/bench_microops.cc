@@ -10,9 +10,49 @@
 //     byte-identical on every machine and serve as the committed baseline
 //     for the optrep_report regression gate ("probe" metrics gate on any
 //     probe-chain growth; the checksum pins the ≺ order itself).
+// A third row family measures the telemetry contract (src/obs/timeline.h):
+// with sampling off, a steady-state sync session must touch the allocator
+// zero times (timeline_off_allocs, gated at its committed baseline of 0);
+// with sampling on, a fixed state-transfer run pins the timeline's sample /
+// series counts and exported byte size — all model-derived integers.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "bench/bench_util.h"
+#include "obs/timeline.h"
+#include "repl/state_system.h"
+#include "workload/trace.h"
+
+// Global allocation counter (same pattern as tests/obs_test.cc): every path
+// through operator new bumps it, so the sampling-overhead row can report how
+// many heap allocations a measured region performed. Atomic because the
+// sweep pool's workers allocate concurrently.
+static std::atomic<std::uint64_t> g_alloc_count{0};
+
+// GCC pairs the replaced operators against the built-in malloc/free and warns
+// spuriously; replacement operators routing through malloc are well-defined.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#pragma GCC diagnostic pop
 
 using namespace optrep;
 using namespace optrep::bench;
@@ -57,6 +97,78 @@ OpsRow churn(std::uint32_t n) {
   }
   const auto ps = v.index_probe_stats();
   return {v.size(), ps.total, ps.max, ps.bytes, order_hash(v)};
+}
+
+// ---- telemetry sampling overhead (gated) ----------------------------------
+
+// Heap allocations performed by one steady-state SRV sync session with all
+// sampling off (no timeline, no recorder, no tracer) — the telemetry-disabled
+// hot path. The committed baseline is 0; the "timeline" gate rule fails the
+// report on any increase, so telemetry can never silently put the per-message
+// path back on the allocator. Mirrors obs_test's HotPath setup: warm one
+// session to size every retained buffer, then measure the second.
+std::uint64_t timeline_off_allocs() {
+  constexpr std::uint32_t kSites = 24;
+  constexpr std::uint32_t kMissing = 8;
+  vv::RotatingVector base;
+  for (std::uint32_t i = 0; i < kSites - kMissing; ++i) base.record_update(SiteId{i});
+  vv::RotatingVector b = base;
+  for (std::uint32_t i = kSites - kMissing; i < kSites; ++i) b.record_update(SiteId{i});
+
+  vv::SyncOptions opt;
+  opt.kind = vv::VectorKind::kSrv;
+  opt.mode = vv::TransferMode::kPipelined;
+  opt.cost = CostModel{.n = kSites, .m = 1 << 16};
+  opt.known_relation = vv::Ordering::kBefore;
+
+  sim::EventLoop loop;
+  loop.reserve(4 * kSites);
+  vv::RotatingVector warm = base;
+  warm.reserve(kSites);
+  vv::sync_rotating(loop, warm, b, opt);
+
+  vv::RotatingVector a = base;
+  a.reserve(kSites);
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  benchmark::DoNotOptimize(vv::sync_rotating(loop, a, b, opt));
+  return g_alloc_count.load(std::memory_order_relaxed) - before;
+}
+
+// A fixed state-transfer run with per-session timeline sampling on: the
+// sample/series counts and the exported document's byte size are pure
+// functions of the workload, so these rows are byte-identical on every
+// machine and pin the optrep.timeline/v1 output shape.
+struct SamplingRow {
+  std::uint64_t samples{0};
+  std::uint64_t series{0};
+  std::uint64_t dropped_samples{0};
+  std::uint64_t json_bytes{0};
+  std::uint64_t divergence_final{0};
+};
+
+SamplingRow timeline_on_row() {
+  obs::Timeline tl;
+  repl::StateSystem::Config cfg;
+  cfg.n_sites = 8;
+  cfg.kind = vv::VectorKind::kSrv;
+  cfg.timeline = &tl;
+  cfg.timeline_every = 4;
+  cfg.cost = CostModel{.n = 8, .m = 1 << 16};
+  repl::StateSystem sys(cfg);
+  wl::GeneratorConfig g;
+  g.n_sites = 8;
+  g.n_objects = 1;
+  g.steps = 200;
+  g.update_prob = 0.5;
+  g.seed = 7;
+  wl::run_state(sys, wl::generate(g));
+  sys.sample_timeline();
+  const std::string json = obs::timeline_to_json(tl);
+  const obs::Timeline::Series* div = tl.find("repl.divergence");
+  return {tl.samples(), tl.series_count(), tl.dropped_samples(), json.size(),
+          div != nullptr && !div->values.empty()
+              ? static_cast<std::uint64_t>(div->values.back())
+              : std::uint64_t{0}};
 }
 
 // ---- wall-clock micro-ops (not gated) -------------------------------------
@@ -143,10 +255,42 @@ int main(int argc, char** argv) {
     w.end_object();
     reporter.add_row(w.take());
   }
+  std::printf("\n---- telemetry sampling overhead "
+              "(timeline off: allocs; on: document shape) ----\n");
+  const std::uint64_t off_allocs = timeline_off_allocs();
+  const SamplingRow on = timeline_on_row();
+  std::printf("timeline off: %llu heap allocations in a steady-state session\n",
+              (unsigned long long)off_allocs);
+  std::printf("timeline on:  %llu samples x %llu series, %llu dropped, "
+              "%llu JSON bytes, final divergence %llu\n",
+              (unsigned long long)on.samples, (unsigned long long)on.series,
+              (unsigned long long)on.dropped_samples, (unsigned long long)on.json_bytes,
+              (unsigned long long)on.divergence_final);
+  {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("scenario", "timeline_off");
+    w.field("timeline_off_allocs", off_allocs);
+    w.end_object();
+    reporter.add_row(w.take());
+  }
+  {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("scenario", "timeline_on");
+    w.field("timeline_samples", on.samples);
+    w.field("timeline_series", on.series);
+    w.field("timeline_dropped_samples", on.dropped_samples);
+    w.field("timeline_json_bytes", on.json_bytes);
+    w.field("timeline_divergence_final", on.divergence_final);
+    w.end_object();
+    reporter.add_row(w.take());
+  }
   reporter.flush();
   std::printf("\n(expected shape: probe_total stays near size — load factor <= 0.75 and\n"
               " backward-shift deletion keep chains short; probe_max stays O(1). The\n"
-              " order hash pins the exact ≺ order the churn leaves behind.)\n\n");
+              " order hash pins the exact ≺ order the churn leaves behind.\n"
+              " timeline_off_allocs is gated at 0: telemetry must cost nothing when off.)\n\n");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -193,6 +193,7 @@ void write_metrics(JsonWriter& w, const Registry& reg) {
     w.field("p50", s.p50);
     w.field("p90", s.p90);
     w.field("p99", s.p99);
+    w.field("p999", s.p999);
     w.end_object();
   }
   w.end_object();
@@ -220,8 +221,8 @@ std::string metrics_to_csv(const Registry& reg) {
   for (const auto& [name, h] : reg.histograms()) {
     const Histogram::Snapshot s = h.snapshot();
     const std::pair<const char*, std::uint64_t> fields[] = {
-        {"count", s.count}, {"sum", s.sum}, {"min", s.min}, {"max", s.max},
-        {"p50", s.p50},     {"p90", s.p90}, {"p99", s.p99},
+        {"count", s.count}, {"sum", s.sum}, {"min", s.min},   {"max", s.max},
+        {"p50", s.p50},     {"p90", s.p90}, {"p99", s.p99},   {"p999", s.p999},
     };
     for (const auto& [f, v] : fields) {
       out += CsvRow().add("histogram").add(name).add(f).add(v).str();

@@ -1,0 +1,133 @@
+// Protocol flight recorder: a fixed ring of the last K protocol events per
+// run, frozen at the first anomaly and dumped as a reproducible post-mortem.
+//
+// Sessions feed every wire message (and every injected fault, via the
+// sim::FaultInjector observer) into the ring through the same tap that serves
+// the Tracer; record() is a ring write with no heap allocation. When a
+// Table 2 bound violation, a typed decode error, or retry exhaustion fires,
+// trigger() snapshots the ring — the K events *leading up to* the anomaly —
+// so later traffic cannot overwrite the evidence. dump_json() exports the
+// frozen snapshot (or the live ring when nothing ever triggered) as an
+// optrep.flight/v1 document (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.h"
+#include "obs/trace.h"
+
+namespace optrep::obs {
+
+// What fault injection did to the message this record describes. kNone for
+// ordinary wire records; kDecodeError marks a corruption the typed codec
+// itself rejected (the subset of kCorrupted the checksum model need not
+// catch).
+enum class FlightFault : std::uint8_t {
+  kNone,
+  kDropped,
+  kDuplicated,
+  kReordered,
+  kCorrupted,
+  kDecodeError,
+};
+
+std::string_view to_string(FlightFault f);
+
+struct FlightRecord {
+  double at{0};
+  std::uint64_t session{0};
+  TraceEventType type{TraceEventType::kElemSent};
+  bool forward{true};
+  SiteId site{};
+  std::uint64_t value{0};
+  std::uint64_t bits{0};
+  FlightFault fault{FlightFault::kNone};
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity)
+      : buf_(capacity) {
+    snapshot_.reserve(capacity);
+  }
+
+  // Ring write; never allocates.
+  void record(const FlightRecord& r) {
+    buf_[total_ % buf_.size()] = r;
+    ++total_;
+  }
+
+  // First trigger freezes the ring and keeps the reason; later triggers only
+  // count (the first anomaly is the one worth replaying — everything after
+  // it happened in an already-anomalous run).
+  void trigger(std::string_view reason, double at) {
+    ++trigger_count_;
+    if (triggered_) return;
+    triggered_ = true;
+    reason_.assign(reason);
+    triggered_at_ = at;
+    snapshot_.clear();
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i) snapshot_.push_back(event(i));
+    snapshot_total_ = total_;
+  }
+
+  bool triggered() const { return triggered_; }
+  std::uint64_t trigger_count() const { return trigger_count_; }
+  const std::string& reason() const { return reason_; }
+  double triggered_at() const { return triggered_at_; }
+
+  std::size_t capacity() const { return buf_.size(); }
+  std::size_t size() const {
+    return total_ < buf_.size() ? static_cast<std::size_t>(total_) : buf_.size();
+  }
+  std::uint64_t total_recorded() const { return total_; }
+  std::uint64_t dropped() const { return total_ - size(); }
+
+  // i-th live record, oldest first.
+  const FlightRecord& event(std::size_t i) const {
+    const std::size_t begin = static_cast<std::size_t>(total_ % buf_.size());
+    return total_ <= buf_.size() ? buf_[i] : buf_[(begin + i) % buf_.size()];
+  }
+
+  // The records a dump exports: the frozen snapshot after a trigger, the
+  // live ring otherwise.
+  std::size_t dump_size() const { return triggered_ ? snapshot_.size() : size(); }
+  const FlightRecord& dump_event(std::size_t i) const {
+    return triggered_ ? snapshot_[i] : event(i);
+  }
+  std::uint64_t dump_total_recorded() const {
+    return triggered_ ? snapshot_total_ : total_;
+  }
+
+  void clear() {
+    total_ = 0;
+    triggered_ = false;
+    trigger_count_ = 0;
+    reason_.clear();
+    triggered_at_ = 0;
+    snapshot_.clear();
+    snapshot_total_ = 0;
+  }
+
+ private:
+  std::vector<FlightRecord> buf_;
+  std::uint64_t total_{0};
+  bool triggered_{false};
+  std::uint64_t trigger_count_{0};
+  std::string reason_;
+  double triggered_at_{0};
+  std::vector<FlightRecord> snapshot_;  // frozen ring contents at trigger time
+  std::uint64_t snapshot_total_{0};
+};
+
+// One optrep.flight/v1 document: trigger header plus one record per line,
+// oldest first.
+std::string flight_to_json(const FlightRecorder& r);
+
+}  // namespace optrep::obs

@@ -32,6 +32,7 @@ Histogram::Snapshot Histogram::snapshot() const {
   s.p50 = percentile(0.50);
   s.p90 = percentile(0.90);
   s.p99 = percentile(0.99);
+  s.p999 = percentile(0.999);
   return s;
 }
 

@@ -108,6 +108,7 @@ class Histogram {
     std::uint64_t p50{0};
     std::uint64_t p90{0};
     std::uint64_t p99{0};
+    std::uint64_t p999{0};
   };
   Snapshot snapshot() const;
 

@@ -20,6 +20,7 @@ std::vector<GateRule> default_gate_rules() {
       {"probe", true},       // flat-index probe totals/max: longer chains are bad
       {"straggler", true},
       {"dropped", true},     // ring truncation must not silently grow
+      {"timeline", true},    // sampling overhead (timeline_off_allocs must stay 0)
       {"violations", true},  // Table 2 bound violations
       {"retries", true},     // recovery retries per fault budget must not grow
       {"failures", true},    // exhausted retry budgets (sync_failures)

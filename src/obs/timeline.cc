@@ -1,0 +1,45 @@
+#include "obs/timeline.h"
+
+#include "obs/export.h"
+
+namespace optrep::obs {
+
+std::string timeline_to_json(const Timeline& t) {
+  // Assembled by hand like trace_to_json: one series per line keeps the
+  // document greppable while staying a single valid JSON value.
+  JsonWriter hdr;
+  hdr.begin_object();
+  hdr.field("schema", "optrep.timeline/v1");
+  hdr.field("axis", t.axis());
+  hdr.field("samples", static_cast<std::uint64_t>(t.samples()));
+  hdr.field("dropped_samples", t.dropped_samples());
+  hdr.field("dropped_series", t.dropped_series());
+  hdr.key("x").begin_array();
+  for (const double x : t.xs()) hdr.value(x);
+  hdr.end_array();
+  std::string out = hdr.take();  // deliberately unterminated: series follow
+  out += ",\"series\":[";
+  bool first = true;
+  for (const auto& [name, idx] : t.sorted_index()) {
+    (void)name;
+    const Timeline::Series& s = t.all_series()[idx];
+    out += first ? "\n" : ",\n";
+    first = false;
+    JsonWriter w;
+    w.begin_object();
+    w.field("name", s.name);
+    w.field("start", static_cast<std::uint64_t>(s.start));
+    w.field("first", s.values.front());
+    w.key("deltas").begin_array();
+    for (std::size_t i = 1; i < s.values.size(); ++i) {
+      w.value(s.values[i] - s.values[i - 1]);
+    }
+    w.end_array();
+    w.end_object();
+    out += w.str();
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace optrep::obs

@@ -1,0 +1,154 @@
+// Time-series telemetry: a periodic, allocation-bounded snapshot sampler.
+//
+// A Timeline records sample columns of named integer series against a single
+// monotone axis — simulated time for a live run (hooked on the event loop's
+// time advance, see sim::EventLoop::set_time_sampler), session count for an
+// ideal-mode run where the clock never moves, or run index for an rt sweep.
+// Everything end-of-run exporters snapshot once, a timeline snapshots every
+// interval, which is what turns "the run converged" into "the run converged
+// like *this*" (the repl systems feed their residual-divergence probe in as
+// the `repl.divergence` series).
+//
+// Allocation bounds: the axis column is reserved for max_samples at
+// construction and every series reserves max_samples when it first appears
+// (at most max_series one-time allocations); after that, sampling touches
+// the allocator only through the registry-name scratch buffer, whose
+// capacity is retained. Samples past max_samples and series past max_series
+// are counted (dropped_samples / dropped_series), never silently lost.
+//
+// Export (timeline_to_json, schema optrep.timeline/v1): series are
+// delta-encoded — the first value raw, then successive differences — with
+// name-sorted series order and %.17g axis doubles, so equal runs export
+// byte-identical documents (the determinism contract of docs/OBSERVABILITY.md).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace optrep::obs {
+
+class Timeline {
+ public:
+  struct Config {
+    std::size_t max_samples{4096};
+    std::size_t max_series{128};
+  };
+
+  Timeline() : Timeline(Config{}) {}
+  explicit Timeline(Config cfg) : cfg_(cfg) { xs_.reserve(cfg_.max_samples); }
+
+  // What the x column means ("time_s", "sessions", "run", ...). Exported
+  // verbatim; set once before the first sample.
+  void set_axis(std::string_view name) { axis_.assign(name); }
+  const std::string& axis() const { return axis_; }
+
+  // Start the next sample column at axis position x. Existing series carry
+  // their previous value forward (a zero delta) until record() overwrites
+  // them within this sample, so series sampled at different cadences stay
+  // column-aligned.
+  void begin_sample(double x) {
+    if (xs_.size() >= cfg_.max_samples) {
+      ++dropped_samples_;
+      live_ = false;
+      return;
+    }
+    live_ = true;
+    xs_.push_back(x);
+    for (Series& s : series_) s.values.push_back(s.values.back());
+  }
+
+  // Record one value into the current sample, creating the series on first
+  // use. Values land as int64 (counters in this codebase stay far below the
+  // 2^63 line). No-op while the current sample is dropped.
+  void record(std::string_view series, std::int64_t value) {
+    if (!live_) return;
+    auto it = index_.find(series);
+    if (it == index_.end()) {
+      if (series_.size() >= cfg_.max_series) {
+        ++dropped_series_;
+        return;
+      }
+      series_.emplace_back();
+      Series& s = series_.back();
+      s.name.assign(series);
+      s.start = xs_.size() - 1;
+      s.values.reserve(cfg_.max_samples - s.start);
+      s.values.push_back(value);
+      index_.emplace(s.name, series_.size() - 1);
+      return;
+    }
+    series_[it->second].values.back() = value;
+  }
+
+  // Record every instrument of a registry into the current sample: counters
+  // and gauges under their own names, histograms as <name>.count / .p50 /
+  // .p99 / .p999. The scratch buffer keeps repeated sampling off the
+  // allocator once every suffix has been built once.
+  void sample_registry(const Registry& reg) {
+    if (!live_) return;
+    for (const auto& [name, c] : reg.counters()) {
+      record(name, static_cast<std::int64_t>(c.value()));
+    }
+    for (const auto& [name, g] : reg.gauges()) record(name, g.value());
+    for (const auto& [name, h] : reg.histograms()) {
+      const Histogram::Snapshot s = h.snapshot();
+      record_suffixed(name, ".count", static_cast<std::int64_t>(s.count));
+      record_suffixed(name, ".p50", static_cast<std::int64_t>(s.p50));
+      record_suffixed(name, ".p99", static_cast<std::int64_t>(s.p99));
+      record_suffixed(name, ".p999", static_cast<std::int64_t>(s.p999));
+    }
+  }
+
+  struct Series {
+    std::string name;
+    std::size_t start{0};              // sample index of the first value
+    std::vector<std::int64_t> values;  // raw values; delta-encoded on export
+  };
+
+  std::size_t samples() const { return xs_.size(); }
+  std::size_t series_count() const { return series_.size(); }
+  std::uint64_t dropped_samples() const { return dropped_samples_; }
+  std::uint64_t dropped_series() const { return dropped_series_; }
+  const std::vector<double>& xs() const { return xs_; }
+  const std::vector<Series>& all_series() const { return series_; }
+
+  // nullptr when the series was never recorded.
+  const Series* find(std::string_view name) const {
+    auto it = index_.find(name);
+    return it == index_.end() ? nullptr : &series_[it->second];
+  }
+
+  // Name-sorted iteration order for the exporter (indices into all_series()).
+  const std::map<std::string, std::size_t, std::less<>>& sorted_index() const {
+    return index_;
+  }
+
+ private:
+  void record_suffixed(std::string_view name, std::string_view suffix,
+                       std::int64_t value) {
+    scratch_.assign(name);
+    scratch_ += suffix;
+    record(scratch_, value);
+  }
+
+  Config cfg_;
+  std::string axis_{"x"};
+  std::string scratch_;
+  std::vector<double> xs_;
+  std::vector<Series> series_;  // registration order; index_ maps name → slot
+  std::map<std::string, std::size_t, std::less<>> index_;
+  bool live_{false};
+  std::uint64_t dropped_samples_{0};
+  std::uint64_t dropped_series_{0};
+};
+
+// One optrep.timeline/v1 document: header, the raw x column, then one
+// delta-encoded series per line in name order.
+std::string timeline_to_json(const Timeline& t);
+
+}  // namespace optrep::obs

@@ -133,6 +133,25 @@ void OpSystem::publish_metrics() {
   metrics_.gauge("sim.max_queue_depth").set(static_cast<std::int64_t>(loop_.max_queue_depth()));
   metrics_.gauge("sim.executed_events").set(static_cast<std::int64_t>(loop_.executed_events()));
   metrics_.gauge("sim.cancelled_events").set(static_cast<std::int64_t>(loop_.cancelled_events()));
+  metrics_.gauge("repl.divergence").set(static_cast<std::int64_t>(divergence()));
+}
+
+std::uint64_t OpSystem::divergence() const {
+  // Per-object union of operation ids across all replicas.
+  std::unordered_map<ObjectId, std::unordered_set<UpdateId>> known;
+  for (const auto& [site, objs] : sites_) {
+    for (const auto& [obj, r] : objs) {
+      auto& k = known[obj];
+      for (const graph::Node& n : r.graph.all_nodes()) k.insert(n.id);
+    }
+  }
+  std::uint64_t d = 0;
+  for (const auto& [site, objs] : sites_) {
+    for (const auto& [obj, r] : objs) {
+      d += known.at(obj).size() - r.graph.node_count();
+    }
+  }
+  return d;
 }
 
 bool OpSystem::has_replica(SiteId site, ObjectId obj) const {

@@ -84,6 +84,12 @@ class OpSystem {
 
   bool replicas_consistent(ObjectId obj) const;
 
+  // Residual divergence: over every replica, the number of operations in the
+  // per-object union of all replicas' causal graphs that this replica has not
+  // absorbed yet. Zero iff every replica holds the full operation history.
+  // Published as the `repl.divergence` gauge after every session.
+  std::uint64_t divergence() const;
+
   struct Totals {
     std::uint64_t sessions{0};
     std::uint64_t bits{0};

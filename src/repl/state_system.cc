@@ -17,6 +17,14 @@ StateSystem::StateSystem(Config cfg) : cfg_(cfg) {
   // receiver's vector partially joined, a state the at-rest oracles cannot
   // describe — history containment no longer matches the vector order.
   if (cfg_.net.faults.enabled()) cfg_.check_oracle = false;
+  if (cfg_.timeline != nullptr) {
+    if (cfg_.timeline_every_s > 0) {
+      cfg_.timeline->set_axis("time_s");
+      loop_.set_time_sampler(cfg_.timeline_every_s, this, &StateSystem::time_sample_thunk);
+    } else {
+      cfg_.timeline->set_axis("sessions");
+    }
+  }
 }
 
 void StateSystem::create_object(SiteId site, ObjectId obj, std::string entry) {
@@ -80,6 +88,7 @@ SyncOutcome StateSystem::sync(SiteId dst, SiteId src, ObjectId obj) {
   opt.tracer = cfg_.tracer;
   opt.trace_session = totals_.sessions + 1;
   opt.metrics = &metrics_;
+  opt.recorder = cfg_.recorder;
 
   switch (rel) {
     case vv::Ordering::kEqual:
@@ -174,9 +183,59 @@ SyncOutcome StateSystem::sync(SiteId dst, SiteId src, ObjectId obj) {
       !obs::within_table2_bound(cfg_.cost, cfg_.kind, out.report)) {
     ++totals_.bound_violations;
     metrics_.counter("obs.bound_violations").inc();
+    if (cfg_.recorder != nullptr) {
+      cfg_.recorder->trigger("table2_bound_violation", loop_.now());
+    }
   }
   publish_metrics();
+  if (cfg_.timeline != nullptr && cfg_.timeline_every_s == 0 &&
+      cfg_.timeline_every > 0 && totals_.sessions % cfg_.timeline_every == 0) {
+    sample_timeline();
+  }
   return out;
+}
+
+std::uint64_t StateSystem::divergence() const {
+  // Per-object element-wise supremum over every replica's vector.
+  std::unordered_map<ObjectId, std::unordered_map<SiteId, std::uint64_t>> sup;
+  for (const auto& [site, objs] : sites_) {
+    for (const auto& [obj, r] : objs) {
+      auto& s = sup[obj];
+      for (const auto& e : r.vector) {
+        auto& v = s[e.site];
+        if (e.value > v) v = e.value;
+      }
+    }
+  }
+  std::uint64_t d = 0;
+  for (const auto& [site, objs] : sites_) {
+    for (const auto& [obj, r] : objs) {
+      for (const auto& [sid, v] : sup.at(obj)) {
+        if (r.vector.value(sid) < v) ++d;
+      }
+      if (r.conflicted) ++d;
+    }
+  }
+  return d;
+}
+
+void StateSystem::sample_timeline() {
+  if (cfg_.timeline == nullptr) return;
+  if (totals_.sessions == sampled_at_sessions_) return;
+  sampled_at_sessions_ = totals_.sessions;
+  sample_timeline_at(cfg_.timeline_every_s > 0 ? loop_.now()
+                                               : static_cast<double>(totals_.sessions));
+}
+
+void StateSystem::sample_timeline_at(double x) {
+  metrics_.gauge("repl.divergence").set(static_cast<std::int64_t>(divergence()));
+  publish_metrics();
+  cfg_.timeline->begin_sample(x);
+  cfg_.timeline->sample_registry(metrics_);
+}
+
+void StateSystem::time_sample_thunk(void* ctx, sim::Time t) {
+  static_cast<StateSystem*>(ctx)->sample_timeline_at(t);
 }
 
 void StateSystem::publish_metrics() {

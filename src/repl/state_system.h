@@ -21,7 +21,9 @@
 
 #include "common/cost_model.h"
 #include "common/ids.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "sim/event_loop.h"
 #include "sim/link.h"
@@ -87,6 +89,20 @@ class StateSystem {
     // Optional structured tracing: every session's protocol events land
     // here, tagged with a per-system session id (see src/obs/trace.h).
     obs::Tracer* tracer{nullptr};
+    // Time-series telemetry (obs/timeline.h): with `timeline` set the system
+    // samples its metric registry — including the repl.divergence convergence
+    // probe — either every `timeline_every` completed sync sessions (axis
+    // "sessions", the default) or, when timeline_every_s > 0, at every
+    // timeline_every_s seconds of simulated time via the event loop's
+    // time-advance sampler (axis "time_s").
+    obs::Timeline* timeline{nullptr};
+    std::uint32_t timeline_every{16};
+    double timeline_every_s{0};
+    // Optional flight recorder (obs/flight_recorder.h): wired into every
+    // session's wire tap and fault observer; a Table 2 bound violation
+    // triggers (freezes) it here, decode errors and retry exhaustion trigger
+    // it inside the vv layer.
+    obs::FlightRecorder* recorder{nullptr};
   };
 
   explicit StateSystem(Config cfg);
@@ -154,17 +170,34 @@ class StateSystem {
 
   std::vector<SiteId> hosts_of(ObjectId obj) const;
 
+  // Residual divergence: distance of the fleet from the converged state.
+  // Counts, over every (replica, site) pair, vector entries strictly below
+  // the per-object element-wise supremum, plus one per excluded (conflicted)
+  // replica. Zero iff every replica holds the element-wise max and none is
+  // excluded. Order-independent sum — deterministic across map iteration
+  // orders. Emitted as the `repl.divergence` gauge in timeline samples.
+  std::uint64_t divergence() const;
+
+  // Record one timeline sample now (no-op without cfg.timeline). The
+  // session-count axis samples automatically every timeline_every sessions;
+  // call this to flush a final sample at the end of a run. Samples taken at
+  // an already-sampled session count are suppressed.
+  void sample_timeline();
+
  private:
   StateReplica& replica_mut(SiteId site, ObjectId obj);
   void apply_update(StateReplica& r, SiteId site, ObjectId obj, std::string entry);
   void check_replica(const StateReplica& r) const;
   void publish_metrics();
+  void sample_timeline_at(double x);
+  static void time_sample_thunk(void* ctx, sim::Time t);
 
   Config cfg_;
   sim::EventLoop loop_;
   std::unordered_map<SiteId, std::unordered_map<ObjectId, StateReplica>> sites_;
   Totals totals_;
   obs::Registry metrics_;
+  std::uint64_t sampled_at_sessions_{~std::uint64_t{0}};
 };
 
 }  // namespace optrep::repl

@@ -15,7 +15,10 @@
 // vary between runs, exactly as in single-threaded profiling.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -26,11 +29,60 @@
 
 namespace optrep::rt {
 
+// Seqlock-style progress cell: a worker publishes a small fixed vector of
+// counters that any other thread (a progress reporter, the timeline
+// harvester) can read mid-sweep without locks and without torn values.
+//
+// The writer bumps `seq` to odd, stores the payload, bumps back to even; the
+// reader retries until it sees the same even seq on both sides of the copy.
+// Unlike the classic seqlock, the payload words are themselves atomics — the
+// seq handshake alone would be a data race under the C++ memory model (and
+// under TSan, which gates this repo's CI). The fence-free variant is used
+// because GCC rejects atomic_thread_fence under -fsanitize=thread: payload
+// stores are release and payload loads acquire, so a word observed from a
+// newer generation synchronizes-with the reader and forces the seq recheck
+// to see the odd in-progress value (coherence), making torn reads retry;
+// a clean first read of even seq s0 synchronizes with the publish that wrote
+// s0, so every word load returns exactly generation s0.
+struct ProgressCell {
+  static constexpr std::size_t kWords = 4;
+  // Payload layout (by convention; harvest() sums across shards):
+  //   [0] runs completed  [1] sessions executed  [2] model bits  [3] checksum
+  // where checksum = runs + sessions + bits, letting tests assert that a
+  // concurrent read never observes a torn (mixed-generation) payload.
+  std::array<std::atomic<std::uint64_t>, kWords> words{};
+  std::atomic<std::uint32_t> seq{0};
+
+  void publish(std::uint64_t runs, std::uint64_t sessions, std::uint64_t bits) {
+    const std::uint32_t s = seq.load(std::memory_order_relaxed);
+    seq.store(s + 1, std::memory_order_relaxed);  // odd: write in progress
+    words[0].store(runs, std::memory_order_release);
+    words[1].store(sessions, std::memory_order_release);
+    words[2].store(bits, std::memory_order_release);
+    words[3].store(runs + sessions + bits, std::memory_order_release);
+    seq.store(s + 2, std::memory_order_release);  // even: stable
+  }
+
+  // Consistent snapshot; spins only while a publish is in flight.
+  std::array<std::uint64_t, kWords> read() const {
+    std::array<std::uint64_t, kWords> out{};
+    for (;;) {
+      const std::uint32_t s0 = seq.load(std::memory_order_acquire);
+      if (s0 & 1u) continue;
+      for (std::size_t i = 0; i < kWords; ++i) {
+        out[i] = words[i].load(std::memory_order_acquire);
+      }
+      if (seq.load(std::memory_order_relaxed) == s0) return out;
+    }
+  }
+};
+
 class ObsShards {
  public:
   struct Shard {
     obs::Registry registry;
     prof::Profiler profiler;
+    ProgressCell progress;  // live mid-sweep totals, readable from any thread
     explicit Shard(std::size_t profiler_capacity) : profiler(profiler_capacity) {}
   };
 
@@ -56,6 +108,19 @@ class ObsShards {
       if (registry != nullptr) registry->merge_from(s->registry);
       if (profiler != nullptr) profiler->absorb(s->profiler);
     }
+  }
+
+  // Consistent sum of every shard's live ProgressCell. Safe to call from any
+  // thread while workers are still publishing — each shard's snapshot is
+  // internally consistent (its checksum word holds), though shards are read
+  // at slightly different moments.
+  std::array<std::uint64_t, ProgressCell::kWords> harvest_progress() const {
+    std::array<std::uint64_t, ProgressCell::kWords> sum{};
+    for (const auto& s : shards_) {
+      const auto v = s->progress.read();
+      for (std::size_t i = 0; i < ProgressCell::kWords; ++i) sum[i] += v[i];
+    }
+    return sum;
   }
 
  private:

@@ -73,6 +73,28 @@ class EventLoop {
   // never reallocates.
   void reserve(std::size_t events) { queue_.reserve(events); }
 
+  // Periodic time-advance sampling hook (obs::Timeline): fn(ctx, t) fires
+  // once per `every`-second boundary the clock crosses, with the boundary
+  // time, *before* the event that crossed it dispatches — a sample at
+  // boundary T reflects exactly the state left by events strictly before T.
+  // Plain function pointer + context, not std::function: the loop stays
+  // header-only with no obs dependency, and the disabled-path cost in step()
+  // is one double compare against +inf. The callback must only read state —
+  // scheduling or cancelling from inside it would change the execution it is
+  // meant to observe.
+  using SamplerFn = void (*)(void* ctx, Time t);
+  void set_time_sampler(Time every, void* ctx, SamplerFn fn) {
+    OPTREP_CHECK_MSG(every > 0 && fn != nullptr, "sampler needs a period and a fn");
+    sampler_every_ = every;
+    sampler_ctx_ = ctx;
+    sampler_ = fn;
+    sampler_next_ = now_ + every;
+  }
+  void clear_time_sampler() {
+    sampler_ = nullptr;
+    sampler_next_ = std::numeric_limits<Time>::infinity();
+  }
+
   // Cancelled ids live in a small vector, not a hash set: a live execution has
   // at most a handful pending (typically one HALT-cancelled send), and vector
   // capacity is retained across sessions, so repeated cancels on a reused loop
@@ -89,6 +111,7 @@ class EventLoop {
       Event ev = std::move(queue_.back());
       queue_.pop_back();
       if (!cancelled_.empty() && take_cancelled(ev.id)) continue;
+      if (ev.at >= sampler_next_) run_sampler(ev.at);
       now_ = ev.at;
       ++executed_;
       {
@@ -134,6 +157,17 @@ class EventLoop {
     OPTREP_CHECK_MSG(false, msg);
   }
 
+  // Fire the sampler for every boundary in (now_, t], advancing the clock to
+  // each boundary so the callback's reads see a consistent timestamp.
+  void run_sampler(Time t) {
+    while (sampler_next_ <= t) {
+      const Time at = sampler_next_;
+      sampler_next_ += sampler_every_;
+      now_ = at;
+      sampler_(sampler_ctx_, at);
+    }
+  }
+
   bool take_cancelled(EventId id) {
     const auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
     if (it == cancelled_.end()) return false;
@@ -155,6 +189,10 @@ class EventLoop {
   };
 
   Time now_{0};
+  Time sampler_every_{0};
+  Time sampler_next_{std::numeric_limits<Time>::infinity()};
+  void* sampler_ctx_{nullptr};
+  SamplerFn sampler_{nullptr};
   EventId next_id_{1};
   std::uint64_t executed_{0};
   std::uint64_t cancel_requests_{0};

@@ -36,6 +36,10 @@
 
 namespace optrep::sim {
 
+// Which fault class hit a message (for per-message observers; aggregate
+// counts live in FaultStats).
+enum class FaultKind : std::uint8_t { kDropped, kDuplicated, kReordered, kCorrupted };
+
 struct FaultStats {
   std::uint64_t delivered{0};  // messages actually handed to the receiver
   std::uint64_t dropped{0};
@@ -88,29 +92,42 @@ class FaultInjector {
   void set_receiver(Handler h) { out_ = std::move(h); }
   void set_corrupter(Corrupter c) { corrupt_ = std::move(c); }
 
+  // Per-message fault observer (obs::FlightRecorder annotations): called once
+  // for every injected fault with the class, whether the typed codec caught a
+  // corruption, and the affected message. Observation only — the delivery
+  // outcome is already decided when it fires.
+  using Observer = std::function<void(FaultKind, bool decode_error, const Msg&)>;
+  void set_observer(Observer o) { observe_ = std::move(o); }
+
   // The link's delivery hook: roll faults, then forward (or not).
   void deliver(const Msg& m) {
     OPTREP_CHECK_MSG(out_ != nullptr, "fault injector has no receiver");
     if (cfg_.corrupt > 0 && rng_.chance(cfg_.corrupt)) {
       ++stats_.corrupted;
+      bool decode_error = false;
       if (corrupt_) {
         Msg flipped = m;
-        if (corrupt_(flipped, rng_)) ++stats_.corrupt_decode_errors;
+        decode_error = corrupt_(flipped, rng_);
+        if (decode_error) ++stats_.corrupt_decode_errors;
       }
+      if (observe_) observe_(FaultKind::kCorrupted, decode_error, m);
       return;  // the checksum catches what the codec does not: discarded
     }
     if (cfg_.drop > 0 && rng_.chance(cfg_.drop)) {
       ++stats_.dropped;
+      if (observe_) observe_(FaultKind::kDropped, false, m);
       return;
     }
     if (cfg_.duplicate > 0 && rng_.chance(cfg_.duplicate)) {
       ++stats_.duplicated;
+      if (observe_) observe_(FaultKind::kDuplicated, false, m);
       // Lands after the current dispatch completes (same-time events run in
       // schedule order), i.e. right behind the original copy below.
       loop_->schedule(loop_->now(), [this, m] { hand_off(m); });
     }
     if (cfg_.reorder > 0 && rng_.chance(cfg_.reorder)) {
       ++stats_.reordered;
+      if (observe_) observe_(FaultKind::kReordered, false, m);
       loop_->schedule(loop_->now() + hold_s_, [this, m] { hand_off(m); });
       return;
     }
@@ -131,6 +148,7 @@ class FaultInjector {
   Time hold_s_;
   Handler out_;
   Corrupter corrupt_;
+  Observer observe_;
   FaultStats stats_;
 };
 

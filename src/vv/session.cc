@@ -131,6 +131,17 @@ void publish_session_metrics(obs::Registry* reg, const SyncReport& r) {
       .record(r.elems_sent > 0 ? r.loop_events * 100 / r.elems_sent : r.loop_events * 100);
 }
 
+obs::FlightFault flight_fault(sim::FaultKind k, bool decode_error) {
+  switch (k) {
+    case sim::FaultKind::kDropped: return obs::FlightFault::kDropped;
+    case sim::FaultKind::kDuplicated: return obs::FlightFault::kDuplicated;
+    case sim::FaultKind::kReordered: return obs::FlightFault::kReordered;
+    case sim::FaultKind::kCorrupted:
+      return decode_error ? obs::FlightFault::kDecodeError : obs::FlightFault::kCorrupted;
+  }
+  return obs::FlightFault::kNone;
+}
+
 // Builds the bit-flip corrupter the fault injector runs over discarded
 // messages: encode with the real per-message codec, flip one uniformly
 // chosen bit, and attempt the typed re-decode so FaultStats can report how
@@ -296,6 +307,7 @@ struct SessionWiring {
         loop_(&loop),
         opt_(&opt),
         tracer(opt.tracer),
+        recorder(opt.recorder),
         session(opt.trace_session) {
     // Realistic framed-byte accounting (vv/frame_codec.h) and the control
     // flush rule. Function pointers and captureless lambdas: no per-session
@@ -311,7 +323,7 @@ struct SessionWiring {
     // copying them here would clone a std::function per tap per session.
     bool any_tap = false;
     for (const auto& t : opt.taps) any_tap = any_tap || static_cast<bool>(t);
-    if (any_tap || tracer != nullptr) {
+    if (any_tap || tracer != nullptr || recorder != nullptr) {
       duplex.b_to_a().set_tap([this](sim::Time at, const VvMsg& m, std::uint64_t bits) {
         observe(at, true, m, bits);
       });
@@ -342,6 +354,14 @@ struct SessionWiring {
       inj_rev->set_receiver(std::move(to_sender));
       inj_fwd->set_corrupter(make_corrupter(opt_->cost, size_kind, Direction::kForward));
       inj_rev->set_corrupter(make_corrupter(opt_->cost, size_kind, Direction::kReverse));
+      if (recorder != nullptr) {
+        inj_fwd->set_observer([this](sim::FaultKind k, bool dec, const VvMsg& m) {
+          on_fault(true, k, dec, m);
+        });
+        inj_rev->set_observer([this](sim::FaultKind k, bool dec, const VvMsg& m) {
+          on_fault(false, k, dec, m);
+        });
+      }
       duplex.b_to_a().set_receiver([this](const VvMsg& m) { inj_fwd->deliver(m); });
       duplex.a_to_b().set_receiver([this](const VvMsg& m) { inj_rev->deliver(m); });
     } else {
@@ -363,6 +383,35 @@ struct SessionWiring {
                                      .value = m.kind == VvMsg::Kind::kSkip ? m.arg : m.value,
                                      .bits = bits});
     }
+    if (recorder != nullptr) {
+      recorder->record(obs::FlightRecord{
+          .at = at,
+          .session = session,
+          .type = wire_event_type(forward, m),
+          .forward = forward,
+          .site = m.site,
+          .value = m.kind == VvMsg::Kind::kSkip ? m.arg : m.value,
+          .bits = bits,
+          .fault = obs::FlightFault::kNone});
+    }
+  }
+
+  // Fault-injection observer: annotate the affected message in the ring. A
+  // typed decode error is the anomaly class worth a post-mortem on its own —
+  // it means a corruption got past the model's checksum assumption and only
+  // the codec caught it — so it also triggers the freeze.
+  void on_fault(bool forward, sim::FaultKind k, bool decode_error, const VvMsg& m) {
+    const obs::FlightFault f = flight_fault(k, decode_error);
+    recorder->record(obs::FlightRecord{
+        .at = loop_->now(),
+        .session = session,
+        .type = wire_event_type(forward, m),
+        .forward = forward,
+        .site = m.site,
+        .value = m.kind == VvMsg::Kind::kSkip ? m.arg : m.value,
+        .bits = 0,
+        .fault = f});
+    if (f == obs::FlightFault::kDecodeError) recorder->trigger("decode_error", loop_->now());
   }
 
   void trace_boundary(sim::EventLoop& loop, obs::TraceEventType type, std::uint64_t bits) {
@@ -402,6 +451,7 @@ struct SessionWiring {
   sim::EventLoop* loop_;
   const SyncOptions* opt_;
   obs::Tracer* tracer{nullptr};
+  obs::FlightRecorder* recorder{nullptr};
   std::uint64_t session{0};
   std::optional<sim::FaultInjector<VvMsg>> inj_fwd;
   std::optional<sim::FaultInjector<VvMsg>> inj_rev;
@@ -663,7 +713,10 @@ SyncReport sync_with_recovery(sim::EventLoop& loop, RotatingVector& a, const Rot
   // A failed sync leaves the receiver exactly as it was: callers never see a
   // partially joined vector (the repl systems rely on this to keep metadata
   // and content atomic).
-  if (!converged) a = original;
+  if (!converged) {
+    a = original;
+    if (opt.recorder != nullptr) opt.recorder->trigger("retry_exhausted", loop.now());
+  }
   total.attempts = runs;
   total.retries = runs > 0 ? runs - 1 : 0;
   total.converged = converged;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/cost_model.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/event_loop.h"
@@ -70,6 +71,12 @@ struct SyncOptions {
   obs::Tracer* tracer{nullptr};
   std::uint64_t trace_session{0};
   obs::Registry* metrics{nullptr};
+
+  // Optional flight recorder (obs/flight_recorder.h): every wire message and
+  // every injected fault lands in its ring, stamped with trace_session; typed
+  // decode errors and retry exhaustion trigger it. Shares the tracer's tap —
+  // no extra per-message cost when unset.
+  obs::FlightRecorder* recorder{nullptr};
 
   // Used by sync_with_recovery when opt.net.faults.enabled().
   RetryPolicy retry{};

@@ -82,6 +82,8 @@ TEST(Histogram, PercentilesWithinQuantizationErrorOnKnownDistribution) {
   EXPECT_EQ(s.min, 1u);
   EXPECT_EQ(s.max, 1000u);
   EXPECT_EQ(s.p50, h.percentile(0.5));
+  EXPECT_EQ(s.p999, h.percentile(0.999));
+  EXPECT_GE(s.p999, s.p99);  // percentiles are monotone in q
 }
 
 TEST(Histogram, EmptyHistogramIsAllZero) {
@@ -90,6 +92,7 @@ TEST(Histogram, EmptyHistogramIsAllZero) {
   EXPECT_EQ(h.percentile(0.5), 0u);
   const Histogram::Snapshot s = h.snapshot();
   EXPECT_EQ(s.p99, 0u);
+  EXPECT_EQ(s.p999, 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -195,6 +198,7 @@ TEST(Export, MetricsJsonAndCsvAreNameSorted) {
   const std::string json = metrics_to_json(reg);
   EXPECT_LT(json.find("\"a\":1"), json.find("\"b\":2"));
   EXPECT_NE(json.find("\"p99\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"p999\":5"), std::string::npos);
   const std::string csv = metrics_to_csv(reg);
   EXPECT_NE(csv.find("counter,a,value,1\n"), std::string::npos);
   EXPECT_NE(csv.find("gauge,g,max,7\n"), std::string::npos);

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cstdint>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -136,6 +137,57 @@ TEST(ObsShards, MergedRegistryMatchesSerialRun) {
     EXPECT_EQ(merged.histogram("sweep.value").max(),
               expected.histogram("sweep.value").max());
   }
+}
+
+TEST(ProgressCell, ReadReturnsWhatPublishWrote) {
+  ProgressCell cell;
+  const auto zero = cell.read();
+  EXPECT_EQ(zero[0], 0u);
+  EXPECT_EQ(zero[3], 0u);
+  cell.publish(3, 40, 500);
+  const auto snap = cell.read();
+  EXPECT_EQ(snap[0], 3u);
+  EXPECT_EQ(snap[1], 40u);
+  EXPECT_EQ(snap[2], 500u);
+  EXPECT_EQ(snap[3], 3u + 40u + 500u);  // checksum word
+}
+
+TEST(ProgressCell, ConcurrentReadersNeverObserveTornSnapshots) {
+  // Seqlock torture: a writer publishes related triples whose checksum word
+  // ties them together; readers must never see a snapshot where the checksum
+  // doesn't match — that would mean a torn (mid-publish) read.
+  ProgressCell cell;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> violations{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto s = cell.read();
+        if (s[0] + s[1] + s[2] != s[3]) {
+          violations.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::uint64_t i = 1; i <= 20000; ++i) cell.publish(i, i * 7, i * 131);
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(violations.load(), 0u);
+  const auto last = cell.read();
+  EXPECT_EQ(last[0], 20000u);
+  EXPECT_EQ(last[1], 20000u * 7);
+  EXPECT_EQ(last[2], 20000u * 131);
+}
+
+TEST(ObsShards, HarvestProgressSumsShardCells) {
+  ObsShards shards(3);
+  shards.shard(0).progress.publish(1, 10, 100);
+  shards.shard(2).progress.publish(2, 20, 200);
+  const auto total = shards.harvest_progress();
+  EXPECT_EQ(total[0], 3u);
+  EXPECT_EQ(total[1], 30u);
+  EXPECT_EQ(total[2], 300u);
 }
 
 TEST(ObsShards, ProfilerAbsorbKeepsSpansAndTotals) {

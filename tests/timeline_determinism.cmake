@@ -1,0 +1,35 @@
+# Timeline thread-count determinism gate: run the same optrep_cli sweep with
+# --threads=1 and --threads=8 and require the emitted optrep.timeline/v1
+# document to be byte-identical. The sweep timeline is assembled after the
+# join from rows in config order, so any divergence here is a scheduling leak
+# into the telemetry path.
+#
+# Invoked from ctest:  cmake -DCLI=<optrep_cli binary> -DOUT=<scratch dir>
+#                            -P timeline_determinism.cmake
+if(NOT DEFINED CLI OR NOT DEFINED OUT)
+  message(FATAL_ERROR "pass -DCLI=<binary> and -DOUT=<scratch dir>")
+endif()
+
+file(REMOVE_RECURSE ${OUT})
+file(MAKE_DIRECTORY ${OUT})
+foreach(threads 1 8)
+  execute_process(COMMAND ${CLI} sweep --seeds=8 --sites=8 --steps=200
+                          --loss=0.02 --timeline-out=${OUT}/t${threads}.json
+                          --threads=${threads}
+                  RESULT_VARIABLE rc
+                  OUTPUT_QUIET ERROR_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${CLI} sweep failed with --threads=${threads}: ${rc}")
+  endif()
+  if(NOT EXISTS ${OUT}/t${threads}.json)
+    message(FATAL_ERROR "sweep with --threads=${threads} wrote no timeline")
+  endif()
+endforeach()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${OUT}/t1.json ${OUT}/t8.json
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "timeline differs between --threads=1 and --threads=8")
+endif()
+message(STATUS "timeline byte-identical across thread counts")

@@ -24,6 +24,19 @@
 //                   Perfetto JSON (schema optrep.profile/v1; open in
 //                   chrome://tracing or ui.perfetto.dev). Also feeds
 //                   "<span>.wall_ns" histograms into the run's metrics
+//   --timeline-out=F      write a time-series timeline of the run's metrics —
+//                         including the repl.divergence convergence probe —
+//                         to F (schema optrep.timeline/v1; state and sweep).
+//                         state samples every --sample-every sessions; sweep
+//                         emits one sample per run, byte-identical for any
+//                         --threads value
+//   --sample-every=N      timeline sampling period in sync sessions (state;
+//                         default 16)
+//   --dump-on-violation=F arm a protocol flight recorder and write the frozen
+//                         ring of the last protocol events to F (schema
+//                         optrep.flight/v1) when a Table 2 bound violation,
+//                         typed decode error, or retry exhaustion fires
+//                         (state and sweep)
 // state options:
 //   --kind=brv|crv|srv   --manual   (manual conflict resolution)
 // op options:
@@ -50,7 +63,9 @@
 
 #include "common/rng.h"
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "obs/prof.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "repl/record_system.h"
 #include "rt/sweep.h"
@@ -81,6 +96,10 @@ struct Args {
   bool json{false};
   std::string trace_out;
   std::string profile_out;
+  // Time-series telemetry + flight recorder (state and sweep commands).
+  std::string timeline_out;
+  std::uint32_t sample_every{16};
+  std::string dump_out;
   double overlap{0.2};
   std::uint32_t key_pool{16};
   bool flag_policy{false};
@@ -106,6 +125,7 @@ struct Args {
                "       [--mode=ideal|saw|pipelined] [--latency-ms=F] [--bandwidth=F]\n"
                "       [--kind=brv|crv|srv] [--manual] [--log-limit=N] [--full-graph]\n"
                "       [--csv] [--json] [--trace-out=FILE] [--profile-out=FILE]\n"
+               "       [--timeline-out=FILE] [--sample-every=N] [--dump-on-violation=FILE]\n"
                "       [--seeds=K] [--threads=N]\n"
                "       [--loss=P] [--dup=P] [--reorder=P] [--corrupt=P] [--fault-seed=N]\n");
   std::exit(2);
@@ -179,6 +199,15 @@ Args parse(int argc, char** argv) {
     } else if (take(argv[i], "--profile-out", &v)) {
       if (v.empty()) usage("--profile-out needs a file path");
       a.profile_out = v;
+    } else if (take(argv[i], "--timeline-out", &v)) {
+      if (v.empty()) usage("--timeline-out needs a file path");
+      a.timeline_out = v;
+    } else if (take(argv[i], "--sample-every", &v)) {
+      a.sample_every = static_cast<std::uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+      if (a.sample_every == 0) usage("--sample-every must be >= 1");
+    } else if (take(argv[i], "--dump-on-violation", &v)) {
+      if (v.empty()) usage("--dump-on-violation needs a file path");
+      a.dump_out = v;
     } else if (take(argv[i], "--overlap", &v)) {
       a.overlap = std::strtod(v.c_str(), nullptr);
     } else if (take(argv[i], "--key-pool", &v)) {
@@ -209,6 +238,10 @@ Args parse(int argc, char** argv) {
   if (a.csv && a.json) usage("--csv and --json are mutually exclusive");
   if (!a.trace_out.empty() && a.command == "op") {
     usage("--trace-out applies to vector sessions; 'op' runs have none");
+  }
+  if ((!a.timeline_out.empty() || !a.dump_out.empty()) && a.command != "state" &&
+      a.command != "sweep") {
+    usage("--timeline-out / --dump-on-violation apply to 'state' and 'sweep' runs");
   }
   if (a.command == "sweep") {
     if (a.sweep_seeds < 1) usage("--seeds must be >= 1");
@@ -267,6 +300,35 @@ void write_file(const std::string& path, const std::string& content) {
   std::fclose(f);
 }
 
+// A full trace ring means the written document silently lacks the run's
+// earliest events — worth a loud stderr note next to the output path.
+void warn_trace_drops(const obs::Tracer& tracer, const std::string& path) {
+  if (tracer.dropped() == 0) return;
+  std::fprintf(stderr,
+               "warning: trace ring dropped %llu of %llu events (capacity %zu); "
+               "%s holds only the most recent events\n",
+               (unsigned long long)tracer.dropped(),
+               (unsigned long long)tracer.total_recorded(), tracer.capacity(),
+               path.c_str());
+}
+
+// Write the flight-recorder dump only when an anomaly froze it; either way
+// say on stderr what happened, so scripted runs can tell "clean" from
+// "violated" without parsing exit codes.
+void finish_flight_dump(const obs::FlightRecorder& rec, const std::string& path) {
+  if (path.empty()) return;
+  if (!rec.triggered()) {
+    std::fprintf(stderr, "flight recorder: no violation; %s not written\n", path.c_str());
+    return;
+  }
+  write_file(path, obs::flight_to_json(rec));
+  std::fprintf(stderr,
+               "flight recorder triggered (%s, %llu trigger(s)): wrote last %zu "
+               "protocol events to %s\n",
+               rec.reason().c_str(), (unsigned long long)rec.trigger_count(),
+               rec.dump_size(), path.c_str());
+}
+
 wl::Trace make_trace(const Args& a) {
   wl::GeneratorConfig g;
   g.n_sites = a.sites;
@@ -301,12 +363,25 @@ int run_state(const Args& a) {
   cfg.cost = CostModel{.n = a.sites, .m = 1 << 16};
   obs::Tracer tracer;
   if (!a.trace_out.empty()) cfg.tracer = &tracer;
+  obs::Timeline timeline;
+  if (!a.timeline_out.empty()) {
+    cfg.timeline = &timeline;
+    cfg.timeline_every = a.sample_every;
+  }
+  obs::FlightRecorder recorder;
+  if (!a.dump_out.empty()) cfg.recorder = &recorder;
   repl::StateSystem sys(cfg);
   ProfileScope profile(a.profile_out, &sys.metrics());
   const wl::Trace trace = make_trace(a);
   const wl::RunStats stats = wl::run_state(sys, trace);
+  sys.sample_timeline();  // flush a final sample at the end of the run
   const auto& t = sys.totals();
-  if (!a.trace_out.empty()) write_file(a.trace_out, obs::trace_to_json(tracer));
+  if (!a.trace_out.empty()) {
+    write_file(a.trace_out, obs::trace_to_json(tracer));
+    warn_trace_drops(tracer, a.trace_out);
+  }
+  if (!a.timeline_out.empty()) write_file(a.timeline_out, obs::timeline_to_json(timeline));
+  finish_flight_dump(recorder, a.dump_out);
   if (a.json) {
     std::fputs(wl::state_run_report_json(sys, trace, stats).c_str(), stdout);
     std::fputc('\n', stdout);
@@ -447,7 +522,10 @@ int run_records(const Args& a) {
     }
   }
   const auto& t = sys.totals();
-  if (!a.trace_out.empty()) write_file(a.trace_out, obs::trace_to_json(tracer));
+  if (!a.trace_out.empty()) {
+    write_file(a.trace_out, obs::trace_to_json(tracer));
+    warn_trace_drops(tracer, a.trace_out);
+  }
   if (a.json) {
     wl::RecordsRunTags tags;
     tags.sites = a.sites;
@@ -508,7 +586,11 @@ int run_sweep(const Args& a) {
     std::uint64_t bits{0};
     std::uint64_t conflicts{0};
     std::uint64_t reconciliations{0};
+    std::uint64_t retries{0};
+    std::uint64_t failures{0};
+    std::uint64_t divergence{0};
     bool consistent{false};
+    std::string dump;  // flight dump JSON when this run tripped the recorder
   };
   rt::ThreadPool pool(a.threads);
   rt::ObsShards shards(pool.threads());
@@ -529,16 +611,74 @@ int run_sweep(const Args& a) {
         cfg.mode = run.mode;
         cfg.net = make_net(run);
         cfg.cost = CostModel{.n = run.sites, .m = 1 << 16};
+        obs::FlightRecorder rec;
+        if (!a.dump_out.empty()) cfg.recorder = &rec;
         repl::StateSystem sys(cfg);
         const wl::RunStats stats = wl::run_state(sys, make_trace(run));
         shard.registry.merge_from(sys.metrics());
         const auto& t = sys.totals();
-        return Row{run.seed,          t.sessions,
-                   t.bits,            t.conflicts_detected,
-                   t.reconciliations, stats.eventually_consistent};
+        Row row{run.seed,
+                t.sessions,
+                t.bits,
+                t.conflicts_detected,
+                t.reconciliations,
+                t.retries,
+                t.sync_failures,
+                sys.divergence(),
+                stats.eventually_consistent,
+                {}};
+        if (rec.triggered()) row.dump = obs::flight_to_json(rec);
+        // Live mid-sweep progress: single writer per shard, so read-add-
+        // publish is race-free; readers get a consistent snapshot any time.
+        const auto prev = shard.progress.read();
+        shard.progress.publish(prev[0] + 1, prev[1] + t.sessions, prev[2] + t.bits);
+        return row;
       });
   obs::Registry merged;
   shards.merge_into(&merged, nullptr);
+
+  // The sweep timeline is assembled from the config-order row table after
+  // the join — one sample per run on the "run" axis — so the document is
+  // byte-identical for any --threads value by construction.
+  if (!a.timeline_out.empty()) {
+    obs::Timeline::Config tc;
+    if (rows.size() > tc.max_samples) tc.max_samples = rows.size();
+    obs::Timeline tl(tc);
+    tl.set_axis("run");
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      const Row& r = rows[k];
+      tl.begin_sample(static_cast<double>(k));
+      tl.record("repl.divergence", static_cast<std::int64_t>(r.divergence));
+      tl.record("state.bits", static_cast<std::int64_t>(r.bits));
+      tl.record("state.conflicts_detected", static_cast<std::int64_t>(r.conflicts));
+      tl.record("state.reconciliations", static_cast<std::int64_t>(r.reconciliations));
+      tl.record("state.sessions", static_cast<std::int64_t>(r.sessions));
+      if (a.faults_requested()) {
+        tl.record("state.retries", static_cast<std::int64_t>(r.retries));
+        tl.record("state.sync_failures", static_cast<std::int64_t>(r.failures));
+      }
+    }
+    write_file(a.timeline_out, obs::timeline_to_json(tl));
+  }
+  // Dump-on-violation: the first triggered run in config order wins, which
+  // keeps the written dump deterministic across thread counts too.
+  if (!a.dump_out.empty()) {
+    std::size_t hit = rows.size();
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      if (!rows[k].dump.empty()) {
+        hit = k;
+        break;
+      }
+    }
+    if (hit < rows.size()) {
+      write_file(a.dump_out, rows[hit].dump);
+      std::fprintf(stderr, "flight recorder triggered in run %zu: wrote %s\n", hit,
+                   a.dump_out.c_str());
+    } else {
+      std::fprintf(stderr, "flight recorder: no violation across %zu runs; %s not written\n",
+                   rows.size(), a.dump_out.c_str());
+    }
+  }
 
   bool all_consistent = true;
   for (const Row& r : rows) all_consistent = all_consistent && r.consistent;
