@@ -14,7 +14,11 @@
 // with sampling off, a steady-state sync session must touch the allocator
 // zero times (timeline_off_allocs, gated at its committed baseline of 0);
 // with sampling on, a fixed state-transfer run pins the timeline's sample /
-// series counts and exported byte size — all model-derived integers.
+// series counts and exported byte size — all model-derived integers. The
+// causal-tracing family (src/obs/causal.h) makes the same two claims:
+// causal_off_allocs and causal_on_allocs are both gated at 0 (the tracer's
+// ring is sized at construction, so even tracing-on steady state stays off
+// the allocator), and a fixed run pins the optrep.causal/v1 dump shape.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
@@ -22,6 +26,7 @@
 #include <new>
 
 #include "bench/bench_util.h"
+#include "obs/causal.h"
 #include "obs/timeline.h"
 #include "repl/state_system.h"
 #include "workload/trace.h"
@@ -132,6 +137,71 @@ std::uint64_t timeline_off_allocs() {
   const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
   benchmark::DoNotOptimize(vv::sync_rotating(loop, a, b, opt));
   return g_alloc_count.load(std::memory_order_relaxed) - before;
+}
+
+// Same contract for causal tracing (src/obs/causal.h): with no tracer wired
+// the per-message path is identical to the telemetry-off build, and with a
+// tracer attached the steady state is ring writes only — the tracer's buffer
+// is sized once at construction, so a warmed traced session must also touch
+// the allocator zero times. Both rows are gated at their committed baseline
+// of 0 (the "causal" / "timeline" report rules).
+std::uint64_t causal_session_allocs(obs::CausalTracer* causal) {
+  constexpr std::uint32_t kSites = 24;
+  constexpr std::uint32_t kMissing = 8;
+  vv::RotatingVector base;
+  for (std::uint32_t i = 0; i < kSites - kMissing; ++i) base.record_update(SiteId{i});
+  vv::RotatingVector b = base;
+  for (std::uint32_t i = kSites - kMissing; i < kSites; ++i) b.record_update(SiteId{i});
+
+  vv::SyncOptions opt;
+  opt.kind = vv::VectorKind::kSrv;
+  opt.mode = vv::TransferMode::kPipelined;
+  opt.cost = CostModel{.n = kSites, .m = 1 << 16};
+  opt.known_relation = vv::Ordering::kBefore;
+  opt.causal = causal;
+  opt.src_site = SiteId{1};
+  opt.dst_site = SiteId{0};
+
+  sim::EventLoop loop;
+  loop.reserve(4 * kSites);
+  vv::RotatingVector warm = base;
+  warm.reserve(kSites);
+  vv::sync_rotating(loop, warm, b, opt);
+
+  vv::RotatingVector a = base;
+  a.reserve(kSites);
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  benchmark::DoNotOptimize(vv::sync_rotating(loop, a, b, opt));
+  return g_alloc_count.load(std::memory_order_relaxed) - before;
+}
+
+// A fixed state-transfer run with causal tracing on: event/span counts and
+// the exported optrep.causal/v1 byte size are pure functions of the workload
+// — machine-independent integers pinning the dump shape.
+struct CausalRow {
+  std::uint64_t events{0};
+  std::uint64_t spans{0};
+  std::uint64_t dropped{0};
+  std::uint64_t json_bytes{0};
+};
+
+CausalRow causal_on_row() {
+  obs::CausalTracer tracer(7);
+  repl::StateSystem::Config cfg;
+  cfg.n_sites = 8;
+  cfg.kind = vv::VectorKind::kSrv;
+  cfg.causal = &tracer;
+  cfg.cost = CostModel{.n = 8, .m = 1 << 16};
+  repl::StateSystem sys(cfg);
+  wl::GeneratorConfig g;
+  g.n_sites = 8;
+  g.n_objects = 1;
+  g.steps = 200;
+  g.update_prob = 0.5;
+  g.seed = 7;
+  wl::run_state(sys, wl::generate(g));
+  return {tracer.total_recorded(), tracer.spans_opened(), tracer.dropped(),
+          obs::causal_to_json(tracer).size()};
 }
 
 // A fixed state-transfer run with per-session timeline sampling on: the
@@ -286,11 +356,45 @@ int main(int argc, char** argv) {
     w.end_object();
     reporter.add_row(w.take());
   }
+  std::printf("\n---- causal tracing overhead (off: allocs; on: allocs + dump shape) ----\n");
+  const std::uint64_t causal_off = causal_session_allocs(nullptr);
+  obs::CausalTracer bench_tracer(7);
+  const std::uint64_t causal_on = causal_session_allocs(&bench_tracer);
+  const CausalRow crow = causal_on_row();
+  std::printf("causal off: %llu heap allocations in a steady-state session\n",
+              (unsigned long long)causal_off);
+  std::printf("causal on:  %llu heap allocations; fixed run: %llu events, "
+              "%llu spans, %llu dropped, %llu JSON bytes\n",
+              (unsigned long long)causal_on, (unsigned long long)crow.events,
+              (unsigned long long)crow.spans, (unsigned long long)crow.dropped,
+              (unsigned long long)crow.json_bytes);
+  {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("scenario", "causal_off");
+    w.field("causal_off_allocs", causal_off);
+    w.end_object();
+    reporter.add_row(w.take());
+  }
+  {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("scenario", "causal_on");
+    w.field("causal_on_allocs", causal_on);
+    w.field("causal_events", crow.events);
+    w.field("causal_spans", crow.spans);
+    w.field("causal_dropped", crow.dropped);
+    w.field("causal_json_bytes", crow.json_bytes);
+    w.end_object();
+    reporter.add_row(w.take());
+  }
   reporter.flush();
   std::printf("\n(expected shape: probe_total stays near size — load factor <= 0.75 and\n"
               " backward-shift deletion keep chains short; probe_max stays O(1). The\n"
               " order hash pins the exact ≺ order the churn leaves behind.\n"
-              " timeline_off_allocs is gated at 0: telemetry must cost nothing when off.)\n\n");
+              " timeline_off_allocs, causal_off_allocs and causal_on_allocs are gated at 0:\n"
+              " telemetry must cost nothing when off, and tracing must stay off the\n"
+              " allocator even when on.)\n\n");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

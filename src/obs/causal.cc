@@ -1,0 +1,257 @@
+#include "obs/causal.h"
+
+#include <unordered_map>
+
+#include "obs/export.h"
+
+namespace optrep::obs {
+
+std::string_view to_string(CausalEventType t) {
+  switch (t) {
+    case CausalEventType::kOrigin: return "origin";
+    case CausalEventType::kSpanBegin: return "span_begin";
+    case CausalEventType::kSpanEnd: return "span_end";
+    case CausalEventType::kWireSend: return "send";
+    case CausalEventType::kWireRecv: return "recv";
+    case CausalEventType::kFault: return "fault";
+    case CausalEventType::kApply: return "apply";
+    case CausalEventType::kDeliver: return "deliver";
+    case CausalEventType::kConverge: return "converge";
+  }
+  return "?";
+}
+
+namespace {
+
+// One event object on one line. Only the fields meaningful for the event
+// type are emitted — readers (obs/json.h DOM + tools/optrep_trace) look
+// members up by name with zero defaults.
+std::string event_json(const CausalEvent& e) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("t", e.at);
+  w.field("type", to_string(e.type));
+  switch (e.type) {
+    case CausalEventType::kOrigin:
+    case CausalEventType::kConverge:
+      w.field("trace", e.trace);
+      w.field("obj", std::uint64_t{e.obj.value});
+      w.field("site", std::uint64_t{e.site.value});
+      w.field("seq", e.seq);
+      break;
+    case CausalEventType::kDeliver:
+      w.field("trace", e.trace);
+      w.field("span", e.span);
+      w.field("obj", std::uint64_t{e.obj.value});
+      w.field("site", std::uint64_t{e.site.value});
+      w.field("seq", e.seq);
+      w.field("src", std::uint64_t{e.src.value});
+      w.field("dst", std::uint64_t{e.dst.value});
+      break;
+    case CausalEventType::kSpanBegin:
+      w.field("span", e.span);
+      w.field("parent", e.parent);
+      w.field("src", std::uint64_t{e.src.value});
+      w.field("dst", std::uint64_t{e.dst.value});
+      w.field("attempt", e.attempt);
+      break;
+    case CausalEventType::kSpanEnd:
+      w.field("span", e.span);
+      w.field("bits", e.bits);
+      w.field("ok", e.ok);
+      break;
+    case CausalEventType::kWireSend:
+    case CausalEventType::kWireRecv:
+      w.field("span", e.span);
+      w.field("dir", e.forward ? "fwd" : "rev");
+      w.field("site", std::uint64_t{e.site.value});
+      w.field("value", e.seq);
+      w.field("bits", e.bits);
+      break;
+    case CausalEventType::kFault:
+      w.field("span", e.span);
+      w.field("dir", e.forward ? "fwd" : "rev");
+      w.field("site", std::uint64_t{e.site.value});
+      w.field("value", e.seq);
+      w.field("fault", to_string(e.fault));
+      break;
+    case CausalEventType::kApply:
+      w.field("span", e.span);
+      w.field("site", std::uint64_t{e.site.value});
+      w.field("value", e.seq);
+      break;
+  }
+  w.end_object();
+  return w.take();
+}
+
+// The shared run body: seed/ring header fields plus the events array. Used
+// by both the single-run document and the sweep fragment.
+void write_run_body(std::string& out, const CausalTracer& t) {
+  JsonWriter hdr;
+  hdr.begin_object();
+  hdr.field("run_seed", t.run_seed());
+  hdr.field("capacity", static_cast<std::uint64_t>(t.capacity()));
+  hdr.field("total_recorded", t.total_recorded());
+  hdr.field("dropped", t.dropped());
+  hdr.field("spans", t.spans_opened());
+  hdr.end_object();
+  std::string h = hdr.take();
+  out += h.substr(1, h.size() - 2);  // strip {} — splice into the caller's object
+  out += ",\"events\":[";
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += event_json(t.event(i));
+  }
+  out += "\n]";
+}
+
+}  // namespace
+
+std::string causal_to_json(const CausalTracer& t) {
+  std::string out = "{\"schema\":\"optrep.causal/v1\",";
+  write_run_body(out, t);
+  out += "}\n";
+  return out;
+}
+
+std::string causal_run_fragment(const CausalTracer& t, std::uint64_t run_index) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("run", run_index);
+  std::string out = w.take();  // deliberately unterminated: body follows
+  out += ",";
+  write_run_body(out, t);
+  out += "}";
+  return out;
+}
+
+std::string causal_sweep_json(const std::vector<std::string>& fragments) {
+  std::string out = "{\"schema\":\"optrep.causal/v1\",\"axis\":\"run\",\"runs\":[";
+  for (std::size_t i = 0; i < fragments.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += fragments[i];
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string causal_to_perfetto_json(const CausalTracer& t) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&out, &first](JsonWriter& w) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += w.take();
+  };
+  const auto slice = [&emit](const char* name, double ts_us, double dur_us,
+                             std::uint64_t tid, std::uint64_t span) {
+    JsonWriter w;
+    w.begin_object();
+    w.field("name", name);
+    w.field("cat", "causal");
+    w.field("ph", "X");
+    w.field("ts", ts_us);
+    w.field("dur", dur_us);
+    w.field("pid", std::uint64_t{1});
+    w.field("tid", tid);
+    w.key("args").begin_object().field("span", span).end_object();
+    w.end_object();
+    emit(w);
+  };
+  // Flow phases: "s" starts a flow, "t" continues it, "f" (bp=e) binds the
+  // finish to the enclosing slice/instant.
+  const auto flow = [&emit](const char* ph, const char* cat, std::uint64_t id,
+                            double ts_us, std::uint64_t tid) {
+    JsonWriter w;
+    w.begin_object();
+    w.field("name", cat);
+    w.field("cat", cat);
+    w.field("ph", ph);
+    if (ph[0] == 'f') w.field("bp", "e");
+    w.field("id", id);
+    w.field("ts", ts_us);
+    w.field("pid", std::uint64_t{1});
+    w.field("tid", tid);
+    w.end_object();
+    emit(w);
+  };
+  const auto instant = [&emit](std::string_view name, double ts_us,
+                               std::uint64_t tid, std::uint64_t trace) {
+    JsonWriter w;
+    w.begin_object();
+    w.field("name", name);
+    w.field("cat", "causal");
+    w.field("ph", "i");
+    w.field("s", "t");
+    w.field("ts", ts_us);
+    w.field("pid", std::uint64_t{1});
+    w.field("tid", tid);
+    w.key("args").begin_object().field("trace", trace).end_object();
+    w.end_object();
+    emit(w);
+  };
+  // Track per site: tid = site id + 1 (tid 0 renders poorly in viewers).
+  const auto tid_of = [](SiteId s) { return std::uint64_t{s.value} + 1; };
+  const auto us = [](double at) { return at * 1e6; };
+
+  // Pair span begins with their ends in ring order; emission happens at the
+  // end event so output order follows the ring (deterministic).
+  std::unordered_map<std::uint64_t, CausalEvent> open;
+  std::unordered_map<std::uint64_t, bool> trace_started;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const CausalEvent& e = t.event(i);
+    switch (e.type) {
+      case CausalEventType::kSpanBegin:
+        open[e.span] = e;
+        break;
+      case CausalEventType::kSpanEnd: {
+        auto it = open.find(e.span);
+        if (it == open.end()) break;  // begin fell off the ring
+        const CausalEvent& b = it->second;
+        const double dur = us(e.at) - us(b.at);
+        // Sender and receiver slices joined by a flow: the hop is visible on
+        // both sites' tracks, and the arrow shows the direction.
+        slice("sync send", us(b.at), dur, tid_of(b.src), e.span);
+        slice("sync recv", us(b.at), dur, tid_of(b.dst), e.span);
+        flow("s", "hop", e.span, us(b.at), tid_of(b.src));
+        flow("f", "hop", e.span, us(e.at), tid_of(b.dst));
+        open.erase(it);
+        break;
+      }
+      case CausalEventType::kOrigin:
+        instant("origin", us(e.at), tid_of(e.site), e.trace);
+        flow("s", "update", e.trace, us(e.at), tid_of(e.site));
+        trace_started[e.trace] = true;
+        break;
+      case CausalEventType::kDeliver:
+        instant("deliver", us(e.at), tid_of(e.dst), e.trace);
+        if (trace_started.contains(e.trace)) {
+          flow("t", "update", e.trace, us(e.at), tid_of(e.dst));
+        }
+        break;
+      case CausalEventType::kConverge:
+        instant("converge", us(e.at), tid_of(e.site), e.trace);
+        if (trace_started.contains(e.trace)) {
+          flow("t", "update", e.trace, us(e.at), tid_of(e.site));
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  out += "\n],\"otherData\":{";
+  JsonWriter meta;
+  meta.begin_object();
+  meta.field("schema", "optrep.causal.perfetto/v1");
+  meta.field("run_seed", t.run_seed());
+  meta.field("total_recorded", t.total_recorded());
+  meta.field("dropped", t.dropped());
+  meta.end_object();
+  std::string m = meta.take();
+  out += m.substr(1, m.size() - 2);  // strip {}
+  out += "}}\n";
+  return out;
+}
+
+}  // namespace optrep::obs

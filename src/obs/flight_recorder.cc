@@ -26,6 +26,9 @@ std::string flight_to_json(const FlightRecorder& r) {
   hdr.field("trigger_count", r.trigger_count());
   hdr.field("trigger_reason", r.reason());
   hdr.field("trigger_at", r.triggered_at());
+  hdr.field("fault_seed", r.fault_seed());
+  hdr.field("trigger_attempt", r.trigger_attempt());
+  hdr.field("trigger_seq", r.trigger_seq());
   std::string out = hdr.take();  // deliberately unterminated: events follow
   out += ",\"events\":[";
   for (std::size_t i = 0; i < r.dump_size(); ++i) {

@@ -62,6 +62,14 @@ class FlightRecorder {
     ++total_;
   }
 
+  // Reproducibility context for the dump header: the run's fault-injection
+  // seed (set once by the system wiring the recorder) and the retry attempt
+  // currently executing (kept current by vv::sync_with_recovery). Both are
+  // captured into the frozen header at trigger time, so a dump names the
+  // exact --fault-seed / attempt to replay from the command line.
+  void set_fault_seed(std::uint64_t seed) { fault_seed_ = seed; }
+  void note_attempt(std::uint32_t attempt) { attempt_ = attempt; }
+
   // First trigger freezes the ring and keeps the reason; later triggers only
   // count (the first anomaly is the one worth replaying — everything after
   // it happened in an already-anomalous run).
@@ -71,6 +79,8 @@ class FlightRecorder {
     triggered_ = true;
     reason_.assign(reason);
     triggered_at_ = at;
+    trigger_attempt_ = attempt_;
+    trigger_seq_ = total_;  // sequence number of the triggering anomaly
     snapshot_.clear();
     const std::size_t n = size();
     for (std::size_t i = 0; i < n; ++i) snapshot_.push_back(event(i));
@@ -81,6 +91,9 @@ class FlightRecorder {
   std::uint64_t trigger_count() const { return trigger_count_; }
   const std::string& reason() const { return reason_; }
   double triggered_at() const { return triggered_at_; }
+  std::uint64_t fault_seed() const { return fault_seed_; }
+  std::uint32_t trigger_attempt() const { return trigger_attempt_; }
+  std::uint64_t trigger_seq() const { return trigger_seq_; }
 
   std::size_t capacity() const { return buf_.size(); }
   std::size_t size() const {
@@ -111,6 +124,8 @@ class FlightRecorder {
     trigger_count_ = 0;
     reason_.clear();
     triggered_at_ = 0;
+    trigger_attempt_ = 0;
+    trigger_seq_ = 0;
     snapshot_.clear();
     snapshot_total_ = 0;
   }
@@ -122,6 +137,10 @@ class FlightRecorder {
   std::uint64_t trigger_count_{0};
   std::string reason_;
   double triggered_at_{0};
+  std::uint64_t fault_seed_{0};
+  std::uint32_t attempt_{0};          // retry attempt currently executing
+  std::uint32_t trigger_attempt_{0};  // ...frozen at trigger time
+  std::uint64_t trigger_seq_{0};      // total_ when the trigger fired
   std::vector<FlightRecord> snapshot_;  // frozen ring contents at trigger time
   std::uint64_t snapshot_total_{0};
 };

@@ -21,9 +21,15 @@ std::vector<GateRule> default_gate_rules() {
       {"straggler", true},
       {"dropped", true},     // ring truncation must not silently grow
       {"timeline", true},    // sampling overhead (timeline_off_allocs must stay 0)
+      {"causal", true},      // tracing overhead (causal_*_allocs must stay 0)
       {"violations", true},  // Table 2 bound violations
       {"retries", true},     // recovery retries per fault budget must not grow
       {"failures", true},    // exhausted retry budgets (sync_failures)
+      // Histogram tail latency: p999 growth is a regression even when the
+      // histogram's name matches no traffic rule above (duration/latency
+      // histograms). Traffic-named histograms (".session_bits.p999") are
+      // already caught by the earlier rules with the same direction.
+      {"p999", true},
       {"within", false},     // within_table2_bound booleans
       {"consistent", false},
   };

@@ -29,8 +29,8 @@ struct GateRule {
 
 // Built-in rule table covering the repo's schemas: traffic (bits/bytes),
 // wall-clock spans (wall_ns), redundancy (Γ), skip-accounting (gamma),
-// dropped trace/span events and bound violations gate on increase;
-// "within"/"consistent" booleans gate on decrease.
+// dropped trace/span events, bound violations and histogram tail latency
+// (p999) gate on increase; "within"/"consistent" booleans gate on decrease.
 std::vector<GateRule> default_gate_rules();
 
 struct DiffOptions {

@@ -13,6 +13,7 @@ void OpSystem::create_object(SiteId site, ObjectId obj, std::string content) {
   r.graph.create(op, static_cast<std::uint32_t>(content.size()));
   contents_[obj][op] = std::move(content);
   retain(r, op);
+  causal_origin(obj, op);
 }
 
 void OpSystem::update(SiteId site, ObjectId obj, std::string content) {
@@ -21,6 +22,7 @@ void OpSystem::update(SiteId site, ObjectId obj, std::string content) {
   r.graph.append(op, static_cast<std::uint32_t>(content.size()));
   contents_[obj][op] = std::move(content);
   retain(r, op);
+  causal_origin(obj, op);
 }
 
 OpSyncOutcome OpSystem::sync(SiteId dst, SiteId src, ObjectId obj) {
@@ -82,6 +84,19 @@ OpSyncOutcome OpSystem::sync(SiteId dst, SiteId src, ObjectId obj) {
     }
   }
 
+  if (cfg_.causal != nullptr) {
+    // new_node_ids (insertion order) are exactly the update identities this
+    // session delivered; sorted for deterministic emission order. Operation
+    // transfer has no vv session span, so delivers carry span 0.
+    std::vector<UpdateId> fresh(out.report.new_node_ids.begin(),
+                                out.report.new_node_ids.end());
+    std::sort(fresh.begin(), fresh.end());
+    for (const UpdateId& id : fresh) {
+      cfg_.causal->deliver(loop_.now(), obj, id.site, id.seq, /*span=*/0, src, dst);
+      causal_converge_check(obj, id);
+    }
+  }
+
   if (rel == vv::Ordering::kBefore) {
     receiver.graph.set_sink(sender.graph.sink());
     out.action = OpSyncOutcome::Action::kFastForwarded;
@@ -92,6 +107,7 @@ OpSyncOutcome OpSystem::sync(SiteId dst, SiteId src, ObjectId obj) {
     receiver.graph.merge(merge_op, sender.graph.sink());
     contents_[obj][merge_op] = "";  // merges carry no user content here
     retain(receiver, merge_op);
+    causal_origin(obj, merge_op);
     ++totals_.reconciliations;
     out.action = OpSyncOutcome::Action::kReconciled;
   }
@@ -212,6 +228,25 @@ OpReplica& OpSystem::replica_mut(SiteId site, ObjectId obj) {
 
 UpdateId OpSystem::fresh_op(SiteId site, ObjectId obj) {
   return UpdateId{site, ++seq_[site][obj]};
+}
+
+void OpSystem::causal_origin(ObjectId obj, const UpdateId& op) {
+  if (cfg_.causal == nullptr) return;
+  cfg_.causal->origin(loop_.now(), obj, op.site, op.seq);
+  causal_converge_check(obj, op);  // single-host objects converge at once
+}
+
+void OpSystem::causal_converge_check(ObjectId obj, const UpdateId& op) {
+  // Coverage of an operation only changes when some replica absorbs it, so a
+  // check at every origin/deliver closes each trace exactly when the
+  // operation stops diverging. Graphs are ancestor-closed, so containment of
+  // the node id is exact coverage.
+  for (const auto& [site, objs] : sites_) {
+    auto it = objs.find(obj);
+    if (it == objs.end()) continue;
+    if (!it->second.graph.contains(op)) return;
+  }
+  cfg_.causal->converge(loop_.now(), obj, op.site, op.seq);
 }
 
 void OpSystem::retain(OpReplica& r, UpdateId op) {

@@ -15,6 +15,7 @@
 #include "common/cost_model.h"
 #include "common/ids.h"
 #include "graph/sync_graph.h"
+#include "obs/causal.h"
 #include "obs/metrics.h"
 #include "sim/event_loop.h"
 
@@ -55,6 +56,13 @@ class OpSystem {
     // peer needs an evicted payload, the session falls back to shipping the
     // whole object state.
     std::uint32_t op_log_limit{0};
+    // Causal propagation tracing (obs/causal.h): every operation (including
+    // reconciliation merge nodes) opens a trace; each sync's newly-absorbed
+    // node ids (GraphSyncReport::new_node_ids) become kDeliver edges; a trace
+    // closes (kConverge) when every current host's graph contains the node.
+    // Operation transfer has no vv session spans, so delivers carry span 0 —
+    // the analyzer still builds propagation trees from the (src, dst) edges.
+    obs::CausalTracer* causal{nullptr};
   };
 
   explicit OpSystem(Config cfg) : cfg_(cfg) {
@@ -117,6 +125,9 @@ class OpSystem {
   UpdateId fresh_op(SiteId site, ObjectId obj);
   void retain(OpReplica& r, UpdateId op);
   void publish_metrics();
+  // Causal tracing helpers (no-ops when cfg_.causal is null).
+  void causal_origin(ObjectId obj, const UpdateId& op);
+  void causal_converge_check(ObjectId obj, const UpdateId& op);
 
   Config cfg_;
   sim::EventLoop loop_;

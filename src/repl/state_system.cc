@@ -17,6 +17,7 @@ StateSystem::StateSystem(Config cfg) : cfg_(cfg) {
   // receiver's vector partially joined, a state the at-rest oracles cannot
   // describe — history containment no longer matches the vector order.
   if (cfg_.net.faults.enabled()) cfg_.check_oracle = false;
+  if (cfg_.recorder != nullptr) cfg_.recorder->set_fault_seed(cfg_.net.faults.seed);
   if (cfg_.timeline != nullptr) {
     if (cfg_.timeline_every_s > 0) {
       cfg_.timeline->set_axis("time_s");
@@ -89,6 +90,9 @@ SyncOutcome StateSystem::sync(SiteId dst, SiteId src, ObjectId obj) {
   opt.trace_session = totals_.sessions + 1;
   opt.metrics = &metrics_;
   opt.recorder = cfg_.recorder;
+  opt.causal = cfg_.causal;
+  opt.src_site = src;
+  opt.dst_site = dst;
 
   switch (rel) {
     case vv::Ordering::kEqual:
@@ -115,10 +119,16 @@ SyncOutcome StateSystem::sync(SiteId dst, SiteId src, ObjectId obj) {
         break;
       }
       for (const auto& e : sender.data.entries) totals_.payload_bytes += e.size();
+      const std::vector<UpdateId> fresh = causal_fresh(sender, receiver);
       receiver.data = sender.data;  // state transfer overwrites the replica
       receiver.oracle_vector.join(sender.oracle_vector);
       receiver.oracle_history.insert(sender.oracle_history.begin(),
                                      sender.oracle_history.end());
+      for (const UpdateId& u : fresh) {
+        cfg_.causal->deliver(loop_.now(), obj, u.site, u.seq, out.report.causal_span, src,
+                             dst);
+        causal_converge_check(obj, u);
+      }
       out.action = SyncOutcome::Action::kPulled;
       break;
     }
@@ -145,16 +155,27 @@ SyncOutcome StateSystem::sync(SiteId dst, SiteId src, ObjectId obj) {
         break;
       }
       for (const auto& e : sender.data.entries) totals_.payload_bytes += e.size();
+      const std::vector<UpdateId> fresh = causal_fresh(sender, receiver);
       receiver.data.merge(sender.data);
       receiver.oracle_vector.join(sender.oracle_vector);
       receiver.oracle_history.insert(sender.oracle_history.begin(),
                                      sender.oracle_history.end());
+      for (const UpdateId& u : fresh) {
+        cfg_.causal->deliver(loop_.now(), obj, u.site, u.seq, out.report.causal_span, src,
+                             dst);
+        causal_converge_check(obj, u);
+      }
       if (cfg_.check_oracle) check_replica(receiver);
       // The separate post-reconciliation update (metadata only: the merged
       // payload is the new version's content).
       receiver.vector.record_update(dst);
       receiver.oracle_vector.increment(dst);
       receiver.oracle_history.insert(UpdateId{dst, receiver.oracle_vector.value(dst)});
+      if (cfg_.causal != nullptr) {
+        const UpdateId u{dst, receiver.oracle_vector.value(dst)};
+        cfg_.causal->origin(loop_.now(), obj, dst, u.seq);
+        causal_converge_check(obj, u);
+      }
       ++totals_.reconciliations;
       out.action = SyncOutcome::Action::kReconciled;
       break;
@@ -305,15 +326,45 @@ StateReplica& StateSystem::replica_mut(SiteId site, ObjectId obj) {
 
 void StateSystem::apply_update(StateReplica& r, SiteId site, ObjectId obj,
                                std::string entry) {
-  (void)obj;
   r.data.entries.insert(std::move(entry));
   r.vector.record_update(site);
   r.oracle_vector.increment(site);
-  r.oracle_history.insert(UpdateId{site, r.oracle_vector.value(site)});
+  const UpdateId u{site, r.oracle_vector.value(site)};
+  r.oracle_history.insert(u);
   // Note: the oracle history uses the replica's own per-site counter, which
   // equals the global per-site sequence because a site's updates are serial
   // on its single replica of the object.
+  if (cfg_.causal != nullptr) {
+    cfg_.causal->origin(loop_.now(), obj, site, u.seq);
+    // A single-host object converges the instant it is updated.
+    causal_converge_check(obj, u);
+  }
   if (cfg_.check_oracle) check_replica(r);
+}
+
+std::vector<UpdateId> StateSystem::causal_fresh(const StateReplica& sender,
+                                                const StateReplica& receiver) const {
+  std::vector<UpdateId> fresh;
+  if (cfg_.causal == nullptr) return fresh;
+  for (const UpdateId& u : sender.oracle_history) {
+    if (!receiver.oracle_history.contains(u)) fresh.push_back(u);
+  }
+  std::sort(fresh.begin(), fresh.end());
+  return fresh;
+}
+
+void StateSystem::causal_converge_check(ObjectId obj, const UpdateId& u) {
+  // Coverage of u only changes when some replica absorbs u itself, so
+  // checking at every origin/deliver of u closes each trace exactly when the
+  // update stops diverging. Replica-set growth (a fresh empty replica created
+  // by a later sync) re-opens the trace until the newcomer catches up; the
+  // analyzer keys on the *last* kConverge of a trace.
+  for (const auto& [site, objs] : sites_) {
+    auto it = objs.find(obj);
+    if (it == objs.end()) continue;
+    if (!it->second.oracle_history.contains(u)) return;
+  }
+  cfg_.causal->converge(loop_.now(), obj, u.site, u.seq);
 }
 
 void StateSystem::check_replica(const StateReplica& r) const {

@@ -21,6 +21,7 @@
 
 #include "common/cost_model.h"
 #include "common/ids.h"
+#include "obs/causal.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/timeline.h"
@@ -103,6 +104,15 @@ class StateSystem {
     // triggers (freezes) it here, decode errors and retry exhaustion trigger
     // it inside the vv layer.
     obs::FlightRecorder* recorder{nullptr};
+    // Causal propagation tracing (obs/causal.h): every local update opens a
+    // trace (kOrigin), every sync session stamps send/recv/fault/apply edges
+    // onto a per-attempt span tree, every pull records which update ids the
+    // receiver learned (kDeliver, attributed to the session's root span), and
+    // the system closes a trace (kConverge) the moment every current host of
+    // the object covers the update. The delivery identities come from the
+    // causal-history oracle, which is maintained on all converged paths even
+    // under fault injection (only the *checks* are disabled there).
+    obs::CausalTracer* causal{nullptr};
   };
 
   explicit StateSystem(Config cfg);
@@ -187,6 +197,12 @@ class StateSystem {
  private:
   StateReplica& replica_mut(SiteId site, ObjectId obj);
   void apply_update(StateReplica& r, SiteId site, ObjectId obj, std::string entry);
+  // Causal tracing helpers (no-ops when cfg_.causal is null): update ids the
+  // receiver is about to learn, in deterministic (site, seq) order; emit the
+  // kDeliver edges for them; close any trace every host now covers.
+  std::vector<UpdateId> causal_fresh(const StateReplica& sender,
+                                     const StateReplica& receiver) const;
+  void causal_converge_check(ObjectId obj, const UpdateId& u);
   void check_replica(const StateReplica& r) const;
   void publish_metrics();
   void sample_timeline_at(double x);

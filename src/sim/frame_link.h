@@ -56,6 +56,12 @@ class FrameLink {
  public:
   using Handler = std::function<void(const Msg&)>;
   using Tap = std::function<void(Time send_time, const Msg&, std::uint64_t model_bits)>;
+  // Observes each message at its delivery instant (arrival time), immediately
+  // before the receiver handler — and therefore before any interposed fault
+  // injector passes its verdict. Gives causal tracing its send → receive
+  // edge without wrapping the delivery handler (which would heap-allocate a
+  // std::function per session).
+  using DeliveryTap = std::function<void(Time arrive_time, const Msg&)>;
   // Realistic size in bytes of one wire frame carrying `msgs` in order.
   using FrameSizer = std::function<std::uint64_t(const std::vector<Msg>&)>;
   // Size of a single-message frame — the frame_budget == 0 path prices each
@@ -77,6 +83,7 @@ class FrameLink {
 
   void set_receiver(Handler h) { deliver_ = std::move(h); }
   void set_tap(Tap t) { tap_ = std::move(t); }
+  void set_delivery_tap(DeliveryTap t) { recv_tap_ = std::move(t); }
   void set_frame_sizer(FrameSizer s) { sizer_ = std::move(s); }
   void set_msg_sizer(MsgSizer s) { msg_sizer_ = std::move(s); }
   void set_flush_after(FlushAfter f) { flush_after_ = std::move(f); }
@@ -102,7 +109,10 @@ class FrameLink {
       if (tap_) tap_(loop_->now(), msg, model_bits);
       stats_.frames += 1;
       stats_.framed_wire_bytes += msg_sizer_ ? msg_sizer_(msg) : wire_bytes;
-      loop_->schedule(arrive, [this, msg] { deliver_(msg); });
+      loop_->schedule(arrive, [this, msg] {
+        if (recv_tap_) recv_tap_(loop_->now(), msg);
+        deliver_(msg);
+      });
       return free_at_;
     }
     if (tap_ && !revocable) tap_(loop_->now(), msg, model_bits);
@@ -233,6 +243,7 @@ class FrameLink {
       // not appear in transcripts), stamped with their transmission start —
       // the instant the unframed pump would have handed them to the link.
       if (tap_ && p.revocable) tap_(p.start, p.msg, p.model_bits);
+      if (recv_tap_) recv_tap_(p.arrive, p.msg);
       frame_scratch_.push_back(p.msg);
       frame_bytes_sum_ += p.wire_bytes;
       if (p.end_of_frame) account_frame();
@@ -254,6 +265,7 @@ class FrameLink {
   LinkStats stats_;
   Handler deliver_;
   Tap tap_;
+  DeliveryTap recv_tap_;
   FrameSizer sizer_;
   MsgSizer msg_sizer_;
   FlushAfter flush_after_;

@@ -90,6 +90,17 @@ inline void emit(Actions& out, Action::Type type, const VvMsg& msg = {}) {
   out.push_back(Action{type, msg});
 }
 
+// Causal context carried by protocol actions (obs/causal.h): an element's
+// (site, value) pair IS the update identity the repl layer derives trace ids
+// from, so cores propagate causal context in every kSend/kTrace* action
+// without a single extra wire bit. True when the action's message carries
+// update state the receiver can attribute to an originating site (ELEMs and
+// COMPARE probes); control messages (HALT/SKIP/SKIPPED/ACK/VERDICT) carry
+// protocol arguments instead.
+inline bool carries_update_context(const VvMsg& m) {
+  return m.kind == VvMsg::Kind::kElem || m.kind == VvMsg::Kind::kProbe;
+}
+
 // Counters shared by all receiver cores, harvested into the SyncReport.
 // (The receiver's finish *time* is transport state and lives in the binding.)
 struct ReceiverCounters {

@@ -179,8 +179,13 @@ template <class Core>
 class CoreDriver {
  public:
   CoreDriver(sim::EventLoop* loop, sim::FrameLink<VvMsg>* tx, const SyncOptions* opt,
-             VectorKind size_kind, Core core)
-      : loop_(loop), tx_(tx), opt_(opt), size_kind_(size_kind), core_(std::move(core)) {}
+             VectorKind size_kind, Core core, const std::uint64_t* causal_span = nullptr)
+      : loop_(loop),
+        tx_(tx),
+        opt_(opt),
+        size_kind_(size_kind),
+        core_(std::move(core)),
+        causal_span_(causal_span) {}
 
   // Parked continuations capture `this`: pinned to the construction address.
   CoreDriver(const CoreDriver&) = delete;
@@ -229,6 +234,13 @@ class CoreDriver {
   }
 
   void trace(obs::TraceEventType type, const VvMsg& m) {
+    // The cores' trace actions carry causal context (protocol/core.h): an
+    // applied element is the moment receiver state advanced, so it becomes a
+    // kApply edge on the session's span.
+    if (opt_->causal != nullptr && type == obs::TraceEventType::kElemApplied) {
+      opt_->causal->apply(loop_->now(), causal_span_ != nullptr ? *causal_span_ : 0,
+                          m.site, m.value);
+    }
     if (opt_->tracer == nullptr) return;
     opt_->tracer->record(obs::TraceEvent{.at = loop_->now(),
                                          .session = opt_->trace_session,
@@ -294,6 +306,7 @@ class CoreDriver {
   const SyncOptions* opt_;
   VectorKind size_kind_;
   Core core_;
+  const std::uint64_t* causal_span_{nullptr};  // wiring's session span id
   sim::EventLoop::EventId pending_{0};
   sim::Time resume_{0};
   sim::Time done_at_{0};
@@ -308,6 +321,7 @@ struct SessionWiring {
         opt_(&opt),
         tracer(opt.tracer),
         recorder(opt.recorder),
+        causal(opt.causal),
         session(opt.trace_session) {
     // Realistic framed-byte accounting (vv/frame_codec.h) and the control
     // flush rule. Function pointers and captureless lambdas: no per-session
@@ -323,12 +337,25 @@ struct SessionWiring {
     // copying them here would clone a std::function per tap per session.
     bool any_tap = false;
     for (const auto& t : opt.taps) any_tap = any_tap || static_cast<bool>(t);
-    if (any_tap || tracer != nullptr || recorder != nullptr) {
+    if (any_tap || tracer != nullptr || recorder != nullptr || causal != nullptr) {
       duplex.b_to_a().set_tap([this](sim::Time at, const VvMsg& m, std::uint64_t bits) {
         observe(at, true, m, bits);
       });
       duplex.a_to_b().set_tap([this](sim::Time at, const VvMsg& m, std::uint64_t bits) {
         observe(at, false, m, bits);
+      });
+    }
+    if (causal != nullptr) {
+      // The session's hop span, opened at construction (== session start
+      // time). The delivery taps stamp the receive half of every
+      // send → receive edge at the message's exact arrival instant.
+      span = causal->begin_span(loop.now(), opt.causal_parent, opt.src_site,
+                                opt.dst_site, opt.causal_attempt);
+      duplex.b_to_a().set_delivery_tap([this](sim::Time at, const VvMsg& m) {
+        observe_recv(at, true, m);
+      });
+      duplex.a_to_b().set_delivery_tap([this](sim::Time at, const VvMsg& m) {
+        observe_recv(at, false, m);
       });
     }
   }
@@ -354,7 +381,7 @@ struct SessionWiring {
       inj_rev->set_receiver(std::move(to_sender));
       inj_fwd->set_corrupter(make_corrupter(opt_->cost, size_kind, Direction::kForward));
       inj_rev->set_corrupter(make_corrupter(opt_->cost, size_kind, Direction::kReverse));
-      if (recorder != nullptr) {
+      if (recorder != nullptr || causal != nullptr) {
         inj_fwd->set_observer([this](sim::FaultKind k, bool dec, const VvMsg& m) {
           on_fault(true, k, dec, m);
         });
@@ -394,6 +421,21 @@ struct SessionWiring {
           .bits = bits,
           .fault = obs::FlightFault::kNone});
     }
+    if (causal != nullptr) {
+      const bool upd = protocol::carries_update_context(m);
+      causal->wire(at, /*recv=*/false, span, forward, upd ? m.site : SiteId{},
+                   upd ? m.value : (m.kind == VvMsg::Kind::kSkip ? m.arg : 0), bits);
+    }
+  }
+
+  // Delivery tap: the receive half of a send → receive edge, stamped at the
+  // message's arrival instant (before any fault-injector verdict — a dropped
+  // message shows a recv followed by its kFault). Bits are charged on the
+  // send event; the receive edge carries timing only.
+  void observe_recv(sim::Time at, bool forward, const VvMsg& m) {
+    const bool upd = protocol::carries_update_context(m);
+    causal->wire(at, /*recv=*/true, span, forward, upd ? m.site : SiteId{},
+                 upd ? m.value : (m.kind == VvMsg::Kind::kSkip ? m.arg : 0), 0);
   }
 
   // Fault-injection observer: annotate the affected message in the ring. A
@@ -402,16 +444,24 @@ struct SessionWiring {
   // the codec caught it — so it also triggers the freeze.
   void on_fault(bool forward, sim::FaultKind k, bool decode_error, const VvMsg& m) {
     const obs::FlightFault f = flight_fault(k, decode_error);
-    recorder->record(obs::FlightRecord{
-        .at = loop_->now(),
-        .session = session,
-        .type = wire_event_type(forward, m),
-        .forward = forward,
-        .site = m.site,
-        .value = m.kind == VvMsg::Kind::kSkip ? m.arg : m.value,
-        .bits = 0,
-        .fault = f});
-    if (f == obs::FlightFault::kDecodeError) recorder->trigger("decode_error", loop_->now());
+    if (recorder != nullptr) {
+      recorder->record(obs::FlightRecord{
+          .at = loop_->now(),
+          .session = session,
+          .type = wire_event_type(forward, m),
+          .forward = forward,
+          .site = m.site,
+          .value = m.kind == VvMsg::Kind::kSkip ? m.arg : m.value,
+          .bits = 0,
+          .fault = f});
+      if (f == obs::FlightFault::kDecodeError) {
+        recorder->trigger("decode_error", loop_->now());
+      }
+    }
+    if (causal != nullptr) {
+      causal->fault(loop_->now(), span, forward, f, m.site,
+                    m.kind == VvMsg::Kind::kSkip ? m.arg : m.value);
+    }
   }
 
   void trace_boundary(sim::EventLoop& loop, obs::TraceEventType type, std::uint64_t bits) {
@@ -452,6 +502,8 @@ struct SessionWiring {
   const SyncOptions* opt_;
   obs::Tracer* tracer{nullptr};
   obs::FlightRecorder* recorder{nullptr};
+  obs::CausalTracer* causal{nullptr};
+  std::uint64_t span{0};  // this session's causal hop span (0 when untraced)
   std::uint64_t session{0};
   std::optional<sim::FaultInjector<VvMsg>> inj_fwd;
   std::optional<sim::FaultInjector<VvMsg>> inj_rev;
@@ -508,10 +560,11 @@ SyncReport run_rotating_session(sim::EventLoop& loop, RotatingVector& a,
   scfg.framed = w.duplex.b_to_a().framed();
   scfg.burst = scfg.framed ? opt.net.frame_budget : 1;
   CoreDriver<protocol::ElementSenderCore> sender(
-      &loop, &w.duplex.b_to_a(), &opt, opt.kind, protocol::ElementSenderCore(scfg, &b));
+      &loop, &w.duplex.b_to_a(), &opt, opt.kind, protocol::ElementSenderCore(scfg, &b),
+      &w.span);
   CoreDriver<ReceiverCore> receiver(
       &loop, &w.duplex.a_to_b(), &opt, opt.kind,
-      ReceiverCore(scfg.pipelined, &a, std::forward<ReceiverArgs>(rargs)...));
+      ReceiverCore(scfg.pipelined, &a, std::forward<ReceiverArgs>(rargs)...), &w.span);
   w.connect([&receiver](const VvMsg& m) { receiver.on_message(m); },
             [&sender](const VvMsg& m) { sender.on_message(m); }, opt.kind);
   const sim::Time t0 = loop.now();
@@ -538,6 +591,12 @@ SyncReport run_rotating_session(sim::EventLoop& loop, RotatingVector& a,
   SyncReport r = acc.build();
   w.harvest_framing(loop, ev0, r);
   w.trace_boundary(loop, obs::TraceEventType::kSessionEnd, r.total_bits());
+  if (w.causal != nullptr) {
+    // `ok` = the receiver reached clean protocol quiescence (always true
+    // fault-free; under faults a dropped control message can strand it).
+    w.causal->end_span(loop.now(), w.span, r.total_bits(), receiver.core().finished());
+    r.causal_span = w.span;
+  }
   publish_session_metrics(opt.metrics, r);
   return r;
 }
@@ -645,6 +704,14 @@ SyncReport sync_with_recovery(sim::EventLoop& loop, RotatingVector& a, const Rot
   SyncReport total;
   bool converged = false;
   std::uint32_t runs = 0;
+  // Causal root span for the whole recovery: each attempt's session span is
+  // parented under it, so the analyzer can roll a delivery's retries and
+  // backoff into one hop.
+  std::uint64_t root = 0;
+  if (opt.causal != nullptr) {
+    root = opt.causal->begin_span(t0, opt.causal_parent, opt.src_site, opt.dst_site,
+                                  opt.causal_attempt);
+  }
   // The receiver's pre-sync state. Every attempt starts from here: the
   // receiver-halt rule (Alg 2/3/4 stop at the first already-known element)
   // is only sound when the receiver's knowledge is prefix-closed w.r.t. the
@@ -705,6 +772,9 @@ SyncReport sync_with_recovery(sim::EventLoop& loop, RotatingVector& a, const Rot
     cur.known_relation = rel0;
     // Every attempt observes an independent deterministic fault pattern.
     cur.net.faults.seed = sim::fault_attempt_seed(opt.net.faults.seed, runs);
+    cur.causal_parent = root;
+    cur.causal_attempt = runs;
+    if (opt.recorder != nullptr) opt.recorder->note_attempt(runs);
     const sim::Time astart = loop.now();
     const SyncReport r = sync_rotating(loop, a, b, cur);
     accumulate_attempt(total, r, runs > 0, astart - t0);
@@ -721,6 +791,10 @@ SyncReport sync_with_recovery(sim::EventLoop& loop, RotatingVector& a, const Rot
   total.retries = runs > 0 ? runs - 1 : 0;
   total.converged = converged;
   total.duration = loop.now() - t0;
+  if (opt.causal != nullptr) {
+    opt.causal->end_span(loop.now(), root, total.total_bits(), converged);
+    total.causal_span = root;
+  }
   if (opt.metrics != nullptr) {
     if (total.retries > 0) opt.metrics->counter("vv.retries").inc(total.retries);
     if (!converged) opt.metrics->counter("vv.sync_failures").inc();
@@ -740,10 +814,12 @@ SyncReport run_baseline_session(sim::EventLoop& loop, VersionVector& a,
   SessionWiring w(loop, opt);
   CoreDriver<protocol::BaselineSenderCore> sender(&loop, &w.duplex.b_to_a(), &opt,
                                                   VectorKind::kBrv,
-                                                  protocol::BaselineSenderCore(&to_send));
+                                                  protocol::BaselineSenderCore(&to_send),
+                                                  &w.span);
   CoreDriver<protocol::BaselineReceiverCore> receiver(&loop, &w.duplex.a_to_b(), &opt,
                                                       VectorKind::kBrv,
-                                                      protocol::BaselineReceiverCore(&a));
+                                                      protocol::BaselineReceiverCore(&a),
+                                                      &w.span);
   w.connect([&receiver](const VvMsg& m) { receiver.on_message(m); },
             [&sender](const VvMsg& m) { sender.on_message(m); }, VectorKind::kBrv);
   const sim::Time t0 = loop.now();
@@ -765,6 +841,10 @@ SyncReport run_baseline_session(sim::EventLoop& loop, VersionVector& a,
   SyncReport r = acc.build();
   w.harvest_framing(loop, ev0, r);
   w.trace_boundary(loop, obs::TraceEventType::kSessionEnd, r.total_bits());
+  if (w.causal != nullptr) {
+    w.causal->end_span(loop.now(), w.span, r.total_bits(), receiver.core().finished());
+    r.causal_span = w.span;
+  }
   publish_session_metrics(opt.metrics, r);
   return r;
 }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/cost_model.h"
+#include "obs/causal.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -77,6 +78,18 @@ struct SyncOptions {
   // decode errors and retry exhaustion trigger it. Shares the tracer's tap —
   // no extra per-message cost when unset.
   obs::FlightRecorder* recorder{nullptr};
+
+  // Causal propagation tracing (obs/causal.h): with `causal` set every
+  // session opens a span (parented under `causal_parent`, stamped with the
+  // retry `causal_attempt`) and emits send/receive/fault/apply edges onto
+  // it; sync_with_recovery opens a root span per call and parents each
+  // attempt under it. src_site/dst_site label the replica sites when the
+  // caller knows them (the repl systems do; standalone sessions leave 0).
+  obs::CausalTracer* causal{nullptr};
+  std::uint64_t causal_parent{0};
+  std::uint32_t causal_attempt{0};
+  SiteId src_site{};
+  SiteId dst_site{};
 
   // Used by sync_with_recovery when opt.net.faults.enabled().
   RetryPolicy retry{};
@@ -137,6 +150,12 @@ struct SyncReport {
   std::uint64_t faults_reordered{0};
   std::uint64_t faults_corrupted{0};
   std::uint64_t faults_decode_errors{0};  // corruptions the typed codec caught
+
+  // Root causal span of this sync (0 when causal tracing is off): the
+  // session's span for a direct call, the recovery root under faults. The
+  // repl systems attach kDeliver events to it so the analyzer can charge a
+  // delivery's latency/bits/retries to the hop that carried it.
+  std::uint64_t causal_span{0};
 
   std::uint64_t total_bits() const { return bits_fwd + bits_rev; }
   std::uint64_t total_bytes() const { return bytes_fwd + bytes_rev; }

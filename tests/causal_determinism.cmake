@@ -1,0 +1,35 @@
+# Causal-dump thread-count determinism gate: the same optrep_cli sweep with
+# --threads=1 and --threads=8 must write byte-identical optrep.causal/v1
+# documents. Per-run trace ids derive from rt::task_seed(seed, k) and the
+# sweep document is assembled from per-run fragments in config order after the
+# join, so any divergence is a scheduling leak into the causal path.
+#
+# Invoked from ctest:  cmake -DCLI=<optrep_cli binary> -DOUT=<scratch dir>
+#                            -P causal_determinism.cmake
+if(NOT DEFINED CLI OR NOT DEFINED OUT)
+  message(FATAL_ERROR "pass -DCLI=<binary> and -DOUT=<scratch dir>")
+endif()
+
+file(REMOVE_RECURSE ${OUT})
+file(MAKE_DIRECTORY ${OUT})
+foreach(threads 1 8)
+  execute_process(COMMAND ${CLI} sweep --seeds=8 --sites=6 --steps=200
+                          --loss=0.02 --causal-out=${OUT}/c${threads}.json
+                          --threads=${threads}
+                  RESULT_VARIABLE rc
+                  OUTPUT_QUIET ERROR_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${CLI} sweep failed with --threads=${threads}: ${rc}")
+  endif()
+  if(NOT EXISTS ${OUT}/c${threads}.json)
+    message(FATAL_ERROR "sweep with --threads=${threads} wrote no causal dump")
+  endif()
+endforeach()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${OUT}/c1.json ${OUT}/c8.json
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "causal dump differs between --threads=1 and --threads=8")
+endif()
+message(STATUS "causal dump byte-identical across thread counts")

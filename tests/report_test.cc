@@ -128,6 +128,38 @@ TEST(ReportDiff, EventAndFrameIncreasesRegress) {
   }
 }
 
+TEST(ReportDiff, TailLatencyP999IncreaseRegresses) {
+  // Histogram p999 columns are gated on increase: a fatter tail with the same
+  // median is exactly the regression percentile summaries hide. The p999 rule
+  // precedes the generic "bits" substring rule, so "session_bits.p999" gates
+  // as a tail-latency figure either way (both fail on increase).
+  DiffOptions opt;
+  opt.threshold = 0.05;
+  for (const char* field : {"sync_ms.p999", "session_bits.p999"}) {
+    const std::string key = std::string("{\"rows\":[{\"") + field + "\":";
+    const FlatDoc base = flat_of(key + "100}]}");
+    const FlatDoc worse = flat_of(key + "150}]}");
+    const DocDiff diff = diff_docs("BENCH_micro.json", base, worse, opt);
+    ASSERT_EQ(diff.deltas.size(), 1u) << field;
+    EXPECT_TRUE(diff.deltas[0].gated) << field;
+    EXPECT_TRUE(diff.deltas[0].regressed) << field;
+    EXPECT_TRUE(gate_failed({diff}, opt)) << field;
+    // A thinner tail is an improvement.
+    EXPECT_FALSE(gate_failed({diff_docs("BENCH_micro.json", worse, base, opt)}, opt))
+        << field;
+  }
+}
+
+TEST(ReportRender, P999RegressionRendersInMarkdownAndCsv) {
+  const FlatDoc base = flat_of("{\"rows\":[{\"sync_ms.p999\":10}]}");
+  const FlatDoc worse = flat_of("{\"rows\":[{\"sync_ms.p999\":20}]}");
+  DiffOptions opt;
+  opt.threshold = 0.05;
+  const DocDiff diff = diff_docs("BENCH_micro.json", base, worse, opt);
+  EXPECT_NE(diff_to_markdown({diff}, opt).find("sync_ms.p999"), std::string::npos);
+  EXPECT_NE(diff_to_csv({diff}).find("sync_ms.p999"), std::string::npos);
+}
+
 TEST(ReportDiff, ConsistencyDecreaseRegressesIncreaseDoesNot) {
   const FlatDoc good = flat_of("{\"eventually_consistent\":1}");
   const FlatDoc bad = flat_of("{\"eventually_consistent\":0}");

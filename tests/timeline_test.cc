@@ -367,6 +367,9 @@ TEST(FlightRecorderIntegration, RetryExhaustionUnderHeavyLossTriggersAnnotatedDu
   }
   ASSERT_TRUE(rec.triggered());
   EXPECT_EQ(rec.reason(), "retry_exhausted");
+  // The system stamped its fault seed so the dump names the exact replay.
+  EXPECT_EQ(rec.fault_seed(), 5u);
+  EXPECT_GT(rec.trigger_seq(), 0u);
   ASSERT_GT(rec.dump_size(), 0u);
   bool any_fault = false;
   for (std::size_t i = 0; i < rec.dump_size(); ++i) {
@@ -413,6 +416,87 @@ TEST(FlightRecorderIntegration, CorruptionDecodeErrorTriggers) {
     EXPECT_TRUE(saw_decode);
   }
   EXPECT_TRUE(found) << "no seed in [1,64] produced a typed decode error";
+}
+
+// ---- ring wrap boundaries + re-trigger semantics ---------------------------
+
+TEST(Timeline, SampleCapBoundaryIsExact) {
+  obs::Timeline t(obs::Timeline::Config{.max_samples = 3, .max_series = 4});
+  // Exactly at the cap: every sample retained, nothing counted as dropped.
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    t.begin_sample(double(i));
+    t.record("a", std::int64_t(i));
+  }
+  EXPECT_EQ(t.samples(), 3u);
+  EXPECT_EQ(t.dropped_samples(), 0u);
+  // One past the cap: dropped, and records into it land nowhere.
+  t.begin_sample(3);
+  t.record("a", 99);
+  EXPECT_EQ(t.samples(), 3u);
+  EXPECT_EQ(t.dropped_samples(), 1u);
+  const obs::Timeline::Series* a = t.find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->values, (std::vector<std::int64_t>{0, 1, 2}));
+}
+
+TEST(FlightRecorder, RingWrapBoundaryIsExact) {
+  obs::FlightRecorder r(4);
+  // Exactly full: all four retained, oldest first, nothing dropped.
+  for (std::uint64_t i = 0; i < 4; ++i) r.record(rec_at(double(i), i));
+  EXPECT_EQ(r.size(), 4u);
+  EXPECT_EQ(r.dropped(), 0u);
+  EXPECT_EQ(r.event(0).value, 0u);
+  EXPECT_EQ(r.event(3).value, 3u);
+  // One past capacity: the oldest record is overwritten, dropped() advances.
+  r.record(rec_at(4.0, 4));
+  EXPECT_EQ(r.size(), 4u);
+  EXPECT_EQ(r.total_recorded(), 5u);
+  EXPECT_EQ(r.dropped(), 1u);
+  EXPECT_EQ(r.event(0).value, 1u);
+  EXPECT_EQ(r.event(3).value, 4u);
+}
+
+TEST(FlightRecorder, ReTriggerAfterFreezeKeepsTheFirstAnomalyContext) {
+  obs::FlightRecorder r(4);
+  r.set_fault_seed(77);
+  r.note_attempt(2);
+  for (std::uint64_t i = 0; i < 3; ++i) r.record(rec_at(double(i), i));
+  r.trigger("bound_violation", 2.0);
+  // A second anomaly in the same (already-anomalous) run: counted, but the
+  // frozen header and snapshot still describe the first.
+  r.note_attempt(5);
+  for (std::uint64_t i = 3; i < 9; ++i) r.record(rec_at(double(i), i));
+  r.trigger("retry_exhausted", 8.0);
+  EXPECT_EQ(r.trigger_count(), 2u);
+  EXPECT_EQ(r.reason(), "bound_violation");
+  EXPECT_EQ(r.triggered_at(), 2.0);
+  EXPECT_EQ(r.trigger_attempt(), 2u);
+  EXPECT_EQ(r.trigger_seq(), 3u);
+  EXPECT_EQ(r.fault_seed(), 77u);
+  ASSERT_EQ(r.dump_size(), 3u);
+  EXPECT_EQ(r.dump_event(2).value, 2u);
+  // clear() rearms the freeze for the next run.
+  r.clear();
+  EXPECT_FALSE(r.triggered());
+  EXPECT_EQ(r.trigger_seq(), 0u);
+  r.record(rec_at(10.0, 10));
+  r.trigger("decode_error", 10.0);
+  EXPECT_EQ(r.reason(), "decode_error");
+  EXPECT_EQ(r.trigger_seq(), 1u);
+}
+
+TEST(FlightRecorder, DumpHeaderCarriesReplayContext) {
+  obs::FlightRecorder r(4);
+  r.set_fault_seed(1234);
+  r.note_attempt(3);
+  r.record(rec_at(1.0, 7));
+  r.trigger("retry_exhausted", 1.5);
+  obs::JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(obs::json_parse(obs::flight_to_json(r), &doc, &err)) << err;
+  EXPECT_EQ(doc.find("fault_seed")->number, 1234);
+  EXPECT_EQ(doc.find("trigger_attempt")->number, 3);
+  EXPECT_EQ(doc.find("trigger_seq")->number, 1);
 }
 
 TEST(FlightRecorderIntegration, FaultFreeSessionsRecordWithoutTriggering) {

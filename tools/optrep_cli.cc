@@ -31,7 +31,16 @@
 //                         emits one sample per run, byte-identical for any
 //                         --threads value
 //   --sample-every=N      timeline sampling period in sync sessions (state;
-//                         default 16)
+//                         default 16; must be a positive integer)
+//   --causal-out=F        write the causal propagation trace to F (schema
+//                         optrep.causal/v1, see docs/OBSERVABILITY.md): one
+//                         trace per originating update, spans per sync hop /
+//                         retry attempt, wire + fault + apply edges, kDeliver
+//                         and kConverge closure events. state writes one run;
+//                         sweep writes a "runs" array assembled in config
+//                         order, byte-identical for any --threads value. Feed
+//                         the file to tools/optrep_trace for propagation
+//                         trees and the convergence critical path
 //   --dump-on-violation=F arm a protocol flight recorder and write the frozen
 //                         ring of the last protocol events to F (schema
 //                         optrep.flight/v1) when a Table 2 bound violation,
@@ -58,10 +67,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <optional>
 #include <string>
 
 #include "common/rng.h"
+#include "obs/causal.h"
 #include "obs/export.h"
 #include "obs/flight_recorder.h"
 #include "obs/prof.h"
@@ -100,6 +111,7 @@ struct Args {
   std::string timeline_out;
   std::uint32_t sample_every{16};
   std::string dump_out;
+  std::string causal_out;
   double overlap{0.2};
   std::uint32_t key_pool{16};
   bool flag_policy{false};
@@ -126,6 +138,7 @@ struct Args {
                "       [--kind=brv|crv|srv] [--manual] [--log-limit=N] [--full-graph]\n"
                "       [--csv] [--json] [--trace-out=FILE] [--profile-out=FILE]\n"
                "       [--timeline-out=FILE] [--sample-every=N] [--dump-on-violation=FILE]\n"
+               "       [--causal-out=FILE]\n"
                "       [--seeds=K] [--threads=N]\n"
                "       [--loss=P] [--dup=P] [--reorder=P] [--corrupt=P] [--fault-seed=N]\n");
   std::exit(2);
@@ -203,11 +216,21 @@ Args parse(int argc, char** argv) {
       if (v.empty()) usage("--timeline-out needs a file path");
       a.timeline_out = v;
     } else if (take(argv[i], "--sample-every", &v)) {
-      a.sample_every = static_cast<std::uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
-      if (a.sample_every == 0) usage("--sample-every must be >= 1");
+      // Parse signed first: strtoul silently wraps "-5" into a huge period,
+      // which would look like sampling turned off rather than a typo.
+      char* end = nullptr;
+      const long long n = std::strtoll(v.c_str(), &end, 10);
+      if (v.empty() || end == nullptr || *end != '\0' || n <= 0 ||
+          n > std::numeric_limits<std::uint32_t>::max()) {
+        usage("--sample-every must be a positive integer (sessions per sample)");
+      }
+      a.sample_every = static_cast<std::uint32_t>(n);
     } else if (take(argv[i], "--dump-on-violation", &v)) {
       if (v.empty()) usage("--dump-on-violation needs a file path");
       a.dump_out = v;
+    } else if (take(argv[i], "--causal-out", &v)) {
+      if (v.empty()) usage("--causal-out needs a file path");
+      a.causal_out = v;
     } else if (take(argv[i], "--overlap", &v)) {
       a.overlap = std::strtod(v.c_str(), nullptr);
     } else if (take(argv[i], "--key-pool", &v)) {
@@ -239,9 +262,10 @@ Args parse(int argc, char** argv) {
   if (!a.trace_out.empty() && a.command == "op") {
     usage("--trace-out applies to vector sessions; 'op' runs have none");
   }
-  if ((!a.timeline_out.empty() || !a.dump_out.empty()) && a.command != "state" &&
-      a.command != "sweep") {
-    usage("--timeline-out / --dump-on-violation apply to 'state' and 'sweep' runs");
+  if ((!a.timeline_out.empty() || !a.dump_out.empty() || !a.causal_out.empty()) &&
+      a.command != "state" && a.command != "sweep") {
+    usage("--timeline-out / --dump-on-violation / --causal-out apply to 'state' "
+          "and 'sweep' runs");
   }
   if (a.command == "sweep") {
     if (a.sweep_seeds < 1) usage("--seeds must be >= 1");
@@ -370,6 +394,10 @@ int run_state(const Args& a) {
   }
   obs::FlightRecorder recorder;
   if (!a.dump_out.empty()) cfg.recorder = &recorder;
+  // Trace ids derive from the workload seed, so two runs of the same
+  // configuration write byte-identical causal dumps.
+  obs::CausalTracer causal(a.seed);
+  if (!a.causal_out.empty()) cfg.causal = &causal;
   repl::StateSystem sys(cfg);
   ProfileScope profile(a.profile_out, &sys.metrics());
   const wl::Trace trace = make_trace(a);
@@ -381,6 +409,17 @@ int run_state(const Args& a) {
     warn_trace_drops(tracer, a.trace_out);
   }
   if (!a.timeline_out.empty()) write_file(a.timeline_out, obs::timeline_to_json(timeline));
+  if (!a.causal_out.empty()) {
+    write_file(a.causal_out, obs::causal_to_json(causal));
+    if (causal.dropped() > 0) {
+      std::fprintf(stderr,
+                   "warning: causal ring dropped %llu of %llu events (capacity %zu); "
+                   "%s holds only the most recent events\n",
+                   (unsigned long long)causal.dropped(),
+                   (unsigned long long)causal.total_recorded(), causal.capacity(),
+                   a.causal_out.c_str());
+    }
+  }
   finish_flight_dump(recorder, a.dump_out);
   if (a.json) {
     std::fputs(wl::state_run_report_json(sys, trace, stats).c_str(), stdout);
@@ -590,7 +629,8 @@ int run_sweep(const Args& a) {
     std::uint64_t failures{0};
     std::uint64_t divergence{0};
     bool consistent{false};
-    std::string dump;  // flight dump JSON when this run tripped the recorder
+    std::string dump;    // flight dump JSON when this run tripped the recorder
+    std::string causal;  // this run's optrep.causal/v1 fragment (--causal-out)
   };
   rt::ThreadPool pool(a.threads);
   rt::ObsShards shards(pool.threads());
@@ -613,6 +653,12 @@ int run_sweep(const Args& a) {
         cfg.cost = CostModel{.n = run.sites, .m = 1 << 16};
         obs::FlightRecorder rec;
         if (!a.dump_out.empty()) cfg.recorder = &rec;
+        // Per-run tracer seeded with the run's split seed: trace ids depend
+        // only on (seed, k), never on worker identity or scheduling. The
+        // worker serializes its own fragment; the document is assembled in
+        // config order after the join.
+        obs::CausalTracer ct(rt::task_seed(a.seed, k));
+        if (!a.causal_out.empty()) cfg.causal = &ct;
         repl::StateSystem sys(cfg);
         const wl::RunStats stats = wl::run_state(sys, make_trace(run));
         shard.registry.merge_from(sys.metrics());
@@ -626,8 +672,10 @@ int run_sweep(const Args& a) {
                 t.sync_failures,
                 sys.divergence(),
                 stats.eventually_consistent,
+                {},
                 {}};
         if (rec.triggered()) row.dump = obs::flight_to_json(rec);
+        if (!a.causal_out.empty()) row.causal = obs::causal_run_fragment(ct, k);
         // Live mid-sweep progress: single writer per shard, so read-add-
         // publish is race-free; readers get a consistent snapshot any time.
         const auto prev = shard.progress.read();
@@ -659,6 +707,14 @@ int run_sweep(const Args& a) {
       }
     }
     write_file(a.timeline_out, obs::timeline_to_json(tl));
+  }
+  // Causal sweep document: per-run fragments in config order, so the bytes
+  // are thread-count-independent by construction.
+  if (!a.causal_out.empty()) {
+    std::vector<std::string> fragments;
+    fragments.reserve(rows.size());
+    for (const Row& r : rows) fragments.push_back(r.causal);
+    write_file(a.causal_out, obs::causal_sweep_json(fragments));
   }
   // Dump-on-violation: the first triggered run in config order wins, which
   // keeps the written dump deterministic across thread counts too.

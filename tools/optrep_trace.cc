@@ -1,0 +1,744 @@
+// optrep_trace — analyze optrep.causal/v1 dumps (optrep_cli --causal-out).
+//
+//   optrep_trace <causal.json>                 per-update propagation summary +
+//                                              the convergence critical path
+//   optrep_trace <causal.json> --tree          also print every propagation tree
+//   optrep_trace <causal.json> --check         schema-validate the dump and run
+//                                              the brute-force oracle: forward
+//                                              knowledge simulation, converge
+//                                              soundness/completeness, and
+//                                              independent recomputation of the
+//                                              critical path (exit 1 on any
+//                                              disagreement)
+//   optrep_trace <causal.json> --perfetto-out=F  re-export as Chrome-trace JSON
+//                                              with flow events (sweep docs
+//                                              need --run=K)
+//   optrep_trace <causal.json> --run=K         restrict to run K of a sweep doc
+//
+// The analyzer never trusts its own tree walk: --check recomputes convergence
+// times and the critical path by brute force over the raw events and compares.
+// Update identity is the (obj, site, seq) triple — exact in JSON — rather than
+// the 64-bit trace id, which a double-typed DOM could round.
+//
+// Exit codes: 0 analyzed (and, with --check, validated); 1 oracle or
+// validation failure; 2 usage, I/O, or parse errors.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/ids.h"
+#include "obs/causal.h"
+#include "obs/json.h"
+
+using namespace optrep;
+
+namespace {
+
+[[noreturn]] void usage(const char* msg) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage: optrep_trace <causal.json> [--check] [--tree] [--run=K]\n"
+               "       [--perfetto-out=FILE]\n");
+  std::exit(2);
+}
+
+struct Options {
+  std::string path;
+  bool check{false};
+  bool tree{false};
+  long run{-1};  // -1 = all runs
+  std::string perfetto_out;
+};
+
+// Update identity: exact in JSON (small integers), unlike the 64-bit trace id.
+using UpdateKey = std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>;  // obj, site, seq
+
+struct Span {
+  double begin_at{0};
+  double end_at{0};
+  SiteId src{};
+  SiteId dst{};
+  std::uint64_t parent{0};
+  std::uint32_t attempt{0};
+  std::uint64_t bits{0};
+  bool ok{true};
+  bool ended{false};
+  // Aggregated over the span subtree rooted here (filled for roots only).
+  std::uint32_t attempts{1};
+  std::uint32_t faults{0};
+  std::uint64_t applies{0};
+};
+
+struct Delivery {
+  double at{0};
+  std::uint64_t span{0};
+  SiteId src{};
+  SiteId dst{};
+};
+
+struct TraceInfo {
+  bool has_origin{false};
+  double origin_at{0};
+  SiteId origin_site{};
+  std::vector<Delivery> delivers;   // event order
+  std::vector<double> converges;    // event order
+};
+
+// One event as parsed, kept in file order for the oracle's forward replay.
+struct RawEvent {
+  double at{0};
+  obs::CausalEventType type{obs::CausalEventType::kOrigin};
+  std::uint64_t obj{0}, site{0}, seq{0}, span{0}, parent{0}, src{0}, dst{0};
+  std::uint64_t bits{0}, value{0};
+  std::uint32_t attempt{0};
+  bool ok{true};
+  bool forward{true};
+  std::string fault;
+};
+
+struct Run {
+  std::uint64_t index{0};
+  double run_seed{0};  // display only: a double DOM may round 64-bit seeds
+  std::uint64_t total_recorded{0};
+  std::uint64_t dropped{0};
+  std::uint64_t spans_declared{0};
+  std::vector<RawEvent> events;
+  std::map<std::uint64_t, Span> spans;
+  std::map<UpdateKey, TraceInfo> traces;
+  std::vector<std::string> errors;  // schema/structural violations
+};
+
+Options parse_args(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--check") == 0) {
+      o.check = true;
+    } else if (std::strcmp(arg, "--tree") == 0) {
+      o.tree = true;
+    } else if (std::strncmp(arg, "--run=", 6) == 0) {
+      char* end = nullptr;
+      o.run = std::strtol(arg + 6, &end, 10);
+      if (end == nullptr || *end != '\0' || o.run < 0) usage("--run needs a run index");
+    } else if (std::strncmp(arg, "--perfetto-out=", 15) == 0) {
+      o.perfetto_out = arg + 15;
+      if (o.perfetto_out.empty()) usage("--perfetto-out needs a file path");
+    } else if (arg[0] == '-') {
+      usage((std::string("unknown option: ") + arg).c_str());
+    } else if (o.path.empty()) {
+      o.path = arg;
+    } else {
+      usage("exactly one input file expected");
+    }
+  }
+  if (o.path.empty()) usage("missing input file");
+  return o;
+}
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::string out;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    std::exit(2);
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+}
+
+double num_field(const obs::JsonValue& obj, const char* name, bool* ok) {
+  const obs::JsonValue* v = obj.find(name);
+  if (v == nullptr || !v->is_number()) {
+    *ok = false;
+    return 0;
+  }
+  return v->number;
+}
+
+std::string str_field(const obs::JsonValue& obj, const char* name, bool* ok) {
+  const obs::JsonValue* v = obj.find(name);
+  if (v == nullptr || v->type != obs::JsonValue::Type::kString) {
+    *ok = false;
+    return {};
+  }
+  return v->string;
+}
+
+bool type_from_string(const std::string& s, obs::CausalEventType* out) {
+  using T = obs::CausalEventType;
+  static const std::pair<const char*, T> kMap[] = {
+      {"origin", T::kOrigin},    {"span_begin", T::kSpanBegin},
+      {"span_end", T::kSpanEnd}, {"send", T::kWireSend},
+      {"recv", T::kWireRecv},    {"fault", T::kFault},
+      {"apply", T::kApply},      {"deliver", T::kDeliver},
+      {"converge", T::kConverge}};
+  for (const auto& [name, t] : kMap) {
+    if (s == name) {
+      *out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+obs::FlightFault fault_from_string(const std::string& s) {
+  using F = obs::FlightFault;
+  if (s == "dropped") return F::kDropped;
+  if (s == "duplicated") return F::kDuplicated;
+  if (s == "reordered") return F::kReordered;
+  if (s == "corrupted") return F::kCorrupted;
+  if (s == "decode_error") return F::kDecodeError;
+  return F::kNone;
+}
+
+void err(Run* run, std::size_t i, const std::string& what) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "event %zu: ", i);
+  run->errors.push_back(buf + what);
+}
+
+// Parse one run object (a single-run document or one element of "runs") into
+// the analyzer's model, recording every schema violation instead of stopping
+// at the first.
+Run parse_run(const obs::JsonValue& doc, std::uint64_t index) {
+  Run run;
+  run.index = index;
+  bool hdr = true;
+  run.run_seed = num_field(doc, "run_seed", &hdr);
+  run.total_recorded = static_cast<std::uint64_t>(num_field(doc, "total_recorded", &hdr));
+  run.dropped = static_cast<std::uint64_t>(num_field(doc, "dropped", &hdr));
+  run.spans_declared = static_cast<std::uint64_t>(num_field(doc, "spans", &hdr));
+  if (!hdr) run.errors.push_back("header: missing run_seed/total_recorded/dropped/spans");
+  const obs::JsonValue* events = doc.find("events");
+  if (events == nullptr || !events->is_array()) {
+    run.errors.push_back("header: missing events array");
+    return run;
+  }
+  double prev_at = -1;
+  for (std::size_t i = 0; i < events->items.size(); ++i) {
+    const obs::JsonValue& ev = events->items[i];
+    if (!ev.is_object()) {
+      err(&run, i, "not an object");
+      continue;
+    }
+    bool ok = true;
+    RawEvent e;
+    e.at = num_field(ev, "t", &ok);
+    const std::string type = str_field(ev, "type", &ok);
+    if (!ok || !type_from_string(type, &e.type)) {
+      err(&run, i, "missing/unknown type '" + type + "'");
+      continue;
+    }
+    if (e.at < prev_at) err(&run, i, "timestamps must be non-decreasing");
+    prev_at = e.at;
+    using T = obs::CausalEventType;
+    switch (e.type) {
+      case T::kOrigin:
+      case T::kConverge: {
+        e.obj = static_cast<std::uint64_t>(num_field(ev, "obj", &ok));
+        e.site = static_cast<std::uint64_t>(num_field(ev, "site", &ok));
+        e.seq = static_cast<std::uint64_t>(num_field(ev, "seq", &ok));
+        num_field(ev, "trace", &ok);
+        if (!ok) {
+          err(&run, i, type + ": missing trace/obj/site/seq");
+          continue;
+        }
+        TraceInfo& t = run.traces[{e.obj, e.site, e.seq}];
+        if (e.type == T::kOrigin) {
+          if (t.has_origin) err(&run, i, "duplicate origin for one update");
+          t.has_origin = true;
+          t.origin_at = e.at;
+          t.origin_site = SiteId{static_cast<std::uint32_t>(e.site)};
+        } else {
+          t.converges.push_back(e.at);
+        }
+        break;
+      }
+      case T::kDeliver: {
+        e.obj = static_cast<std::uint64_t>(num_field(ev, "obj", &ok));
+        e.site = static_cast<std::uint64_t>(num_field(ev, "site", &ok));
+        e.seq = static_cast<std::uint64_t>(num_field(ev, "seq", &ok));
+        e.span = static_cast<std::uint64_t>(num_field(ev, "span", &ok));
+        e.src = static_cast<std::uint64_t>(num_field(ev, "src", &ok));
+        e.dst = static_cast<std::uint64_t>(num_field(ev, "dst", &ok));
+        num_field(ev, "trace", &ok);
+        if (!ok) {
+          err(&run, i, "deliver: missing trace/span/obj/site/seq/src/dst");
+          continue;
+        }
+        run.traces[{e.obj, e.site, e.seq}].delivers.push_back(
+            Delivery{e.at, e.span, SiteId{static_cast<std::uint32_t>(e.src)},
+                     SiteId{static_cast<std::uint32_t>(e.dst)}});
+        break;
+      }
+      case T::kSpanBegin: {
+        e.span = static_cast<std::uint64_t>(num_field(ev, "span", &ok));
+        e.parent = static_cast<std::uint64_t>(num_field(ev, "parent", &ok));
+        e.src = static_cast<std::uint64_t>(num_field(ev, "src", &ok));
+        e.dst = static_cast<std::uint64_t>(num_field(ev, "dst", &ok));
+        e.attempt = static_cast<std::uint32_t>(num_field(ev, "attempt", &ok));
+        if (!ok) {
+          err(&run, i, "span_begin: missing span/parent/src/dst/attempt");
+          continue;
+        }
+        if (run.spans.contains(e.span)) err(&run, i, "duplicate span id");
+        Span s;
+        s.begin_at = e.at;
+        s.src = SiteId{static_cast<std::uint32_t>(e.src)};
+        s.dst = SiteId{static_cast<std::uint32_t>(e.dst)};
+        s.parent = e.parent;
+        s.attempt = e.attempt;
+        run.spans[e.span] = s;
+        break;
+      }
+      case T::kSpanEnd: {
+        e.span = static_cast<std::uint64_t>(num_field(ev, "span", &ok));
+        e.bits = static_cast<std::uint64_t>(num_field(ev, "bits", &ok));
+        const obs::JsonValue* okv = ev.find("ok");
+        if (!ok || okv == nullptr || okv->type != obs::JsonValue::Type::kBool) {
+          err(&run, i, "span_end: missing span/bits/ok");
+          continue;
+        }
+        e.ok = okv->boolean;
+        auto it = run.spans.find(e.span);
+        if (it == run.spans.end()) {
+          err(&run, i, "span_end without span_begin");
+          continue;
+        }
+        if (it->second.ended) err(&run, i, "span ended twice");
+        it->second.ended = true;
+        it->second.end_at = e.at;
+        it->second.bits = e.bits;
+        it->second.ok = e.ok;
+        break;
+      }
+      case T::kWireSend:
+      case T::kWireRecv:
+      case T::kFault: {
+        e.span = static_cast<std::uint64_t>(num_field(ev, "span", &ok));
+        e.site = static_cast<std::uint64_t>(num_field(ev, "site", &ok));
+        e.value = static_cast<std::uint64_t>(num_field(ev, "value", &ok));
+        const std::string dir = str_field(ev, "dir", &ok);
+        if (e.type == T::kFault) {
+          e.fault = str_field(ev, "fault", &ok);
+        } else {
+          e.bits = static_cast<std::uint64_t>(num_field(ev, "bits", &ok));
+        }
+        if (!ok || (dir != "fwd" && dir != "rev")) {
+          err(&run, i, type + ": missing span/dir/site/value fields");
+          continue;
+        }
+        e.forward = dir == "fwd";
+        if (!run.spans.contains(e.span)) err(&run, i, type + " on unknown span");
+        break;
+      }
+      case T::kApply: {
+        e.span = static_cast<std::uint64_t>(num_field(ev, "span", &ok));
+        e.site = static_cast<std::uint64_t>(num_field(ev, "site", &ok));
+        e.value = static_cast<std::uint64_t>(num_field(ev, "value", &ok));
+        if (!ok) {
+          err(&run, i, "apply: missing span/site/value");
+          continue;
+        }
+        break;
+      }
+    }
+    run.events.push_back(e);
+  }
+  // Aggregate child spans and faults/applies into their root span: the repl
+  // layer attaches deliveries to the recovery root, so per-hop retry and
+  // fault charges roll up there.
+  const auto root_of = [&run](std::uint64_t id) {
+    std::size_t guard = run.spans.size() + 1;
+    while (guard-- > 0) {
+      const auto it = run.spans.find(id);
+      if (it == run.spans.end() || it->second.parent == 0) return id;
+      id = it->second.parent;
+    }
+    return id;  // parent cycle: already reported as a schema error elsewhere
+  };
+  for (const auto& [id, s] : run.spans) {
+    if (s.parent == 0) continue;
+    auto it = run.spans.find(root_of(id));
+    if (it == run.spans.end()) continue;
+    // attempts starts at 1 (the root itself stands for one session when it
+    // has no children); the first child replaces that placeholder.
+    if (it->second.attempts == 1 && it->second.faults == 0) it->second.attempts = 0;
+    ++it->second.attempts;
+  }
+  for (const RawEvent& e : run.events) {
+    if (e.type == obs::CausalEventType::kFault) {
+      auto it = run.spans.find(root_of(e.span));
+      if (it != run.spans.end()) ++it->second.faults;
+    } else if (e.type == obs::CausalEventType::kApply) {
+      auto it = run.spans.find(root_of(e.span));
+      if (it != run.spans.end()) ++it->second.applies;
+    }
+  }
+  return run;
+}
+
+std::string update_label(const UpdateKey& k) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "obj%llu %s:%llu", (unsigned long long)std::get<0>(k),
+                site_name(SiteId{static_cast<std::uint32_t>(std::get<1>(k))}).c_str(),
+                (unsigned long long)std::get<2>(k));
+  return buf;
+}
+
+// The chain of deliveries that carried the update from its origin site to the
+// site whose delivery completed the (last) convergence, oldest hop first.
+// Empty when the trace never converged or converged at origin (single host).
+std::vector<Delivery> critical_path(const TraceInfo& t) {
+  std::vector<Delivery> path;
+  if (t.converges.empty()) return path;
+  const double tc = t.converges.back();
+  // The completing delivery: the last delivery at the converge instant.
+  const Delivery* cur = nullptr;
+  for (const Delivery& d : t.delivers) {
+    if (d.at == tc) cur = &d;
+  }
+  if (cur == nullptr) return path;  // converged at an origin (single host)
+  // Walk back through the first delivery into each hop's source site.
+  std::size_t guard = t.delivers.size() + 1;
+  while (cur != nullptr && guard-- > 0) {
+    path.push_back(*cur);
+    const SiteId need = cur->src;
+    cur = nullptr;
+    if (t.has_origin && need == t.origin_site) break;
+    for (const Delivery& d : t.delivers) {
+      if (d.dst == need) {
+        cur = &d;
+        break;  // deliveries are unique per destination site
+      }
+    }
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double known_at(const TraceInfo& t, SiteId site) {
+  if (t.has_origin && site == t.origin_site) return t.origin_at;
+  for (const Delivery& d : t.delivers) {
+    if (d.dst == site) return d.at;
+  }
+  return -1;
+}
+
+void print_hop(const Run& run, const TraceInfo& t, const Delivery& d) {
+  const double from = known_at(t, d.src);
+  char lat[48];
+  std::snprintf(lat, sizeof lat, "%.6g", from >= 0 ? d.at - from : 0.0);
+  std::printf("    %s -> %s  at %.6g  latency %s", site_name(d.src).c_str(),
+              site_name(d.dst).c_str(), d.at, lat);
+  const auto it = run.spans.find(d.span);
+  if (d.span != 0 && it != run.spans.end()) {
+    const Span& s = it->second;
+    std::printf("  bits %llu  attempts %u  faults %u", (unsigned long long)s.bits,
+                s.attempts, s.faults);
+  }
+  std::printf("\n");
+}
+
+void analyze_run(const Run& run, const Options& opt) {
+  std::printf("run %llu: %zu events (%llu recorded, %llu dropped), %zu spans, %zu traces\n",
+              (unsigned long long)run.index, run.events.size(),
+              (unsigned long long)run.total_recorded, (unsigned long long)run.dropped,
+              run.spans.size(), run.traces.size());
+  // Per-trace summary, slowest-to-converge last so it reads bottom-up.
+  std::vector<std::pair<UpdateKey, const TraceInfo*>> order;
+  for (const auto& [k, t] : run.traces) order.emplace_back(k, &t);
+  std::stable_sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    const TraceInfo& ta = *a.second;
+    const TraceInfo& tb = *b.second;
+    const double ca = ta.converges.empty() ? -1 : ta.converges.back() - ta.origin_at;
+    const double cb = tb.converges.empty() ? -1 : tb.converges.back() - tb.origin_at;
+    return ca < cb;
+  });
+  for (const auto& [key, tp] : order) {
+    const TraceInfo& t = *tp;
+    std::printf("  %s: origin %s at %.6g, %zu deliveries, ", update_label(key).c_str(),
+                t.has_origin ? site_name(t.origin_site).c_str() : "?", t.origin_at,
+                t.delivers.size());
+    if (t.converges.empty()) {
+      std::printf("never converged\n");
+    } else {
+      std::printf("converged at %.6g (+%.6g)\n", t.converges.back(),
+                  t.converges.back() - t.origin_at);
+    }
+    if (opt.tree) {
+      for (const Delivery& d : t.delivers) print_hop(run, t, d);
+    }
+  }
+  // The convergence critical path of the slowest trace: the hop chain that
+  // bounded fleet convergence, with per-hop latency/bits/retries charges.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TraceInfo& t = *it->second;
+    if (t.converges.empty()) continue;
+    const std::vector<Delivery> path = critical_path(t);
+    std::printf("  critical path (%s, %zu hop(s), %.6g s origin-to-converge):\n",
+                update_label(it->first).c_str(), path.size(),
+                t.converges.back() - t.origin_at);
+    for (const Delivery& d : path) print_hop(run, t, d);
+    break;
+  }
+}
+
+// ---- brute-force oracle ----------------------------------------------------
+//
+// Replays the raw event list forward with no reference to the analyzer's
+// structures: per-trace knowledge sets, per-object visible host sets, and a
+// recomputed converge sequence. Any disagreement with the emitted events or
+// with the analyzer's critical path is a failure.
+struct OracleResult {
+  std::vector<std::string> failures;
+};
+
+void oracle_check(const Run& run, OracleResult* out) {
+  const auto fail = [&](const std::string& m) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "run %llu: ", (unsigned long long)run.index);
+    out->failures.push_back(buf + m);
+  };
+  if (run.dropped > 0) {
+    fail("ring dropped events; a truncated dump cannot be validated");
+    return;
+  }
+  for (const std::string& e : run.errors) fail("schema: " + e);
+  if (run.events.size() != run.total_recorded) {
+    fail("header total_recorded disagrees with the events array length");
+  }
+  // Hidden hosts: a failed session (span ok=false) can create an empty
+  // replica that never shows up in the event stream, delaying converges the
+  // visible-host replay below would predict earlier. Soundness checks still
+  // run; only converge *completeness* is skipped then.
+  bool any_failed_span = false;
+  for (const auto& [id, s] : run.spans) {
+    if (s.ended && !s.ok) any_failed_span = true;
+    if (!s.ended) fail("span never ended");
+    if (s.ended && s.end_at < s.begin_at) fail("span ends before it begins");
+    if (s.parent != 0 && !run.spans.contains(s.parent)) fail("span parent unknown");
+  }
+
+  std::map<UpdateKey, std::map<SiteId, double>> known;     // first-known times
+  std::map<std::uint64_t, std::vector<SiteId>> hosts;      // obj -> visible hosts
+  std::map<UpdateKey, std::vector<double>> predicted;      // converge times
+  std::map<UpdateKey, std::vector<double>> emitted;
+
+  const auto add_host = [&hosts](std::uint64_t obj, SiteId s) {
+    auto& h = hosts[obj];
+    if (std::find(h.begin(), h.end(), s) == h.end()) h.push_back(s);
+  };
+  // The tracer's emission rule, reproduced independently: the systems check
+  // convergence of exactly the update an origin/deliver event concerns, with
+  // no memory — converge fires at *every* such event after which all current
+  // hosts know the update (the origin's single-host converge is real, and a
+  // delivery to a freshly-born replica re-closes the trace the birth
+  // re-opened). A host born without the update silently re-opens its traces;
+  // the next delivery of the update closes them again.
+  const auto predict = [&](const UpdateKey& key, double at) {
+    const auto& k = known[key];
+    for (const SiteId s : hosts[std::get<0>(key)]) {
+      if (!k.contains(s)) return;
+    }
+    predicted[key].push_back(at);
+  };
+
+  for (std::size_t i = 0; i < run.events.size(); ++i) {
+    const RawEvent& e = run.events[i];
+    using T = obs::CausalEventType;
+    if (e.type == T::kOrigin) {
+      const UpdateKey key{e.obj, e.site, e.seq};
+      const SiteId site{static_cast<std::uint32_t>(e.site)};
+      if (known[key].contains(site)) fail("origin of an already-known update");
+      known[key][site] = e.at;
+      add_host(e.obj, site);
+      predict(key, e.at);
+    } else if (e.type == T::kDeliver) {
+      const UpdateKey key{e.obj, e.site, e.seq};
+      const SiteId src{static_cast<std::uint32_t>(e.src)};
+      const SiteId dst{static_cast<std::uint32_t>(e.dst)};
+      auto& k = known[key];
+      if (k.contains(dst)) fail("duplicate delivery to one site: " + update_label(key));
+      if (!k.contains(src) || k[src] > e.at) {
+        fail("delivery from a site that does not know the update yet: " +
+             update_label(key));
+      }
+      k[dst] = e.at;
+      add_host(e.obj, dst);
+      predict(key, e.at);
+    } else if (e.type == T::kConverge) {
+      const UpdateKey key{e.obj, e.site, e.seq};
+      emitted[key].push_back(e.at);
+      // Soundness: every visible host of the object knows the update by now.
+      for (const SiteId s : hosts[e.obj]) {
+        if (!known[key].contains(s) || known[key][s] > e.at) {
+          fail("converge emitted while a visible host lacks " + update_label(key));
+          break;
+        }
+      }
+    }
+  }
+  // Completeness: without failed sessions the visible hosts ARE the hosts, so
+  // the emitted converge sequence must equal the brute-force prediction.
+  if (!any_failed_span) {
+    for (const auto& [key, times] : predicted) {
+      const auto it = emitted.find(key);
+      const std::vector<double> got = it == emitted.end() ? std::vector<double>{}
+                                                          : it->second;
+      if (got != times) {
+        fail("converge sequence mismatch for " + update_label(key) + ": oracle " +
+             std::to_string(times.size()) + " event(s), dump " +
+             std::to_string(got.size()));
+      }
+    }
+    for (const auto& [key, times] : emitted) {
+      if (!predicted.contains(key)) {
+        fail("dump converges " + update_label(key) + " but the oracle never does");
+      }
+    }
+  }
+  // Critical-path agreement: independent recomputation of origin-to-converge
+  // latency as the max first-known time, compared with the analyzer's walk.
+  for (const auto& [key, t] : run.traces) {
+    if (t.converges.empty() || !t.has_origin) continue;
+    double max_known = t.origin_at;
+    for (const Delivery& d : t.delivers) max_known = std::max(max_known, d.at);
+    const std::vector<Delivery> path = critical_path(t);
+    const double path_end = path.empty() ? t.origin_at : path.back().at;
+    // The last converge coincides with the delivery (or origin) completing
+    // coverage; the analyzer's path must end exactly there.
+    if (!any_failed_span && path_end != t.converges.back()) {
+      fail("analyzer critical path ends at " + std::to_string(path_end) +
+           " but the trace converged at " + std::to_string(t.converges.back()) +
+           " for " + update_label(key));
+    }
+    // Path must chain: each hop leaves from a site that knows the update.
+    double cursor = t.origin_at;
+    SiteId at_site = t.origin_site;
+    for (const Delivery& d : path) {
+      const double src_known = known_at(t, d.src);
+      if (d.src != at_site && src_known < 0) {
+        fail("critical path hop departs an unknowing site for " + update_label(key));
+      }
+      if (d.at < cursor) fail("critical path runs backward for " + update_label(key));
+      cursor = d.at;
+      at_site = d.dst;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  const std::string text = read_file(opt.path);
+  obs::JsonValue doc;
+  std::string error;
+  if (!obs::json_parse(text, &doc, &error)) {
+    std::fprintf(stderr, "error: %s: %s\n", opt.path.c_str(), error.c_str());
+    return 2;
+  }
+  const obs::JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || schema->string != "optrep.causal/v1") {
+    std::fprintf(stderr, "error: %s is not an optrep.causal/v1 document\n",
+                 opt.path.c_str());
+    return 2;
+  }
+
+  std::vector<Run> runs;
+  if (const obs::JsonValue* arr = doc.find("runs"); arr != nullptr && arr->is_array()) {
+    for (std::size_t k = 0; k < arr->items.size(); ++k) {
+      if (opt.run >= 0 && static_cast<std::size_t>(opt.run) != k) continue;
+      runs.push_back(parse_run(arr->items[k], k));
+    }
+    if (opt.run >= 0 && runs.empty()) {
+      std::fprintf(stderr, "error: --run=%ld out of range (%zu runs)\n", opt.run,
+                   arr->items.size());
+      return 2;
+    }
+  } else {
+    runs.push_back(parse_run(doc, 0));
+  }
+
+  for (const Run& run : runs) analyze_run(run, opt);
+
+  if (!opt.perfetto_out.empty()) {
+    if (runs.size() != 1) {
+      std::fprintf(stderr, "error: --perfetto-out needs a single run (use --run=K)\n");
+      return 2;
+    }
+    const Run& run = runs.front();
+    // Refill a tracer from the parsed events and reuse the library exporter.
+    // Trace ids are re-derived from the update identity so a double-typed DOM
+    // cannot round them.
+    obs::CausalTracer t(static_cast<std::uint64_t>(run.run_seed),
+                        std::max<std::size_t>(1, run.events.size()));
+    for (const RawEvent& e : run.events) {
+      obs::CausalEvent c;
+      c.at = e.at;
+      c.type = e.type;
+      c.obj = ObjectId{static_cast<std::uint32_t>(e.obj)};
+      c.site = SiteId{static_cast<std::uint32_t>(e.site)};
+      c.seq = e.seq != 0 ? e.seq : e.value;
+      c.span = e.span;
+      c.parent = e.parent;
+      c.src = SiteId{static_cast<std::uint32_t>(e.src)};
+      c.dst = SiteId{static_cast<std::uint32_t>(e.dst)};
+      c.attempt = e.attempt;
+      c.bits = e.bits;
+      c.forward = e.forward;
+      c.ok = e.ok;
+      c.fault = fault_from_string(e.fault);
+      using T = obs::CausalEventType;
+      if (e.type == T::kOrigin || e.type == T::kDeliver || e.type == T::kConverge) {
+        c.trace = t.trace_id(c.obj, c.site, c.seq);
+      }
+      t.record(c);
+    }
+    write_file(opt.perfetto_out, obs::causal_to_perfetto_json(t));
+    std::printf("wrote %s\n", opt.perfetto_out.c_str());
+  }
+
+  bool failed = false;
+  for (const Run& run : runs) {
+    if (!run.errors.empty() && !opt.check) {
+      for (const std::string& e : run.errors) {
+        std::fprintf(stderr, "warning: run %llu: %s\n", (unsigned long long)run.index,
+                     e.c_str());
+      }
+    }
+    if (opt.check) {
+      OracleResult res;
+      oracle_check(run, &res);
+      if (res.failures.empty()) {
+        std::printf("run %llu: oracle agrees (%zu traces, %zu spans validated)\n",
+                    (unsigned long long)run.index, run.traces.size(), run.spans.size());
+      } else {
+        for (const std::string& f : res.failures) {
+          std::fprintf(stderr, "FAIL: %s\n", f.c_str());
+        }
+        failed = true;
+      }
+    }
+  }
+  return failed ? 1 : 0;
+}
