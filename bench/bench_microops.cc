@@ -10,6 +10,11 @@
 //     byte-identical on every machine and serve as the committed baseline
 //     for the optrep_report regression gate ("probe" metrics gate on any
 //     probe-chain growth; the checksum pins the ≺ order itself).
+// A locked_churn row family replays the same churn under the vector's
+// embedded optimistic versioned lock (rt/olock.h) — guarded mutations plus a
+// validated optimistic readback — and pins the single-threaded lock traffic
+// (acquisitions exact, retries/queue waits 0) and that the result is
+// bit-identical to the unlocked run.
 // A third row family measures the telemetry contract (src/obs/timeline.h):
 // with sampling off, a steady-state sync session must touch the allocator
 // zero times (timeline_off_allocs, gated at its committed baseline of 0);
@@ -29,6 +34,7 @@
 #include "obs/causal.h"
 #include "obs/timeline.h"
 #include "repl/state_system.h"
+#include "rt/olock.h"
 #include "workload/trace.h"
 
 // Global allocation counter (same pattern as tests/obs_test.cc): every path
@@ -102,6 +108,58 @@ OpsRow churn(std::uint32_t n) {
   }
   const auto ps = v.index_probe_stats();
   return {v.size(), ps.total, ps.max, ps.bytes, order_hash(v)};
+}
+
+// ---- optimistic-lock overhead on the churn workload (gated) ---------------
+
+// The identical churn run with every mutation under the vector's embedded
+// versioned lock (rt/olock.h) and a post-churn readback of every site slot
+// through a validated optimistic read. Single-threaded, so the lock traffic
+// is a pure function of the workload: acquisitions counts the guarded
+// mutation blocks exactly, opt_retries and queue_waits are 0 (nobody to
+// interfere), every readback validates first try, and the order hash must
+// equal the unlocked run's — the lock changes synchronization, never
+// results. The committed baseline pins all of it; any retry or hash drift
+// fails the report gate.
+struct LockedRow {
+  OpsRow ops;
+  std::uint64_t acquisitions{0};
+  std::uint64_t opt_retries{0};
+  std::uint64_t queue_waits{0};
+  std::uint64_t validated_reads{0};
+};
+
+LockedRow locked_churn(std::uint32_t n) {
+  vv::RotatingVector v = linear_history(n);
+  v.olock().reset_counters();
+  for (std::uint32_t i = 0; i < n; i += 3) {
+    rt::OLockGuard g(v.olock());
+    v.erase(SiteId{i});
+  }
+  for (std::uint32_t i = 0; i < n; i += 6) {
+    rt::OLockGuard g(v.olock());
+    v.rotate_after(std::nullopt, SiteId{i});
+    v.set_element(SiteId{i}, i + 1, false, false);
+  }
+  for (std::uint32_t round = 0; round < 4; ++round) {
+    rt::OLockGuard g(v.olock());
+    for (std::uint32_t i = 1; i < n; i += 2) v.record_update(SiteId{i});
+  }
+  LockedRow row;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint64_t sink = 0;
+    if (rt::optimistic_read(v.olock(), 4, [&] { sink = v.value(SiteId{i}); })) {
+      ++row.validated_reads;
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  const auto ps = v.index_probe_stats();
+  row.ops = {v.size(), ps.total, ps.max, ps.bytes, order_hash(v)};
+  const rt::OLock::Counters c = v.olock().counters();
+  row.acquisitions = c.acquisitions;
+  row.opt_retries = c.opt_retries;
+  row.queue_waits = c.queue_waits;
+  return row;
 }
 
 // ---- telemetry sampling overhead (gated) ----------------------------------
@@ -283,6 +341,34 @@ void BM_EraseReinsert(benchmark::State& state) {
 }
 BENCHMARK(BM_EraseReinsert)->RangeMultiplier(8)->Range(8, 4096);
 
+// Locked-vs-unlocked wall costs of the hot point ops: BM_RecordUpdateLocked
+// against BM_RecordUpdateHit prices the writer path (one uncontended MCS
+// acquire/release per mutation), BM_ValueOptimistic against BM_Value prices
+// a validated optimistic read (two version-word loads around the probe).
+void BM_RecordUpdateLocked(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  vv::RotatingVector v = linear_history(n);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    rt::OLockGuard g(v.olock());
+    v.record_update(SiteId{i++ % n});
+  }
+  benchmark::DoNotOptimize(v.size());
+}
+BENCHMARK(BM_RecordUpdateLocked)->RangeMultiplier(8)->Range(8, 32768);
+
+void BM_ValueOptimistic(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const vv::RotatingVector v = linear_history(n);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    std::uint64_t sink = 0;
+    rt::optimistic_read(v.olock(), 4, [&] { sink = v.value(SiteId{i++ % n}); });
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_ValueOptimistic)->RangeMultiplier(8)->Range(8, 32768);
+
 void BM_CompareFast(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
   vv::RotatingVector b = linear_history(n);
@@ -322,6 +408,39 @@ int main(int argc, char** argv) {
     w.field("probe_max", r.probe_max);
     w.field("index_bytes", r.index_bytes);
     w.field("order_hash", r.order);
+    w.end_object();
+    reporter.add_row(w.take());
+  }
+  std::printf("\n---- optimistic-lock overhead (same churn, guarded writes +\n"
+              "     validated optimistic readback; must be result-identical) ----\n");
+  std::printf("%-8s | %-12s %-10s %-10s %-10s %-10s\n", "n", "acquisitions",
+              "retries", "qwaits", "validated", "order ok");
+  print_rule(70);
+  const auto locked_rows =
+      sweep(ns, [](std::uint32_t n, std::size_t) { return locked_churn(n); });
+  for (std::size_t i = 0; i < locked_rows.size(); ++i) {
+    const LockedRow& r = locked_rows[i];
+    const bool order_ok = r.ops.order == rows[i].order;
+    std::printf("%-8u | %-12llu %-10llu %-10llu %-10llu %s\n", ns[i],
+                (unsigned long long)r.acquisitions,
+                (unsigned long long)r.opt_retries,
+                (unsigned long long)r.queue_waits,
+                (unsigned long long)r.validated_reads, order_ok ? "yes" : "NO");
+    if (!order_ok) {
+      std::fprintf(stderr, "FAIL: locked churn diverged from unlocked at n=%u\n",
+                   ns[i]);
+      return 1;
+    }
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("scenario", "locked_churn");
+    w.field("n", ns[i]);
+    w.field("olock_acquisitions", r.acquisitions);
+    w.field("olock_opt_retries", r.opt_retries);
+    w.field("olock_queue_waits", r.queue_waits);
+    w.field("validated_reads", r.validated_reads);
+    w.field("order_matches_unlocked", std::uint64_t{1});
+    w.field("order_hash", r.ops.order);
     w.end_object();
     reporter.add_row(w.take());
   }

@@ -26,6 +26,9 @@
 #include "obs/metrics.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
+#include "rt/olock.h"
+#include "rt/shard.h"
+#include "rt/thread_pool.h"
 #include "sim/event_loop.h"
 #include "sim/link.h"
 #include "vv/compare.h"
@@ -71,6 +74,9 @@ struct SyncOutcome {
     kFailed,       // fault injection: retry budget exhausted, no merge applied
   } action{Action::kNone};
   vv::SyncReport report;  // traffic of the vector exchange (zeroed for kNone paths)
+  // Object content shipped by this session (Σ entry sizes on pull/reconcile
+  // paths). Folded into Totals::payload_bytes by the accounting tail.
+  std::uint64_t payload_bytes{0};
 };
 
 class StateSystem {
@@ -129,6 +135,56 @@ class StateSystem {
   // Synchronize dst's replica with src's (dst pulls; src is the sender).
   // Creates dst's replica if absent. Returns what happened plus traffic.
   SyncOutcome sync(SiteId dst, SiteId src, ObjectId obj);
+
+  // ---- sharded parallel batch execution ----------------------------------
+  //
+  // run_batch executes a spec-order list of operations with replica-disjoint
+  // sessions running concurrently. Each operation declares the replica it
+  // writes (site, obj) and, for syncs, the replica it reads (peer, obj); the
+  // list is split into waves by rt::plan_waves, every wave's sessions run in
+  // parallel across a fixed 64-shard partition of the write keys, and each
+  // session's side effects — totals, causal events, oracle convergence
+  // bookkeeping — are committed sequentially in spec order after the wave
+  // joins. The wave rules guarantee the execution is EXACTLY equivalent to
+  // running the operations one by one (see rt/shard.h), so results are
+  // byte-identical for any thread count.
+  //
+  // Requirements (checked): automatic resolution (manual mutates the sender,
+  // which would break wave read-sharing), and no tracer / flight recorder /
+  // timeline (all three are sequential per-session-order instruments; causal
+  // tracing IS supported via per-session scratch rings absorbed in spec
+  // order). Fault injection is supported and deterministic: each session's
+  // fault stream derives from the configured seed salted with the event's
+  // spec index, so faulty batches are byte-identical for any thread count.
+  // The stream differs from the sequential engine's, though — sequential
+  // sessions decorrelate via the shared loop's cumulative event count, a
+  // quantity only defined under in-order execution — so under ACTIVE faults
+  // run_batch matches the sequential driver in protocol outcomes (eventual
+  // consistency, final replica contents) but not in per-session traffic.
+  // Fault-free batches are exactly byte-equivalent.
+  struct BatchEvent {
+    enum class Type : std::uint8_t { kCreate, kUpdate, kSync };
+    Type type{Type::kSync};
+    SiteId site{};   // replica written: update/create target, or sync receiver
+    SiteId peer{};   // kSync only: the sender (read, never written)
+    ObjectId obj{};
+    std::string entry;  // kCreate/kUpdate payload
+  };
+  struct BatchStats {
+    std::uint64_t waves{0};
+    std::uint64_t max_wave_items{0};
+    rt::OLock::Counters olock{};  // lock traffic attributable to this batch
+  };
+  // Returns one outcome per event, in spec order; kCreate/kUpdate slots hold
+  // a default (kNone) outcome. `pool` supplies the workers; with one thread
+  // the engine runs inline through the identical wave schedule.
+  std::vector<SyncOutcome> run_batch(const std::vector<BatchEvent>& events,
+                                     rt::ThreadPool& pool,
+                                     BatchStats* stats = nullptr);
+
+  // Total optimistic-lock traffic observed by run_batch so far (exported as
+  // rt.olock.* counters once a batch has run).
+  const rt::OLock::Counters& olock_totals() const { return olock_totals_; }
 
   bool has_replica(SiteId site, ObjectId obj) const;
   const StateReplica& replica(SiteId site, ObjectId obj) const;
@@ -195,13 +251,40 @@ class StateSystem {
   void sample_timeline();
 
  private:
+  // Deferred causal side effects of one parallel session: emitted at commit
+  // time, in spec order, against the shared tracer and the shadow histories.
+  struct SessionEffects {
+    std::vector<UpdateId> fresh;  // update ids the receiver learned
+    bool has_origin{false};       // local update / reconciliation update ran
+    UpdateId origin{};
+  };
+
   StateReplica& replica_mut(SiteId site, ObjectId obj);
   void apply_update(StateReplica& r, SiteId site, ObjectId obj, std::string entry);
+  // The protocol core of sync(): COMPARE, oracle cross-check, the session
+  // switch, and all receiver-state mutation. Pure over its arguments —
+  // `loop`, `metrics` and `causal` are the legacy members for sequential
+  // calls and per-session/per-shard instances for parallel ones. With
+  // `fx == nullptr` causal events are emitted inline (legacy); otherwise
+  // they are recorded into *fx for spec-order commit. A nonzero `fault_salt`
+  // re-seeds the session's fault stream with sim::fault_stream_seed — the
+  // batch engine passes the spec index so sessions on fresh local event
+  // loops stay decorrelated (the sequential engine decorrelates via the
+  // shared loop's cumulative event count, which parallel sessions cannot
+  // observe without serializing; see run_batch's doc for the consequence).
+  SyncOutcome sync_pair(StateReplica& receiver, StateReplica& sender,
+                        SiteId dst, SiteId src, ObjectId obj,
+                        sim::EventLoop& loop, obs::Registry* metrics,
+                        obs::CausalTracer* causal, std::uint64_t session_no,
+                        SessionEffects* fx, std::uint64_t fault_salt = 0);
+  // The accounting tail of sync(): totals and the Table 2 bound check.
+  void finish_session(const SyncOutcome& out);
   // Causal tracing helpers (no-ops when cfg_.causal is null): update ids the
   // receiver is about to learn, in deterministic (site, seq) order; emit the
   // kDeliver edges for them; close any trace every host now covers.
   std::vector<UpdateId> causal_fresh(const StateReplica& sender,
-                                     const StateReplica& receiver) const;
+                                     const StateReplica& receiver,
+                                     const obs::CausalTracer* causal) const;
   void causal_converge_check(ObjectId obj, const UpdateId& u);
   void check_replica(const StateReplica& r) const;
   void publish_metrics();
@@ -214,6 +297,8 @@ class StateSystem {
   Totals totals_;
   obs::Registry metrics_;
   std::uint64_t sampled_at_sessions_{~std::uint64_t{0}};
+  rt::OLock::Counters olock_totals_{};
+  bool batch_ran_{false};
 };
 
 }  // namespace optrep::repl

@@ -1,0 +1,228 @@
+// OptiQL-style versioned optimistic lock (Wang et al., "OptiQL: Robust
+// Optimistic Locking for Memory-Optimized Indexes"; see SNIPPETS.md §2).
+//
+// One 64-bit word packs a version epoch and a locked bit:
+//
+//     bit 0      locked   (a writer holds the lock)
+//     bits 1..63 version  (bumped by +1 logical epoch on every unlock)
+//
+// Readers never write the word: read_begin() spins past an in-flight writer
+// and returns an even snapshot; the caller then reads the protected payload
+// through acquire loads (std::atomic_ref in vv::RotatingVector /
+// vv::FlatSiteIndex) and calls read_validate(snapshot), which succeeds iff
+// the word is unchanged — i.e. no writer acquired the lock in between.
+//
+// Writers serialize through an MCS-like compact queue: lock(QNode&) enqueues
+// a stack-allocated node with an atomic exchange on tail_ and spins only on
+// its OWN node's ready flag, never on the shared version word (OptiQL's
+// "opportunistic read" queue discipline — waiting writers do not inflate
+// reader retry rates or bounce the version cache line). unlock() publishes
+// the new version with a release store and hands the lock to the queue
+// successor. No allocation ever happens on the lock/unlock path: the queue
+// node lives in the caller's frame and the lock itself is two words plus
+// counters.
+//
+// Memory-model note (same fence-free discipline as rt::ProgressCell, which
+// exists because GCC rejects atomic_thread_fence under -fsanitize=thread):
+// a writer sets the locked bit BEFORE its payload stores (program order) and
+// performs payload stores with release; readers load payload with acquire.
+// If a reader's payload load observes a value from writer generation g, that
+// acquire load synchronizes-with the writer's release store, so everything
+// the writer did before it — including setting the locked bit — happens
+// before the reader's subsequent read_validate() load, which by coherence
+// must then observe the locked/advanced word and fail validation. A reader
+// whose validate load returns the begin snapshot therefore observed payload
+// entirely from one committed epoch: no torn reads, no fences, TSan-clean.
+//
+// Contention behavior is surfaced through three relaxed counters
+// (acquisitions / opt_retries / queue_waits) that callers publish into the
+// obs metrics registry as rt.olock.* — see repl::StateSystem and
+// bench_contention.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "common/check.h"
+
+namespace optrep::rt {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+class OLock {
+ public:
+  // Writer queue node; lives on the caller's stack for the duration of the
+  // critical section. A node enrolled via lock() MUST be passed to the
+  // matching unlock() and must outlive it.
+  struct QNode {
+    std::atomic<QNode*> next{nullptr};
+    std::atomic<bool> ready{false};
+  };
+
+  // Monotonic, relaxed contention counters. Snapshots are exact only when no
+  // operation is in flight (e.g. after a join); mid-run reads are advisory.
+  struct Counters {
+    std::uint64_t acquisitions = 0;  // successful writer lock() calls
+    std::uint64_t opt_retries = 0;   // reader begin-blocked or validate-failed
+    std::uint64_t queue_waits = 0;   // lock() calls that found a predecessor
+  };
+
+  OLock() = default;
+  OLock(const OLock&) = delete;
+  OLock& operator=(const OLock&) = delete;
+
+  // ---- Optimistic readers -------------------------------------------------
+
+  // Returns an unlocked (even) snapshot of the version word, spinning past
+  // any in-flight writer. Counts at most one opt_retry per call for the
+  // initial locked observation.
+  std::uint64_t read_begin() const {
+    std::uint64_t w = word_.load(std::memory_order_acquire);
+    if ((w & kLockedBit) != 0) {
+      opt_retries_.fetch_add(1, std::memory_order_relaxed);
+      do {
+        cpu_relax();
+        w = word_.load(std::memory_order_acquire);
+      } while ((w & kLockedBit) != 0);
+    }
+    return w;
+  }
+
+  // True iff no writer acquired the lock since the matching read_begin();
+  // on failure the caller rereads under a fresh snapshot (or falls back to
+  // the writer queue after a bounded number of attempts).
+  bool read_validate(std::uint64_t snapshot) const {
+    const std::uint64_t w = word_.load(std::memory_order_acquire);
+    if (w == snapshot) return true;
+    opt_retries_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  // Current version epoch (bits 1..63); test/diagnostic use.
+  std::uint64_t version() const {
+    return word_.load(std::memory_order_acquire) >> 1;
+  }
+
+  bool locked() const {
+    return (word_.load(std::memory_order_acquire) & kLockedBit) != 0;
+  }
+
+  // ---- Writer queue -------------------------------------------------------
+
+  void lock(QNode& node) const {
+    node.next.store(nullptr, std::memory_order_relaxed);
+    node.ready.store(false, std::memory_order_relaxed);
+    QNode* prev = tail_.exchange(&node, std::memory_order_acq_rel);
+    if (prev != nullptr) {
+      queue_waits_.fetch_add(1, std::memory_order_relaxed);
+      prev->next.store(&node, std::memory_order_release);
+      while (!node.ready.load(std::memory_order_acquire)) cpu_relax();
+    }
+    // We own the lock. Set the locked bit before any payload store (program
+    // order + release payload stores make it visible to validating readers;
+    // see the memory-model note above).
+    const std::uint64_t w = word_.load(std::memory_order_relaxed);
+    OPTREP_CHECK((w & kLockedBit) == 0);
+    word_.store(w | kLockedBit, std::memory_order_relaxed);
+    acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void unlock(QNode& node) const {
+    // Publish the new epoch: clear the locked bit and advance the version.
+    // Release so every payload store in the critical section happens-before
+    // any reader that begins at (or validates against) the new word.
+    const std::uint64_t w = word_.load(std::memory_order_relaxed);
+    OPTREP_CHECK((w & kLockedBit) != 0);
+    word_.store((w & ~kLockedBit) + kVersionStep, std::memory_order_release);
+    // Hand the queue to our successor (if any).
+    QNode* next = node.next.load(std::memory_order_acquire);
+    if (next == nullptr) {
+      QNode* expected = &node;
+      if (tail_.compare_exchange_strong(expected, nullptr, std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        return;  // queue empty: lock released outright
+      }
+      // A successor is mid-enqueue (exchanged tail_ but has not linked yet).
+      do {
+        cpu_relax();
+        next = node.next.load(std::memory_order_acquire);
+      } while (next == nullptr);
+    }
+    next->ready.store(true, std::memory_order_release);
+  }
+
+  // ---- Introspection ------------------------------------------------------
+
+  Counters counters() const {
+    Counters c;
+    c.acquisitions = acquisitions_.load(std::memory_order_relaxed);
+    c.opt_retries = opt_retries_.load(std::memory_order_relaxed);
+    c.queue_waits = queue_waits_.load(std::memory_order_relaxed);
+    return c;
+  }
+
+  void reset_counters() const {
+    acquisitions_.store(0, std::memory_order_relaxed);
+    opt_retries_.store(0, std::memory_order_relaxed);
+    queue_waits_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::uint64_t kLockedBit = 1;
+  static constexpr std::uint64_t kVersionStep = 2;
+
+  // mutable + const methods: structures embed the lock and expose it from
+  // const read paths (readers of a const RotatingVector still validate).
+  mutable std::atomic<std::uint64_t> word_{0};
+  mutable std::atomic<QNode*> tail_{nullptr};
+  mutable std::atomic<std::uint64_t> acquisitions_{0};
+  mutable std::atomic<std::uint64_t> opt_retries_{0};
+  mutable std::atomic<std::uint64_t> queue_waits_{0};
+};
+
+// RAII writer guard; the queue node lives inside the guard (stack frame).
+class OLockGuard {
+ public:
+  explicit OLockGuard(const OLock& lock) : lock_(lock) { lock_.lock(node_); }
+  ~OLockGuard() { lock_.unlock(node_); }
+  OLockGuard(const OLockGuard&) = delete;
+  OLockGuard& operator=(const OLockGuard&) = delete;
+
+ private:
+  const OLock& lock_;
+  OLock::QNode node_;
+};
+
+// Run fn() as an optimistic read against one lock: snapshot, read, validate;
+// retry up to max_tries. Returns true when a validated execution happened.
+// On persistent interference the caller falls back to the writer queue
+// (exclusive access also excludes writers, so a plain re-run is safe):
+//
+//   if (!optimistic_read(v.olock(), 8, read_fn)) {
+//     rt::OLockGuard g(v.olock());   // reader joined the queue
+//     read_fn();
+//   }
+//
+// fn must be idempotent and must tolerate torn payload values (it re-runs;
+// the structures guarantee memory-safe, defined-behavior reads via acquire
+// atomics, not semantic consistency, until validation succeeds).
+template <class Fn>
+bool optimistic_read(const OLock& lock, unsigned max_tries, Fn&& fn) {
+  for (unsigned t = 0; t < max_tries; ++t) {
+    const std::uint64_t v = lock.read_begin();
+    fn();
+    if (lock.read_validate(v)) return true;
+  }
+  return false;
+}
+
+}  // namespace optrep::rt

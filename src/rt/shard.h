@@ -1,0 +1,116 @@
+// Sharded wave scheduling for replica-disjoint parallel sessions.
+//
+// The repl batch engine (repl::StateSystem::run_batch) executes a spec-order
+// list of operations, each declaring one write key (the replica it mutates)
+// and at most one read key (the replica it reads). This header turns that
+// list into a WavePlan:
+//
+//   - every item is assigned a SHARD by a SplitMix64 hash of its WRITE key,
+//     so all writers of the same replica land in the same shard and are
+//     executed there sequentially, in spec order;
+//   - items are greedily packed, in spec order, into WAVES. An item joins the
+//     current wave only if its read key is not written by the wave and its
+//     write key is not read by the wave; otherwise the wave is sealed and a
+//     new one starts (items never jump past a sealed wave — assignment is
+//     order-preserving).
+//
+// Together this makes wave-parallel execution EXACTLY equivalent to
+// sequential spec-order execution, independent of thread count:
+//   - two items with the same write key share a shard (same hash), so their
+//     mutations are ordered as in the spec;
+//   - a read key never races a concurrent writer (wave rule), so every item
+//     observes precisely the state a sequential execution would show it —
+//     pre-wave state for replicas it does not own, same-shard spec-order
+//     state for its own;
+//   - waves are barriers: wave w+1 starts only after every shard of wave w
+//     finished.
+// The shard count is fixed (kDefaultShards), NOT derived from the thread
+// count, so the shard assignment — and therefore the execution order within
+// every shard — is identical for --threads=1..N; only which worker runs a
+// shard varies. Commit-side effects are applied by the caller in spec order
+// after each wave joins, exactly like parallel_sweep's config-order results.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+
+namespace optrep::rt {
+
+// SplitMix64 finalizer (same mix as task_seed in thread_pool.h): decorrelates
+// adjacent (site, object) keys so shards load-balance.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+inline std::uint32_t shard_of(std::uint64_t write_key, std::uint32_t n_shards) {
+  OPTREP_DCHECK(n_shards > 0);
+  return static_cast<std::uint32_t>(mix64(write_key) % n_shards);
+}
+
+struct WaveItem {
+  std::uint64_t write_key{0};  // replica this item mutates (required)
+  std::uint64_t read_key{0};   // replica it reads, or 0 for none
+};
+
+struct WavePlan {
+  // Fixed shard fan-out for replica partitioning. Chosen well above any
+  // supported --threads so shard→worker mapping never constrains parallelism,
+  // and kept thread-count independent so plans are deterministic.
+  static constexpr std::uint32_t kDefaultShards = 64;
+
+  struct Wave {
+    // by_shard[s] = item indexes owned by shard s, in spec order. Sparse
+    // shards hold empty vectors; `items` counts the wave's total.
+    std::vector<std::vector<std::uint32_t>> by_shard;
+    std::uint32_t items{0};
+  };
+
+  std::uint32_t n_shards{kDefaultShards};
+  std::vector<Wave> waves;
+
+  std::uint32_t max_wave_items() const {
+    std::uint32_t m = 0;
+    for (const Wave& w : waves) m = w.items > m ? w.items : m;
+    return m;
+  }
+};
+
+// Greedy spec-order packing (see file comment for the equivalence argument).
+// Note the deliberately conservative rule: a read key that matches ANY write
+// key already in the wave seals it, even when reader and writer would share a
+// shard — simpler to reason about, and chained pipelines (anti-entropy ring
+// passes) degrade to singleton waves rather than to subtle ordering bugs.
+inline WavePlan plan_waves(const std::vector<WaveItem>& items,
+                           std::uint32_t n_shards = WavePlan::kDefaultShards) {
+  WavePlan plan;
+  plan.n_shards = n_shards;
+  std::unordered_set<std::uint64_t> writes;
+  std::unordered_set<std::uint64_t> reads;
+  auto open_wave = [&] {
+    plan.waves.emplace_back();
+    plan.waves.back().by_shard.resize(n_shards);
+    writes.clear();
+    reads.clear();
+  };
+  for (std::uint32_t i = 0; i < items.size(); ++i) {
+    const WaveItem& it = items[i];
+    const bool conflict = plan.waves.empty() ||
+                          (it.read_key != 0 && writes.contains(it.read_key)) ||
+                          reads.contains(it.write_key);
+    if (conflict) open_wave();
+    WavePlan::Wave& w = plan.waves.back();
+    w.by_shard[shard_of(it.write_key, n_shards)].push_back(i);
+    ++w.items;
+    writes.insert(it.write_key);
+    if (it.read_key != 0) reads.insert(it.read_key);
+  }
+  return plan;
+}
+
+}  // namespace optrep::rt

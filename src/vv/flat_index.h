@@ -17,14 +17,30 @@
 // caps its slot count below that (it already rejects vectors that large), so
 // no stored slot index can collide with the marker and no separate occupancy
 // bitmap is needed.
+//
+// Concurrency (PR 8): the index embeds an rt::OLock and every table-cell and
+// size access goes through std::atomic_ref (acquire loads, release stores —
+// plain movs on x86), so OPTIMISTIC READERS may race a single writer with
+// defined behavior: a reader snapshots olock().read_begin(), probes, then
+// read_validate()s; a torn probe (e.g. mid backward-shift) yields a stale or
+// bounded-miss answer that validation rejects. Locking is EXTERNAL — the
+// structure never locks itself, so single-threaded callers pay nothing.
+// Two hard rules for concurrent readers (see docs/PERFORMANCE.md):
+//   1. reserve() must have sized the table first: rehash() reallocates the
+//      arrays and would leave a racing reader probing freed memory.
+//   2. find() bounds its probe walk at the table capacity. A consistent
+//      table terminates every probe at a nil cell far earlier (load ≤ 0.75);
+//      only a torn cluster can reach the cap, and that read fails validation.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "common/check.h"
 #include "common/ids.h"
+#include "rt/olock.h"
 
 namespace optrep::vv {
 
@@ -34,59 +50,101 @@ class FlatSiteIndex {
 
   FlatSiteIndex() = default;
 
-  std::size_t size() const { return size_; }
-  bool empty() const { return size_ == 0; }
+  // Copies/moves transfer the table but NOT the lock: each instance guards
+  // itself with a fresh, unlocked rt::OLock (counters zeroed). Excluded while
+  // concurrent readers are active, like every other mutation.
+  FlatSiteIndex(const FlatSiteIndex& o)
+      : keys_(o.keys_), slots_(o.slots_), size_(o.size_), mask_(o.mask_), shift_(o.shift_) {}
+  FlatSiteIndex& operator=(const FlatSiteIndex& o) {
+    keys_ = o.keys_;
+    slots_ = o.slots_;
+    size_ = o.size_;
+    mask_ = o.mask_;
+    shift_ = o.shift_;
+    return *this;
+  }
+  FlatSiteIndex(FlatSiteIndex&& o) noexcept
+      : keys_(std::move(o.keys_)),
+        slots_(std::move(o.slots_)),
+        size_(o.size_),
+        mask_(o.mask_),
+        shift_(o.shift_) {}
+  FlatSiteIndex& operator=(FlatSiteIndex&& o) noexcept {
+    keys_ = std::move(o.keys_);
+    slots_ = std::move(o.slots_);
+    size_ = o.size_;
+    mask_ = o.mask_;
+    shift_ = o.shift_;
+    return *this;
+  }
 
-  // Slot index of `site`, or kNilSlot when absent.
+  // Versioned lock guarding this index when used standalone (RotatingVector
+  // guards index + slots together with its own lock). Callers lock
+  // explicitly; no method below acquires it.
+  rt::OLock& olock() const { return olock_; }
+
+  std::size_t size() const { return ld(size_); }
+  bool empty() const { return size() == 0; }
+
+  // Slot index of `site`, or kNilSlot when absent. The probe walk is capped
+  // at the table capacity: unreachable for a quiescent table (load ≤ 0.75
+  // ⇒ every cluster ends at a nil cell), possible only for an optimistic
+  // reader racing a writer — which read_validate() then rejects anyway.
   std::uint32_t find(SiteId site) const {
-    if (size_ == 0) return kNilSlot;
-    for (std::size_t i = home(site);; i = (i + 1) & mask_) {
-      if (slots_[i] == kNilSlot) return kNilSlot;
-      if (keys_[i] == site) return slots_[i];
+    if (size() == 0) return kNilSlot;
+    std::size_t i = home(site);
+    for (std::size_t probes = 0; probes <= mask_; ++probes, i = (i + 1) & mask_) {
+      const std::uint32_t s = ld(slots_[i]);
+      if (s == kNilSlot) return kNilSlot;
+      if (ld(keys_[i]) == site) return s;
     }
+    return kNilSlot;  // torn cluster under a concurrent writer
   }
   bool contains(SiteId site) const { return find(site) != kNilSlot; }
 
-  // Insert an absent site. `slot` must not equal kNilSlot.
+  // Insert an absent site. `slot` must not equal kNilSlot. The key is
+  // published before the cell is marked occupied, so a racing reader that
+  // observes the occupied cell also observes its key.
   void insert(SiteId site, std::uint32_t slot) {
     OPTREP_DCHECK(slot != kNilSlot);
     OPTREP_DCHECK(!contains(site));
-    if ((size_ + 1) * 4 > capacity() * 3) grow();  // load factor ≤ 0.75
+    if ((ld(size_) + 1) * 4 > capacity() * 3) grow();  // load factor ≤ 0.75
     std::size_t i = home(site);
-    while (slots_[i] != kNilSlot) i = (i + 1) & mask_;
-    keys_[i] = site;
-    slots_[i] = slot;
-    ++size_;
+    while (ld(slots_[i]) != kNilSlot) i = (i + 1) & mask_;
+    st(keys_[i], site);
+    st(slots_[i], slot);
+    st(size_, ld(size_) + 1);
   }
 
   // Remove `site` if present; returns whether it was. Backward-shift: walk
   // the cluster after the hole and move back every entry whose home position
   // does not lie strictly between the hole and it.
   bool erase(SiteId site) {
-    if (size_ == 0) return false;
+    if (ld(size_) == 0) return false;
     std::size_t i = home(site);
     for (;; i = (i + 1) & mask_) {
-      if (slots_[i] == kNilSlot) return false;
-      if (keys_[i] == site) break;
+      if (ld(slots_[i]) == kNilSlot) return false;
+      if (ld(keys_[i]) == site) break;
     }
     std::size_t hole = i;
-    for (std::size_t j = (hole + 1) & mask_; slots_[j] != kNilSlot; j = (j + 1) & mask_) {
+    for (std::size_t j = (hole + 1) & mask_; ld(slots_[j]) != kNilSlot; j = (j + 1) & mask_) {
       // Distance from j's home to j vs. from the hole to j, both mod table
       // size: if the home is at or before the hole, j may legally move there.
       const std::size_t dist_home = (j - home_of(j)) & mask_;
       const std::size_t dist_hole = (j - hole) & mask_;
       if (dist_home >= dist_hole) {
-        keys_[hole] = keys_[j];
-        slots_[hole] = slots_[j];
+        st(keys_[hole], ld(keys_[j]));
+        st(slots_[hole], ld(slots_[j]));
         hole = j;
       }
     }
-    slots_[hole] = kNilSlot;
-    --size_;
+    st(slots_[hole], kNilSlot);
+    st(size_, ld(size_) - 1);
     return true;
   }
 
-  // Pre-size for `n` sites so steady-state inserts never reallocate.
+  // Pre-size for `n` sites so steady-state inserts never reallocate (and,
+  // with concurrent readers, so they never rehash — rule 1 above).
   void reserve(std::size_t n) {
     std::size_t cap = kMinCapacity;
     while (n * 4 > cap * 3) cap <<= 1;
@@ -106,7 +164,7 @@ class FlatSiteIndex {
     ProbeStats st;
     st.bytes = capacity() * (sizeof(SiteId) + sizeof(std::uint32_t));
     for (std::size_t i = 0; i < capacity(); ++i) {
-      if (slots_[i] == kNilSlot) continue;
+      if (ld(slots_[i]) == kNilSlot) continue;
       const std::uint64_t len = ((i - home_of(i)) & mask_) + 1;
       st.total += len;
       if (len > st.max) st.max = len;
@@ -117,6 +175,21 @@ class FlatSiteIndex {
  private:
   static constexpr std::size_t kMinCapacity = 8;
 
+  // Cell/size accessors: acquire loads and release stores via atomic_ref so
+  // an optimistic reader racing the single writer reads defined (if possibly
+  // stale) values and the olock validation protocol is sound — see the
+  // memory-model note in rt/olock.h. Free on x86; keeps the arrays plainly
+  // copyable. C++20 atomic_ref takes a mutable ref, hence the const_cast on
+  // the load side (the load itself never writes).
+  template <class T>
+  static T ld(const T& cell) {
+    return std::atomic_ref<T>(const_cast<T&>(cell)).load(std::memory_order_acquire);
+  }
+  template <class T>
+  static void st(T& cell, T v) {
+    std::atomic_ref<T>(cell).store(v, std::memory_order_release);
+  }
+
   std::size_t capacity() const { return slots_.size(); }
 
   // Multiply-shift (Fibonacci) hash of the 32-bit site id, folded onto the
@@ -125,7 +198,7 @@ class FlatSiteIndex {
   std::size_t home(SiteId site) const {
     return (site.value * 0x9e3779b9u) >> shift_;
   }
-  std::size_t home_of(std::size_t i) const { return home(keys_[i]); }
+  std::size_t home_of(std::size_t i) const { return home(ld(keys_[i])); }
 
   void grow() { rehash(capacity() == 0 ? kMinCapacity : capacity() * 2); }
 
@@ -151,6 +224,7 @@ class FlatSiteIndex {
   std::size_t size_{0};
   std::size_t mask_{0};
   unsigned shift_{32};  // 32 - log2(capacity); capacity 0 ⇒ never probed
+  mutable rt::OLock olock_;
 };
 
 }  // namespace optrep::vv

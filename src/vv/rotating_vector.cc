@@ -4,19 +4,25 @@
 
 namespace optrep::vv {
 
+// Every read of a slot field, a list link, or head_/tail_ below goes through
+// ld()/st() (acquire/release atomic_ref): mutations run under the writer
+// queue of olock_, but optimistic readers may be mid-walk concurrently, so
+// all shared words must be accessed atomically for the validation protocol
+// to be sound (see rt/olock.h). Single-threaded cost: plain movs.
+
 std::vector<RotatingVector::Element> RotatingVector::in_order() const {
   std::vector<Element> out;
   out.reserve(slots_.size());
-  for (std::uint32_t s = head_; s != kNil; s = slots_[s].next) {
-    out.push_back(slots_[s].elem);
+  for (std::uint32_t s = ld(head_); s != kNil; s = ld(slots_[s].next)) {
+    out.push_back(load_elem(s));
   }
   return out;
 }
 
 VersionVector RotatingVector::to_version_vector() const {
   VersionVector vv;
-  for (std::uint32_t s = head_; s != kNil; s = slots_[s].next) {
-    vv.set(slots_[s].elem.site, slots_[s].elem.value);
+  for (std::uint32_t s = ld(head_); s != kNil; s = ld(slots_[s].next)) {
+    vv.set(ld(slots_[s].elem.site), ld(slots_[s].elem.value));
   }
   return vv;
 }
@@ -24,8 +30,8 @@ VersionVector RotatingVector::to_version_vector() const {
 void RotatingVector::record_update(SiteId site) {
   rotate_after(std::nullopt, site);
   Slot& s = slot_of_mut(site);
-  s.elem.value += 1;
-  s.elem.conflict = false;
+  st(s.elem.value, ld(s.elem.value) + 1);
+  st(s.elem.conflict, false);
   // The segment bit was already cleared by the carry in rotate_after; the
   // fresh element joins the current prefixing segment at the front.
 }
@@ -41,7 +47,7 @@ void RotatingVector::rotate_after(std::optional<SiteId> prev, SiteId site) {
   OPTREP_CHECK_MSG(p != s, "ROTATE: element cannot follow itself");
   // Rotating an element onto its current position is a no-op (and must not
   // trigger the segment-bit carry: the element is not leaving its segment).
-  if (p == kNil ? head_ == s : slots_[s].prev == p) return;
+  if (p == kNil ? ld(head_) == s : ld(slots_[s].prev) == p) return;
   unlink(s);
   link_after(p, s);
 }
@@ -51,18 +57,18 @@ void RotatingVector::set_element(SiteId site, std::uint64_t value, bool conflict
   std::uint32_t s = index_.find(site);
   if (s == kNil) s = insert_front(site);
   Slot& slot = slots_[s];
-  slot.elem.value = value;
-  slot.elem.conflict = conflict;
-  slot.elem.segment = segment;
+  st(slot.elem.value, value);
+  st(slot.elem.conflict, conflict);
+  st(slot.elem.segment, segment);
 }
 
 std::string RotatingVector::to_string() const {
   std::string out = "<";
   bool first = true;
-  for (std::uint32_t s = head_; s != kNil; s = slots_[s].next) {
+  for (std::uint32_t s = ld(head_); s != kNil; s = ld(slots_[s].next)) {
     if (!first) out += ", ";
     first = false;
-    const Element& e = slots_[s].elem;
+    const Element e = load_elem(s);
     out += site_name(e.site) + ":" + std::to_string(e.value);
     if (e.conflict) out += "*";
     if (e.segment) out += "|";
@@ -78,8 +84,8 @@ bool RotatingVector::identical_to(const RotatingVector& other) const {
 
 bool RotatingVector::same_values(const VersionVector& oracle) const {
   if (size() != oracle.size()) return false;
-  for (std::uint32_t s = head_; s != kNil; s = slots_[s].next) {
-    if (slots_[s].elem.value != oracle.value(slots_[s].elem.site)) return false;
+  for (std::uint32_t s = ld(head_); s != kNil; s = ld(slots_[s].next)) {
+    if (ld(slots_[s].elem.value) != oracle.value(ld(slots_[s].elem.site))) return false;
   }
   return true;
 }
@@ -88,25 +94,40 @@ void RotatingVector::erase(SiteId site) {
   const std::uint32_t s = index_.find(site);
   if (s == kNil) return;
   unlink(s);  // carries a set segment bit to the predecessor
-  slots_[s] = Slot{};
+  Slot& slot = slots_[s];
+  st(slot.elem.site, SiteId{});
+  st(slot.elem.value, std::uint64_t{0});
+  st(slot.elem.conflict, false);
+  st(slot.elem.segment, false);
   free_slots_.push_back(s);
   index_.erase(site);
 }
 
 std::uint32_t RotatingVector::insert_front(SiteId site) {
+  const std::uint32_t h = ld(head_);
   std::uint32_t s;
   if (!free_slots_.empty()) {
+    // Recycled slots may still be visited by an in-flight optimistic walk,
+    // so refill them field-wise (atomically), not by whole-struct assignment.
     s = free_slots_.back();
     free_slots_.pop_back();
-    slots_[s] = Slot{Element{site, 0, false, false}, kNil, head_};
+    Slot& slot = slots_[s];
+    st(slot.elem.site, site);
+    st(slot.elem.value, std::uint64_t{0});
+    st(slot.elem.conflict, false);
+    st(slot.elem.segment, false);
+    st(slot.prev, kNil);
+    st(slot.next, h);
   } else {
     s = static_cast<std::uint32_t>(slots_.size());
     OPTREP_CHECK_MSG(s != kNil, "vector too large");
-    slots_.push_back(Slot{Element{site, 0, false, false}, kNil, head_});
+    // May reallocate: excluded while concurrent readers are active by the
+    // reserve() capacity contract (header comment).
+    slots_.push_back(Slot{Element{site, 0, false, false}, kNil, h});
   }
-  if (head_ != kNil) slots_[head_].prev = s;
-  head_ = s;
-  if (tail_ == kNil) tail_ = s;
+  if (h != kNil) st(slots_[h].prev, s);
+  st(head_, s);
+  if (ld(tail_) == kNil) st(tail_, s);
   index_.insert(site, s);
   return s;
 }
@@ -115,38 +136,43 @@ void RotatingVector::unlink(std::uint32_t s) {
   Slot& slot = slots_[s];
   // §4 segment-bit maintenance: the rotated-out element was the last of its
   // segment, so the boundary moves to the element before it (if any).
-  if (slot.elem.segment) {
-    if (slot.prev != kNil) slots_[slot.prev].elem.segment = true;
-    slot.elem.segment = false;
+  const std::uint32_t prev = ld(slot.prev);
+  const std::uint32_t next = ld(slot.next);
+  if (ld(slot.elem.segment)) {
+    if (prev != kNil) st(slots_[prev].elem.segment, true);
+    st(slot.elem.segment, false);
   }
-  if (slot.prev != kNil) {
-    slots_[slot.prev].next = slot.next;
+  if (prev != kNil) {
+    st(slots_[prev].next, next);
   } else {
-    head_ = slot.next;
+    st(head_, next);
   }
-  if (slot.next != kNil) {
-    slots_[slot.next].prev = slot.prev;
+  if (next != kNil) {
+    st(slots_[next].prev, prev);
   } else {
-    tail_ = slot.prev;
+    st(tail_, prev);
   }
-  slot.prev = slot.next = kNil;
+  st(slot.prev, kNil);
+  st(slot.next, kNil);
 }
 
 void RotatingVector::link_after(std::uint32_t p, std::uint32_t s) {
   Slot& slot = slots_[s];
   if (p == kNil) {
-    slot.prev = kNil;
-    slot.next = head_;
-    if (head_ != kNil) slots_[head_].prev = s;
-    head_ = s;
-    if (tail_ == kNil) tail_ = s;
+    const std::uint32_t h = ld(head_);
+    st(slot.prev, kNil);
+    st(slot.next, h);
+    if (h != kNil) st(slots_[h].prev, s);
+    st(head_, s);
+    if (ld(tail_) == kNil) st(tail_, s);
   } else {
     Slot& after = slots_[p];
-    slot.prev = p;
-    slot.next = after.next;
-    if (after.next != kNil) slots_[after.next].prev = s;
-    after.next = s;
-    if (tail_ == p) tail_ = s;
+    const std::uint32_t an = ld(after.next);
+    st(slot.prev, p);
+    st(slot.next, an);
+    if (an != kNil) st(slots_[an].prev, s);
+    st(after.next, s);
+    if (ld(tail_) == p) st(tail_, s);
   }
 }
 

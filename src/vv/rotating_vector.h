@@ -15,8 +15,27 @@
 // updated site) and back() is ⌈v⌉. Iteration runs front→back, the order in
 // which SYNC* algorithms transmit elements; begin()/end() walk that order
 // without materializing anything.
+//
+// Concurrency (PR 8): the vector embeds an rt::OLock (one lock guards slots,
+// list links AND the site index together — they mutate as a unit). Locking is
+// EXTERNAL: no method below acquires it, so single-threaded callers pay only
+// the relaxed/acquire plain-mov cost of the std::atomic_ref field accessors
+// that every shared word (element fields, prev/next links, head_/tail_, index
+// cells) is routed through. Concurrent use follows the olock protocol:
+//   writer:  rt::OLockGuard g(v.olock()); v.record_update(i);
+//   reader:  rt::optimistic_read(v.olock(), tries, [&]{ ...v.value(i)... })
+//            — on persistent interference, fall back to an OLockGuard.
+// Readers racing a writer observe defined (possibly stale or torn-across-
+// fields) values; read_validate() rejects any execution that overlapped a
+// writer, so a validated read saw one committed epoch (rt/olock.h note).
+// Iterator walks are bounds-safe under races (slot indexes are masked to the
+// table, traversal is cycle-bounded by validation) but REQUIRE the capacity
+// contract: reserve(n) first — mutations must not reallocate the slot table
+// while readers hold pointers into it. The wave scheduler (repl/wave.h)
+// reserves every replica before going parallel.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iterator>
 #include <optional>
@@ -25,6 +44,7 @@
 
 #include "common/check.h"
 #include "common/ids.h"
+#include "rt/olock.h"
 #include "vv/flat_index.h"
 #include "vv/version_vector.h"
 
@@ -56,9 +76,46 @@ class RotatingVector {
 
   RotatingVector() = default;
 
+  // Copies/moves transfer the contents but NOT the lock: each vector guards
+  // itself with a fresh, unlocked rt::OLock (sync_with_recovery's saved-state
+  // snapshots and StateSystem replica copies stay plain value types).
+  RotatingVector(const RotatingVector& o)
+      : slots_(o.slots_),
+        index_(o.index_),
+        head_(o.head_),
+        tail_(o.tail_),
+        free_slots_(o.free_slots_) {}
+  RotatingVector& operator=(const RotatingVector& o) {
+    slots_ = o.slots_;
+    index_ = o.index_;
+    head_ = o.head_;
+    tail_ = o.tail_;
+    free_slots_ = o.free_slots_;
+    return *this;
+  }
+  RotatingVector(RotatingVector&& o) noexcept
+      : slots_(std::move(o.slots_)),
+        index_(std::move(o.index_)),
+        head_(o.head_),
+        tail_(o.tail_),
+        free_slots_(std::move(o.free_slots_)) {}
+  RotatingVector& operator=(RotatingVector&& o) noexcept {
+    slots_ = std::move(o.slots_);
+    index_ = std::move(o.index_);
+    head_ = o.head_;
+    tail_ = o.tail_;
+    free_slots_ = std::move(o.free_slots_);
+    return *this;
+  }
+
+  // The versioned lock guarding this vector (slots + links + site index).
+  // External discipline — see the header comment.
+  rt::OLock& olock() const { return olock_; }
+
   // Pre-size slot table, free list, and index for `n` sites: afterwards, a
   // vector that never exceeds n elements performs no heap allocation in
-  // record_update / rotate_after / set_element / erase.
+  // record_update / rotate_after / set_element / erase — and, equivalently,
+  // never invalidates a concurrent optimistic reader's view of the tables.
   void reserve(std::size_t n) {
     slots_.reserve(n);
     free_slots_.reserve(n);
@@ -70,31 +127,34 @@ class RotatingVector {
   // v[i]; zero when absent (zero-valued elements are not stored).
   std::uint64_t value(SiteId site) const {
     const std::uint32_t s = index_.find(site);
-    return s == kNil ? 0 : slots_[s].elem.value;
+    return s == kNil ? 0 : ld(slots_[s].elem.value);
   }
   bool contains(SiteId site) const { return index_.contains(site); }
 
-  bool conflict_bit(SiteId site) const { return slot_of(site).elem.conflict; }
-  bool segment_bit(SiteId site) const { return slot_of(site).elem.segment; }
+  bool conflict_bit(SiteId site) const { return ld(slot_of(site).elem.conflict); }
+  bool segment_bit(SiteId site) const { return ld(slot_of(site).elem.segment); }
 
   std::size_t size() const { return index_.size(); }
   bool empty() const { return index_.empty(); }
 
   // ⌊v⌋ and ⌈v⌉; nullopt when the vector is empty.
   std::optional<Element> front() const {
-    if (head_ == kNil) return std::nullopt;
-    return slots_[head_].elem;
+    const std::uint32_t h = ld(head_);
+    if (h == kNil) return std::nullopt;
+    return load_elem(h);
   }
   std::optional<Element> back() const {
-    if (tail_ == kNil) return std::nullopt;
-    return slots_[tail_].elem;
+    const std::uint32_t t = ld(tail_);
+    if (t == kNil) return std::nullopt;
+    return load_elem(t);
   }
 
   // Successor of `site` in ≺ (one step toward back()); nullopt at the end.
   std::optional<SiteId> next(SiteId site) const {
     const Slot& s = slot_of(site);
-    if (s.next == kNil) return std::nullopt;
-    return slots_[s.next].elem.site;
+    const std::uint32_t n = ld(s.next);
+    if (n == kNil) return std::nullopt;
+    return ld(slots_[n].elem.site);
   }
 
   // Iteration in ≺ order, front to back — no materialization; senders walk
@@ -102,19 +162,31 @@ class RotatingVector {
   // rewinds its cursor with operator-- when a HALT or SKIP revokes the
   // untransmitted tail (sim::FrameLink). Mutating the vector invalidates
   // iterators.
+  //
+  // operator* returns the Element BY VALUE (an atomic field-wise snapshot),
+  // not a reference into slot storage: an optimistic reader must never hold
+  // a plain reference a concurrent writer could mutate under it. operator->
+  // therefore yields a value-carrying proxy. (`const Element& e = *it;` still
+  // works — lifetime extension — but the binding is to a snapshot.)
   class const_iterator {
    public:
+    // A value-snapshot proxy so `it->site` works without a stable address.
+    struct arrow_proxy {
+      Element e;
+      const Element* operator->() const { return &e; }
+    };
+
     using iterator_category = std::bidirectional_iterator_tag;
     using value_type = Element;
     using difference_type = std::ptrdiff_t;
-    using pointer = const Element*;
-    using reference = const Element&;
+    using pointer = arrow_proxy;
+    using reference = Element;
 
     const_iterator() = default;
-    reference operator*() const { return owner_->slots_[s_].elem; }
-    pointer operator->() const { return &owner_->slots_[s_].elem; }
+    Element operator*() const { return owner_->load_elem(s_); }
+    arrow_proxy operator->() const { return {owner_->load_elem(s_)}; }
     const_iterator& operator++() {
-      s_ = owner_->slots_[s_].next;
+      s_ = ld(owner_->slots_[s_].next);
       return *this;
     }
     const_iterator operator++(int) {
@@ -123,7 +195,7 @@ class RotatingVector {
       return t;
     }
     const_iterator& operator--() {
-      s_ = s_ == kNil ? owner_->tail_ : owner_->slots_[s_].prev;
+      s_ = s_ == kNil ? ld(owner_->tail_) : ld(owner_->slots_[s_].prev);
       return *this;
     }
     const_iterator operator--(int) {
@@ -141,7 +213,7 @@ class RotatingVector {
     const RotatingVector* owner_{nullptr};
     std::uint32_t s_{0xffffffffu};
   };
-  const_iterator begin() const { return {this, head_}; }
+  const_iterator begin() const { return {this, ld(head_)}; }
   const_iterator end() const { return {this, kNil}; }
 
   // Elements in ≺ order, front to back, as an owned vector. Prefer
@@ -168,8 +240,8 @@ class RotatingVector {
   // position (receivers call rotate_after first, then set_element).
   void set_element(SiteId site, std::uint64_t value, bool conflict, bool segment);
 
-  void set_conflict_bit(SiteId site, bool bit) { slot_of_mut(site).elem.conflict = bit; }
-  void set_segment_bit(SiteId site, bool bit) { slot_of_mut(site).elem.segment = bit; }
+  void set_conflict_bit(SiteId site, bool bit) { st(slot_of_mut(site).elem.conflict, bit); }
+  void set_segment_bit(SiteId site, bool bit) { st(slot_of_mut(site).elem.segment, bit); }
 
   // Remove an element entirely (used by the §7 pruning extension for retired
   // sites). The segment-bit carry applies, exactly as for a rotation: the
@@ -204,6 +276,29 @@ class RotatingVector {
     std::uint32_t next{kNil};  // toward back
   };
 
+  // Shared-word accessors (same discipline as FlatSiteIndex): acquire loads,
+  // release stores, via atomic_ref — so optimistic readers racing the single
+  // queued writer read defined values and olock validation is sound.
+  template <class T>
+  static T ld(const T& cell) {
+    return std::atomic_ref<T>(const_cast<T&>(cell)).load(std::memory_order_acquire);
+  }
+  template <class T>
+  static void st(T& cell, T v) {
+    std::atomic_ref<T>(cell).store(v, std::memory_order_release);
+  }
+
+  // Field-wise atomic snapshot of a slot's element.
+  Element load_elem(std::uint32_t s) const {
+    const Slot& sl = slots_[s];
+    Element e;
+    e.site = ld(sl.elem.site);
+    e.value = ld(sl.elem.value);
+    e.conflict = ld(sl.elem.conflict);
+    e.segment = ld(sl.elem.segment);
+    return e;
+  }
+
   const Slot& slot_of(SiteId site) const {
     const std::uint32_t s = index_.find(site);
     OPTREP_CHECK_MSG(s != kNil, "element not present");
@@ -229,6 +324,7 @@ class RotatingVector {
   std::uint32_t head_{kNil};
   std::uint32_t tail_{kNil};
   std::vector<std::uint32_t> free_slots_;  // reusable after erase()
+  mutable rt::OLock olock_;
 };
 
 }  // namespace optrep::vv

@@ -1,6 +1,7 @@
 #include "workload/trace.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "obs/prof.h"
 
@@ -201,6 +202,129 @@ RunStats run_state(repl::StateSystem& sys, const Trace& trace, bool drive_to_con
           sys.sync(hosts[i - 1], hosts[i], obj);
           ++stats.syncs;
         }
+        if (!sys.replicas_consistent(obj)) all_consistent = false;
+      }
+      stats.anti_entropy_rounds = round + 1;
+      if (all_consistent) break;
+    }
+  }
+  stats.eventually_consistent = true;
+  for (std::uint32_t o = 0; o < trace.n_objects; ++o) {
+    if (!sys.replicas_consistent(ObjectId{o})) stats.eventually_consistent = false;
+  }
+  return stats;
+}
+
+RunStats run_state_parallel(repl::StateSystem& sys, const Trace& trace,
+                            rt::ThreadPool& pool, bool drive_to_consistency,
+                            repl::StateSystem::BatchStats* batch_stats) {
+  OPTREP_SPAN("wl.run_state_parallel");
+  using BE = repl::StateSystem::BatchEvent;
+  RunStats stats;
+
+  const auto run = [&](std::vector<BE>&& batch) {
+    std::vector<repl::SyncOutcome> outs;
+    if (batch.empty()) return outs;
+    repl::StateSystem::BatchStats bs;
+    outs = sys.run_batch(batch, pool, &bs);
+    if (batch_stats != nullptr) {
+      batch_stats->waves += bs.waves;
+      batch_stats->max_wave_items =
+          std::max(batch_stats->max_wave_items, bs.max_wave_items);
+      batch_stats->olock.acquisitions += bs.olock.acquisitions;
+      batch_stats->olock.opt_retries += bs.olock.opt_retries;
+      batch_stats->olock.queue_waits += bs.olock.queue_waits;
+    }
+    return outs;
+  };
+
+  // Driver-side presence simulation: run_state decides skips and injected
+  // creator syncs by querying the system mid-trace; a batch defers execution,
+  // so the same decisions are replayed here against a presence set — a
+  // replica exists after its create, or after any sync that targeted it
+  // (even a failed pull creates the empty receiver replica).
+  const auto pk = [](SiteId s, ObjectId o) {
+    return (std::uint64_t{s.value} << 32) | std::uint64_t{o.value};
+  };
+  std::unordered_set<std::uint64_t> present;
+  for (std::uint32_t o = 0; o < trace.n_objects; ++o) {
+    for (const SiteId s : sys.hosts_of(ObjectId{o})) present.insert(pk(s, ObjectId{o}));
+  }
+
+  std::vector<SiteId> creators(trace.n_objects, SiteId{});
+  std::vector<BE> ev;
+  ev.reserve(trace.events.size());
+  // Batch indexes of the trace's own kSync events — the only sessions whose
+  // conflicts run_state counts (injected and anti-entropy syncs are not).
+  std::vector<std::size_t> conflict_slots;
+  std::uint64_t entry_no = 0;
+  for (const Event& e : trace.events) {
+    switch (e.type) {
+      case Event::Type::kCreate:
+        creators[e.obj.value] = e.site;
+        ev.push_back({BE::Type::kCreate, e.site, SiteId{}, e.obj,
+                      "entry-" + std::to_string(entry_no++)});
+        present.insert(pk(e.site, e.obj));
+        ++stats.updates;
+        break;
+      case Event::Type::kUpdate: {
+        if (!present.contains(pk(e.site, e.obj))) {
+          const SiteId host = creators[e.obj.value];
+          if (host == e.site || !present.contains(pk(host, e.obj))) {
+            ++stats.skipped;
+            break;
+          }
+          ev.push_back({BE::Type::kSync, e.site, host, e.obj, {}});
+          present.insert(pk(e.site, e.obj));
+          ++stats.syncs;
+        }
+        ev.push_back({BE::Type::kUpdate, e.site, SiteId{}, e.obj,
+                      "entry-" + std::to_string(entry_no++)});
+        ++stats.updates;
+        break;
+      }
+      case Event::Type::kSync:
+        if (!present.contains(pk(e.peer, e.obj))) {
+          ++stats.skipped;
+          break;
+        }
+        ev.push_back({BE::Type::kSync, e.site, e.peer, e.obj, {}});
+        conflict_slots.push_back(ev.size() - 1);
+        present.insert(pk(e.site, e.obj));
+        ++stats.syncs;
+        break;
+    }
+  }
+  const std::vector<repl::SyncOutcome> outs = run(std::move(ev));
+  for (const std::size_t i : conflict_slots) {
+    if (outs[i].relation == vv::Ordering::kConcurrent) ++stats.conflicts;
+  }
+
+  if (drive_to_consistency &&
+      sys.config().policy == repl::ResolutionPolicy::kAutomatic) {
+    // Anti-entropy sweeps, one batch per round. The ring passes chain (every
+    // session reads the previous receiver), so the planner degrades them to
+    // singleton waves — correct, just not parallel (see rt/shard.h).
+    for (std::uint32_t round = 0; round < 4 * trace.n_sites + 8; ++round) {
+      OPTREP_SPAN("wl.anti_entropy");
+      std::vector<BE> round_ev;
+      for (std::uint32_t o = 0; o < trace.n_objects; ++o) {
+        const ObjectId obj{o};
+        const auto hosts = sys.hosts_of(obj);
+        if (hosts.size() < 2) continue;
+        for (std::size_t i = 0; i + 1 < hosts.size(); ++i) {
+          round_ev.push_back({BE::Type::kSync, hosts[i + 1], hosts[i], obj, {}});
+        }
+        for (std::size_t i = hosts.size() - 1; i > 0; --i) {
+          round_ev.push_back({BE::Type::kSync, hosts[i - 1], hosts[i], obj, {}});
+        }
+      }
+      stats.syncs += round_ev.size();
+      run(std::move(round_ev));
+      bool all_consistent = true;
+      for (std::uint32_t o = 0; o < trace.n_objects; ++o) {
+        const ObjectId obj{o};
+        if (sys.hosts_of(obj).size() < 2) continue;
         if (!sys.replicas_consistent(obj)) all_consistent = false;
       }
       stats.anti_entropy_rounds = round + 1;

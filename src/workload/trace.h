@@ -96,4 +96,21 @@ struct RunStats {
 RunStats run_state(repl::StateSystem& sys, const Trace& trace, bool drive_to_consistency = true);
 RunStats run_op(repl::OpSystem& sys, const Trace& trace, bool drive_to_consistency = true);
 
+// run_state through the sharded wave engine (StateSystem::run_batch): the
+// trace becomes one batch, each anti-entropy sweep another, with
+// replica-disjoint sessions running on `pool`'s workers. Output is
+// byte-identical across thread counts, and on fault-free runs final replica
+// state, totals, and RunStats are identical to run_state's by the wave
+// equivalence argument (rt/shard.h); under active fault injection the
+// engines agree on protocol outcomes but draw different (equally
+// deterministic) fault streams — see StateSystem::run_batch.
+// Requires automatic resolution and none of the sequential
+// per-session instruments (tracer / recorder / timeline); causal tracing is
+// supported. `batch_stats`, when non-null, accumulates wave and
+// optimistic-lock statistics across every batch the driver issues.
+RunStats run_state_parallel(repl::StateSystem& sys, const Trace& trace,
+                            rt::ThreadPool& pool,
+                            bool drive_to_consistency = true,
+                            repl::StateSystem::BatchStats* batch_stats = nullptr);
+
 }  // namespace optrep::wl

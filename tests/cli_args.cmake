@@ -1,0 +1,50 @@
+# CLI argument validation gate for the parallel-session flags: --threads must
+# reject non-numeric, zero, negative, and trailing-garbage values with the
+# typed usage error (exit 2), mirroring the --sample-every contract, and the
+# `state --threads` combination checks must fire before any work runs. A
+# final positive case proves a valid invocation still succeeds.
+#
+# Invoked from ctest:  cmake -DCLI=<optrep_cli binary> -P cli_args.cmake
+if(NOT DEFINED CLI)
+  message(FATAL_ERROR "pass -DCLI=<binary>")
+endif()
+
+function(expect_rejected msg_fragment)
+  execute_process(COMMAND ${CLI} ${ARGN}
+                  RESULT_VARIABLE rc
+                  OUTPUT_QUIET
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 2)
+    message(FATAL_ERROR "'${ARGN}' exited ${rc}, want usage exit 2")
+  endif()
+  string(FIND "${err}" "${msg_fragment}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "'${ARGN}' stderr lacks \"${msg_fragment}\": ${err}")
+  endif()
+endfunction()
+
+set(threads_err "--threads must be a positive integer worker count")
+foreach(bad 0 -1 -8 abc 4x 2.5 "")
+  expect_rejected("${threads_err}" state --sites=4 --steps=20 "--threads=${bad}")
+endforeach()
+
+# Combination checks: the batch engine requires automatic resolution and
+# forbids the sequential per-session instruments.
+expect_rejected("requires automatic resolution"
+                state --kind=crv --manual --sites=4 --steps=20 --threads=2)
+expect_rejected("sequential per-session instruments"
+                state --sites=4 --steps=20 --threads=2 --trace-out=unused.json)
+expect_rejected("sequential per-session instruments"
+                state --sites=4 --steps=20 --threads=2 --timeline-out=unused.json)
+
+# Valid invocations still pass: boundary value 1 and a plain multi-thread run.
+foreach(good 1 4)
+  execute_process(COMMAND ${CLI} state --sites=4 --steps=50 "--threads=${good}"
+                  RESULT_VARIABLE rc
+                  OUTPUT_QUIET ERROR_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "valid 'state --threads=${good}' run exited ${rc}")
+  endif()
+endforeach()
+
+message(STATUS "--threads validation and combination checks hold")

@@ -1,0 +1,56 @@
+# Sharded-session thread-count determinism gate: run the same `optrep_cli
+# state` workload through the parallel batch engine at --threads=1 and
+# --threads=8 and require BOTH emitted documents — the optrep.run/v1 report
+# (stdout under --json) and the optrep.causal/v1 propagation trace — to be
+# byte-identical. Sessions compute in parallel but commit in spec order
+# (StateSystem::run_batch), so any divergence here is a scheduling leak into
+# protocol results. A second pass repeats the check under fault injection,
+# whose per-session streams derive from the configured seed and must be
+# equally schedule-independent.
+#
+# Invoked from ctest:  cmake -DCLI=<optrep_cli binary> -DOUT=<scratch dir>
+#                            -P session_determinism.cmake
+if(NOT DEFINED CLI OR NOT DEFINED OUT)
+  message(FATAL_ERROR "pass -DCLI=<binary> and -DOUT=<scratch dir>")
+endif()
+
+file(REMOVE_RECURSE ${OUT})
+file(MAKE_DIRECTORY ${OUT})
+
+foreach(variant clean faulty)
+  if(variant STREQUAL "clean")
+    set(faults)
+  else()
+    set(faults --loss=0.05 --dup=0.02)
+  endif()
+  foreach(threads 1 8)
+    execute_process(COMMAND ${CLI} state --kind=srv --sites=16 --objects=3
+                            --steps=1200 --update-prob=0.4 --seed=9 --json
+                            --causal-out=${OUT}/${variant}_t${threads}.causal.json
+                            --threads=${threads} ${faults}
+                    RESULT_VARIABLE rc
+                    OUTPUT_FILE ${OUT}/${variant}_t${threads}.run.json
+                    ERROR_QUIET)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+              "${CLI} state (${variant}) failed with --threads=${threads}: ${rc}")
+    endif()
+    if(NOT EXISTS ${OUT}/${variant}_t${threads}.causal.json)
+      message(FATAL_ERROR
+              "state (${variant}) with --threads=${threads} wrote no causal trace")
+    endif()
+  endforeach()
+
+  foreach(doc run causal)
+    execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                            ${OUT}/${variant}_t1.${doc}.json
+                            ${OUT}/${variant}_t8.${doc}.json
+                    RESULT_VARIABLE same)
+    if(NOT same EQUAL 0)
+      message(FATAL_ERROR
+              "${doc} document (${variant}) differs between --threads=1 and --threads=8")
+    endif()
+  endforeach()
+endforeach()
+
+message(STATUS "state run + causal documents byte-identical across thread counts")

@@ -56,7 +56,8 @@
 //   --flag                     (flag true conflicts instead of LWW)
 // sweep options:
 //   --seeds=K            number of independent runs (seed_k = task_seed(seed, k))
-//   --threads=N          worker threads (0 = hardware concurrency)
+//   --threads=N          worker threads (> 0); for 'state' this also selects
+//                        the sharded parallel batch engine (even at N=1)
 // fault options (state, records, sweep):
 //   --loss=P --dup=P --reorder=P --corrupt=P   per-message fault probabilities
 //   --fault-seed=N       fault stream seed (independent of --seed)
@@ -117,6 +118,10 @@ struct Args {
   bool flag_policy{false};
   std::uint32_t sweep_seeds{8};
   unsigned threads{1};
+  // 'state': an explicit --threads routes through the sharded batch engine
+  // (StateSystem::run_batch) even at N=1, so t1 output is byte-comparable
+  // against tN output of the same engine.
+  bool threads_set{false};
   // Fault injection (state/records/sweep; op has no recovery path).
   double loss{0};
   double dup{0};
@@ -250,8 +255,16 @@ Args parse(int argc, char** argv) {
     } else if (take(argv[i], "--seeds", &v)) {
       a.sweep_seeds = static_cast<std::uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
     } else if (take(argv[i], "--threads", &v)) {
-      const long n = std::strtol(v.c_str(), nullptr, 10);
-      a.threads = n <= 0 ? rt::ThreadPool::hardware_threads() : static_cast<unsigned>(n);
+      // Parse signed first: strtoul silently wraps "-4" into a huge worker
+      // count, and a trailing-garbage value ("4x") should be an error, not 4.
+      char* end = nullptr;
+      const long long n = std::strtoll(v.c_str(), &end, 10);
+      if (v.empty() || end == nullptr || *end != '\0' || n <= 0 ||
+          n > std::numeric_limits<unsigned>::max()) {
+        usage("--threads must be a positive integer worker count");
+      }
+      a.threads = static_cast<unsigned>(n);
+      a.threads_set = true;
     } else {
       usage((std::string("unknown option: ") + argv[i]).c_str());
     }
@@ -282,6 +295,22 @@ Args parse(int argc, char** argv) {
     usage("fault injection applies to vector sessions; 'op' has no recovery path");
   }
   if (a.kind == vv::VectorKind::kBrv) a.manual = true;  // §3.1: no reconciliation
+  if (a.command == "state" && a.threads_set) {
+    // The batch engine serializes commit effects but runs sessions
+    // wave-parallel: manual holds mutate the *sender* (breaks wave
+    // read-sharing), and tracer/timeline/recorder/profiler are sequential
+    // per-session-order instruments. Causal tracing is supported.
+    if (a.manual) {
+      usage("state --threads requires automatic resolution "
+            "(drop --manual / --kind=brv)");
+    }
+    if (!a.trace_out.empty() || !a.timeline_out.empty() || !a.dump_out.empty() ||
+        !a.profile_out.empty()) {
+      usage("state --threads is incompatible with --trace-out / --timeline-out "
+            "/ --dump-on-violation / --profile-out (sequential per-session "
+            "instruments; --causal-out is supported)");
+    }
+  }
   return a;
 }
 
@@ -401,7 +430,18 @@ int run_state(const Args& a) {
   repl::StateSystem sys(cfg);
   ProfileScope profile(a.profile_out, &sys.metrics());
   const wl::Trace trace = make_trace(a);
-  const wl::RunStats stats = wl::run_state(sys, trace);
+  wl::RunStats stats;
+  repl::StateSystem::BatchStats bstats;
+  if (a.threads_set) {
+    // Sharded parallel engine: replica-disjoint sessions run on the pool,
+    // commit effects land in spec order, so every output below — report,
+    // totals, causal dump — is byte-identical for any --threads value.
+    rt::ThreadPool pool(a.threads);
+    stats = wl::run_state_parallel(sys, trace, pool, /*drive_to_consistency=*/true,
+                                   &bstats);
+  } else {
+    stats = wl::run_state(sys, trace);
+  }
   sys.sample_timeline();  // flush a final sample at the end of the run
   const auto& t = sys.totals();
   if (!a.trace_out.empty()) {
@@ -467,6 +507,15 @@ int run_state(const Args& a) {
               (unsigned long long)t.reconciliations);
   std::printf("  eventually consistent: %s (%u anti-entropy rounds)\n",
               stats.eventually_consistent ? "yes" : "no", stats.anti_entropy_rounds);
+  if (a.threads_set) {
+    std::printf("  parallel: %llu waves (max %llu sessions/wave), olock: "
+                "%llu acquisitions, %llu optimistic retries, %llu queue waits\n",
+                (unsigned long long)bstats.waves,
+                (unsigned long long)bstats.max_wave_items,
+                (unsigned long long)bstats.olock.acquisitions,
+                (unsigned long long)bstats.olock.opt_retries,
+                (unsigned long long)bstats.olock.queue_waits);
+  }
   return stats.eventually_consistent || a.manual ? 0 : 1;
 }
 
