@@ -1,0 +1,381 @@
+#include "net/client.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/check.h"
+#include "net/session_util.h"
+#include "vv/protocol/compare_core.h"
+
+namespace optrep::net {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+bool SyncClient::connect(std::string* err) {
+  fd_ = connect_tcp(opt_.host, opt_.port, err);
+  if (!fd_.valid()) return false;
+  std::size_t off = 0;  // blocking magic write, then the socket goes async
+  while (off < sizeof kMagic) {
+    const ssize_t n = ::write(fd_.get(), kMagic + off, sizeof kMagic - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (err) *err = "failed to send connection magic";
+    fd_.reset();
+    return false;
+  }
+  set_nonblocking(fd_.get(), true);
+  in_ = StreamDecoder{};
+  return true;
+}
+
+// Per-session state machine. Every method returning bool reports false when
+// the session is over early (fault kill or fatal error) — the caller unwinds
+// straight out of the pump.
+struct SyncClient::Engine {
+  SyncClient& cl;
+  const SessionSpec& spec;
+  SessionResult res;
+
+  std::vector<std::uint8_t> out;
+  std::size_t out_pos{0};
+  vv::FrameDeltaState out_chain{};
+  vv::RotatingVector work;  // session-private clone of *spec.mine
+
+  std::optional<vv::protocol::CompareCore> cmp;
+  bool probe_seen{false};
+  std::optional<vv::protocol::ElementSenderCore> snd;
+  std::optional<AnyReceiver> rx;
+  vv::protocol::Actions acts;
+  bool pump_pending{false};
+  bool initially_concurrent{false};
+
+  enum class St : std::uint8_t {
+    kAwaitAccept,
+    kCompare,
+    kRecv,      // pull transfer: we receive elements
+    kSend,      // push transfer: we send elements
+    kAwaitEnd,  // pull with nothing to transfer: await the server's END
+    kAwaitDone, // our END sent: await the server's DONE
+  };
+  St st{St::kAwaitAccept};
+  bool session_over{false};  // protocol done; drain `out`, then return
+
+  Engine(SyncClient& c, const SessionSpec& s) : cl(c), spec(s) {}
+
+  std::size_t out_size() const { return out.size() - out_pos; }
+
+  // Best-effort synchronous drain of the write buffer (bounded by the
+  // session deadline's order of magnitude). The fault gate uses it so that
+  // "kill before record k" puts records 1..k-1 on the wire first — the
+  // server must observe a *mid-session* disconnect, not an empty one.
+  void flush_pending() {
+    const auto give_up = Clock::now() + std::chrono::seconds(2);
+    while (out_size() > 0 && cl.fd_.valid() && Clock::now() < give_up) {
+      struct pollfd p {};
+      p.fd = cl.fd_.get();
+      p.events = POLLOUT;
+      if (::poll(&p, 1, 100) <= 0) continue;
+      const ssize_t n = ::write(cl.fd_.get(), out.data() + out_pos, out_size());
+      if (n > 0) {
+        out_pos += static_cast<std::size_t>(n);
+        res.bytes_tx += static_cast<std::uint64_t>(n);
+      } else if (n < 0 && errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) {
+        break;
+      }
+    }
+    if (out_pos == out.size()) {
+      out.clear();
+      out_pos = 0;
+    }
+  }
+
+  // The fault gate every outgoing record passes through, numbering from
+  // HELLO = 1. Records 1..4 exist in every session shape (HELLO, probe,
+  // verdict, then END / DONE / first transfer record), so kill/stall points
+  // in that range fire independently of server state — the load generator
+  // relies on this for reproducible summaries.
+  bool fault_gate() {
+    ++res.records_out;
+    if (spec.fault.kind == FaultPlan::Kind::kKill &&
+        res.records_out == spec.fault.before_record) {
+      res.killed = true;
+      flush_pending();  // the wire carries every record before the cut
+      cl.fd_.reset();   // abrupt disconnect: the partial session must be a no-op
+      return false;
+    }
+    if (spec.fault.kind == FaultPlan::Kind::kStall &&
+        res.records_out == spec.fault.before_record) {
+      res.stalled = true;
+      flush_pending();  // the server sees a genuinely slow client, not a batch
+      std::this_thread::sleep_for(std::chrono::milliseconds(spec.fault.stall_ms));
+    }
+    return true;
+  }
+
+  template <typename Fn>
+  bool ctl(Fn&& encode) {
+    if (!fault_gate()) return false;
+    encode();
+    return true;
+  }
+
+  bool apply_actions() {
+    using A = vv::protocol::Action::Type;
+    for (const auto& a : acts) {
+      switch (a.type) {
+        case A::kSend:
+        case A::kSendRevocable:
+          if (!fault_gate()) return false;
+          vv::frame_encode_msg(out, a.msg, &out_chain);
+          break;
+        case A::kPumpWhenFree:
+          pump_pending = true;
+          break;
+        case A::kFinished:
+        default:
+          break;  // no transport effect (see net::ActionSink)
+      }
+    }
+    return true;
+  }
+
+  bool step_sender(const vv::protocol::Event& ev) {
+    acts.clear();
+    snd->step(ev, acts);
+    if (!apply_actions()) return false;
+    if (snd->done()) {
+      pump_pending = false;
+      if (!ctl([&] { put_end(out); })) return false;
+      st = St::kAwaitDone;
+    }
+    return true;
+  }
+
+  bool pump_sender() {
+    while (pump_pending && snd && !snd->done() && out_size() < cl.opt_.write_watermark) {
+      pump_pending = false;
+      if (!step_sender(vv::protocol::Event::link_free())) return false;
+    }
+    return true;
+  }
+
+  bool fatal(const char* what) {
+    res.error = what;
+    cl.fd_.reset();
+    return false;
+  }
+
+  bool compare_done() {
+    const vv::Ordering rel = cmp->decide();  // our vector vs the server's
+    res.relation = rel;
+    const vv::VectorKind vk = vector_kind_of(spec.kind);
+    if (spec.kind == SessionKind::kCompare) {
+      if (!ctl([&] { put_end(out); })) return false;
+      st = St::kAwaitDone;
+      return true;
+    }
+    if (!spec.pull) {
+      // Push: the server receives, so its relation (the flip of ours) is the
+      // receiver relation that gates the transfer.
+      if (transfer_needed(vv::flip(rel), vk)) {
+        res.transfer = true;
+        snd.emplace(sender_config(vk, spec.stop_and_wait, cl.opt_.burst), &work);
+        st = St::kSend;
+        return step_sender(vv::protocol::Event::start());
+      }
+      if (!ctl([&] { put_end(out); })) return false;
+      st = St::kAwaitDone;
+      return true;
+    }
+    // Pull: we receive; our own relation is the receiver relation.
+    if (transfer_needed(rel, vk)) {
+      res.transfer = true;
+      initially_concurrent = rel == vv::Ordering::kConcurrent;
+      rx.emplace(vk, spec.stop_and_wait, &work, initially_concurrent);
+      acts.clear();
+      rx->step(vv::protocol::Event::start(), acts);
+      if (!apply_actions()) return false;
+      st = St::kRecv;
+    } else {
+      st = St::kAwaitEnd;
+    }
+    return true;
+  }
+
+  bool on_msg(const vv::VvMsg& m) {
+    switch (st) {
+      case St::kCompare: {
+        acts.clear();
+        cmp->step(vv::protocol::Event::msg_arrival(m), acts);
+        if (!apply_actions()) return false;  // the verdict answering their probe
+        if (m.kind == vv::VvMsg::Kind::kProbe) probe_seen = true;
+        if (probe_seen && cmp->complete()) return compare_done();
+        return true;
+      }
+      case St::kRecv: {
+        acts.clear();
+        rx->step(vv::protocol::Event::msg_arrival(m), acts);
+        return apply_actions();  // stop-and-wait ACKs / SYNCS SKIPs
+      }
+      case St::kSend:
+        return step_sender(vv::protocol::Event::msg_arrival(m));
+      default:
+        return true;  // stray message: tolerated
+    }
+  }
+
+  bool on_end() {
+    switch (st) {
+      case St::kRecv: {
+        // Gate the DONE record before committing: a kill here must leave
+        // *spec.mine untouched (the session is a local no-op).
+        if (!ctl([&] { put_done(out, DoneStatus::kCommitted); })) return false;
+        if (initially_concurrent) work.record_update(spec.own_site);
+        *spec.mine = work;
+        res.done = DoneStatus::kCommitted;
+        session_over = true;
+        return true;
+      }
+      case St::kAwaitEnd:
+        if (!ctl([&] { put_done(out, DoneStatus::kNoop); })) return false;
+        res.done = DoneStatus::kNoop;
+        session_over = true;
+        return true;
+      default:
+        return fatal("unexpected END");
+    }
+  }
+
+  bool process_items() {
+    using IT = StreamDecoder::ItemType;
+    for (;;) {
+      const StreamDecoder::Item item = cl.in_.next();
+      switch (item.type) {
+        case IT::kNeedMore:
+          return true;
+        case IT::kError:
+          return fatal("stream decode error");
+        case IT::kAccept:
+          if (st != St::kAwaitAccept) return fatal("unexpected ACCEPT");
+          res.accept = static_cast<AcceptStatus>(item.status);
+          if (res.accept != AcceptStatus::kOk) {
+            session_over = true;  // server flushes the status and closes
+            return true;
+          }
+          st = St::kCompare;
+          break;
+        case IT::kMsg:
+          if (!on_msg(item.msg)) return false;
+          break;
+        case IT::kEnd:
+          if (!on_end()) return false;
+          break;
+        case IT::kDone:
+          if (st != St::kAwaitDone) return fatal("unexpected DONE");
+          res.done = static_cast<DoneStatus>(item.status);
+          session_over = true;
+          return true;
+        case IT::kHello:
+        case IT::kMagic:
+          return fatal("unexpected control record");
+      }
+    }
+  }
+};
+
+SyncClient::SessionResult SyncClient::run_session(const SessionSpec& spec) {
+  OPTREP_CHECK_MSG(spec.mine != nullptr, "run_session needs the client vector");
+  Engine e(*this, spec);
+  if (!fd_.valid()) {
+    e.res.error = "not connected";
+    return e.res;
+  }
+  e.work = *spec.mine;
+
+  // HELLO and our COMPARE probe leave in one batch.
+  const std::uint8_t flags =
+      static_cast<std::uint8_t>((spec.pull ? kHelloFlagPull : 0) |
+                                (spec.stop_and_wait ? kHelloFlagStopAndWait : 0));
+  e.out_chain = {};
+  if (!e.ctl([&] { put_hello(e.out, spec.kind, flags, spec.replica); })) return e.res;
+  e.cmp.emplace(&e.work);
+  e.acts.clear();
+  e.cmp->step(vv::protocol::Event::start(), e.acts);
+  if (!e.apply_actions()) return e.res;
+
+  const auto deadline = Clock::now() + std::chrono::milliseconds(opt_.timeout_ms);
+  const std::size_t chunk = opt_.io_chunk == 0 ? 1 : opt_.io_chunk;
+  std::vector<std::uint8_t> rbuf(std::min<std::size_t>(chunk, 65536));
+
+  while (!(e.session_over && e.out_size() == 0)) {
+    if (!e.session_over && e.st == Engine::St::kSend && !e.pump_sender()) return e.res;
+
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (left.count() <= 0) {
+      e.fatal("session timeout");
+      return e.res;
+    }
+    struct pollfd p {};
+    p.fd = fd_.get();
+    p.events = static_cast<short>(POLLIN | (e.out_size() > 0 ? POLLOUT : 0));
+    const int rc = ::poll(&p, 1, static_cast<int>(left.count()));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      e.fatal("poll failed");
+      return e.res;
+    }
+    if (rc == 0) continue;  // re-check the deadline
+
+    if ((p.revents & POLLOUT) != 0 && e.out_size() > 0) {
+      const std::size_t len = std::min(chunk, e.out_size());
+      const ssize_t n = ::write(fd_.get(), e.out.data() + e.out_pos, len);
+      if (n > 0) {
+        e.out_pos += static_cast<std::size_t>(n);
+        e.res.bytes_tx += static_cast<std::uint64_t>(n);
+        if (e.out_pos == e.out.size()) {
+          e.out.clear();
+          e.out_pos = 0;
+        }
+      } else if (n < 0 && errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) {
+        e.fatal("write failed");
+        return e.res;
+      }
+    }
+    if ((p.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      const ssize_t n = ::read(fd_.get(), rbuf.data(), rbuf.size());
+      if (n > 0) {
+        e.res.bytes_rx += static_cast<std::uint64_t>(n);
+        in_.append(rbuf.data(), static_cast<std::size_t>(n));
+        if (!e.process_items()) return e.res;
+      } else if (n == 0) {
+        if (e.session_over) break;  // e.g. the bad-ACCEPT close
+        e.fatal("server closed connection");
+        return e.res;
+      } else if (errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) {
+        e.fatal("read failed");
+        return e.res;
+      }
+    }
+  }
+
+  if (e.res.accept != AcceptStatus::kOk) {
+    fd_.reset();  // the server is closing this connection
+  }
+  e.res.ok = e.session_over && !e.res.killed && e.res.error.empty() &&
+             e.res.accept == AcceptStatus::kOk;
+  if (e.snd) e.res.elems_sent = e.snd->elems_sent();
+  if (e.rx) e.res.elems_applied = e.rx->counters().applied;
+  return e.res;
+}
+
+}  // namespace optrep::net

@@ -1,0 +1,302 @@
+#include "net/load_gen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/rng.h"
+#include "net/client.h"
+#include "obs/export.h"
+#include "rt/thread_pool.h"
+
+namespace optrep::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ClientOutcome {
+  std::uint64_t attempted{0};
+  std::uint64_t completed{0};
+  std::uint64_t killed{0};
+  std::uint64_t stalled{0};
+  std::uint64_t errors{0};
+  std::uint64_t compare_sessions{0};
+  std::uint64_t push_sessions{0};
+  std::uint64_t pull_sessions{0};
+  std::uint64_t transfers{0};
+  std::uint64_t noops{0};
+  std::uint64_t elems_sent{0};
+  std::uint64_t elems_applied{0};
+  std::uint64_t bytes_tx{0};
+  std::uint64_t bytes_rx{0};
+  std::vector<std::uint64_t> lat_ns;
+  std::string first_error;
+};
+
+void note_error(ClientOutcome& o, const std::string& what) {
+  ++o.errors;
+  if (o.first_error.empty()) o.first_error = what;
+}
+
+void run_client(const LoadConfig& cfg, unsigned k, ClientOutcome& o) {
+  // Two decorrelated per-client streams: the workload draws and the fault
+  // draws. Both advance by a fixed number of draws per session whether or
+  // not the draw is used, so the summary never depends on server state.
+  Rng rng(rt::task_seed(cfg.seed, k));
+  Rng frng(rt::task_seed(cfg.seed ^ 0xfa0175eedULL, k));
+
+  SyncClient::Options copt;
+  copt.host = cfg.host;
+  copt.port = cfg.port;
+  copt.io_chunk = cfg.io_chunk;
+  copt.timeout_ms = cfg.timeout_ms;
+  SyncClient cl(copt);
+  std::string err;
+  if (!cl.connect(&err)) {
+    note_error(o, "connect: " + err);
+    return;
+  }
+
+  vv::RotatingVector mine;
+  mine.reserve(cfg.site_capacity);
+  const SiteId own{cfg.replicas + k};
+
+  o.lat_ns.reserve(cfg.sessions_per_client);
+  for (std::uint32_t s = 0; s < cfg.sessions_per_client; ++s) {
+    // Fixed draw order, every session.
+    const double kind_u = rng.uniform();
+    const double pull_u = rng.uniform();
+    const double shared_u = rng.uniform();
+    const std::uint64_t replica_u = rng.below(cfg.replicas);
+    const std::uint64_t delta = rng.below(std::uint64_t{cfg.max_delta} + 1);
+    const double kill_u = frng.uniform();
+    const double stall_u = frng.uniform();
+    // Records 2..4 exist in every session shape (client.h fault contract).
+    const auto fault_rec = static_cast<std::uint32_t>(2 + frng.below(3));
+
+    SyncClient::SessionSpec spec;
+    const bool is_compare = kind_u < cfg.compare_frac;
+    spec.kind = is_compare ? SessionKind::kCompare : session_kind_of(cfg.kind);
+    spec.pull = !is_compare && pull_u < cfg.pull_frac;
+    spec.stop_and_wait = cfg.stop_and_wait;
+    spec.replica = shared_u < cfg.shared_frac
+                       ? static_cast<std::uint32_t>(replica_u)
+                       : k % cfg.replicas;
+    spec.mine = &mine;
+    spec.own_site = own;
+    if (kill_u < cfg.kill_prob) {
+      spec.fault = {SyncClient::FaultPlan::Kind::kKill, fault_rec, 0};
+    } else if (stall_u < cfg.stall_prob) {
+      spec.fault = {SyncClient::FaultPlan::Kind::kStall, fault_rec, cfg.stall_ms};
+    }
+
+    for (std::uint64_t d = 0; d < delta; ++d) mine.record_update(own);
+
+    if (cfg.think_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(cfg.think_us));
+    }
+    if (!cl.connected()) {  // a prior kill dropped the connection
+      err.clear();
+      if (!cl.connect(&err)) {
+        note_error(o, "reconnect: " + err);
+        return;
+      }
+    }
+
+    ++o.attempted;
+    if (is_compare) {
+      ++o.compare_sessions;
+    } else if (spec.pull) {
+      ++o.pull_sessions;
+    } else {
+      ++o.push_sessions;
+    }
+
+    const auto t0 = Clock::now();
+    const SyncClient::SessionResult res = cl.run_session(spec);
+    const auto t1 = Clock::now();
+
+    o.bytes_tx += res.bytes_tx;
+    o.bytes_rx += res.bytes_rx;
+    if (res.stalled) ++o.stalled;
+    if (res.killed) {
+      ++o.killed;
+    } else if (res.ok) {
+      ++o.completed;
+      o.lat_ns.push_back(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+      if (res.transfer) ++o.transfers;
+      if (res.done == DoneStatus::kNoop) ++o.noops;
+      o.elems_sent += res.elems_sent;
+      o.elems_applied += res.elems_applied;
+    } else {
+      note_error(o, res.error.empty() ? "session failed" : res.error);
+      cl.close();  // resync the connection before the next session
+    }
+  }
+}
+
+double pct(const std::vector<std::uint64_t>& sorted_ns, double q) {
+  if (sorted_ns.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(sorted_ns.size() - 1));
+  return static_cast<double>(sorted_ns[idx]) / 1000.0;
+}
+
+void write_summary_fields(obs::JsonWriter& w, const LoadReport& r) {
+  w.field("attempted", r.attempted)
+      .field("completed", r.completed)
+      .field("killed", r.killed)
+      .field("stalled", r.stalled)
+      .field("errors", r.errors)
+      .field("compare_sessions", r.compare_sessions)
+      .field("push_sessions", r.push_sessions)
+      .field("pull_sessions", r.pull_sessions);
+}
+
+}  // namespace
+
+LoadReport run_load(const LoadConfig& cfg) {
+  std::vector<ClientOutcome> outcomes(cfg.clients);
+  const auto t0 = Clock::now();
+  {
+    // One thread per client: every client must run concurrently (they block
+    // in poll), so the pool size equals the client count exactly.
+    rt::ThreadPool pool(cfg.clients == 0 ? 1 : cfg.clients);
+    pool.for_each_index(outcomes.size(),
+                        [&](std::size_t k) { run_client(cfg, static_cast<unsigned>(k), outcomes[k]); });
+  }
+  const auto t1 = Clock::now();
+
+  LoadReport r;
+  std::vector<std::uint64_t> lat;
+  for (const auto& o : outcomes) {
+    r.attempted += o.attempted;
+    r.completed += o.completed;
+    r.killed += o.killed;
+    r.stalled += o.stalled;
+    r.errors += o.errors;
+    r.compare_sessions += o.compare_sessions;
+    r.push_sessions += o.push_sessions;
+    r.pull_sessions += o.pull_sessions;
+    r.transfers += o.transfers;
+    r.noops += o.noops;
+    r.elems_sent += o.elems_sent;
+    r.elems_applied += o.elems_applied;
+    r.bytes_tx += o.bytes_tx;
+    r.bytes_rx += o.bytes_rx;
+    lat.insert(lat.end(), o.lat_ns.begin(), o.lat_ns.end());
+    if (r.first_error.empty()) r.first_error = o.first_error;
+  }
+  std::sort(lat.begin(), lat.end());
+  r.elapsed_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0).count();
+  if (r.elapsed_s > 0) {
+    r.sessions_per_s = static_cast<double>(r.completed) / r.elapsed_s;
+    r.bytes_per_s = static_cast<double>(r.bytes_tx + r.bytes_rx) / r.elapsed_s;
+  }
+  r.p50_us = pct(lat, 0.50);
+  r.p90_us = pct(lat, 0.90);
+  r.p99_us = pct(lat, 0.99);
+  r.p999_us = pct(lat, 0.999);
+  r.max_us = lat.empty() ? 0.0 : static_cast<double>(lat.back()) / 1000.0;
+  return r;
+}
+
+std::string summary_json(const LoadConfig& cfg, const LoadReport& r) {
+  obs::JsonWriter w;
+  w.begin_object()
+      .field("schema", "optrep.load.summary/v1")
+      .field("seed", cfg.seed)
+      .field("clients", std::uint64_t{cfg.clients})
+      .field("sessions_per_client", cfg.sessions_per_client)
+      .field("kind", to_string(session_kind_of(cfg.kind)))
+      .field("stop_and_wait", cfg.stop_and_wait)
+      .field("kill_prob", cfg.kill_prob)
+      .field("stall_prob", cfg.stall_prob);
+  write_summary_fields(w, r);
+  w.end_object();
+  return w.take();
+}
+
+std::string report_json(const LoadConfig& cfg, const LoadReport& r,
+                        const ServerStats* server) {
+  obs::JsonWriter w;
+  w.begin_object().field("schema", "optrep.serve/v1");
+
+  w.key("config").begin_object();
+  w.field("host", cfg.host)
+      .field("port", std::uint64_t{cfg.port})
+      .field("kind", to_string(session_kind_of(cfg.kind)))
+      .field("clients", std::uint64_t{cfg.clients})
+      .field("sessions_per_client", cfg.sessions_per_client)
+      .field("replicas", cfg.replicas)
+      .field("compare_frac", cfg.compare_frac)
+      .field("pull_frac", cfg.pull_frac)
+      .field("shared_frac", cfg.shared_frac)
+      .field("max_delta", cfg.max_delta)
+      .field("think_us", cfg.think_us)
+      .field("stop_and_wait", cfg.stop_and_wait)
+      .field("io_chunk", std::uint64_t{cfg.io_chunk})
+      .field("seed", cfg.seed)
+      .field("kill_prob", cfg.kill_prob)
+      .field("stall_prob", cfg.stall_prob)
+      .field("stall_ms", cfg.stall_ms)
+      .field("timeout_ms", std::int64_t{cfg.timeout_ms});
+  w.end_object();
+
+  w.key("summary").begin_object();
+  write_summary_fields(w, r);
+  w.end_object();
+
+  w.key("stats").begin_object();
+  w.field("transfers", r.transfers)
+      .field("noops", r.noops)
+      .field("elems_sent", r.elems_sent)
+      .field("elems_applied", r.elems_applied)
+      .field("bytes_tx", r.bytes_tx)
+      .field("bytes_rx", r.bytes_rx)
+      .field("first_error", r.first_error);
+  w.end_object();
+
+  w.key("latency_us").begin_object();
+  w.field("p50", r.p50_us)
+      .field("p90", r.p90_us)
+      .field("p99", r.p99_us)
+      .field("p999", r.p999_us)
+      .field("max", r.max_us);
+  w.end_object();
+
+  w.key("throughput").begin_object();
+  w.field("elapsed_s", r.elapsed_s)
+      .field("sessions_per_s", r.sessions_per_s)
+      .field("bytes_per_s", r.bytes_per_s);
+  w.end_object();
+
+  if (server != nullptr) {
+    const ServerStats& s = *server;
+    w.key("server").begin_object();
+    w.field("conns_accepted", s.conns_accepted)
+        .field("conns_closed", s.conns_closed)
+        .field("hellos", s.hellos)
+        .field("bad_hellos", s.bad_hellos)
+        .field("sessions_completed", s.sessions_completed)
+        .field("sessions_aborted", s.sessions_aborted)
+        .field("compare_sessions", s.compare_sessions)
+        .field("push_sessions", s.push_sessions)
+        .field("pull_sessions", s.pull_sessions)
+        .field("commits", s.commits)
+        .field("noops", s.noops)
+        .field("capacity_rejects", s.capacity_rejects)
+        .field("parked", s.parked)
+        .field("bytes_rx", s.bytes_rx)
+        .field("bytes_tx", s.bytes_tx)
+        .field("decode_errors", s.decode_errors)
+        .field("backpressure_pauses", s.backpressure_pauses);
+    w.end_object();
+  }
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace optrep::net

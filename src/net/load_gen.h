@@ -1,0 +1,101 @@
+// Closed-loop load generator for optrep_serve.
+//
+// N concurrent clients, each a thread with its own connection and its own
+// persistent replica vector, issue sessions back-to-back (optionally spaced
+// by a think time): a seeded mix of COMPARE / push / pull against a seeded
+// mix of private and shared (contended) server replicas, with a seeded delta
+// size recorded locally before every session. All randomness is drawn from
+// per-client Rng(task_seed(seed, k)) streams in a fixed order every session
+// — including the fault draws — so the *summary* (sessions attempted,
+// completed, killed, stalled, per-kind counts) is a pure function of the
+// config. Commit/no-op outcomes and element counts depend on cross-client
+// interleaving at the server and are deliberately excluded from the summary;
+// they appear in the report's non-deterministic stats section instead,
+// alongside latency percentiles and throughput.
+//
+// The --fault mode (kill_prob / stall_prob) drives SyncClient::FaultPlan:
+// kills close the connection immediately before a record in the range every
+// session shape is guaranteed to reach (see client.h), stalls sleep before
+// one record, holding the session open against the server.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/server.h"
+#include "vv/rotating_vector.h"
+
+namespace optrep::net {
+
+struct LoadConfig {
+  std::string host{"127.0.0.1"};
+  std::uint16_t port{0};
+  vv::VectorKind kind{vv::VectorKind::kSrv};
+  unsigned clients{8};
+  std::uint32_t sessions_per_client{100};
+  std::uint32_t replicas{16};    // must match the server store
+  double compare_frac{0.25};     // fraction of sessions that are COMPARE
+  double pull_frac{0.25};        // of sync sessions, fraction pulling
+  double shared_frac{0.25};      // chance the target replica is drawn uniformly
+                                 // (contended) instead of the client's own
+  std::uint32_t max_delta{4};    // local updates recorded before each session
+  std::uint32_t think_us{0};
+  bool stop_and_wait{false};
+  std::size_t io_chunk{65536};
+  std::uint64_t seed{1};
+  // Fault injection (0 disables). Kill and stall are mutually exclusive per
+  // session; kill wins the draw.
+  double kill_prob{0.0};
+  double stall_prob{0.0};
+  std::uint32_t stall_ms{1};
+  int timeout_ms{10000};
+  std::size_t site_capacity{1024};
+};
+
+struct LoadReport {
+  // Deterministic summary: functions of the config only.
+  std::uint64_t attempted{0};
+  std::uint64_t completed{0};
+  std::uint64_t killed{0};
+  std::uint64_t stalled{0};
+  std::uint64_t errors{0};  // transport/protocol failures (0 on a sane run)
+  std::uint64_t compare_sessions{0};
+  std::uint64_t push_sessions{0};
+  std::uint64_t pull_sessions{0};
+
+  // Server-state-dependent stats (NOT in the deterministic summary).
+  std::uint64_t transfers{0};
+  std::uint64_t noops{0};
+  std::uint64_t elems_sent{0};
+  std::uint64_t elems_applied{0};
+  std::uint64_t bytes_tx{0};
+  std::uint64_t bytes_rx{0};
+
+  // Timing (completed sessions only; microseconds).
+  double elapsed_s{0.0};
+  double sessions_per_s{0.0};
+  double bytes_per_s{0.0};
+  double p50_us{0.0};
+  double p90_us{0.0};
+  double p99_us{0.0};
+  double p999_us{0.0};
+  double max_us{0.0};
+
+  std::string first_error;  // diagnostic for errors > 0
+};
+
+// Run the closed loop: one thread per client, blocking until every client
+// has issued its sessions. The server must already be listening.
+LoadReport run_load(const LoadConfig& cfg);
+
+// The deterministic summary alone, one JSON line — byte-identical across
+// runs with the same config (the fault-determinism ctest diffs this).
+std::string summary_json(const LoadConfig& cfg, const LoadReport& r);
+
+// Full optrep.serve/v1 report: config, summary, stats, latency/throughput,
+// and (when provided) the server's own counters.
+std::string report_json(const LoadConfig& cfg, const LoadReport& r,
+                        const ServerStats* server);
+
+}  // namespace optrep::net

@@ -1,0 +1,165 @@
+#include "net/replica_store.h"
+
+#include "common/check.h"
+
+namespace optrep::net {
+
+namespace {
+
+constexpr unsigned kSnapshotTries = 8;
+
+// Rebuild *out from a front→back element walk: rotate each element into
+// place behind the previous one, then write its payload. This is the same
+// splice discipline the receiver cores use, so it reproduces order, values
+// and both bit planes exactly.
+void rebuild(vv::RotatingVector* out, const std::vector<vv::RotatingVector::Element>& elems,
+             std::size_t reserve) {
+  *out = vv::RotatingVector{};
+  out->reserve(reserve);
+  std::optional<SiteId> prev;
+  for (const auto& e : elems) {
+    out->rotate_after(prev, e.site);
+    out->set_element(e.site, e.value, e.conflict, e.segment);
+    prev = e.site;
+  }
+}
+
+}  // namespace
+
+ReplicaStore::ReplicaStore(const Config& cfg) : cfg_(cfg) {
+  OPTREP_CHECK_MSG(cfg_.replicas > 0, "replica store needs at least one replica");
+  OPTREP_CHECK_MSG(cfg_.site_capacity >= cfg_.replicas,
+                   "site capacity below the replica count cannot hold own sites");
+  slots_.reserve(cfg_.replicas);
+  for (std::uint32_t r = 0; r < cfg_.replicas; ++r) {
+    auto slot = std::make_unique<Slot>();
+    // Pin the arrays: mutations must never reallocate while optimistic
+    // readers hold pointers into the tables (rotating_vector.h contract).
+    slot->vec.reserve(cfg_.site_capacity);
+    for (std::uint32_t u = 0; u < cfg_.prefill_updates; ++u) {
+      slot->vec.record_update(own_site(r));
+    }
+    slots_.push_back(std::move(slot));
+  }
+}
+
+void ReplicaStore::snapshot(std::uint32_t r, vv::RotatingVector* out) const {
+  OPTREP_CHECK(r < slots_.size());
+  const vv::RotatingVector& v = slots_[r]->vec;
+  snapshots_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<vv::RotatingVector::Element> elems;
+  // An invalid interleaving can present a cycle in the ≺ links; the walk is
+  // step-capped so it terminates, and validation rejects the torn result.
+  const std::size_t step_cap = cfg_.site_capacity + 1;
+  for (unsigned t = 0; t < kSnapshotTries; ++t) {
+    const std::uint64_t snap = v.olock().read_begin();
+    elems.clear();
+    std::size_t steps = 0;
+    bool bounded = true;
+    for (auto it = v.begin(); it != v.end(); ++it) {
+      if (++steps > step_cap) {
+        bounded = false;
+        break;
+      }
+      elems.push_back(*it);
+    }
+    if (bounded && v.olock().read_validate(snap)) {
+      rebuild(out, elems, cfg_.site_capacity);
+      return;
+    }
+    snapshot_retries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Persistent interference: join the writer queue; exclusive access also
+  // excludes writers, so a plain walk is consistent.
+  snapshot_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  rt::OLockGuard g(v.olock());
+  elems = v.in_order();
+  rebuild(out, elems, cfg_.site_capacity);
+}
+
+bool ReplicaStore::commit(std::uint32_t r, const vv::RotatingVector& src) {
+  OPTREP_CHECK(r < slots_.size());
+  if (src.size() > cfg_.site_capacity) {
+    capacity_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  // src is session-private — plain reads are safe outside the slot lock.
+  const auto elems = src.in_order();
+  vv::RotatingVector& dst = slots_[r]->vec;
+  rt::OLockGuard g(dst.olock());
+  // Clear and replay in place: erase/rotate/set go through the vector's
+  // release-store mutators and, under the pinned capacity, never reallocate.
+  while (const auto f = dst.front()) dst.erase(f->site);
+  std::optional<SiteId> prev;
+  for (const auto& e : elems) {
+    dst.rotate_after(prev, e.site);
+    dst.set_element(e.site, e.value, e.conflict, e.segment);
+    prev = e.site;
+  }
+  commits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ReplicaStore::acquire_write(std::uint32_t r, Waiter w) {
+  OPTREP_CHECK(r < slots_.size());
+  Slot& s = *slots_[r];
+  std::lock_guard<std::mutex> g(s.mu);
+  if (!s.busy) {
+    s.busy = true;
+    return true;
+  }
+  s.waiters.push_back(w);
+  write_parks_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+std::optional<ReplicaStore::Waiter> ReplicaStore::release_write(std::uint32_t r) {
+  OPTREP_CHECK(r < slots_.size());
+  Slot& s = *slots_[r];
+  std::lock_guard<std::mutex> g(s.mu);
+  OPTREP_CHECK_MSG(s.busy, "release of an unowned write ticket");
+  if (s.waiters.empty()) {
+    s.busy = false;
+    return std::nullopt;
+  }
+  const Waiter next = s.waiters.front();
+  s.waiters.pop_front();
+  return next;  // slot stays busy: ownership transferred
+}
+
+bool ReplicaStore::cancel_wait(std::uint32_t r, Waiter w) {
+  OPTREP_CHECK(r < slots_.size());
+  Slot& s = *slots_[r];
+  std::lock_guard<std::mutex> g(s.mu);
+  for (auto it = s.waiters.begin(); it != s.waiters.end(); ++it) {
+    if (*it == w) {
+      s.waiters.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+ReplicaStore::Counters ReplicaStore::counters() const {
+  Counters c;
+  c.snapshots = snapshots_.load(std::memory_order_relaxed);
+  c.snapshot_retries = snapshot_retries_.load(std::memory_order_relaxed);
+  c.snapshot_fallbacks = snapshot_fallbacks_.load(std::memory_order_relaxed);
+  c.commits = commits_.load(std::memory_order_relaxed);
+  c.capacity_rejects = capacity_rejects_.load(std::memory_order_relaxed);
+  c.write_parks = write_parks_.load(std::memory_order_relaxed);
+  return c;
+}
+
+rt::OLock::Counters ReplicaStore::olock_counters() const {
+  rt::OLock::Counters sum;
+  for (const auto& s : slots_) {
+    const auto c = s->vec.olock().counters();
+    sum.acquisitions += c.acquisitions;
+    sum.opt_retries += c.opt_retries;
+    sum.queue_waits += c.queue_waits;
+  }
+  return sum;
+}
+
+}  // namespace optrep::net

@@ -1,0 +1,126 @@
+// The server's replica table: PR 8's concurrent RotatingVector storage bound
+// to session-granularity transactions.
+//
+// Every replica slot embeds its rt::OLock (inside the vector). Sessions never
+// operate on live storage:
+//
+//   - snapshot(): an optimistic clone — read_begin, walk the ≺ list through
+//     the vector's acquire-load iterators into a private rebuild, then
+//     read_validate. Retries on writer interference, falling back to the
+//     writer queue after a bounded number of attempts (the OptiQL
+//     discipline). COMPARE and pull sessions run entirely on the clone, so
+//     read-mostly load never serializes behind writers.
+//   - commit(): replays a session-private vector into the slot under an
+//     OLockGuard (release stores via the vector's own mutators — the plain
+//     copy-assign would reallocate and tear under concurrent optimistic
+//     readers, see rotating_vector.h). Capacity-guarded: reserve() pins the
+//     slot arrays at construction and a commit may never grow past them.
+//
+// Push sessions additionally hold the slot's *write-session* ownership from
+// HELLO to DONE — a FIFO ticket (busy flag + waiter queue) above the olock,
+// so two clients pushing to one replica serialize as whole sessions instead
+// of interleaving snapshot/commit pairs that would lose updates. Waiters are
+// parked (their ACCEPT deferred), not bounced: the releasing worker receives
+// the next waiter's address and wakes it cross-worker. The receiver-untouched
+// recovery invariant (PR 5) is structural here: a dropped connection simply
+// discards its private clone and releases the ticket — live storage never
+// saw the partial session.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "rt/olock.h"
+#include "vv/rotating_vector.h"
+
+namespace optrep::net {
+
+class ReplicaStore {
+ public:
+  struct Config {
+    std::uint32_t replicas{16};
+    vv::VectorKind kind{vv::VectorKind::kSrv};
+    std::size_t site_capacity{1024};  // max distinct sites a replica may hold
+    std::uint64_t seed{1};            // prefill determinism
+    std::uint32_t prefill_updates{0};  // seeded local updates per replica
+  };
+
+  // A parked write session: enough address to wake it cross-worker.
+  struct Waiter {
+    unsigned worker{0};
+    std::uint64_t token{0};
+    friend bool operator==(const Waiter&, const Waiter&) = default;
+  };
+
+  struct Counters {
+    std::uint64_t snapshots{0};
+    std::uint64_t snapshot_retries{0};
+    std::uint64_t snapshot_fallbacks{0};  // optimistic tries exhausted → locked
+    std::uint64_t commits{0};
+    std::uint64_t capacity_rejects{0};
+    std::uint64_t write_parks{0};
+  };
+
+  explicit ReplicaStore(const Config& cfg);
+
+  std::uint32_t replicas() const { return static_cast<std::uint32_t>(slots_.size()); }
+  vv::VectorKind kind() const { return cfg_.kind; }
+  std::size_t site_capacity() const { return cfg_.site_capacity; }
+
+  // The site id a replica increments after reconciling a concurrent sync
+  // (§2.2's mandated local update). Client sites live above this range.
+  SiteId own_site(std::uint32_t r) const { return SiteId{r}; }
+
+  // Quiesced access (tests / setup / post-stop inspection only).
+  vv::RotatingVector& replica_unsafe(std::uint32_t r) { return slots_[r]->vec; }
+  const vv::RotatingVector& replica_unsafe(std::uint32_t r) const { return slots_[r]->vec; }
+
+  // Clone replica r into *out without blocking behind the writer queue unless
+  // optimistic validation keeps failing. Safe concurrently with one committing
+  // writer. *out is overwritten.
+  void snapshot(std::uint32_t r, vv::RotatingVector* out) const;
+
+  // Replay `src` into replica r under its writer lock. The caller must hold
+  // the slot's write ticket (push path) — concurrent snapshots stay valid,
+  // concurrent commits to the same slot would be a protocol bug upstream.
+  // False (and no mutation) when src exceeds the slot's pinned capacity.
+  bool commit(std::uint32_t r, const vv::RotatingVector& src);
+
+  // Write-session ticket. acquire returns true when ownership is granted
+  // immediately; otherwise w parks in FIFO order. release returns the next
+  // waiter (already owning the ticket) for the caller to wake, or nullopt
+  // when the slot went idle. cancel removes a parked waiter; false means the
+  // waiter was not queued — i.e. a release already transferred ownership to
+  // it, and the caller now owns (and must release) the ticket.
+  bool acquire_write(std::uint32_t r, Waiter w);
+  std::optional<Waiter> release_write(std::uint32_t r);
+  bool cancel_wait(std::uint32_t r, Waiter w);
+
+  Counters counters() const;
+  rt::OLock::Counters olock_counters() const;  // summed across slots
+
+ private:
+  struct Slot {
+    vv::RotatingVector vec;
+    std::mutex mu;
+    bool busy{false};
+    std::deque<Waiter> waiters;
+  };
+
+  Config cfg_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+
+  mutable std::atomic<std::uint64_t> snapshots_{0};
+  mutable std::atomic<std::uint64_t> snapshot_retries_{0};
+  mutable std::atomic<std::uint64_t> snapshot_fallbacks_{0};
+  std::atomic<std::uint64_t> commits_{0};
+  std::atomic<std::uint64_t> capacity_rejects_{0};
+  std::atomic<std::uint64_t> write_parks_{0};
+};
+
+}  // namespace optrep::net

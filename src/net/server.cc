@@ -1,0 +1,641 @@
+#include "net/server.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "net/epoll_loop.h"
+#include "net/session_util.h"
+#include "net/wire_stream.h"
+#include "rt/thread_pool.h"
+#include "vv/order.h"
+#include "vv/protocol/compare_core.h"
+
+namespace optrep::net {
+
+namespace {
+constexpr std::uint64_t kListenerToken = 0;  // conn tokens start at 1
+constexpr int kWaitMs = 100;                 // stop() poll granularity
+}  // namespace
+
+struct Server::AtomicStats {
+  std::atomic<std::uint64_t> conns_accepted{0};
+  std::atomic<std::uint64_t> conns_closed{0};
+  std::atomic<std::uint64_t> hellos{0};
+  std::atomic<std::uint64_t> bad_hellos{0};
+  std::atomic<std::uint64_t> sessions_completed{0};
+  std::atomic<std::uint64_t> sessions_aborted{0};
+  std::atomic<std::uint64_t> compare_sessions{0};
+  std::atomic<std::uint64_t> push_sessions{0};
+  std::atomic<std::uint64_t> pull_sessions{0};
+  std::atomic<std::uint64_t> commits{0};
+  std::atomic<std::uint64_t> noops{0};
+  std::atomic<std::uint64_t> capacity_rejects{0};
+  std::atomic<std::uint64_t> parked{0};
+  std::atomic<std::uint64_t> bytes_rx{0};
+  std::atomic<std::uint64_t> bytes_tx{0};
+  std::atomic<std::uint64_t> decode_errors{0};
+  std::atomic<std::uint64_t> backpressure_pauses{0};
+};
+
+// One connection, owned by exactly one worker. The session fields are live
+// between HELLO and END/DONE; `work` is the session-private replica clone
+// that makes aborts free (drop it) and commits transactional (replay it).
+struct Server::Conn {
+  Fd fd;
+  std::uint64_t token{0};
+
+  StreamDecoder in;
+  std::vector<std::uint8_t> out;
+  std::size_t out_pos{0};
+  vv::FrameDeltaState out_chain{};
+  bool want_write{false};
+  bool eof{false};
+  bool close_after_flush{false};  // rejected HELLO: flush the status, drop
+
+  enum class State : std::uint8_t {
+    kPreamble,  // awaiting the connection magic
+    kIdle,      // between sessions, awaiting HELLO
+    kParked,    // push HELLO waiting on the replica's write ticket
+    kCompare,   // ACCEPT+probe sent; awaiting peer probe/verdict
+    kRecv,      // push transfer: feeding the receiver core
+    kSend,      // pull transfer: pumping the sender core
+    kAwaitEnd,  // no transfer on our receiving side; awaiting peer END
+    kAwaitDone, // our END sent; awaiting peer DONE
+  };
+  State state{State::kPreamble};
+
+  SessionKind kind{SessionKind::kCompare};
+  bool pull{false};
+  bool saw{false};  // stop-and-wait flow control
+  std::uint32_t replica{0};
+  bool owns_write{false};
+  bool transfer{false};
+  bool initially_concurrent{false};
+  bool end_sent{false};
+  bool pump_pending{false};
+  DoneStatus pending_done{DoneStatus::kNoop};
+
+  vv::RotatingVector work;
+  std::optional<vv::protocol::CompareCore> cmp;
+  bool probe_seen{false};
+  std::optional<vv::protocol::ElementSenderCore> snd;
+  std::optional<AnyReceiver> rx;
+  vv::protocol::Actions acts;  // reused across dispatches
+
+  std::size_t out_size() const { return out.size() - out_pos; }
+};
+
+struct Server::Worker {
+  Worker(unsigned idx, bool et) : index(idx), loop(et) {}
+
+  unsigned index;
+  EpollLoop loop;
+
+  // Cross-thread inbox: new connections from the acceptor, write-ticket
+  // resumes from releasing workers. Drained after every wait().
+  struct Task {
+    int fd{-1};
+    std::uint64_t token{0};
+    std::uint32_t replica{0};
+    bool is_resume{false};
+  };
+  std::mutex mu;
+  std::vector<Task> inbox;
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns;
+  std::uint64_t next_token{1};
+};
+
+Server::Server(const ServerConfig& cfg)
+    : cfg_(cfg), store_(cfg.store), stats_(std::make_unique<AtomicStats>()) {
+  if (cfg_.workers == 0) cfg_.workers = 1;
+}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* err) {
+  OPTREP_CHECK_MSG(!running_.load(), "server already started");
+  listener_ = listen_tcp(cfg_.host, cfg_.port, cfg_.backlog, &port_, err);
+  if (!listener_.valid()) return false;
+  if (!set_nonblocking(listener_.get(), true)) {
+    if (err) *err = "failed to set listener non-blocking";
+    return false;
+  }
+  workers_.clear();
+  for (unsigned w = 0; w < cfg_.workers; ++w) {
+    workers_.push_back(std::make_unique<Worker>(w, cfg_.edge_triggered));
+    if (!workers_.back()->loop.valid()) {
+      if (err) *err = "failed to create epoll loop";
+      workers_.clear();
+      return false;
+    }
+  }
+  workers_[0]->loop.add(listener_.get(), kListenerToken, /*want_read=*/true,
+                        /*want_write=*/false);
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  pool_thread_ = std::thread([this] {
+    rt::ThreadPool pool(cfg_.workers);
+    pool.for_each_index(cfg_.workers,
+                        [this](std::size_t w) { worker_loop(static_cast<unsigned>(w)); });
+  });
+  return true;
+}
+
+void Server::stop() {
+  if (!pool_thread_.joinable()) return;
+  stopping_.store(true, std::memory_order_release);
+  for (auto& w : workers_) w->loop.wake();
+  pool_thread_.join();
+  running_.store(false, std::memory_order_release);
+  listener_.reset();
+}
+
+ServerStats Server::stats() const {
+  const AtomicStats& a = *stats_;
+  ServerStats s;
+  s.conns_accepted = a.conns_accepted.load(std::memory_order_relaxed);
+  s.conns_closed = a.conns_closed.load(std::memory_order_relaxed);
+  s.hellos = a.hellos.load(std::memory_order_relaxed);
+  s.bad_hellos = a.bad_hellos.load(std::memory_order_relaxed);
+  s.sessions_completed = a.sessions_completed.load(std::memory_order_relaxed);
+  s.sessions_aborted = a.sessions_aborted.load(std::memory_order_relaxed);
+  s.compare_sessions = a.compare_sessions.load(std::memory_order_relaxed);
+  s.push_sessions = a.push_sessions.load(std::memory_order_relaxed);
+  s.pull_sessions = a.pull_sessions.load(std::memory_order_relaxed);
+  s.commits = a.commits.load(std::memory_order_relaxed);
+  s.noops = a.noops.load(std::memory_order_relaxed);
+  s.capacity_rejects = a.capacity_rejects.load(std::memory_order_relaxed);
+  s.parked = a.parked.load(std::memory_order_relaxed);
+  s.bytes_rx = a.bytes_rx.load(std::memory_order_relaxed);
+  s.bytes_tx = a.bytes_tx.load(std::memory_order_relaxed);
+  s.decode_errors = a.decode_errors.load(std::memory_order_relaxed);
+  s.backpressure_pauses = a.backpressure_pauses.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ---- worker reactor --------------------------------------------------------
+
+void Server::worker_loop(unsigned w) {
+  Worker& wk = *workers_[w];
+  std::vector<EpollLoop::Ready> ready;
+  std::vector<Worker::Task> tasks;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    wk.loop.wait(ready, kWaitMs);
+    {
+      std::lock_guard<std::mutex> g(wk.mu);
+      tasks.swap(wk.inbox);
+    }
+    for (const auto& t : tasks) {
+      if (t.is_resume) {
+        resume_parked(wk, t.token, t.replica);
+      } else {
+        adopt_conn(wk, t.fd);
+      }
+    }
+    tasks.clear();
+    for (const auto& r : ready) {
+      if (w == 0 && r.token == kListenerToken) {
+        accept_ready();
+        continue;
+      }
+      auto it = wk.conns.find(r.token);
+      if (it == wk.conns.end()) continue;  // closed earlier this batch
+      Conn& c = *it->second;
+      if (r.error) {
+        close_conn(wk, c);
+        continue;
+      }
+      if (r.readable && !on_readable(wk, c)) continue;
+      if (r.writable) {
+        auto again = wk.conns.find(r.token);
+        if (again != wk.conns.end()) on_writable(wk, *again->second);
+      }
+    }
+  }
+  wk.conns.clear();  // closes the fds; tickets die with the store
+}
+
+void Server::accept_ready() {
+  for (;;) {
+    const int fd = ::accept(listener_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN (drained) or transient accept failure
+    }
+    set_nonblocking(fd, true);
+    set_nodelay(fd);
+    stats_->conns_accepted.fetch_add(1, std::memory_order_relaxed);
+    const unsigned target =
+        next_worker_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+    if (target == 0) {
+      adopt_conn(*workers_[0], fd);
+    } else {
+      Worker& wk = *workers_[target];
+      {
+        std::lock_guard<std::mutex> g(wk.mu);
+        wk.inbox.push_back(Worker::Task{.fd = fd});
+      }
+      wk.loop.wake();
+    }
+  }
+}
+
+void Server::adopt_conn(Worker& wk, int fd) {
+  auto c = std::make_unique<Conn>();
+  c->fd = Fd(fd);
+  c->token = wk.next_token++;
+  if (!wk.loop.add(fd, c->token, /*want_read=*/true, /*want_write=*/false)) {
+    stats_->conns_closed.fetch_add(1, std::memory_order_relaxed);
+    return;  // c's destructor closes the fd
+  }
+  wk.conns.emplace(c->token, std::move(c));
+}
+
+void Server::post_resume(ReplicaStore::Waiter next, std::uint32_t replica) {
+  Worker& wk = *workers_[next.worker];
+  {
+    std::lock_guard<std::mutex> g(wk.mu);
+    wk.inbox.push_back(
+        Worker::Task{.token = next.token, .replica = replica, .is_resume = true});
+  }
+  wk.loop.wake();
+}
+
+void Server::resume_parked(Worker& wk, std::uint64_t token, std::uint32_t replica) {
+  auto it = wk.conns.find(token);
+  if (it == wk.conns.end() || it->second->state != Conn::State::kParked) {
+    // The waiter died after ownership transfer (cancel_wait returned false at
+    // close): we hold the ticket on its behalf — pass it on.
+    if (const auto next = store_.release_write(replica)) post_resume(*next, replica);
+    return;
+  }
+  Conn& c = *it->second;
+  c.owns_write = true;
+  begin_session(wk, c);
+  if (!dispatch_items(wk, c)) return;  // the HELLO-pipelined probe is queued
+  finish_io(wk, c);
+}
+
+// ---- per-connection I/O ----------------------------------------------------
+
+bool Server::on_readable(Worker& wk, Conn& c) {
+  std::uint8_t buf[65536];
+  for (;;) {  // drain to EAGAIN: required under edge triggering
+    const ssize_t n = ::read(c.fd.get(), buf, sizeof buf);
+    if (n > 0) {
+      stats_->bytes_rx.fetch_add(static_cast<std::uint64_t>(n), std::memory_order_relaxed);
+      c.in.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      c.eof = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    close_conn(wk, c);
+    return false;
+  }
+  if (!dispatch_items(wk, c)) return false;
+  if (c.eof) {
+    close_conn(wk, c);
+    return false;
+  }
+  return finish_io(wk, c);
+}
+
+bool Server::on_writable(Worker& wk, Conn& c) { return finish_io(wk, c); }
+
+// Flush the write buffer to EAGAIN. False on a hard socket error.
+bool Server::flush_out(Conn& c) {
+  while (c.out_size() > 0) {
+    const ssize_t n = ::write(c.fd.get(), c.out.data() + c.out_pos, c.out_size());
+    if (n > 0) {
+      c.out_pos += static_cast<std::size_t>(n);
+      stats_->bytes_tx.fetch_add(static_cast<std::uint64_t>(n), std::memory_order_relaxed);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    return false;
+  }
+  c.out.clear();
+  c.out_pos = 0;
+  return true;
+}
+
+// Run the sender pump / flush cycle until neither makes progress, then re-arm
+// epoll write interest to match the remaining buffer.
+bool Server::finish_io(Worker& wk, Conn& c) {
+  for (;;) {
+    if (c.state == Conn::State::kSend && c.pump_pending &&
+        c.out_size() < cfg_.write_watermark) {
+      pump_sender(c);
+    }
+    if (!flush_out(c)) {
+      close_conn(wk, c);
+      return false;
+    }
+    const bool can_pump = c.state == Conn::State::kSend && c.pump_pending &&
+                          c.out_size() < cfg_.write_watermark;
+    if (!can_pump) break;
+  }
+  if (c.close_after_flush && c.out_size() == 0) {
+    close_conn(wk, c);
+    return false;
+  }
+  const bool ww = c.out_size() > 0;
+  if (ww != c.want_write) {
+    c.want_write = ww;
+    wk.loop.mod(c.fd.get(), c.token, /*want_read=*/true, ww);
+  }
+  return true;
+}
+
+void Server::pump_sender(Conn& c) {
+  while (c.pump_pending && c.snd && !c.snd->done()) {
+    if (c.out_size() >= cfg_.write_watermark) {
+      stats_->backpressure_pauses.fetch_add(1, std::memory_order_relaxed);
+      return;  // resume from on_writable once the buffer drains
+    }
+    c.pump_pending = false;
+    step_sender(c, vv::protocol::Event::link_free());
+  }
+  if (c.snd && c.snd->done()) c.pump_pending = false;
+}
+
+void Server::step_sender(Conn& c, const vv::protocol::Event& ev) {
+  c.acts.clear();
+  c.snd->step(ev, c.acts);
+  ActionSink sink{.out = &c.out, .chain = &c.out_chain};
+  sink.apply(c.acts);
+  c.pump_pending = c.pump_pending || sink.pump_requested;
+  if (c.snd->done() && !c.end_sent) {
+    put_end(c.out);
+    c.end_sent = true;
+    c.pump_pending = false;
+    c.state = Conn::State::kAwaitDone;
+  }
+}
+
+// ---- session state machine -------------------------------------------------
+
+bool Server::dispatch_items(Worker& wk, Conn& c) {
+  using IT = StreamDecoder::ItemType;
+  for (;;) {
+    if (c.state == Conn::State::kParked || c.close_after_flush) return true;
+    const StreamDecoder::Item item = c.in.next();
+    switch (item.type) {
+      case IT::kNeedMore:
+        return true;
+      case IT::kError:
+        stats_->decode_errors.fetch_add(1, std::memory_order_relaxed);
+        close_conn(wk, c);
+        return false;
+      case IT::kMagic:
+        if (c.state != Conn::State::kPreamble) {
+          close_conn(wk, c);
+          return false;
+        }
+        c.state = Conn::State::kIdle;
+        break;
+      case IT::kHello:
+        if (c.state != Conn::State::kIdle) {
+          close_conn(wk, c);
+          return false;
+        }
+        handle_hello(wk, c, item);
+        break;
+      case IT::kMsg:
+        handle_msg(c, item.msg);
+        break;
+      case IT::kEnd:
+        if (!handle_end(wk, c)) return false;
+        break;
+      case IT::kDone:
+        if (c.state != Conn::State::kAwaitDone) {
+          close_conn(wk, c);
+          return false;
+        }
+        if (item.status == static_cast<std::uint8_t>(DoneStatus::kNoop)) {
+          stats_->noops.fetch_add(1, std::memory_order_relaxed);
+        }
+        end_session(c);
+        break;
+      case IT::kAccept:  // a server never receives ACCEPT
+        close_conn(wk, c);
+        return false;
+    }
+  }
+}
+
+void Server::handle_hello(Worker& wk, Conn& c, const StreamDecoder::Item& item) {
+  stats_->hellos.fetch_add(1, std::memory_order_relaxed);
+  c.kind = item.kind;
+  c.pull = (item.flags & kHelloFlagPull) != 0;
+  c.saw = (item.flags & kHelloFlagStopAndWait) != 0;
+  c.replica = item.replica;
+
+  AcceptStatus st = AcceptStatus::kOk;
+  if (stopping_.load(std::memory_order_acquire)) {
+    st = AcceptStatus::kShutdown;
+  } else if (c.replica >= store_.replicas()) {
+    st = AcceptStatus::kBadReplica;
+  } else if (c.kind != SessionKind::kCompare &&
+             vector_kind_of(c.kind) != store_.kind()) {
+    st = AcceptStatus::kBadKind;
+  }
+  if (st != AcceptStatus::kOk) {
+    stats_->bad_hellos.fetch_add(1, std::memory_order_relaxed);
+    put_accept(c.out, st);
+    c.close_after_flush = true;
+    return;
+  }
+
+  // Push sessions own the replica's write ticket from before the snapshot to
+  // after the commit — whole-session serialization (replica_store.h).
+  const bool is_push = c.kind != SessionKind::kCompare && !c.pull;
+  if (is_push &&
+      !store_.acquire_write(c.replica, ReplicaStore::Waiter{wk.index, c.token})) {
+    stats_->parked.fetch_add(1, std::memory_order_relaxed);
+    c.state = Conn::State::kParked;  // ACCEPT deferred to resume_parked
+    return;
+  }
+  c.owns_write = is_push;
+  begin_session(wk, c);
+}
+
+void Server::begin_session(Worker&, Conn& c) {
+  store_.snapshot(c.replica, &c.work);
+  put_accept(c.out, AcceptStatus::kOk);
+  c.out_chain = {};  // session boundary: the peer's decoder resets at ACCEPT
+  c.transfer = false;
+  c.initially_concurrent = false;
+  c.end_sent = false;
+  c.pump_pending = false;
+  c.probe_seen = false;
+  c.rx.reset();
+  c.snd.reset();
+  c.cmp.emplace(&c.work);
+  c.acts.clear();
+  c.cmp->step(vv::protocol::Event::start(), c.acts);  // our COMPARE probe
+  ActionSink sink{.out = &c.out, .chain = &c.out_chain};
+  sink.apply(c.acts);
+  c.state = Conn::State::kCompare;
+}
+
+void Server::handle_msg(Conn& c, const vv::VvMsg& msg) {
+  switch (c.state) {
+    case Conn::State::kCompare: {
+      c.acts.clear();
+      c.cmp->step(vv::protocol::Event::msg_arrival(msg), c.acts);
+      ActionSink sink{.out = &c.out, .chain = &c.out_chain};
+      sink.apply(c.acts);
+      if (msg.kind == vv::VvMsg::Kind::kProbe) c.probe_seen = true;
+      // Complete = we answered their probe AND hold their verdict on ours.
+      if (c.probe_seen && c.cmp->complete()) compare_done(c);
+      return;
+    }
+    case Conn::State::kRecv: {
+      c.acts.clear();
+      c.rx->step(vv::protocol::Event::msg_arrival(msg), c.acts);
+      ActionSink sink{.out = &c.out, .chain = &c.out_chain};
+      sink.apply(c.acts);  // stop-and-wait ACKs / SYNCS SKIPs flow back
+      return;
+    }
+    case Conn::State::kSend:
+      step_sender(c, vv::protocol::Event::msg_arrival(msg));
+      return;
+    default:
+      return;  // stray message: tolerated (protocol robustness contract)
+  }
+}
+
+void Server::compare_done(Conn& c) {
+  // Our verdict: this replica's vector vs the client's (Ordering::kBefore =
+  // the client knows strictly more).
+  const vv::Ordering rel = c.cmp->decide();
+  if (c.kind == SessionKind::kCompare) {
+    c.pending_done = DoneStatus::kNoop;
+    c.state = Conn::State::kAwaitEnd;
+    return;
+  }
+  const vv::VectorKind vk = vector_kind_of(c.kind);
+  if (!c.pull) {
+    // Push: we are the data receiver, so our relation IS the receiver's.
+    if (transfer_needed(rel, vk)) {
+      c.transfer = true;
+      c.initially_concurrent = rel == vv::Ordering::kConcurrent;
+      c.rx.emplace(vk, c.saw, &c.work, c.initially_concurrent);
+      c.acts.clear();
+      c.rx->step(vv::protocol::Event::start(), c.acts);
+      ActionSink sink{.out = &c.out, .chain = &c.out_chain};
+      sink.apply(c.acts);
+      c.state = Conn::State::kRecv;
+    } else {
+      c.pending_done = DoneStatus::kNoop;  // =, covered, or BRV ‖ degrade
+      c.state = Conn::State::kAwaitEnd;
+    }
+    return;
+  }
+  // Pull: the client receives; its relation is the flip of ours.
+  if (transfer_needed(vv::flip(rel), vk)) {
+    c.transfer = true;
+    c.snd.emplace(sender_config(vk, c.saw, cfg_.burst), &c.work);
+    c.state = Conn::State::kSend;
+    step_sender(c, vv::protocol::Event::start());
+  } else {
+    put_end(c.out);
+    c.end_sent = true;
+    c.state = Conn::State::kAwaitDone;
+  }
+}
+
+bool Server::handle_end(Worker& wk, Conn& c) {
+  switch (c.state) {
+    case Conn::State::kAwaitEnd:
+      put_done(c.out, c.pending_done);
+      if (c.pending_done == DoneStatus::kNoop) {
+        stats_->noops.fetch_add(1, std::memory_order_relaxed);
+      }
+      release_ticket(c);
+      end_session(c);
+      return true;
+    case Conn::State::kRecv: {
+      // The commit point: everything before this is a receiver no-op.
+      if (c.initially_concurrent) c.work.record_update(store_.own_site(c.replica));
+      DoneStatus ds;
+      if (store_.commit(c.replica, c.work)) {
+        ds = DoneStatus::kCommitted;
+        stats_->commits.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        ds = DoneStatus::kCapacity;
+        stats_->capacity_rejects.fetch_add(1, std::memory_order_relaxed);
+      }
+      put_done(c.out, ds);
+      release_ticket(c);
+      end_session(c);
+      return true;
+    }
+    default:
+      close_conn(wk, c);  // END outside a session half is a protocol breach
+      return false;
+  }
+}
+
+void Server::end_session(Conn& c) {
+  stats_->sessions_completed.fetch_add(1, std::memory_order_relaxed);
+  switch (c.kind) {
+    case SessionKind::kCompare:
+      stats_->compare_sessions.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      (c.pull ? stats_->pull_sessions : stats_->push_sessions)
+          .fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  c.state = Conn::State::kIdle;
+  c.cmp.reset();
+  c.rx.reset();
+  c.snd.reset();
+  c.owns_write = false;
+  c.transfer = false;
+  c.end_sent = false;
+  c.pump_pending = false;
+}
+
+void Server::release_ticket(Conn& c) {
+  if (!c.owns_write) return;
+  c.owns_write = false;
+  if (const auto next = store_.release_write(c.replica)) post_resume(*next, c.replica);
+}
+
+void Server::close_conn(Worker& wk, Conn& c) {
+  stats_->conns_closed.fetch_add(1, std::memory_order_relaxed);
+  const bool mid_session =
+      c.state != Conn::State::kPreamble && c.state != Conn::State::kIdle;
+  if (mid_session) {
+    stats_->sessions_aborted.fetch_add(1, std::memory_order_relaxed);
+    if (c.state == Conn::State::kParked) {
+      // cancel_wait false ⇒ a release already transferred the ticket to this
+      // (now dead) waiter; its in-flight resume finds the token gone and
+      // re-releases on our behalf (resume_parked).
+      store_.cancel_wait(c.replica, ReplicaStore::Waiter{wk.index, c.token});
+    } else {
+      release_ticket(c);
+    }
+    // The private `work` clone is simply dropped: the live replica never saw
+    // any of this session (the recovery invariant, structurally).
+  }
+  wk.loop.del(c.fd.get());
+  const std::uint64_t token = c.token;
+  wk.conns.erase(token);  // destroys c — nothing may touch it past here
+}
+
+}  // namespace optrep::net

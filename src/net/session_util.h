@@ -1,0 +1,72 @@
+// Shared glue between the server's and client's session state machines and
+// the sans-I/O protocol cores: a kind-dispatched receiver wrapper and the
+// sender configuration both endpoints use over TCP.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+
+#include "vv/protocol/compare_core.h"
+#include "vv/protocol/receiver_core.h"
+#include "vv/protocol/sender_core.h"
+#include "vv/rotating_vector.h"
+
+namespace optrep::net {
+
+// TCP binding of ElementSenderCore: unframed (nothing on a socket is
+// revocable — a TailView is always zero), bursty pipelining (one pump
+// dispatch emits `burst` committed sends, then parks a continuation the
+// event loop fires when the write buffer drains below its watermark), or
+// lockstep stop-and-wait for the ablation mode.
+inline vv::protocol::ElementSenderCore::Config sender_config(vv::VectorKind kind,
+                                                             bool stop_and_wait,
+                                                             std::uint32_t burst) {
+  vv::protocol::ElementSenderCore::Config cfg;
+  cfg.skip_enabled = kind == vv::VectorKind::kSrv;
+  cfg.pipelined = !stop_and_wait;
+  cfg.framed = false;
+  cfg.burst = stop_and_wait ? 1 : burst;
+  return cfg;
+}
+
+// The receiver core for a sync algorithm, behind one step() surface.
+class AnyReceiver {
+ public:
+  AnyReceiver(vv::VectorKind kind, bool stop_and_wait, vv::RotatingVector* a,
+              bool initially_concurrent)
+      : core_(make(kind, stop_and_wait, a, initially_concurrent)) {}
+
+  void step(const vv::protocol::Event& ev, vv::protocol::Actions& out) {
+    std::visit([&](auto& c) { c.step(ev, out); }, core_);
+  }
+  const vv::protocol::ReceiverCounters& counters() const {
+    return std::visit([](const auto& c) -> const vv::protocol::ReceiverCounters& {
+      return c.counters();
+    }, core_);
+  }
+  bool finished() const {
+    return std::visit([](const auto& c) { return c.finished(); }, core_);
+  }
+
+ private:
+  using Core = std::variant<vv::protocol::BasicReceiverCore, vv::protocol::ConflictReceiverCore,
+                            vv::protocol::SkipReceiverCore>;
+
+  static Core make(vv::VectorKind kind, bool stop_and_wait, vv::RotatingVector* a,
+                   bool initially_concurrent) {
+    const bool pipelined = !stop_and_wait;
+    switch (kind) {
+      case vv::VectorKind::kBrv:
+        return vv::protocol::BasicReceiverCore(pipelined, a);
+      case vv::VectorKind::kCrv:
+        return vv::protocol::ConflictReceiverCore(pipelined, a, initially_concurrent);
+      case vv::VectorKind::kSrv:
+        break;
+    }
+    return vv::protocol::SkipReceiverCore(pipelined, a, initially_concurrent);
+  }
+
+  Core core_;
+};
+
+}  // namespace optrep::net

@@ -1,0 +1,103 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace optrep::net {
+
+namespace {
+
+std::string errno_str(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+bool parse_addr(const std::string& host, std::uint16_t port, sockaddr_in* addr,
+                std::string* err) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  const char* h = host.empty() ? "127.0.0.1" : host.c_str();
+  if (inet_pton(AF_INET, h, &addr->sin_addr) != 1) {
+    if (err != nullptr) *err = "bad IPv4 address: " + host;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Fd listen_tcp(const std::string& host, std::uint16_t port, int backlog,
+              std::uint16_t* bound_port, std::string* err) {
+  sockaddr_in addr{};
+  if (!parse_addr(host, port, &addr, err)) return Fd{};
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    if (err != nullptr) *err = errno_str("socket");
+    return Fd{};
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (err != nullptr) *err = errno_str("bind");
+    return Fd{};
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    if (err != nullptr) *err = errno_str("listen");
+    return Fd{};
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in got{};
+    socklen_t len = sizeof(got);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&got), &len) != 0) {
+      if (err != nullptr) *err = errno_str("getsockname");
+      return Fd{};
+    }
+    *bound_port = ntohs(got.sin_port);
+  }
+  return fd;
+}
+
+Fd connect_tcp(const std::string& host, std::uint16_t port, std::string* err) {
+  sockaddr_in addr{};
+  if (!parse_addr(host, port, &addr, err)) return Fd{};
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    if (err != nullptr) *err = errno_str("socket");
+    return Fd{};
+  }
+  while (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno == EINTR) continue;
+    if (err != nullptr) *err = errno_str("connect");
+    return Fd{};
+  }
+  set_nodelay(fd.get());
+  return fd;
+}
+
+bool set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, want) == 0;
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace optrep::net

@@ -1,0 +1,54 @@
+// Thin RAII layer over POSIX sockets for the sync server and its clients.
+//
+// Everything here is loopback-grade plumbing: TCP sockets on an address the
+// caller names, O_NONBLOCK toggling, and TCP_NODELAY (sync sessions are
+// request/response chains of tiny records — Nagle would serialize them
+// against delayed acks). Errors are reported through std::string outputs,
+// never exceptions: the server treats every socket failure as a per-
+// connection event, not a process event.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace optrep::net {
+
+// Move-only owner of a file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& o) noexcept : fd_(std::exchange(o.fd_, -1)) {}
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = std::exchange(o.fd_, -1);
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() { return std::exchange(fd_, -1); }
+  void reset();
+
+ private:
+  int fd_{-1};
+};
+
+// Listening TCP socket bound to host:port (port 0 = ephemeral; *bound_port
+// receives the actual port). Returns an invalid Fd and sets *err on failure.
+Fd listen_tcp(const std::string& host, std::uint16_t port, int backlog,
+              std::uint16_t* bound_port, std::string* err);
+
+// Blocking connect to host:port.
+Fd connect_tcp(const std::string& host, std::uint16_t port, std::string* err);
+
+bool set_nonblocking(int fd, bool on);
+void set_nodelay(int fd);
+
+}  // namespace optrep::net

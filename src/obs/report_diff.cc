@@ -30,8 +30,15 @@ std::vector<GateRule> default_gate_rules() {
       // histograms). Traffic-named histograms (".session_bits.p999") are
       // already caught by the earlier rules with the same direction.
       {"p999", true},
+      // Serving path (bench_serve): aborted sessions and decode errors on
+      // the deterministic single-client rows must stay at zero, and the SLO
+      // booleans (throughput_ok / scaling_ok) must not flip to 0.
+      {"aborted", true},
+      {"decode_errors", true},
       {"within", false},     // within_table2_bound booleans
       {"consistent", false},
+      {"throughput_ok", false},
+      {"scaling_ok", false},
   };
 }
 

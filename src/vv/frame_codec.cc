@@ -59,12 +59,6 @@ void put_fixed(std::vector<std::uint8_t>& out, std::uint64_t v, std::uint32_t by
   }
 }
 
-// Delta chain for element/probe site+value fields within one frame.
-struct DeltaState {
-  std::uint64_t prev_site{0};
-  std::uint64_t prev_value{0};
-};
-
 struct FieldPlan {
   std::uint64_t site_zz;
   std::uint64_t value_zz;
@@ -73,7 +67,7 @@ struct FieldPlan {
   std::uint64_t bytes;  // site field + value field
 };
 
-FieldPlan plan_fields(DeltaState& st, const VvMsg& m) {
+FieldPlan plan_fields(FrameDeltaState& st, const VvMsg& m) {
   FieldPlan p{};
   p.site_zz = zigzag(static_cast<std::int64_t>(m.site.value) -
                      static_cast<std::int64_t>(st.prev_site));
@@ -87,7 +81,7 @@ FieldPlan plan_fields(DeltaState& st, const VvMsg& m) {
   return p;
 }
 
-std::uint64_t msg_framed_bytes(DeltaState& st, const VvMsg& m) {
+std::uint64_t msg_framed_bytes(FrameDeltaState& st, const VvMsg& m) {
   switch (m.kind) {
     case VvMsg::Kind::kElem:
     case VvMsg::Kind::kProbe:
@@ -112,13 +106,15 @@ std::uint64_t msg_framed_bytes(DeltaState& st, const VvMsg& m) {
 // return value so the decoder can surface a typed error for untrusted bytes.
 class FrameReader {
  public:
-  explicit FrameReader(const std::vector<std::uint8_t>& buf) : buf_(&buf) {}
+  FrameReader(const std::uint8_t* data, std::size_t size, std::size_t pos)
+      : data_(data), size_(size), pos_(pos) {}
 
-  bool done() const { return pos_ == buf_->size(); }
+  bool done() const { return pos_ == size_; }
+  std::size_t pos() const { return pos_; }
 
   bool byte(std::uint8_t* out) {
-    if (pos_ >= buf_->size()) return false;
-    *out = (*buf_)[pos_++];
+    if (pos_ >= size_) return false;
+    *out = data_[pos_++];
     return true;
   }
 
@@ -150,144 +146,173 @@ class FrameReader {
   }
 
  private:
-  const std::vector<std::uint8_t>* buf_;
-  std::size_t pos_{0};
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_;
 };
+
+// Decode one message. On success the reader sits past the message and *st has
+// absorbed it; on any error the chain state is untouched (element decoding
+// stages both fields in locals first), so the caller can rewind to the
+// message start and retry byte-for-byte once more input arrives.
+FrameDecodeError decode_one(FrameReader& r, FrameDeltaState& st, VvMsg* out) {
+  std::uint8_t tag = 0;
+  if (!r.byte(&tag)) return FrameDecodeError::kTruncated;
+  VvMsg m;
+  if ((tag & kTagElem) != 0 || (tag & kTagProbe) != 0) {
+    m.kind = (tag & kTagElem) != 0 ? VvMsg::Kind::kElem : VvMsg::Kind::kProbe;
+    m.conflict = m.kind == VvMsg::Kind::kElem && (tag & kFlagConflict) != 0;
+    m.segment = m.kind == VvMsg::Kind::kElem && (tag & kFlagSegment) != 0;
+    std::uint64_t raw = 0;
+    if ((tag & kFlagWideSite) != 0) {
+      if (!r.fixed(kWideSiteBytes, &raw)) return FrameDecodeError::kTruncated;
+      m.site = SiteId{static_cast<std::uint32_t>(raw)};
+    } else {
+      if (const auto err = r.varint(&raw); err != FrameDecodeError::kNone) return err;
+      m.site = SiteId{static_cast<std::uint32_t>(
+          static_cast<std::int64_t>(st.prev_site) + unzigzag(raw))};
+    }
+    if ((tag & kFlagWideValue) != 0) {
+      if (!r.fixed(kWideValueBytes, &raw)) return FrameDecodeError::kTruncated;
+      m.value = raw;
+    } else {
+      if (const auto err = r.varint(&raw); err != FrameDecodeError::kNone) return err;
+      m.value = st.prev_value + static_cast<std::uint64_t>(unzigzag(raw));
+    }
+    st.prev_site = m.site.value;
+    st.prev_value = m.value;
+  } else if ((tag & kTagSkip) != 0 && (tag & ~(kTagSkip | kFlagWideSkip)) == 0) {
+    m.kind = VvMsg::Kind::kSkip;
+    if ((tag & kFlagWideSkip) != 0) {
+      if (!r.fixed(kWideSiteBytes, &m.arg)) return FrameDecodeError::kTruncated;
+    } else {
+      if (const auto err = r.varint(&m.arg); err != FrameDecodeError::kNone) return err;
+    }
+  } else {
+    switch (tag) {
+      case kTagHalt:
+        m.kind = VvMsg::Kind::kHalt;
+        break;
+      case kTagSkipped:
+        m.kind = VvMsg::Kind::kSkipped;
+        break;
+      case kTagAck:
+        m.kind = VvMsg::Kind::kAck;
+        break;
+      case kTagVerdictNot:
+        m.kind = VvMsg::Kind::kVerdict;
+        m.arg = 0;
+        break;
+      case kTagVerdictCovers:
+        m.kind = VvMsg::Kind::kVerdict;
+        m.arg = 1;
+        break;
+      default:
+        return FrameDecodeError::kUnknownTag;
+    }
+  }
+  *out = m;
+  return FrameDecodeError::kNone;
+}
 
 }  // namespace
 
 std::uint64_t frame_wire_bytes(const std::vector<VvMsg>& msgs) {
-  DeltaState st;
+  FrameDeltaState st;
   std::uint64_t total = 0;
   for (const VvMsg& m : msgs) total += msg_framed_bytes(st, m);
   return total;
 }
 
 std::uint64_t frame_wire_bytes_single(const VvMsg& m) {
-  DeltaState st;
+  FrameDeltaState st;
   return msg_framed_bytes(st, m);
 }
 
-std::uint64_t frame_encode(std::vector<std::uint8_t>& out, const std::vector<VvMsg>& msgs) {
+std::uint64_t frame_encode_msg(std::vector<std::uint8_t>& out, const VvMsg& m,
+                               FrameDeltaState* st) {
   const std::size_t before = out.size();
-  DeltaState st;
-  for (const VvMsg& m : msgs) {
-    switch (m.kind) {
-      case VvMsg::Kind::kElem:
-      case VvMsg::Kind::kProbe: {
-        const FieldPlan p = plan_fields(st, m);
-        std::uint8_t tag = m.kind == VvMsg::Kind::kElem ? kTagElem : kTagProbe;
-        if (m.kind == VvMsg::Kind::kElem) {
-          if (m.conflict) tag |= kFlagConflict;
-          if (m.segment) tag |= kFlagSegment;
-        }
-        if (p.wide_site) tag |= kFlagWideSite;
-        if (p.wide_value) tag |= kFlagWideValue;
-        out.push_back(tag);
-        if (p.wide_site) {
-          put_fixed(out, m.site.value, kWideSiteBytes);
-        } else {
-          put_varint(out, p.site_zz);
-        }
-        if (p.wide_value) {
-          put_fixed(out, m.value, kWideValueBytes);
-        } else {
-          put_varint(out, p.value_zz);
-        }
-        break;
+  switch (m.kind) {
+    case VvMsg::Kind::kElem:
+    case VvMsg::Kind::kProbe: {
+      const FieldPlan p = plan_fields(*st, m);
+      std::uint8_t tag = m.kind == VvMsg::Kind::kElem ? kTagElem : kTagProbe;
+      if (m.kind == VvMsg::Kind::kElem) {
+        if (m.conflict) tag |= kFlagConflict;
+        if (m.segment) tag |= kFlagSegment;
       }
-      case VvMsg::Kind::kSkip: {
-        OPTREP_CHECK_MSG(m.arg <= 0xFFFFFFFFull, "skip segment index exceeds 32 bits");
-        const bool wide = varint_len(m.arg) > kWideSiteBytes;
-        out.push_back(static_cast<std::uint8_t>(kTagSkip | (wide ? kFlagWideSkip : 0)));
-        if (wide) {
-          put_fixed(out, m.arg, kWideSiteBytes);
-        } else {
-          put_varint(out, m.arg);
-        }
-        break;
+      if (p.wide_site) tag |= kFlagWideSite;
+      if (p.wide_value) tag |= kFlagWideValue;
+      out.push_back(tag);
+      if (p.wide_site) {
+        put_fixed(out, m.site.value, kWideSiteBytes);
+      } else {
+        put_varint(out, p.site_zz);
       }
-      case VvMsg::Kind::kHalt:
-        out.push_back(kTagHalt);
-        break;
-      case VvMsg::Kind::kSkipped:
-        out.push_back(kTagSkipped);
-        break;
-      case VvMsg::Kind::kAck:
-        out.push_back(kTagAck);
-        break;
-      case VvMsg::Kind::kVerdict:
-        out.push_back(m.arg != 0 ? kTagVerdictCovers : kTagVerdictNot);
-        break;
+      if (p.wide_value) {
+        put_fixed(out, m.value, kWideValueBytes);
+      } else {
+        put_varint(out, p.value_zz);
+      }
+      break;
     }
+    case VvMsg::Kind::kSkip: {
+      OPTREP_CHECK_MSG(m.arg <= 0xFFFFFFFFull, "skip segment index exceeds 32 bits");
+      const bool wide = varint_len(m.arg) > kWideSiteBytes;
+      out.push_back(static_cast<std::uint8_t>(kTagSkip | (wide ? kFlagWideSkip : 0)));
+      if (wide) {
+        put_fixed(out, m.arg, kWideSiteBytes);
+      } else {
+        put_varint(out, m.arg);
+      }
+      break;
+    }
+    case VvMsg::Kind::kHalt:
+      out.push_back(kTagHalt);
+      break;
+    case VvMsg::Kind::kSkipped:
+      out.push_back(kTagSkipped);
+      break;
+    case VvMsg::Kind::kAck:
+      out.push_back(kTagAck);
+      break;
+    case VvMsg::Kind::kVerdict:
+      out.push_back(m.arg != 0 ? kTagVerdictCovers : kTagVerdictNot);
+      break;
   }
   return out.size() - before;
+}
+
+std::uint64_t frame_encode(std::vector<std::uint8_t>& out, const std::vector<VvMsg>& msgs) {
+  FrameDeltaState st;
+  std::uint64_t total = 0;
+  for (const VvMsg& m : msgs) total += frame_encode_msg(out, m, &st);
+  return total;
+}
+
+FrameDecodeError frame_decode_stream(const std::uint8_t* data, std::size_t size,
+                                     std::size_t* pos, FrameDeltaState* st,
+                                     std::vector<VvMsg>* out) {
+  FrameReader r(data, size, *pos);
+  while (!r.done()) {
+    const std::size_t msg_start = r.pos();
+    VvMsg m;
+    if (const auto err = decode_one(r, *st, &m); err != FrameDecodeError::kNone) {
+      *pos = msg_start;
+      return err;
+    }
+    out->push_back(m);
+    *pos = r.pos();
+  }
+  return FrameDecodeError::kNone;
 }
 
 FrameDecodeError try_frame_decode(const std::vector<std::uint8_t>& bytes,
                                   std::vector<VvMsg>* out) {
   out->clear();
-  FrameReader r(bytes);
-  DeltaState st;
-  while (!r.done()) {
-    std::uint8_t tag = 0;
-    if (!r.byte(&tag)) return FrameDecodeError::kTruncated;
-    VvMsg m;
-    if ((tag & kTagElem) != 0 || (tag & kTagProbe) != 0) {
-      m.kind = (tag & kTagElem) != 0 ? VvMsg::Kind::kElem : VvMsg::Kind::kProbe;
-      m.conflict = m.kind == VvMsg::Kind::kElem && (tag & kFlagConflict) != 0;
-      m.segment = m.kind == VvMsg::Kind::kElem && (tag & kFlagSegment) != 0;
-      std::uint64_t raw = 0;
-      if ((tag & kFlagWideSite) != 0) {
-        if (!r.fixed(kWideSiteBytes, &raw)) return FrameDecodeError::kTruncated;
-        m.site = SiteId{static_cast<std::uint32_t>(raw)};
-      } else {
-        if (const auto err = r.varint(&raw); err != FrameDecodeError::kNone) return err;
-        m.site = SiteId{static_cast<std::uint32_t>(
-            static_cast<std::int64_t>(st.prev_site) + unzigzag(raw))};
-      }
-      if ((tag & kFlagWideValue) != 0) {
-        if (!r.fixed(kWideValueBytes, &raw)) return FrameDecodeError::kTruncated;
-        m.value = raw;
-      } else {
-        if (const auto err = r.varint(&raw); err != FrameDecodeError::kNone) return err;
-        m.value = st.prev_value + static_cast<std::uint64_t>(unzigzag(raw));
-      }
-      st.prev_site = m.site.value;
-      st.prev_value = m.value;
-    } else if ((tag & kTagSkip) != 0 && (tag & ~(kTagSkip | kFlagWideSkip)) == 0) {
-      m.kind = VvMsg::Kind::kSkip;
-      if ((tag & kFlagWideSkip) != 0) {
-        if (!r.fixed(kWideSiteBytes, &m.arg)) return FrameDecodeError::kTruncated;
-      } else {
-        if (const auto err = r.varint(&m.arg); err != FrameDecodeError::kNone) return err;
-      }
-    } else {
-      switch (tag) {
-        case kTagHalt:
-          m.kind = VvMsg::Kind::kHalt;
-          break;
-        case kTagSkipped:
-          m.kind = VvMsg::Kind::kSkipped;
-          break;
-        case kTagAck:
-          m.kind = VvMsg::Kind::kAck;
-          break;
-        case kTagVerdictNot:
-          m.kind = VvMsg::Kind::kVerdict;
-          m.arg = 0;
-          break;
-        case kTagVerdictCovers:
-          m.kind = VvMsg::Kind::kVerdict;
-          m.arg = 1;
-          break;
-        default:
-          return FrameDecodeError::kUnknownTag;
-      }
-    }
-    out->push_back(m);
-  }
-  return FrameDecodeError::kNone;
+  std::size_t pos = 0;
+  FrameDeltaState st;
+  return frame_decode_stream(bytes.data(), bytes.size(), &pos, &st, out);
 }
 
 std::vector<VvMsg> frame_decode(const std::vector<std::uint8_t>& bytes) {

@@ -55,6 +55,36 @@ enum class FrameDecodeError : std::uint8_t {
   kUnknownTag,      // a tag byte outside the codec's map
 };
 
+// Delta chain for element/probe site+value fields. A frame is one chain; a
+// byte *stream* (net/wire_stream.h) is a frame that never ends, so the chain
+// state lives outside the codec calls and is reset at session boundaries.
+struct FrameDeltaState {
+  std::uint64_t prev_site{0};
+  std::uint64_t prev_value{0};
+};
+
+// Append the encoding of one message to out, continuing the delta chain in
+// *st; returns the bytes appended. frame_encode(msgs) is equivalent to this
+// over a fresh chain.
+std::uint64_t frame_encode_msg(std::vector<std::uint8_t>& out, const VvMsg& m,
+                               FrameDeltaState* st);
+
+// Incremental decode over a byte stream that arrives in arbitrary chunks.
+// Starts at *pos, appends every complete message to *out (advancing *pos and
+// *st past each), and stops at `size` (kNone) or on the first undecodable
+// message. On any error *pos rests at the first byte of the offending
+// message and *st is exactly the chain state before it, so the contract is:
+//
+//   kTruncated   ⇒ resume: call again with the same *pos/*st once more bytes
+//                  arrived; the partial suffix re-decodes from scratch.
+//   kUnknownTag  ⇒ data[*pos] is the foreign tag — the net layer checks it
+//                  against its in-band control tags before treating it as
+//                  corruption.
+//   kVarintOverflow ⇒ corruption; the stream is dead.
+FrameDecodeError frame_decode_stream(const std::uint8_t* data, std::size_t size,
+                                     std::size_t* pos, FrameDeltaState* st,
+                                     std::vector<VvMsg>* out);
+
 // Decode a whole frame (consumes the full byte string) without aborting:
 // returns the error and leaves *out with the messages decoded before it.
 FrameDecodeError try_frame_decode(const std::vector<std::uint8_t>& bytes,

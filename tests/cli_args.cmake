@@ -1,16 +1,20 @@
-# CLI argument validation gate for the parallel-session flags: --threads must
-# reject non-numeric, zero, negative, and trailing-garbage values with the
-# typed usage error (exit 2), mirroring the --sample-every contract, and the
+# CLI argument validation gate. For optrep_cli: --threads must reject
+# non-numeric, zero, negative, and trailing-garbage values with the typed
+# usage error (exit 2), mirroring the --sample-every contract, and the
 # `state --threads` combination checks must fire before any work runs. A
-# final positive case proves a valid invocation still succeeds.
+# final positive case proves a valid invocation still succeeds. The same
+# strict-parse discipline (shared via tools/cli_util.h) is then pinned for
+# optrep_serve and optrep_load when those binaries are passed in.
 #
-# Invoked from ctest:  cmake -DCLI=<optrep_cli binary> -P cli_args.cmake
+# Invoked from ctest:
+#   cmake -DCLI=<optrep_cli> [-DSERVE=<optrep_serve>] [-DLOAD=<optrep_load>]
+#         -P cli_args.cmake
 if(NOT DEFINED CLI)
   message(FATAL_ERROR "pass -DCLI=<binary>")
 endif()
 
-function(expect_rejected msg_fragment)
-  execute_process(COMMAND ${CLI} ${ARGN}
+function(expect_rejected_by bin msg_fragment)
+  execute_process(COMMAND ${bin} ${ARGN}
                   RESULT_VARIABLE rc
                   OUTPUT_QUIET
                   ERROR_VARIABLE err)
@@ -21,6 +25,10 @@ function(expect_rejected msg_fragment)
   if(at EQUAL -1)
     message(FATAL_ERROR "'${ARGN}' stderr lacks \"${msg_fragment}\": ${err}")
   endif()
+endfunction()
+
+function(expect_rejected msg_fragment)
+  expect_rejected_by(${CLI} "${msg_fragment}" ${ARGN})
 endfunction()
 
 set(threads_err "--threads must be a positive integer worker count")
@@ -46,5 +54,43 @@ foreach(good 1 4)
     message(FATAL_ERROR "valid 'state --threads=${good}' run exited ${rc}")
   endif()
 endforeach()
+
+# The serving tools share the strict parsers: same signed-first integer
+# contract, plus the [0, 1] fraction check, the kind enum, and the
+# exactly-one-target rule for the load generator. None of these cases bind
+# a socket, so they are safe in a sandboxed ctest.
+if(DEFINED SERVE)
+  foreach(bad 0 -2 x 3q "")
+    expect_rejected_by(${SERVE} "--workers must be a positive integer worker count"
+                       "--workers=${bad}")
+  endforeach()
+  expect_rejected_by(${SERVE} "--port must be an integer in [0, 65535]" --port=65536)
+  expect_rejected_by(${SERVE} "--port must be an integer in [0, 65535]" --port=-1)
+  expect_rejected_by(${SERVE} "--kind must be brv, crv or srv" --kind=xrv)
+  expect_rejected_by(${SERVE} "--capacity must be >= --replicas"
+                     --replicas=8 --capacity=4)
+  expect_rejected_by(${SERVE} "unknown option" --bogus)
+  message(STATUS "optrep_serve strict-validation checks hold")
+endif()
+
+if(DEFINED LOAD)
+  expect_rejected_by(${LOAD} "need exactly one of --port, --port-file or --loopback")
+  expect_rejected_by(${LOAD} "need exactly one of --port, --port-file or --loopback"
+                     --port=4000 --loopback)
+  expect_rejected_by(${LOAD} "--port must be an integer in [1, 65535]" --port=0)
+  foreach(bad -0.1 1.5 nan x "")
+    expect_rejected_by(${LOAD} "--kill-prob must be in [0, 1]"
+                       --loopback "--kill-prob=${bad}")
+  endforeach()
+  expect_rejected_by(${LOAD} "--clients must be a positive integer"
+                     --loopback --clients=0)
+  expect_rejected_by(${LOAD} "--sessions must be a positive integer"
+                     --loopback --sessions=-3)
+  expect_rejected_by(${LOAD} "--seed must be a non-negative integer"
+                     --loopback --seed=-1)
+  expect_rejected_by(${LOAD} "--capacity must be >= --replicas"
+                     --loopback --replicas=8 --capacity=4)
+  message(STATUS "optrep_load strict-validation checks hold")
+endif()
 
 message(STATUS "--threads validation and combination checks hold")

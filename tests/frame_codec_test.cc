@@ -181,6 +181,154 @@ TEST(FrameCodecErrors, VarintOverflowReturnsTypedError) {
   EXPECT_EQ(try_frame_decode(bytes, &out), FrameDecodeError::kVarintOverflow);
 }
 
+// Golden frames for the streaming-resume contract: every shape the protocols
+// emit (element runs, wide fallbacks, control bytes, skip indexes, probes).
+std::vector<std::vector<VvMsg>> golden_frames() {
+  std::vector<std::vector<VvMsg>> frames;
+  {
+    std::vector<VvMsg> run;
+    for (int i = 0; i < 24; ++i) {
+      run.push_back(VvMsg{.kind = VvMsg::Kind::kElem,
+                          .site = SiteId{static_cast<uint32_t>(i * 11)},
+                          .value = 50'000 + static_cast<std::uint64_t>(i) * 7,
+                          .conflict = i % 5 == 0, .segment = i % 6 == 0});
+    }
+    run.push_back(VvMsg{.kind = VvMsg::Kind::kHalt});
+    frames.push_back(std::move(run));
+  }
+  frames.push_back({
+      VvMsg{.kind = VvMsg::Kind::kElem, .site = SiteId{0xFFFFFFFF}, .value = ~std::uint64_t{0}},
+      VvMsg{.kind = VvMsg::Kind::kElem, .site = SiteId{0}, .value = 0},
+      VvMsg{.kind = VvMsg::Kind::kProbe, .site = SiteId{0x80000000}, .value = 1ull << 63},
+      VvMsg{.kind = VvMsg::Kind::kSkip, .arg = 0xFFFFFFFF},
+  });
+  frames.push_back({
+      VvMsg{.kind = VvMsg::Kind::kProbe, .site = SiteId{3}, .value = 17},
+      VvMsg{.kind = VvMsg::Kind::kVerdict, .arg = 1},
+      VvMsg{.kind = VvMsg::Kind::kVerdict, .arg = 0},
+      VvMsg{.kind = VvMsg::Kind::kSkipped},
+      VvMsg{.kind = VvMsg::Kind::kAck},
+      VvMsg{.kind = VvMsg::Kind::kSkip, .arg = 7},
+      VvMsg{.kind = VvMsg::Kind::kHalt},
+  });
+  {
+    Rng rng(99);
+    std::vector<VvMsg> mixed;
+    std::uint64_t value = 1'000'000;
+    for (int i = 0; i < 40; ++i) {
+      VvMsg m;
+      m.kind = VvMsg::Kind::kElem;
+      m.site = SiteId{static_cast<std::uint32_t>(rng.next() >> (rng.next() % 32))};
+      value += rng.range(0, 900);
+      if (i % 13 == 0) value = rng.next();  // wide-value jumps
+      m.value = value;
+      mixed.push_back(m);
+      if (i % 9 == 0) mixed.push_back(VvMsg{.kind = VvMsg::Kind::kSkipped});
+    }
+    frames.push_back(std::move(mixed));
+  }
+  return frames;
+}
+
+// Satellite: the net layer resumes decoding mid-frame after kTruncated. Split
+// every golden frame at every byte boundary, decode the prefix, then hand the
+// decoder the rest — the reassembled message sequence must equal the
+// whole-frame oracle, with *pos parked at the incomplete message's first byte
+// in between (partial progress is never lost and never double-counted).
+TEST(FrameCodecStream, ResumesAfterTruncationAtEveryByteBoundary) {
+  for (const std::vector<VvMsg>& msgs : golden_frames()) {
+    std::vector<std::uint8_t> bytes;
+    frame_encode(bytes, msgs);
+    const std::vector<VvMsg> oracle = frame_decode(bytes);
+    for (std::size_t split = 0; split <= bytes.size(); ++split) {
+      std::size_t pos = 0;
+      FrameDeltaState st;
+      std::vector<VvMsg> out;
+      const auto err = frame_decode_stream(bytes.data(), split, &pos, &st, &out);
+      if (split == bytes.size()) {
+        ASSERT_EQ(err, FrameDecodeError::kNone);
+      } else if (err == FrameDecodeError::kNone) {
+        ASSERT_EQ(pos, split);  // clean message boundary
+      } else {
+        ASSERT_EQ(err, FrameDecodeError::kTruncated);
+        ASSERT_LE(pos, split);  // parked at the incomplete message's start
+      }
+      // Prefix decode yields an exact prefix of the oracle, nothing invented.
+      ASSERT_LE(out.size(), oracle.size());
+      for (std::size_t i = 0; i < out.size(); ++i) expect_msg_eq(oracle[i], out[i]);
+      // Resume with the full buffer: the suffix must complete the sequence.
+      ASSERT_EQ(frame_decode_stream(bytes.data(), bytes.size(), &pos, &st, &out),
+                FrameDecodeError::kNone);
+      ASSERT_EQ(pos, bytes.size());
+      ASSERT_EQ(out.size(), oracle.size());
+      for (std::size_t i = 0; i < out.size(); ++i) expect_msg_eq(oracle[i], out[i]);
+    }
+  }
+}
+
+// Byte-at-a-time arrival (the pathological slow client): every chunk is one
+// byte, so the decoder reports kTruncated at almost every step and must keep
+// resuming without corrupting the delta chain.
+TEST(FrameCodecStream, ByteAtATimeArrival) {
+  for (const std::vector<VvMsg>& msgs : golden_frames()) {
+    std::vector<std::uint8_t> bytes;
+    frame_encode(bytes, msgs);
+    const std::vector<VvMsg> oracle = frame_decode(bytes);
+    std::size_t pos = 0;
+    FrameDeltaState st;
+    std::vector<VvMsg> out;
+    for (std::size_t avail = 1; avail <= bytes.size(); ++avail) {
+      const auto err = frame_decode_stream(bytes.data(), avail, &pos, &st, &out);
+      ASSERT_TRUE(err == FrameDecodeError::kNone || err == FrameDecodeError::kTruncated);
+    }
+    ASSERT_EQ(pos, bytes.size());
+    ASSERT_EQ(out.size(), oracle.size());
+    for (std::size_t i = 0; i < out.size(); ++i) expect_msg_eq(oracle[i], out[i]);
+  }
+}
+
+// The streaming encoder is the frame encoder unrolled: one call per message
+// over a shared chain produces byte-identical output.
+TEST(FrameCodecStream, StreamingEncoderMatchesFrameEncoder) {
+  for (const std::vector<VvMsg>& msgs : golden_frames()) {
+    std::vector<std::uint8_t> whole, streamed;
+    frame_encode(whole, msgs);
+    FrameDeltaState st;
+    for (const VvMsg& m : msgs) frame_encode_msg(streamed, m, &st);
+    EXPECT_EQ(whole, streamed);
+  }
+}
+
+// kUnknownTag parks *pos on the foreign byte with the chain state intact —
+// this is what lets the net layer carry its control tags (HELLO/ACCEPT/
+// END/DONE) in-band between codec messages and keep decoding afterwards.
+TEST(FrameCodecStream, UnknownTagParksAtTheForeignByte) {
+  const std::vector<VvMsg> head{
+      VvMsg{.kind = VvMsg::Kind::kElem, .site = SiteId{5}, .value = 1000}};
+  const std::vector<VvMsg> tail{
+      VvMsg{.kind = VvMsg::Kind::kElem, .site = SiteId{6}, .value = 1001}};
+  std::vector<std::uint8_t> bytes;
+  FrameDeltaState enc;
+  frame_encode_msg(bytes, head[0], &enc);
+  const std::size_t foreign_at = bytes.size();
+  bytes.push_back(0x45);  // a net-layer control byte, not a codec tag
+  frame_encode_msg(bytes, tail[0], &enc);
+
+  std::size_t pos = 0;
+  FrameDeltaState st;
+  std::vector<VvMsg> out;
+  ASSERT_EQ(frame_decode_stream(bytes.data(), bytes.size(), &pos, &st, &out),
+            FrameDecodeError::kUnknownTag);
+  EXPECT_EQ(pos, foreign_at);
+  ASSERT_EQ(out.size(), 1u);
+  expect_msg_eq(head[0], out[0]);
+  ++pos;  // the caller consumes its control byte and resumes the stream
+  ASSERT_EQ(frame_decode_stream(bytes.data(), bytes.size(), &pos, &st, &out),
+            FrameDecodeError::kNone);
+  ASSERT_EQ(out.size(), 2u);
+  expect_msg_eq(tail[0], out[1]);
+}
+
 // The aborting API keeps its trusted-input contract: feeding it a damaged
 // buffer is API misuse, not a recoverable condition.
 TEST(FrameCodecDeath, TruncatedFrameAbortsTheTrustedDecoder) {

@@ -1,0 +1,48 @@
+# Fault-mode reproducibility gate for the closed-loop load generator: two
+# --fault runs with the same seed — but different server worker counts, so
+# the actual interleavings differ — must emit byte-identical
+# optrep.load.summary/v1 documents. The summary only contains quantities
+# that are pure functions of the seed (attempted / completed / killed /
+# stalled sessions and the per-kind mix); anything dependent on server-side
+# interleaving (transfers, element counts, bytes) is banished to the stats
+# section, and this test is what keeps that boundary honest.
+#
+# Invoked from ctest:  cmake -DLOAD=<optrep_load binary> -DOUT=<scratch dir>
+#                            -P serve_fault.cmake
+if(NOT DEFINED LOAD OR NOT DEFINED OUT)
+  message(FATAL_ERROR "pass -DLOAD=<binary> and -DOUT=<scratch dir>")
+endif()
+
+file(REMOVE_RECURSE ${OUT})
+file(MAKE_DIRECTORY ${OUT})
+
+foreach(run 1 2)
+  # Different worker counts on purpose: the summary must not see them.
+  math(EXPR workers "${run} * 2 - 1")  # 1, then 3
+  execute_process(COMMAND ${LOAD} --loopback --workers=${workers} --prefill=8
+                          --clients=6 --sessions=40 --replicas=8 --seed=97
+                          --fault --stall-ms=1
+                          --summary-out=${OUT}/summary_${run}.json
+                  RESULT_VARIABLE rc
+                  OUTPUT_QUIET ERROR_VARIABLE err)
+  # --fault runs abort sessions by design; the binary still exits 0 unless a
+  # session failed with a protocol ERROR (faults are not errors).
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "faulty load run ${run} (workers=${workers}) failed: ${err}")
+  endif()
+endforeach()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${OUT}/summary_1.json ${OUT}/summary_2.json
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "fault summaries differ across worker counts — a "
+                      "server-state-dependent quantity leaked into the summary")
+endif()
+
+# The run must actually have injected faults, or the gate is vacuous.
+file(READ ${OUT}/summary_1.json body)
+if(body MATCHES "\"killed\":0[,}]")
+  message(FATAL_ERROR "no sessions were killed — fault injection did not fire: ${body}")
+endif()
+message(STATUS "fault summaries byte-identical across worker counts")

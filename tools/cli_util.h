@@ -1,0 +1,96 @@
+// Shared strict argument parsing for the optrep command-line tools.
+//
+// Every tool keeps its own [[noreturn]] usage(msg) with tool-specific help
+// text; what is shared is the flag matcher and the validation discipline:
+// integers are parsed signed-first so "-5" is a typed usage error instead of
+// a silent strtoul wrap, trailing garbage ("4x") rejects instead of parsing
+// as 4, and probabilities must lie in [0, 1]. The cli_args ctest pins these
+// contracts for optrep_cli, optrep_serve and optrep_load alike.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "vv/rotating_vector.h"
+
+namespace optrep::cli {
+
+// Matches "--name" (value = "") or "--name=value".
+inline bool take(const char* arg, const char* name, std::string* value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '\0') {
+    *value = "";
+    return true;
+  }
+  if (arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+// Each tool's usage(msg) — noreturn, exits 2.
+using FailFn = void (*)(const char*);
+
+inline long long parse_ll(const std::string& v, FailFn fail, const char* msg) {
+  char* end = nullptr;
+  const long long n = std::strtoll(v.c_str(), &end, 10);
+  if (v.empty() || end == nullptr || *end != '\0') fail(msg);
+  return n;
+}
+
+inline std::uint32_t parse_positive_u32(const std::string& v, FailFn fail,
+                                        const char* msg) {
+  const long long n = parse_ll(v, fail, msg);
+  if (n <= 0 || n > std::numeric_limits<std::uint32_t>::max()) fail(msg);
+  return static_cast<std::uint32_t>(n);
+}
+
+inline std::uint32_t parse_u32(const std::string& v, FailFn fail, const char* msg) {
+  const long long n = parse_ll(v, fail, msg);
+  if (n < 0 || n > std::numeric_limits<std::uint32_t>::max()) fail(msg);
+  return static_cast<std::uint32_t>(n);
+}
+
+inline unsigned parse_positive_unsigned(const std::string& v, FailFn fail,
+                                        const char* msg) {
+  const long long n = parse_ll(v, fail, msg);
+  if (n <= 0 || n > std::numeric_limits<unsigned>::max()) fail(msg);
+  return static_cast<unsigned>(n);
+}
+
+inline std::uint64_t parse_u64(const std::string& v, FailFn fail, const char* msg) {
+  char* end = nullptr;
+  if (!v.empty() && v[0] == '-') fail(msg);
+  const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
+  if (v.empty() || end == nullptr || *end != '\0') fail(msg);
+  return n;
+}
+
+inline std::uint16_t parse_port(const std::string& v, FailFn fail, const char* msg) {
+  const long long n = parse_ll(v, fail, msg);
+  if (n < 0 || n > 65535) fail(msg);
+  return static_cast<std::uint16_t>(n);
+}
+
+// A probability / fraction in [0, 1], strict.
+inline double parse_unit(const std::string& v, FailFn fail, const char* msg) {
+  char* end = nullptr;
+  const double d = std::strtod(v.c_str(), &end);
+  if (v.empty() || end == nullptr || *end != '\0' || !(d >= 0.0) || !(d <= 1.0)) {
+    fail(msg);
+  }
+  return d;
+}
+
+inline vv::VectorKind parse_kind(const std::string& v, FailFn fail, const char* msg) {
+  if (v == "brv") return vv::VectorKind::kBrv;
+  if (v == "crv") return vv::VectorKind::kCrv;
+  if (v == "srv") return vv::VectorKind::kSrv;
+  fail(msg);
+  return vv::VectorKind::kSrv;  // unreachable
+}
+
+}  // namespace optrep::cli

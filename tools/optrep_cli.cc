@@ -82,6 +82,7 @@
 #include "repl/record_system.h"
 #include "rt/sweep.h"
 #include "rt/thread_pool.h"
+#include "tools/cli_util.h"
 #include "workload/report.h"
 #include "workload/trace.h"
 
@@ -149,17 +150,7 @@ struct Args {
   std::exit(2);
 }
 
-bool take(const char* arg, const char* name, std::string* value) {
-  const std::size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) != 0) return false;
-  if (arg[len] == '\0') {
-    *value = "";
-    return true;
-  }
-  if (arg[len] != '=') return false;
-  *value = arg + len + 1;
-  return true;
-}
+using cli::take;  // the shared --name[=value] matcher (tools/cli_util.h)
 
 Args parse(int argc, char** argv) {
   if (argc < 2) usage("missing command");
@@ -221,15 +212,8 @@ Args parse(int argc, char** argv) {
       if (v.empty()) usage("--timeline-out needs a file path");
       a.timeline_out = v;
     } else if (take(argv[i], "--sample-every", &v)) {
-      // Parse signed first: strtoul silently wraps "-5" into a huge period,
-      // which would look like sampling turned off rather than a typo.
-      char* end = nullptr;
-      const long long n = std::strtoll(v.c_str(), &end, 10);
-      if (v.empty() || end == nullptr || *end != '\0' || n <= 0 ||
-          n > std::numeric_limits<std::uint32_t>::max()) {
-        usage("--sample-every must be a positive integer (sessions per sample)");
-      }
-      a.sample_every = static_cast<std::uint32_t>(n);
+      a.sample_every = cli::parse_positive_u32(
+          v, usage, "--sample-every must be a positive integer (sessions per sample)");
     } else if (take(argv[i], "--dump-on-violation", &v)) {
       if (v.empty()) usage("--dump-on-violation needs a file path");
       a.dump_out = v;

@@ -1,0 +1,220 @@
+// optrep_load — closed-loop load generator for optrep_serve.
+//
+// N clients, each with a persistent connection and its own replica vector,
+// issue a seeded mix of COMPARE / push / pull sessions against private and
+// shared server replicas, then report session latency percentiles and
+// throughput (schema optrep.serve/v1 with --json). The deterministic summary
+// — sessions attempted / completed / killed / stalled per kind, a pure
+// function of the seed — goes to --summary-out, which is what the fault-
+// determinism ctest byte-compares across runs.
+//
+//   target (exactly one):
+//     --port=N [--host=A]        connect to a running server
+//     --port-file=FILE           read the port optrep_serve wrote (CI handshake)
+//     --loopback                 start an in-process server (adds its stats
+//                                to the report)  [--workers=N] [--prefill=N]
+//   workload:
+//     [--kind=brv|crv|srv] [--clients=N] [--sessions=N] [--replicas=N]
+//     [--compare-frac=F] [--pull-frac=F] [--shared-frac=F] [--max-delta=N]
+//     [--think-us=N] [--saw] [--io-chunk=N] [--seed=N] [--timeout-ms=N]
+//     [--capacity=N]
+//   fault injection:
+//     [--fault]                  enable the default kill/stall mix
+//     [--kill-prob=F] [--stall-prob=F] [--stall-ms=N]
+//   output:
+//     [--json] [--summary-out=FILE]
+#include <cstdio>
+#include <string>
+
+#include "net/load_gen.h"
+#include "tools/cli_util.h"
+
+using namespace optrep;
+
+namespace {
+
+[[noreturn]] void usage(const char* msg) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage: optrep_load (--port=N | --port-file=FILE | --loopback)\n"
+               "       [--host=A] [--workers=N] [--prefill=N] [--kind=brv|crv|srv]\n"
+               "       [--clients=N] [--sessions=N] [--replicas=N] [--capacity=N]\n"
+               "       [--compare-frac=F] [--pull-frac=F] [--shared-frac=F]\n"
+               "       [--max-delta=N] [--think-us=N] [--saw] [--io-chunk=N]\n"
+               "       [--seed=N] [--timeout-ms=N]\n"
+               "       [--fault] [--kill-prob=F] [--stall-prob=F] [--stall-ms=N]\n"
+               "       [--json] [--summary-out=FILE]\n");
+  std::exit(2);
+}
+
+bool write_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+
+std::uint16_t read_port_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) usage("cannot open --port-file");
+  long port = -1;
+  const int n = std::fscanf(f, "%ld", &port);
+  std::fclose(f);
+  if (n != 1 || port <= 0 || port > 65535) usage("--port-file does not contain a port");
+  return static_cast<std::uint16_t>(port);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  net::LoadConfig cfg;
+  bool have_port = false;
+  bool loopback = false;
+  std::string port_file;
+  unsigned server_workers = 1;
+  std::uint32_t prefill = 0;
+  bool fault_flag = false;
+  bool json = false;
+  std::string summary_out;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (cli::take(argv[i], "--host", &v)) {
+      if (v.empty()) usage("--host needs an address");
+      cfg.host = v;
+    } else if (cli::take(argv[i], "--port-file", &v)) {
+      if (v.empty()) usage("--port-file needs a file path");
+      port_file = v;
+    } else if (cli::take(argv[i], "--port", &v)) {
+      cfg.port = cli::parse_port(v, usage, "--port must be an integer in [1, 65535]");
+      if (cfg.port == 0) usage("--port must be an integer in [1, 65535]");
+      have_port = true;
+    } else if (cli::take(argv[i], "--loopback", &v)) {
+      loopback = true;
+    } else if (cli::take(argv[i], "--workers", &v)) {
+      server_workers =
+          cli::parse_positive_unsigned(v, usage, "--workers must be a positive integer worker count");
+    } else if (cli::take(argv[i], "--prefill", &v)) {
+      prefill = cli::parse_u32(v, usage, "--prefill must be a non-negative integer");
+    } else if (cli::take(argv[i], "--kind", &v)) {
+      cfg.kind = cli::parse_kind(v, usage, "--kind must be brv, crv or srv");
+    } else if (cli::take(argv[i], "--clients", &v)) {
+      cfg.clients =
+          cli::parse_positive_unsigned(v, usage, "--clients must be a positive integer");
+    } else if (cli::take(argv[i], "--sessions", &v)) {
+      cfg.sessions_per_client =
+          cli::parse_positive_u32(v, usage, "--sessions must be a positive integer");
+    } else if (cli::take(argv[i], "--replicas", &v)) {
+      cfg.replicas =
+          cli::parse_positive_u32(v, usage, "--replicas must be a positive integer");
+    } else if (cli::take(argv[i], "--capacity", &v)) {
+      cfg.site_capacity =
+          cli::parse_positive_u32(v, usage, "--capacity must be a positive integer");
+    } else if (cli::take(argv[i], "--compare-frac", &v)) {
+      cfg.compare_frac = cli::parse_unit(v, usage, "--compare-frac must be in [0, 1]");
+    } else if (cli::take(argv[i], "--pull-frac", &v)) {
+      cfg.pull_frac = cli::parse_unit(v, usage, "--pull-frac must be in [0, 1]");
+    } else if (cli::take(argv[i], "--shared-frac", &v)) {
+      cfg.shared_frac = cli::parse_unit(v, usage, "--shared-frac must be in [0, 1]");
+    } else if (cli::take(argv[i], "--max-delta", &v)) {
+      cfg.max_delta = cli::parse_u32(v, usage, "--max-delta must be a non-negative integer");
+    } else if (cli::take(argv[i], "--think-us", &v)) {
+      cfg.think_us = cli::parse_u32(v, usage, "--think-us must be a non-negative integer");
+    } else if (cli::take(argv[i], "--saw", &v)) {
+      cfg.stop_and_wait = true;
+    } else if (cli::take(argv[i], "--io-chunk", &v)) {
+      cfg.io_chunk =
+          cli::parse_positive_u32(v, usage, "--io-chunk must be a positive byte count");
+    } else if (cli::take(argv[i], "--seed", &v)) {
+      cfg.seed = cli::parse_u64(v, usage, "--seed must be a non-negative integer");
+    } else if (cli::take(argv[i], "--timeout-ms", &v)) {
+      cfg.timeout_ms = static_cast<int>(
+          cli::parse_positive_u32(v, usage, "--timeout-ms must be a positive integer"));
+    } else if (cli::take(argv[i], "--fault", &v)) {
+      fault_flag = true;
+    } else if (cli::take(argv[i], "--kill-prob", &v)) {
+      cfg.kill_prob = cli::parse_unit(v, usage, "--kill-prob must be in [0, 1]");
+    } else if (cli::take(argv[i], "--stall-prob", &v)) {
+      cfg.stall_prob = cli::parse_unit(v, usage, "--stall-prob must be in [0, 1]");
+    } else if (cli::take(argv[i], "--stall-ms", &v)) {
+      cfg.stall_ms = cli::parse_positive_u32(v, usage, "--stall-ms must be a positive integer");
+    } else if (cli::take(argv[i], "--json", &v)) {
+      json = true;
+    } else if (cli::take(argv[i], "--summary-out", &v)) {
+      if (v.empty()) usage("--summary-out needs a file path");
+      summary_out = v;
+    } else {
+      usage((std::string("unknown option: ") + argv[i]).c_str());
+    }
+  }
+
+  const int targets = (have_port ? 1 : 0) + (port_file.empty() ? 0 : 1) + (loopback ? 1 : 0);
+  if (targets != 1) usage("need exactly one of --port, --port-file or --loopback");
+  if (cfg.site_capacity < cfg.replicas) {
+    usage("--capacity must be >= --replicas (own sites must fit)");
+  }
+  if (fault_flag && cfg.kill_prob == 0.0 && cfg.stall_prob == 0.0) {
+    cfg.kill_prob = 0.1;
+    cfg.stall_prob = 0.05;
+  }
+
+  std::unique_ptr<net::Server> server;
+  if (loopback) {
+    net::ServerConfig sc;
+    sc.workers = server_workers;
+    sc.store.kind = cfg.kind;
+    sc.store.replicas = cfg.replicas;
+    sc.store.site_capacity = cfg.site_capacity;
+    sc.store.seed = cfg.seed;
+    sc.store.prefill_updates = prefill;
+    server = std::make_unique<net::Server>(sc);
+    std::string err;
+    if (!server->start(&err)) {
+      std::fprintf(stderr, "optrep_load: loopback server: %s\n", err.c_str());
+      return 1;
+    }
+    cfg.host = "127.0.0.1";
+    cfg.port = server->port();
+  } else if (!port_file.empty()) {
+    cfg.port = read_port_file(port_file);
+  }
+
+  const net::LoadReport r = net::run_load(cfg);
+  net::ServerStats sstats;
+  if (server) {
+    sstats = server->stats();
+    server->stop();
+  }
+
+  if (!summary_out.empty() &&
+      !write_file(summary_out, net::summary_json(cfg, r) + "\n")) {
+    std::fprintf(stderr, "optrep_load: cannot write %s\n", summary_out.c_str());
+    return 1;
+  }
+  if (json) {
+    std::printf("%s\n", net::report_json(cfg, r, server ? &sstats : nullptr).c_str());
+  } else {
+    std::printf("sessions: %llu attempted, %llu completed, %llu killed, %llu stalled, "
+                "%llu errors\n",
+                static_cast<unsigned long long>(r.attempted),
+                static_cast<unsigned long long>(r.completed),
+                static_cast<unsigned long long>(r.killed),
+                static_cast<unsigned long long>(r.stalled),
+                static_cast<unsigned long long>(r.errors));
+    std::printf("mix: %llu compare, %llu push, %llu pull; %llu transfers, %llu noops\n",
+                static_cast<unsigned long long>(r.compare_sessions),
+                static_cast<unsigned long long>(r.push_sessions),
+                static_cast<unsigned long long>(r.pull_sessions),
+                static_cast<unsigned long long>(r.transfers),
+                static_cast<unsigned long long>(r.noops));
+    std::printf("throughput: %.0f sessions/s, %.0f bytes/s over %.3f s\n",
+                r.sessions_per_s, r.bytes_per_s, r.elapsed_s);
+    std::printf("latency us: p50=%.1f p90=%.1f p99=%.1f p999=%.1f max=%.1f\n",
+                r.p50_us, r.p90_us, r.p99_us, r.p999_us, r.max_us);
+    if (r.errors > 0) {
+      std::printf("first error: %s\n", r.first_error.c_str());
+    }
+  }
+  return r.errors == 0 ? 0 : 1;
+}
