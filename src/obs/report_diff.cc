@@ -35,6 +35,11 @@ std::vector<GateRule> default_gate_rules() {
       // booleans (throughput_ok / scaling_ok) must not flip to 0.
       {"aborted", true},
       {"decode_errors", true},
+      // Scenario worlds (bench_scenario): taking longer to re-converge is a
+      // regression, and the converged flag must never flip to 0. (The
+      // substrings are disjoint: "converged" has no "convergence" inside.)
+      {"convergence", true},
+      {"converged", false},
       {"within", false},     // within_table2_bound booleans
       {"consistent", false},
       {"throughput_ok", false},

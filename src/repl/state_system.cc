@@ -511,6 +511,18 @@ std::uint64_t StateSystem::divergence() const {
   return d;
 }
 
+StateSystem::MemoryStats StateSystem::memory_stats() const {
+  MemoryStats m;
+  for (const auto& [site, objs] : sites_) {
+    for (const auto& [obj, r] : objs) {
+      ++m.replicas;
+      m.vector_bytes += r.vector.memory_bytes();
+      m.index_bytes += r.vector.index_memory_bytes();
+    }
+  }
+  return m;
+}
+
 void StateSystem::sample_timeline() {
   if (cfg_.timeline == nullptr) return;
   if (totals_.sessions == sampled_at_sessions_) return;
@@ -521,6 +533,10 @@ void StateSystem::sample_timeline() {
 
 void StateSystem::sample_timeline_at(double x) {
   metrics_.gauge("repl.divergence").set(static_cast<std::int64_t>(divergence()));
+  const MemoryStats mem = memory_stats();
+  metrics_.gauge("state.replicas").set(static_cast<std::int64_t>(mem.replicas));
+  metrics_.gauge("state.vector_memory_bytes").set(static_cast<std::int64_t>(mem.vector_bytes));
+  metrics_.gauge("state.index_memory_bytes").set(static_cast<std::int64_t>(mem.index_bytes));
   publish_metrics();
   cfg_.timeline->begin_sample(x);
   cfg_.timeline->sample_registry(metrics_);

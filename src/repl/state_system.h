@@ -244,6 +244,18 @@ class StateSystem {
   // orders. Emitted as the `repl.divergence` gauge in timeline samples.
   std::uint64_t divergence() const;
 
+  // Storage footprint of the fleet's rotating-vector metadata at allocated
+  // capacity (SoA columns + free list + site index, see vv/arena.h). O(replicas);
+  // sampled into state.replicas / state.vector_memory_bytes /
+  // state.index_memory_bytes gauges with every timeline sample and exported
+  // in the optrep.run/v1 "memory" object.
+  struct MemoryStats {
+    std::uint64_t replicas{0};
+    std::uint64_t vector_bytes{0};  // Σ RotatingVector::memory_bytes (index included)
+    std::uint64_t index_bytes{0};   // Σ site-index share alone
+  };
+  MemoryStats memory_stats() const;
+
   // Record one timeline sample now (no-op without cfg.timeline). The
   // session-count axis samples automatically every timeline_every sessions;
   // call this to flush a final sample at the end of a run. Samples taken at

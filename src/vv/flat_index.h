@@ -8,6 +8,14 @@
 // table, so a lookup is a multiply, a shift, and a short scan of contiguous
 // cache lines, and inserts allocate only on the amortized table doubling.
 //
+// The arrays are vv::Column (vv/arena.h): heap-backed by default, or carved
+// from a per-world Arena after attach_arena() — a million-site world keeps
+// its indexes in a handful of slabs instead of two mallocs per replica. An
+// arena-backed table that rehashes retires its old arrays in place (still
+// mapped) rather than freeing them, which strengthens concurrency rule 1
+// below from "never rehash under readers" to "a racing reader reads stale
+// mapped cells that validation rejects".
+//
 // Deletion is tombstone-free: erase() backward-shifts the displaced suffix of
 // the probe cluster into the hole (Knuth 6.4 Algorithm R), so long-lived
 // vectors with churn (the §7 pruning extension) never degrade into
@@ -27,7 +35,9 @@
 // structure never locks itself, so single-threaded callers pay nothing.
 // Two hard rules for concurrent readers (see docs/PERFORMANCE.md):
 //   1. reserve() must have sized the table first: rehash() reallocates the
-//      arrays and would leave a racing reader probing freed memory.
+//      arrays and (heap-backed) would leave a racing reader probing freed
+//      memory. Arena-backed tables keep retired arrays mapped, but the
+//      reserve discipline still holds — it is what makes probes consistent.
 //   2. find() bounds its probe walk at the table capacity. A consistent
 //      table terminates every probe at a nil cell far earlier (load ≤ 0.75);
 //      only a torn cluster can reach the cap, and that read fails validation.
@@ -36,11 +46,12 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <vector>
+#include <utility>
 
 #include "common/check.h"
 #include "common/ids.h"
 #include "rt/olock.h"
+#include "vv/arena.h"
 
 namespace optrep::vv {
 
@@ -52,7 +63,9 @@ class FlatSiteIndex {
 
   // Copies/moves transfer the table but NOT the lock: each instance guards
   // itself with a fresh, unlocked rt::OLock (counters zeroed). Excluded while
-  // concurrent readers are active, like every other mutation.
+  // concurrent readers are active, like every other mutation. Column copy
+  // semantics apply: a copy is a heap-backed snapshot, copy-assignment keeps
+  // the destination's backing, a moved-from source stays bound to its arena.
   FlatSiteIndex(const FlatSiteIndex& o)
       : keys_(o.keys_), slots_(o.slots_), size_(o.size_), mask_(o.mask_), shift_(o.shift_) {}
   FlatSiteIndex& operator=(const FlatSiteIndex& o) {
@@ -76,6 +89,13 @@ class FlatSiteIndex {
     mask_ = o.mask_;
     shift_ = o.shift_;
     return *this;
+  }
+
+  // Back the table arrays with a per-world arena. Only legal before the
+  // first allocation (reserve/insert); see Column::attach_arena.
+  void attach_arena(Arena* arena) {
+    keys_.attach_arena(arena);
+    slots_.attach_arena(arena);
   }
 
   // Versioned lock guarding this index when used standalone (RotatingVector
@@ -116,6 +136,23 @@ class FlatSiteIndex {
     st(size_, ld(size_) + 1);
   }
 
+  // Overwrite the slot index of a PRESENT site in place. A pure cell-value
+  // store: the probe structure (and probe_stats) are untouched, which is why
+  // RotatingVector's slot compaction can relocate slots without perturbing
+  // any index-quality baseline number.
+  void update(SiteId site, std::uint32_t slot) {
+    OPTREP_DCHECK(slot != kNilSlot);
+    std::size_t i = home(site);
+    for (std::size_t probes = 0; probes <= mask_; ++probes, i = (i + 1) & mask_) {
+      OPTREP_CHECK_MSG(ld(slots_[i]) != kNilSlot, "update: site not present");
+      if (ld(keys_[i]) == site) {
+        st(slots_[i], slot);
+        return;
+      }
+    }
+    OPTREP_CHECK_MSG(false, "update: site not present");
+  }
+
   // Remove `site` if present; returns whether it was. Backward-shift: walk
   // the cluster after the hole and move back every entry whose home position
   // does not lie strictly between the hole and it.
@@ -149,6 +186,11 @@ class FlatSiteIndex {
     std::size_t cap = kMinCapacity;
     while (n * 4 > cap * 3) cap <<= 1;
     if (cap > capacity()) rehash(cap);
+  }
+
+  // Table footprint in bytes (both arrays, at allocated capacity).
+  std::uint64_t memory_bytes() const {
+    return keys_.memory_bytes() + slots_.memory_bytes();
   }
 
   // Index-quality introspection for benches: probe lengths (cells scanned to
@@ -203,8 +245,12 @@ class FlatSiteIndex {
   void grow() { rehash(capacity() == 0 ? kMinCapacity : capacity() * 2); }
 
   void rehash(std::size_t new_cap) {
-    std::vector<SiteId> old_keys = std::move(keys_);
-    std::vector<std::uint32_t> old_slots = std::move(slots_);
+    // The moved-from columns stay bound to the arena (Column move semantics),
+    // so the fresh arrays below are carved from the same backing. The old
+    // arrays die at end of scope: freed when heap-backed (rule 1 applies),
+    // retired-but-mapped when arena-backed.
+    Column<SiteId> old_keys = std::move(keys_);
+    Column<std::uint32_t> old_slots = std::move(slots_);
     keys_.assign(new_cap, SiteId{});
     slots_.assign(new_cap, kNilSlot);
     mask_ = new_cap - 1;
@@ -219,8 +265,8 @@ class FlatSiteIndex {
     }
   }
 
-  std::vector<SiteId> keys_;           // valid only where slots_[i] != kNilSlot
-  std::vector<std::uint32_t> slots_;   // kNilSlot marks an empty cell
+  Column<SiteId> keys_;           // valid only where slots_[i] != kNilSlot
+  Column<std::uint32_t> slots_;   // kNilSlot marks an empty cell
   std::size_t size_{0};
   std::size_t mask_{0};
   unsigned shift_{32};  // 32 - log2(capacity); capacity 0 ⇒ never probed

@@ -97,6 +97,12 @@ std::string state_run_report_json(const repl::StateSystem& sys, const Trace& tra
   w.field("upper_bound_bits_per_session", obs::table2_upper_bound_bits(cfg.cost, cfg.kind));
   w.field("bound_violations", t.bound_violations);
   w.end_object();
+  const repl::StateSystem::MemoryStats mem = sys.memory_stats();
+  w.key("memory").begin_object();
+  w.field("replicas", mem.replicas);
+  w.field("vector_bytes", mem.vector_bytes);
+  w.field("index_bytes", mem.index_bytes);
+  w.end_object();
   write_faults(w, cfg.net, t.retries, t.sync_failures, t.faults_injected, t.recovery_bits);
   write_metrics_field(w, sys.metrics());
   w.end_object();

@@ -1,0 +1,76 @@
+// Scenario scripts: phase sequences driving a sim::ScenarioWorld (large-world
+// gossip engine) — warmup writes, bounded gossip, quiesce-to-convergence,
+// churn, partition/heal, flash crowds — plus the optrep.run/v1 report for a
+// finished run. Shared by the `optrep_cli scenario` subcommand, the
+// scenario-smoke CI job, and bench_scenario, so convergence numbers in
+// committed baselines and ad-hoc runs come from one driver.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/timeline.h"
+#include "sim/scenario.h"
+
+namespace optrep::wl {
+
+// One phase of a scenario script.
+struct PhaseSpec {
+  enum class Kind : std::uint8_t {
+    kWarmup,     // a = updates issued via the writer pool (no gossip)
+    kGossip,     // a = exact number of gossip rounds to run
+    kQuiesce,    // gossip until no site is dirty; a = round cap (0 = auto)
+    kChurn,      // a = sites taken offline, b = rounds they stay down
+    kPartition,  // split the world into halves (blocks cross edges)
+    kHeal,       // re-join the halves (dirties the boundary)
+    kFlash,      // a = one-shot writers spread over the mesh, one update each
+  };
+  Kind kind{Kind::kQuiesce};
+  std::uint32_t a{0};
+  std::uint32_t b{0};
+};
+
+// Parse a script: either a named preset ("converge", "partition-heal",
+// "churn", "flash-crowd") or a comma-separated phase list like
+// "warmup:64,quiesce,partition,warmup:32,quiesce,heal,quiesce".
+// `sites` scales the presets' churn magnitude. Returns false (with a
+// diagnostic in `error`) on malformed input — the CLI turns that into a
+// usage error rather than a crash.
+bool parse_scenario_script(std::string_view script, std::uint32_t sites,
+                           std::vector<PhaseSpec>& out, std::string& error);
+
+// Σ flash-phase writers across the script: the vector-width headroom a world
+// running it needs as ScenarioWorld::Config::extra_writers.
+std::uint32_t scenario_flash_writers(const std::vector<PhaseSpec>& phases);
+
+struct ScenarioStats {
+  sim::ScenarioWorld::Totals totals{};
+  bool converged{false};
+  // Round counter value when the world (re-)converged after its last update;
+  // 0 when it never diverged or never converged.
+  std::uint64_t convergence_rounds{0};
+  // True when some quiesce phase hit its round cap with sites still dirty.
+  bool quiesce_truncated{false};
+
+  vv::Arena::Stats arena{};
+  std::uint64_t replica_bytes{0};
+  std::uint64_t mesh_bytes{0};
+};
+
+// Execute the phases on the world. With a timeline, samples the world's full
+// registry (scenario.* and rt.arena.* included) every `sample_every` rounds
+// on a "rounds" axis. `quiesce_cap` bounds cap-less quiesce phases
+// (0 → 4·sites + 64). Publishes final metrics into world.metrics(), so a
+// report written afterwards sees up-to-date instruments.
+ScenarioStats run_scenario(sim::ScenarioWorld& world, const std::vector<PhaseSpec>& phases,
+                           obs::Timeline* timeline = nullptr,
+                           std::uint32_t sample_every = 64, std::uint32_t quiesce_cap = 0);
+
+// optrep.run/v1 document (command "scenario") for a finished run. Call after
+// run_scenario — the exporter reads the registry run_scenario published.
+std::string scenario_run_report_json(const sim::ScenarioWorld& world, std::string_view script,
+                                     const ScenarioStats& stats);
+
+}  // namespace optrep::wl

@@ -1,0 +1,203 @@
+// vv::Arena / vv::Column: the bump/slab allocator and the SoA column type
+// backing RotatingVector and FlatSiteIndex (vv/arena.h). The tests pin the
+// properties replica code depends on: alignment, byte accounting, the
+// never-free/retire-in-place discipline, Column copy/move backing rules, and
+// the zero-alloc steady state of an arena-backed reserved vector.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+#include "common/ids.h"
+#include "vv/arena.h"
+#include "vv/rotating_vector.h"
+
+namespace optrep::vv {
+namespace {
+
+TEST(Arena, AllocationsAlignedAndAccounted) {
+  Arena a;
+  EXPECT_EQ(a.stats().reserved_bytes, 0u);
+  void* p = a.allocate(10);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % Arena::kAlign, 0u);
+  // 10 bytes round up to one 16-byte line.
+  EXPECT_EQ(a.stats().live_bytes, 16u);
+  EXPECT_EQ(a.stats().slabs, 1u);
+  EXPECT_EQ(a.stats().reserved_bytes, Arena::kDefaultSlabBytes);
+  void* q = a.allocate(16);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(q) % Arena::kAlign, 0u);
+  EXPECT_NE(p, q);
+  EXPECT_EQ(a.stats().live_bytes, 32u);
+  EXPECT_EQ(a.stats().slabs, 1u);  // both fit the first slab
+}
+
+TEST(Arena, ZeroBytesIsNull) {
+  Arena a;
+  EXPECT_EQ(a.allocate(0), nullptr);
+  EXPECT_EQ(a.stats().reserved_bytes, 0u);
+}
+
+TEST(Arena, OversizedRequestGetsDedicatedSlab) {
+  Arena a(/*slab_bytes=*/4096);
+  a.allocate(64);
+  EXPECT_EQ(a.stats().slabs, 1u);
+  // > slab/2 goes to its own (full) slab instead of forcing a sequence of
+  // mostly-empty bump slabs.
+  void* big = a.allocate(3000);
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(a.stats().slabs, 2u);
+  const std::uint64_t reserved = a.stats().reserved_bytes;
+  EXPECT_EQ(reserved, 4096u + 3008u);  // bump slab + rounded dedicated slab
+  // The dedicated slab is born full: the next small request opens a fresh
+  // bump slab rather than fitting in it.
+  a.allocate(64);
+  EXPECT_EQ(a.stats().slabs, 3u);
+}
+
+TEST(Arena, RetireMovesLiveToRetiredButKeepsReservation) {
+  Arena a;
+  a.allocate(128);
+  a.allocate(64);
+  const std::uint64_t reserved = a.stats().reserved_bytes;
+  a.retire(128);
+  EXPECT_EQ(a.stats().live_bytes, 64u);
+  EXPECT_EQ(a.stats().retired_bytes, 128u);
+  EXPECT_EQ(a.stats().reserved_bytes, reserved);  // never returned to the OS
+  EXPECT_EQ(a.stats().high_water_bytes, 192u);
+}
+
+TEST(Arena, HighWaterTracksPeakLive) {
+  Arena a;
+  a.allocate(256);
+  a.retire(256);
+  a.allocate(64);
+  EXPECT_EQ(a.stats().live_bytes, 64u);
+  EXPECT_EQ(a.stats().high_water_bytes, 256u);
+}
+
+TEST(Column, HeapModeBehavesLikeVector) {
+  Column<std::uint32_t> c;
+  EXPECT_TRUE(c.empty());
+  for (std::uint32_t i = 0; i < 100; ++i) c.push_back(i);
+  ASSERT_EQ(c.size(), 100u);
+  EXPECT_EQ(c[42], 42u);
+  EXPECT_EQ(c.back(), 99u);
+  c.pop_back();
+  EXPECT_EQ(c.size(), 99u);
+  c.resize(4);
+  EXPECT_EQ(c.size(), 4u);
+  c.resize(8);  // growth back fills with default
+  EXPECT_EQ(c[7], 0u);
+  c.assign(3, 7u);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[2], 7u);
+}
+
+TEST(Column, ArenaBackedGrowthRetiresOldBlockInPlace) {
+  Arena a;
+  Column<std::uint64_t> c(&a);
+  c.reserve(8);
+  const std::uint64_t first = a.stats().live_bytes;
+  EXPECT_EQ(first, 64u);
+  for (int i = 0; i < 8; ++i) c.push_back(i);
+  EXPECT_EQ(a.stats().live_bytes, first);  // within capacity: no allocation
+  c.push_back(8);  // forces regrow
+  EXPECT_EQ(a.stats().retired_bytes, first);
+  EXPECT_EQ(c[3], 3u);  // contents survived the move
+  EXPECT_EQ(c.size(), 9u);
+}
+
+TEST(Column, ShrinkKeepsCapacityAndBlock) {
+  Arena a;
+  Column<std::uint32_t> c(&a);
+  c.assign(64, 1u);
+  const std::uint64_t retired = a.stats().retired_bytes;
+  const std::size_t cap = c.capacity();
+  c.resize(2);
+  c.clear();
+  EXPECT_EQ(c.capacity(), cap);
+  EXPECT_EQ(a.stats().retired_bytes, retired);  // nothing retired by shrinking
+}
+
+TEST(Column, CopyIsHeapSnapshotNeverArenaBound) {
+  Arena a;
+  Column<std::uint32_t> c(&a);
+  c.assign(16, 5u);
+  const std::uint64_t live = a.stats().live_bytes;
+  Column<std::uint32_t> copy(c);
+  EXPECT_EQ(copy.arena(), nullptr);
+  EXPECT_EQ(a.stats().live_bytes, live);  // copy came off the heap
+  ASSERT_EQ(copy.size(), 16u);
+  EXPECT_EQ(copy[9], 5u);
+  copy.assign(64, 3u);  // growing the copy touches only the heap
+  EXPECT_EQ(a.stats().live_bytes, live);
+}
+
+TEST(Column, CopyAssignKeepsDestinationBacking) {
+  Arena a;
+  Column<std::uint32_t> dst(&a);
+  dst.reserve(32);
+  Column<std::uint32_t> src;
+  src.assign(8, 9u);
+  dst = src;
+  EXPECT_EQ(dst.arena(), &a);  // still arena-bound
+  ASSERT_EQ(dst.size(), 8u);
+  EXPECT_EQ(dst[0], 9u);
+}
+
+TEST(Column, MoveKeepsSourceArenaWithNoBlock) {
+  Arena a;
+  Column<std::uint32_t> c(&a);
+  c.assign(8, 2u);
+  Column<std::uint32_t> moved(std::move(c));
+  EXPECT_EQ(moved.arena(), &a);
+  ASSERT_EQ(moved.size(), 8u);
+  EXPECT_EQ(moved[7], 2u);
+  // Moved-from: empty, still bound to the arena, usable again.
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.arena(), &a);
+  const std::uint64_t live = a.stats().live_bytes;
+  c.assign(4, 1u);
+  EXPECT_GT(a.stats().live_bytes, live);  // new block carved from the arena
+}
+
+// An arena-backed, reserved RotatingVector runs its whole mutation surface
+// without another arena allocation — the zero-alloc steady state that the
+// concurrent-reader pinning contract (and bench_microops) relies on.
+TEST(ArenaVector, ReservedVectorIsZeroAllocSteadyState) {
+  Arena a;
+  RotatingVector v;
+  v.attach_arena(&a);
+  v.reserve(16);
+  const std::uint64_t live = a.stats().live_bytes;
+  const std::uint64_t retired = a.stats().retired_bytes;
+  EXPECT_GT(live, 0u);
+  for (std::uint32_t round = 0; round < 50; ++round) {
+    for (std::uint32_t i = 0; i < 16; ++i) v.record_update(SiteId{i});
+    v.set_conflict_bit(SiteId{3}, true);
+    v.erase(SiteId{round % 16});
+  }
+  EXPECT_EQ(a.stats().live_bytes, live);
+  EXPECT_EQ(a.stats().retired_bytes, retired);
+  EXPECT_EQ(v.memory_bytes(), a.stats().live_bytes);
+}
+
+TEST(ArenaVector, CopyOfArenaVectorIsPlainValue) {
+  Arena a;
+  RotatingVector v;
+  v.attach_arena(&a);
+  v.reserve(4);
+  v.record_update(SiteId{1});
+  v.record_update(SiteId{2});
+  RotatingVector snap(v);
+  const std::uint64_t live = a.stats().live_bytes;
+  // Mutating the snapshot never touches the world's arena.
+  for (std::uint32_t i = 0; i < 64; ++i) snap.record_update(SiteId{i});
+  EXPECT_EQ(a.stats().live_bytes, live);
+  EXPECT_TRUE(v.identical_to(RotatingVector(v)));
+  EXPECT_EQ(snap.value(SiteId{1}), 2u);
+}
+
+}  // namespace
+}  // namespace optrep::vv

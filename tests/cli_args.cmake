@@ -55,6 +55,42 @@ foreach(good 1 4)
   endif()
 endforeach()
 
+# 'scenario' combination checks: the large-world engine has its own workload
+# model, so per-step-system flags must be rejected up front, scenario-only
+# flags must be rejected on other commands, and the single-writer algorithms
+# must refuse multi-writer (and flash-crowd) configurations.
+foreach(banned --kind=srv --manual --topology=ring --steps=10 --update-prob=0.5
+        --threads=2 --seeds=4 --loss=0.1 --fault-seed=9 --trace-out=x.json
+        --full-graph --overlap=0.2)
+  expect_rejected("'scenario' does not accept" scenario --sites=16 ${banned})
+endforeach()
+foreach(banned --causal-out=x.json --dump-on-violation=x.json)
+  expect_rejected("apply to 'state' and 'sweep' runs" scenario --sites=16 ${banned})
+endforeach()
+foreach(scen_only --algo=srv --mesh=ring --degree=2 --writers=4 --script=converge)
+  expect_rejected("applies to 'scenario' runs" state --sites=4 --steps=20 ${scen_only})
+endforeach()
+expect_rejected("require --writers=1" scenario --sites=16 --algo=brv --writers=2)
+expect_rejected("require --writers=1" scenario --sites=16 --algo=syncg --writers=3)
+expect_rejected("single-writer" scenario --sites=64 --algo=syncg --script=flash-crowd)
+expect_rejected("unknown algo" scenario --sites=16 --algo=xrv)
+expect_rejected("unknown mesh" scenario --sites=16 --mesh=torus)
+expect_rejected("unknown phase" scenario --sites=16 --script=warp:4)
+expect_rejected("--degree must be a positive integer" scenario --sites=16 --degree=0)
+expect_rejected("--writers must be a positive integer" scenario --sites=16 --writers=x)
+
+# A valid scenario run converges and exits 0 on every algorithm.
+foreach(algo brv crv srv syncg)
+  execute_process(COMMAND ${CLI} scenario --sites=64 "--algo=${algo}" --degree=2
+                          --script=converge
+                  RESULT_VARIABLE rc
+                  OUTPUT_QUIET ERROR_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "valid 'scenario --algo=${algo}' run exited ${rc}")
+  endif()
+endforeach()
+message(STATUS "scenario validation and combination checks hold")
+
 # The serving tools share the strict parsers: same signed-first integer
 # contract, plus the [0, 1] fraction check, the kind enum, and the
 # exactly-one-target rule for the load generator. None of these cases bind

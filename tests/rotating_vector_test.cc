@@ -7,6 +7,39 @@ namespace {
 
 const SiteId A{0}, B{1}, C{2}, D{3};
 
+// Regression for the free-list growth bug the §7 pruning extension exposed:
+// before slot compaction, every erase() parked a dead slot on free_slots_
+// forever when inserts targeted fresh sites, so column height (and
+// memory_bytes) grew monotonically with retirement churn. erase() now
+// compacts once dead slots outnumber live elements, keeping height O(live).
+TEST(RotatingVector, PruningChurnKeepsSlotCountBounded) {
+  RotatingVector v;
+  constexpr std::uint32_t kLive = 8;
+  for (std::uint32_t i = 0; i < kLive; ++i) v.record_update(SiteId{i});
+  const std::uint64_t steady_bytes = [&] {
+    // One churn burst to let columns and index reach their steady capacity.
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      v.erase(SiteId{i});
+      v.record_update(SiteId{kLive + i});
+    }
+    return v.memory_bytes();
+  }();
+  for (std::uint32_t i = 64; i < 2000; ++i) {
+    v.erase(SiteId{i});                    // retire the oldest live site
+    v.record_update(SiteId{kLive + i});    // admit a brand-new one
+    ASSERT_EQ(v.size(), kLive);
+    // Dead slots never outnumber live elements by more than one erase.
+    ASSERT_LE(v.free_slot_count(), kLive);
+    ASSERT_LE(v.slot_count(), 2 * kLive + 1);
+  }
+  EXPECT_EQ(v.memory_bytes(), steady_bytes);  // footprint stopped growing
+  // The survivors (sites 2000..2007) kept their values through relocations.
+  EXPECT_EQ(v.size(), kLive);
+  for (std::uint32_t s = 2000; s < 2000 + kLive; ++s) {
+    EXPECT_EQ(v.value(SiteId{s}), 1u) << s;
+  }
+}
+
 std::vector<SiteId> order_sites(const RotatingVector& v) {
   std::vector<SiteId> out;
   for (const auto& e : v) out.push_back(e.site);  // exercises the iterator

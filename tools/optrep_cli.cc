@@ -9,6 +9,10 @@
 //                                 rows come out in run order for any
 //                                 --threads value and per-worker metrics are
 //                                 merged after the join
+//   optrep_cli scenario [options] run a large-world gossip scenario: 10^4–10^6
+//                                 sites on a mesh topology, arena-backed
+//                                 replicas, scripted churn / partition-heal /
+//                                 flash-crowd phases (src/sim/scenario.h)
 //
 // Common options:
 //   --sites=N --objects=N --steps=N --update-prob=F --seed=N
@@ -58,6 +62,17 @@
 //   --seeds=K            number of independent runs (seed_k = task_seed(seed, k))
 //   --threads=N          worker threads (> 0); for 'state' this also selects
 //                        the sharded parallel batch engine (even at N=1)
+// scenario options:
+//   --algo=brv|crv|srv|syncg   replication algorithm (default srv)
+//   --writers=N          writer-pool size (bounds vector width; brv and syncg
+//                        require exactly 1)
+//   --mesh=ring|small-world|scale-free|geo   topology family (default ring)
+//   --degree=N           mesh degree knob (lattice k / BA attachment m)
+//   --script=S           named preset (converge | partition-heal | churn |
+//                        flash-crowd) or a phase list like
+//                        "warmup:64,quiesce,partition,warmup:32,quiesce,heal,quiesce"
+//   scenario also honors --sites, --seed, --mode/--latency-ms/--bandwidth,
+//   --csv/--json, and --timeline-out/--sample-every (samples every N rounds)
 // fault options (state, records, sweep):
 //   --loss=P --dup=P --reorder=P --corrupt=P   per-message fault probabilities
 //   --fault-seed=N       fault stream seed (independent of --seed)
@@ -71,6 +86,8 @@
 #include <limits>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/rng.h"
 #include "obs/causal.h"
@@ -84,6 +101,7 @@
 #include "rt/thread_pool.h"
 #include "tools/cli_util.h"
 #include "workload/report.h"
+#include "workload/scenario.h"
 #include "workload/trace.h"
 
 using namespace optrep;
@@ -129,6 +147,22 @@ struct Args {
   double reorder{0};
   double corrupt{0};
   std::uint64_t fault_seed{1};
+  // 'scenario': large-world gossip engine (src/sim/scenario.h).
+  sim::ScenarioAlgo algo{sim::ScenarioAlgo::kSrv};
+  std::uint32_t writers{8};
+  sim::MeshKind mesh{sim::MeshKind::kRing};
+  std::uint32_t degree{1};
+  std::string script{"converge"};
+  // Option names seen on the command line (through the '='), for
+  // command/flag compatibility checks after the parse loop.
+  std::vector<std::string> seen;
+
+  bool saw(std::string_view name) const {
+    for (const std::string& s : seen) {
+      if (s == name) return true;
+    }
+    return false;
+  }
 
   bool faults_requested() const {
     return loss > 0 || dup > 0 || reorder > 0 || corrupt > 0;
@@ -138,15 +172,18 @@ struct Args {
 [[noreturn]] void usage(const char* msg) {
   if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
   std::fprintf(stderr,
-               "usage: optrep_cli <state|op|records|sweep> [--sites=N] [--objects=N] [--steps=N]\n"
-               "       [--update-prob=F] [--seed=N] [--topology=gossip|ring|star|clustered]\n"
+               "usage: optrep_cli <state|op|records|sweep|scenario> [--sites=N] [--objects=N]\n"
+               "       [--steps=N] [--update-prob=F] [--seed=N]\n"
+               "       [--topology=gossip|ring|star|clustered]\n"
                "       [--mode=ideal|saw|pipelined] [--latency-ms=F] [--bandwidth=F]\n"
                "       [--kind=brv|crv|srv] [--manual] [--log-limit=N] [--full-graph]\n"
                "       [--csv] [--json] [--trace-out=FILE] [--profile-out=FILE]\n"
                "       [--timeline-out=FILE] [--sample-every=N] [--dump-on-violation=FILE]\n"
                "       [--causal-out=FILE]\n"
                "       [--seeds=K] [--threads=N]\n"
-               "       [--loss=P] [--dup=P] [--reorder=P] [--corrupt=P] [--fault-seed=N]\n");
+               "       [--loss=P] [--dup=P] [--reorder=P] [--corrupt=P] [--fault-seed=N]\n"
+               "       [--algo=brv|crv|srv|syncg] [--writers=N]\n"
+               "       [--mesh=ring|small-world|scale-free|geo] [--degree=N] [--script=S]\n");
   std::exit(2);
 }
 
@@ -157,10 +194,12 @@ Args parse(int argc, char** argv) {
   Args a;
   a.command = argv[1];
   if (a.command != "state" && a.command != "op" && a.command != "records" &&
-      a.command != "sweep") {
-    usage("command must be 'state', 'op', 'records' or 'sweep'");
+      a.command != "sweep" && a.command != "scenario") {
+    usage("command must be 'state', 'op', 'records', 'sweep' or 'scenario'");
   }
   for (int i = 2; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    a.seen.emplace_back(arg.substr(0, arg.find('=')));
     std::string v;
     if (take(argv[i], "--sites", &v)) {
       a.sites = static_cast<std::uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
@@ -238,6 +277,25 @@ Args parse(int argc, char** argv) {
       a.fault_seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (take(argv[i], "--seeds", &v)) {
       a.sweep_seeds = static_cast<std::uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (take(argv[i], "--algo", &v)) {
+      if (v == "brv") a.algo = sim::ScenarioAlgo::kBrv;
+      else if (v == "crv") a.algo = sim::ScenarioAlgo::kCrv;
+      else if (v == "srv") a.algo = sim::ScenarioAlgo::kSrv;
+      else if (v == "syncg") a.algo = sim::ScenarioAlgo::kSyncg;
+      else usage("unknown algo (brv|crv|srv|syncg)");
+    } else if (take(argv[i], "--writers", &v)) {
+      a.writers = cli::parse_positive_u32(v, usage, "--writers must be a positive integer");
+    } else if (take(argv[i], "--mesh", &v)) {
+      if (v == "ring") a.mesh = sim::MeshKind::kRing;
+      else if (v == "small-world") a.mesh = sim::MeshKind::kSmallWorld;
+      else if (v == "scale-free") a.mesh = sim::MeshKind::kScaleFree;
+      else if (v == "geo") a.mesh = sim::MeshKind::kGeoClustered;
+      else usage("unknown mesh (ring|small-world|scale-free|geo)");
+    } else if (take(argv[i], "--degree", &v)) {
+      a.degree = cli::parse_positive_u32(v, usage, "--degree must be a positive integer");
+    } else if (take(argv[i], "--script", &v)) {
+      if (v.empty()) usage("--script needs a preset name or phase list");
+      a.script = v;
     } else if (take(argv[i], "--threads", &v)) {
       // Parse signed first: strtoul silently wraps "-4" into a huge worker
       // count, and a trailing-garbage value ("4x") should be an error, not 4.
@@ -259,10 +317,47 @@ Args parse(int argc, char** argv) {
   if (!a.trace_out.empty() && a.command == "op") {
     usage("--trace-out applies to vector sessions; 'op' runs have none");
   }
-  if ((!a.timeline_out.empty() || !a.dump_out.empty() || !a.causal_out.empty()) &&
-      a.command != "state" && a.command != "sweep") {
-    usage("--timeline-out / --dump-on-violation / --causal-out apply to 'state' "
-          "and 'sweep' runs");
+  if (!a.timeline_out.empty() && a.command != "state" && a.command != "sweep" &&
+      a.command != "scenario") {
+    usage("--timeline-out applies to 'state', 'sweep' and 'scenario' runs");
+  }
+  if ((!a.dump_out.empty() || !a.causal_out.empty()) && a.command != "state" &&
+      a.command != "sweep") {
+    usage("--dump-on-violation / --causal-out apply to 'state' and 'sweep' runs");
+  }
+  if (a.command == "scenario") {
+    // The scenario engine has its own workload model (writer pool + phase
+    // script on a mesh) and its own instruments; every trace-style or
+    // fault-injection flag below belongs to the per-step systems.
+    static constexpr const char* kBanned[] = {
+        "--kind",         "--manual",    "--topology",          "--objects",
+        "--steps",        "--update-prob", "--trace-out",       "--profile-out",
+        "--causal-out",   "--dump-on-violation", "--threads",   "--seeds",
+        "--log-limit",    "--full-graph", "--overlap",          "--key-pool",
+        "--flag",         "--loss",      "--dup",               "--reorder",
+        "--corrupt",      "--fault-seed"};
+    for (const char* f : kBanned) {
+      if (a.saw(f)) {
+        usage((std::string("'scenario' does not accept ") + f +
+               " (see scenario options in --help)")
+                  .c_str());
+      }
+    }
+    if (a.algo == sim::ScenarioAlgo::kBrv || a.algo == sim::ScenarioAlgo::kSyncg) {
+      // BRV holds concurrent pairs unresolved and SYNCG ships sink ancestors
+      // only — a multi-writer world would never converge (scenario.h top
+      // comment); reject instead of spinning to the quiesce cap.
+      if (a.saw("--writers") && a.writers > 1) {
+        usage("--algo=brv and --algo=syncg require --writers=1");
+      }
+      a.writers = 1;
+    }
+  } else {
+    for (const char* f : {"--algo", "--writers", "--mesh", "--degree", "--script"}) {
+      if (a.saw(f)) {
+        usage((std::string(f) + " applies to 'scenario' runs").c_str());
+      }
+    }
   }
   if (a.command == "sweep") {
     if (a.sweep_seeds < 1) usage("--seeds must be >= 1");
@@ -647,6 +742,98 @@ int run_records(const Args& a) {
   return 0;
 }
 
+// Large-world gossip scenario. The phase list is parsed before the world is
+// built so flash-crowd headroom is known up front — the optimistic-read
+// pinning contract requires replica width to be reserved before any reader
+// can observe the vector.
+int run_scenario_cmd(const Args& a) {
+  std::vector<wl::PhaseSpec> phases;
+  std::string err;
+  if (!wl::parse_scenario_script(a.script, a.sites, phases, err)) usage(err.c_str());
+  const std::uint32_t flash = wl::scenario_flash_writers(phases);
+  if (flash > 0 &&
+      (a.algo == sim::ScenarioAlgo::kBrv || a.algo == sim::ScenarioAlgo::kSyncg)) {
+    usage("flash phases add one-shot writers; brv/syncg worlds are single-writer");
+  }
+  sim::ScenarioWorld::Config cfg;
+  cfg.algo = a.algo;
+  cfg.sites = a.sites;
+  cfg.writers = a.writers;
+  cfg.mesh = a.mesh;
+  cfg.degree = a.degree;
+  cfg.seed = a.seed;
+  cfg.mode = a.mode;
+  cfg.net = make_net(a);
+  cfg.cost = CostModel{.n = a.sites, .m = 1 << 16};
+  cfg.extra_writers = flash;
+  sim::ScenarioWorld world(cfg);
+  obs::Timeline timeline;
+  const wl::ScenarioStats stats = wl::run_scenario(
+      world, phases, a.timeline_out.empty() ? nullptr : &timeline, a.sample_every);
+  if (!a.timeline_out.empty()) write_file(a.timeline_out, obs::timeline_to_json(timeline));
+  const auto& t = stats.totals;
+  if (a.json) {
+    std::fputs(wl::scenario_run_report_json(world, a.script, stats).c_str(), stdout);
+    std::fputc('\n', stdout);
+    return 0;
+  }
+  if (a.csv) {
+    std::puts("algo,sites,writers,mesh,degree,seed,rounds,updates,compares,sessions,"
+              "bits,wire_bytes,converged,convergence_rounds,arena_live_bytes,"
+              "replica_bytes");
+    std::puts(obs::CsvRow()
+                  .add(sim::to_string(a.algo))
+                  .add(a.sites)
+                  .add(a.writers)
+                  .add(sim::to_string(a.mesh))
+                  .add(a.degree)
+                  .add(a.seed)
+                  .add(t.rounds)
+                  .add(t.updates)
+                  .add(t.compares)
+                  .add(t.sessions)
+                  .add(t.bits)
+                  .add(t.wire_bytes)
+                  .add(int{stats.converged})
+                  .add(stats.convergence_rounds)
+                  .add(stats.arena.live_bytes)
+                  .add(stats.replica_bytes)
+                  .str()
+                  .c_str());
+    return 0;
+  }
+  std::printf("scenario run (%s, %s mesh, %u sites, %u writers)\n",
+              std::string(sim::to_string(a.algo)).c_str(),
+              std::string(sim::to_string(a.mesh)).c_str(), a.sites, a.writers);
+  std::printf("  script: %s\n", a.script.c_str());
+  std::printf("  rounds: %llu   updates: %llu   converged: %s",
+              (unsigned long long)t.rounds, (unsigned long long)t.updates,
+              stats.converged ? "yes" : "NO");
+  if (stats.converged && stats.convergence_rounds > 0) {
+    std::printf(" (round %llu)", (unsigned long long)stats.convergence_rounds);
+  }
+  if (stats.quiesce_truncated) std::printf(" [quiesce cap hit]");
+  std::printf("\n");
+  std::printf("  exchanges: %llu compares, %llu sync sessions, %llu msgs\n",
+              (unsigned long long)t.compares, (unsigned long long)t.sessions,
+              (unsigned long long)t.msgs);
+  std::printf("  traffic: %llu model bits (%llu wire bytes)\n",
+              (unsigned long long)t.bits, (unsigned long long)t.wire_bytes);
+  std::printf("  applied: %llu elements, %llu graph nodes; %llu reconciliations, "
+              "%llu conflicts held\n",
+              (unsigned long long)t.elems_applied, (unsigned long long)t.nodes_applied,
+              (unsigned long long)t.reconciliations,
+              (unsigned long long)t.conflicts_held);
+  std::printf("  memory: arena %llu live / %llu reserved bytes (%llu slabs); "
+              "replicas %llu bytes, mesh %llu bytes\n",
+              (unsigned long long)stats.arena.live_bytes,
+              (unsigned long long)stats.arena.reserved_bytes,
+              (unsigned long long)stats.arena.slabs,
+              (unsigned long long)stats.replica_bytes,
+              (unsigned long long)stats.mesh_bytes);
+  return stats.converged ? 0 : 1;
+}
+
 // K independent state-transfer runs with per-task split seeds on a thread
 // pool. Every run owns its system, trace, and event loop; per-worker metric
 // shards are merged after the join, so the row table AND the merged registry
@@ -820,5 +1007,6 @@ int main(int argc, char** argv) {
   if (a.command == "state") return run_state(a);
   if (a.command == "op") return run_op(a);
   if (a.command == "sweep") return run_sweep(a);
+  if (a.command == "scenario") return run_scenario_cmd(a);
   return run_records(a);
 }
